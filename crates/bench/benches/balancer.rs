@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the balancing strategies (Algorithm 1 and the
+//! greedy baseline) at production scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+use moentwine_bench::platforms::Platform;
+use moentwine_core::balancer::{
+    BalanceContext, Balancer, GreedyBalancer, TopologyAwareBalancer,
+};
+use moentwine_core::placement::ExpertPlacement;
+
+fn bench_balancers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancer_plan_layer");
+    // 256-device multi-wafer system, 256 experts (the Fig. 17 scale).
+    let platform = Platform::multi_wsc(2, 2, 8);
+    let placement = ExpertPlacement::balanced(256, 256, 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let loads: Vec<f64> = (0..256).map(|_| rng.gen_range(1.0..100.0)).collect();
+
+    for actions in [4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("topology_aware", actions),
+            &actions,
+            |b, &actions| {
+                b.iter(|| {
+                    TopologyAwareBalancer::new(actions).plan_layer(&BalanceContext {
+                        layer: 0,
+                        expert_loads: &loads,
+                        placement: &placement,
+                        table: &platform.table,
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", actions),
+            &actions,
+            |b, &actions| {
+                b.iter(|| {
+                    GreedyBalancer::new(actions).plan_layer(&BalanceContext {
+                        layer: 0,
+                        expert_loads: &loads,
+                        placement: &placement,
+                        table: &platform.table,
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balancers);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for end-to-end engine iterations — the cost of one
+//! simulated serving step at the scales used by Figs. 15–17.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use moe_model::ModelConfig;
+use moentwine_bench::platforms::{wsc_plan, Platform, WscMapping};
+use moentwine_core::balancer::BalancerKind;
+use moentwine_core::engine::{EngineConfig, InferenceEngine};
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    group.sample_size(10);
+
+    // Qwen3 on a 4x4 wafer (Fig. 15 scale).
+    {
+        let platform = Platform::wsc(4);
+        let plan = wsc_plan(&platform, 4, WscMapping::Er);
+        group.bench_function("qwen3_4x4_nobalance", |b| {
+            b.iter_batched(
+                || {
+                    InferenceEngine::new(
+                        &platform.topo,
+                        &platform.table,
+                        &plan,
+                        EngineConfig::new(ModelConfig::qwen3_235b()).with_seed(1),
+                    )
+                },
+                |mut engine| {
+                    engine.step();
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // DeepSeek-V3 on an 8x8 wafer with the NI-Balancer (Fig. 16 scale).
+    {
+        let platform = Platform::wsc(8);
+        let plan = wsc_plan(&platform, 4, WscMapping::Er);
+        group.bench_function("dsv3_8x8_non_invasive", |b| {
+            b.iter_batched(
+                || {
+                    let mut config = EngineConfig::new(ModelConfig::deepseek_v3())
+                        .with_balancer(BalancerKind::NonInvasive)
+                        .with_seed(1);
+                    config.comm_layer_stride = 4;
+                    InferenceEngine::new(&platform.topo, &platform.table, &plan, config)
+                },
+                |mut engine| {
+                    engine.step();
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_step);
+criterion_main!(benches);

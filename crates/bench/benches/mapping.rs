@@ -1,0 +1,67 @@
+//! Criterion benchmarks for mapping construction and FTD analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use moentwine_bench::platforms::Platform;
+use moentwine_core::mapping::{BaselineMapping, ErMapping, HierarchicalErMapping, TpShape};
+use wsc_topology::RouteTable;
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_plan");
+    for n in [8u16, 16] {
+        let platform = Platform::wsc(n);
+        let dims = platform.topo.mesh_dims().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("er", format!("{n}x{n}")),
+            &dims,
+            |b, &dims| b.iter(|| ErMapping::new(dims, TpShape::new(4, 2)).unwrap().plan()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline", format!("{n}x{n}")),
+            &dims,
+            |b, &dims| {
+                b.iter(|| BaselineMapping::new(dims, TpShape::new(4, 2)).unwrap().plan())
+            },
+        );
+    }
+    let multi = Platform::multi_wsc(2, 2, 8);
+    let dims = multi.topo.mesh_dims().unwrap();
+    group.bench_function("her_4x(8x8)", |b| {
+        b.iter(|| {
+            HierarchicalErMapping::new(dims, TpShape::new(4, 2))
+                .unwrap()
+                .plan()
+        })
+    });
+    group.finish();
+}
+
+fn bench_route_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table_build");
+    group.sample_size(10);
+    for n in [8u16, 16] {
+        let topo = wsc_topology::Mesh::new(n, wsc_topology::PlatformParams::dojo_like()).build();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &n, |b, _| {
+            b.iter(|| RouteTable::build(&topo))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ftd_analysis(c: &mut Criterion) {
+    let platform = Platform::wsc(8);
+    let plan = ErMapping::new(platform.topo.mesh_dims().unwrap(), TpShape::new(4, 2))
+        .unwrap()
+        .plan();
+    c.bench_function("average_ftd_hops_8x8", |b| {
+        b.iter(|| plan.average_ftd_hops(&platform.topo))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_plan_construction,
+    bench_route_table,
+    bench_ftd_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the design-knob sensitivity ablation (see
+//! `moentwine_bench::figs::ablation`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::ablation::run);
+}

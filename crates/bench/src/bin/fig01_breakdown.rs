@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig01 (see `moentwine_bench::figs::fig01`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig01::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig04 (see `moentwine_bench::figs::fig04`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig04::run);
+}

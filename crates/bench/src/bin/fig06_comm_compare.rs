@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06 (see `moentwine_bench::figs::fig06`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig06::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 (see `moentwine_bench::figs::fig11`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig11::run);
+}

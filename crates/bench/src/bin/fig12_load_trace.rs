@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 (see `moentwine_bench::figs::fig12`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig12::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13a (see `moentwine_bench::figs::fig13a`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig13a::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13b (see `moentwine_bench::figs::fig13b`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig13b::run);
+}

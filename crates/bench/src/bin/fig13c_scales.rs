@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13c (see `moentwine_bench::figs::fig13c`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig13c::run);
+}

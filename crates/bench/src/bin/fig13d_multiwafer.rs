@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13d (see `moentwine_bench::figs::fig13d`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig13d::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14a (see `moentwine_bench::figs::fig14a`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig14a::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14b (see `moentwine_bench::figs::fig14b`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig14b::run);
+}

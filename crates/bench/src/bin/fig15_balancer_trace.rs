@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 (see `moentwine_bench::figs::fig15`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig15::run);
+}

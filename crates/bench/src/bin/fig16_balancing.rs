@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 (see `moentwine_bench::figs::fig16`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig16::run);
+}

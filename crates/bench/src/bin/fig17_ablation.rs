@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 (see `moentwine_bench::figs::fig17`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::fig17::run);
+}

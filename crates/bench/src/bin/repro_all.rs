@@ -1,0 +1,42 @@
+//! Runs every table/figure experiment in paper order, saving each report to
+//! `results/<id>.json` and writing a combined `results/SUMMARY.md` suitable
+//! for pasting into EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p moentwine-bench --bin repro_all [--quick]`
+
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let quick = moentwine_bench::quick_from_args();
+    let mut summary = String::from("# MoEntwine reproduction results\n\n");
+    if quick {
+        summary.push_str("> Generated with `--quick` (reduced iterations).\n\n");
+    }
+    let start = Instant::now();
+    for (id, runner) in moentwine_bench::figs::all() {
+        let t0 = Instant::now();
+        eprintln!("[repro] running {id} ...");
+        let report = runner(quick);
+        report.print();
+        if let Err(e) = report.save("results") {
+            eprintln!("[repro] warning: could not save {id}: {e}");
+        }
+        summary.push_str(&report.to_markdown());
+        summary.push('\n');
+        eprintln!("[repro] {id} finished in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    summary.push_str(&format!(
+        "\n_Total generation time: {:.1}s_\n",
+        start.elapsed().as_secs_f64()
+    ));
+    if let Err(e) = fs::create_dir_all("results")
+        .and_then(|_| fs::write("results/SUMMARY.md", &summary))
+    {
+        eprintln!("[repro] warning: could not write summary: {e}");
+    }
+    eprintln!(
+        "[repro] all experiments done in {:.1}s; see results/SUMMARY.md",
+        start.elapsed().as_secs_f64()
+    );
+}

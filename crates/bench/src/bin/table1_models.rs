@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see `moentwine_bench::figs::table1`).
+
+fn main() {
+    moentwine_bench::run_binary(moentwine_bench::figs::table1::run);
+}

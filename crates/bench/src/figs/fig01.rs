@@ -1,0 +1,137 @@
+//! Fig. 1(a): per-device MoE latency breakdown across cluster generations.
+
+use moe_model::{InferencePhase, ModelConfig};
+use moentwine_core::balancer::BalancerKind;
+use moentwine_core::comm::{ClusterLayout, ParallelLayout};
+use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine};
+
+use crate::platforms::{wsc_plan, Platform, WscMapping};
+use crate::report::fmt_time;
+use crate::Report;
+
+fn engine_row(
+    platform: &Platform,
+    layout: &dyn ParallelLayout,
+    model: &ModelConfig,
+    balancer: BalancerKind,
+    iters: usize,
+) -> (f64, f64, f64, f64) {
+    let config = EngineConfig::new(model.clone())
+        .with_batch(BatchMode::Fixed {
+            tokens_per_group: 256,
+            avg_context: 4096.0,
+            phase: InferencePhase::Decode,
+        })
+        .with_balancer(balancer);
+    let mut config = config;
+    config.comm_layer_stride = 4;
+    let mut engine = InferenceEngine::new(&platform.topo, &platform.table, layout, config);
+    let s = engine.run(iters);
+    (
+        s.mean_all_to_all,
+        s.mean_moe_compute,
+        s.mean_migration_stall,
+        s.mean_iteration_time,
+    )
+}
+
+/// Regenerates Fig. 1(a): DeepSeek-V3 MoE latency breakdown per device with
+/// EP equal to the device count on each platform (TP=8 everywhere, so the
+/// per-device token load is identical and iteration times are comparable).
+pub fn run(quick: bool) -> Report {
+    let model = ModelConfig::deepseek_v3();
+    let iters = if quick { 4 } else { 12 };
+    let mut report = Report::new(
+        "fig01",
+        "MoE latency breakdown per device (DeepSeek-V3, EP = device count)",
+    )
+    .columns([
+        "Platform",
+        "E/D",
+        "All-to-all",
+        "MoE compute",
+        "Migration",
+        "Total (rel. to DGX x4)",
+    ]);
+
+    type Breakdown = (f64, f64, f64, f64);
+    let mut rows: Vec<(String, usize, Breakdown)> = Vec::new();
+
+    for (name, nodes) in [("DGX x1", 1u16), ("DGX x4", 4), ("DGX x9", 9)] {
+        if quick && nodes == 9 {
+            continue;
+        }
+        let p = Platform::dgx(nodes);
+        let layout = ClusterLayout::new(&p.topo, 8);
+        let d = p.topo.num_devices();
+        rows.push((
+            name.to_string(),
+            d,
+            engine_row(&p, &layout, &model, BalancerKind::None, iters),
+        ));
+    }
+    {
+        let p = Platform::nvl72();
+        let layout = ClusterLayout::new(&p.topo, 8);
+        rows.push((
+            "NVL72".into(),
+            72,
+            engine_row(&p, &layout, &model, BalancerKind::None, iters),
+        ));
+    }
+    {
+        let p = Platform::multi_wsc(2, 2, 8);
+        let plan = wsc_plan(&p, 8, WscMapping::Baseline);
+        rows.push((
+            "WSC (ported)".into(),
+            256,
+            engine_row(&p, &plan, &model, BalancerKind::None, iters),
+        ));
+        let her = wsc_plan(&p, 8, WscMapping::Her);
+        rows.push((
+            "WSC + MoEntwine".into(),
+            256,
+            engine_row(&p, &her, &model, BalancerKind::NonInvasive, iters),
+        ));
+    }
+
+    // Normalise to DGX x4 when present, else the first row.
+    let norm = rows
+        .iter()
+        .find(|(n, _, _)| n == "DGX x4")
+        .map(|(_, _, t)| t.3)
+        .unwrap_or(rows[0].2 .3);
+    for (name, devices, (a2a, comp, stall, total)) in &rows {
+        report.row([
+            name.clone(),
+            format!("256/{devices}"),
+            fmt_time(*a2a),
+            fmt_time(*comp),
+            fmt_time(*stall),
+            format!("{:.2}", total / norm),
+        ]);
+    }
+    report.note(
+        "Paper shape: beyond 4 DGX nodes cross-node all-to-all exceeds \
+         computation; NVL72 improves by scaling the fast domain to 72; the \
+         naive WSC port suffers mesh congestion; MoEntwine (HER + NI-Balancer) \
+         unlocks the 256-device EP.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn moentwine_beats_naive_wsc_port() {
+        let r = super::run(true);
+        let total = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .map(|row| row[5].parse::<f64>().unwrap())
+                .unwrap()
+        };
+        assert!(total("WSC + MoEntwine") < total("WSC (ported)"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 4: achievable EP per cluster and the compute/memory breakdown of
+//! per-device MoE time.
+//!
+//! A pure roofline sweep: as EP grows, each device holds `E/EP` experts, so
+//! the decode-time weight traffic per device shrinks while compute per
+//! token is unchanged — per-device performance rises. `E/EP < 1` models the
+//! sharded/fractional residency WSCs enable.
+
+use moe_model::{CostModel, DeviceSpec, ModelConfig};
+
+use crate::report::{fmt_ratio, fmt_time};
+use crate::Report;
+
+/// Tokens routed per device per iteration (a saturated large-batch decode,
+/// matching the paper's premise that "sufficient input tokens are
+/// available").
+const TOKENS_PER_DEVICE: f64 = 4096.0;
+
+/// Per-device MoE time breakdown at a given EP degree.
+///
+/// The paper's Fig. 4 stacks compute and memory-access time, i.e. it
+/// composes them as a **sum** (no overlap) — we report the same
+/// composition here.
+pub fn breakdown(model: &ModelConfig, ep: usize) -> (f64, f64) {
+    let cost = CostModel::new(DeviceSpec::b200());
+    let resident = model.num_experts as f64 / ep as f64;
+    // Activated residents: every resident expert is hit by some token in a
+    // saturated decode batch (the paper's memory-access argument).
+    let t = cost.moe_device_time(model, TOKENS_PER_DEVICE, resident);
+    (t.compute_time, t.memory_time)
+}
+
+/// Regenerates Fig. 4.
+pub fn run(_quick: bool) -> Report {
+    let mut report = Report::new(
+        "fig04",
+        "EP scaling: per-device MoE performance and time breakdown",
+    )
+    .columns([
+        "Model",
+        "EP",
+        "Platform",
+        "Compute",
+        "Memory",
+        "Memory share",
+        "Perf vs EP=8",
+    ]);
+    let eps: [(usize, &str); 5] = [
+        (8, "DGX x1"),
+        (16, "DGX x2"),
+        (32, "DGX x4"),
+        (72, "NVL72"),
+        (256, "WSC"),
+    ];
+    for model in [ModelConfig::deepseek_v3(), ModelConfig::qwen3_235b()] {
+        let (c8, m8) = breakdown(&model, 8);
+        let base_perf = TOKENS_PER_DEVICE / (c8 + m8);
+        for (ep, platform) in eps {
+            let (c, m) = breakdown(&model, ep);
+            let perf = TOKENS_PER_DEVICE / (c + m);
+            report.row([
+                model.name.clone(),
+                ep.to_string(),
+                platform.to_string(),
+                fmt_time(c),
+                fmt_time(m),
+                format!("{:.0}%", m / (c + m) * 100.0),
+                fmt_ratio(perf / base_perf),
+            ]);
+        }
+    }
+    report.note(
+        "Paper shape: memory-access share falls monotonically with EP \
+         (43.6% → 22.1% for DeepSeek-V3), so per-device performance rises; \
+         NVL72 (EP=72) gains ≈35% over EP=32, WSC (EP=256) gains again.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_share_falls_with_ep() {
+        let m = ModelConfig::deepseek_v3();
+        let shares: Vec<f64> = [8, 32, 256]
+            .iter()
+            .map(|&ep| {
+                let (c, mem) = breakdown(&m, ep);
+                mem / (c + mem)
+            })
+            .collect();
+        assert!(shares[0] > shares[1]);
+        assert!(shares[1] > shares[2]);
+    }
+
+    #[test]
+    fn perf_rises_with_ep() {
+        let m = ModelConfig::qwen3_235b();
+        let perf = |ep| {
+            let (c, mem) = breakdown(&m, ep);
+            TOKENS_PER_DEVICE / (c + mem)
+        };
+        assert!(perf(256) > perf(72));
+        assert!(perf(72) > perf(8));
+    }
+
+    #[test]
+    fn report_has_ten_rows() {
+        let r = run(true);
+        assert_eq!(r.rows.len(), 10);
+    }
+}

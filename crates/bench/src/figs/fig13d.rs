@@ -1,0 +1,95 @@
+//! Fig. 13(d): Hierarchical ER-Mapping on multi-wafer systems.
+
+use moe_model::ModelConfig;
+
+use crate::platforms::{comm_latency, wsc_plan, Fidelity, Platform, WscMapping};
+use crate::report::fmt_improvement;
+use crate::Report;
+
+/// Regenerates Fig. 13(d): Qwen3 on 4×(4×4) / 4×(6×6) / 4×(8×8) systems;
+/// pure ER and hierarchical ER improvements over the baseline mapping.
+pub fn run(quick: bool) -> Report {
+    let model = ModelConfig::qwen3_235b();
+    let mut report = Report::new(
+        "fig13d",
+        "Hierarchical ER-Mapping on multi-WSC systems",
+    )
+    .columns([
+        "System",
+        "TP (per wafer)",
+        "Baseline total",
+        "ER improvement",
+        "HER improvement",
+    ]);
+
+    let cases: Vec<(&str, u16, Vec<usize>)> = if quick {
+        vec![("4x(4x4)", 4, vec![4])]
+    } else {
+        vec![
+            ("4x(4x4)", 4, vec![4, 8, 16]),
+            ("4x(6x6)", 6, vec![4, 6, 36]),
+            ("4x(8x8)", 8, vec![4, 8, 16, 32]),
+        ]
+    };
+
+    let mut her_all_positive = true;
+    for (name, n, tps) in cases {
+        let platform = Platform::multi_wsc(2, 2, n);
+        for tp in tps {
+            let tokens = 256;
+            let base = comm_latency(
+                &platform,
+                &wsc_plan(&platform, tp, WscMapping::Baseline),
+                &model,
+                tokens,
+                Fidelity::Analytic,
+            );
+            // Pure ER: TP groups strided over the *global* grid.
+            let er = comm_latency(
+                &platform,
+                &wsc_plan(&platform, tp, WscMapping::Er),
+                &model,
+                tokens,
+                Fidelity::Analytic,
+            );
+            // HER: per-wafer ER + two-step hierarchical all-reduce.
+            let her = comm_latency(
+                &platform,
+                &wsc_plan(&platform, tp, WscMapping::Her),
+                &model,
+                tokens,
+                Fidelity::Analytic,
+            );
+            let her_gain = (base.total() - her.total()) / base.total();
+            her_all_positive &= her_gain > 0.0;
+            report.row([
+                name.to_string(),
+                tp.to_string(),
+                crate::report::fmt_time(base.total()),
+                fmt_improvement(base.total(), er.total()),
+                fmt_improvement(base.total(), her.total()),
+            ]);
+        }
+    }
+    report.note(
+        "Paper shape: pure ER's gains vary wildly across parallelism (its \
+         rings cross wafer borders), while HER improves on the baseline in \
+         every configuration (up to 62%) by decoupling the all-reduce into \
+         intra-wafer reduce-scatter + inter-wafer all-gather.",
+    );
+    report.note(format!(
+        "HER positive in every measured configuration: {her_all_positive}."
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn her_always_beats_baseline() {
+        let r = super::run(true);
+        for row in &r.rows {
+            assert!(row[4].starts_with('+'), "HER regressed: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 15: run-time traces of device loads and migrations under the four
+//! balancing strategies.
+
+use moe_model::{InferencePhase, ModelConfig};
+use moe_workload::WorkloadMix;
+use moentwine_core::balancer::BalancerKind;
+use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine};
+
+use crate::platforms::{wsc_plan, Platform, WscMapping};
+use crate::Report;
+
+/// Per-strategy trace statistics.
+pub struct TraceStats {
+    /// Mean max/mean device load ratio post-warmup.
+    pub load_ratio: f64,
+    /// Iterations interrupted by invasive migration.
+    pub interruptions: usize,
+    /// Total invasive stall, seconds.
+    pub total_stall: f64,
+    /// Migrations that became active.
+    pub migrations: u64,
+    /// Mean iteration time, seconds.
+    pub mean_iteration: f64,
+}
+
+/// Runs one strategy and returns its trace stats plus the per-iteration
+/// (max, avg) device-token series.
+pub fn run_strategy(kind: BalancerKind, iters: usize, seed: u64) -> (TraceStats, Vec<(f64, f64)>) {
+    let model = ModelConfig::qwen3_235b();
+    let platform = Platform::wsc(4);
+    let plan = wsc_plan(&platform, 4, WscMapping::Er);
+    let mut config = EngineConfig::new(model)
+        .with_batch(BatchMode::Fixed {
+            tokens_per_group: 768,
+            avg_context: 4096.0,
+            phase: InferencePhase::Decode,
+        })
+        .with_workload(WorkloadMix::mixed(60.0))
+        .with_balancer(kind)
+        .with_seed(seed);
+    config.comm_layer_stride = 8;
+    config.slots_per_device = 2;
+    let mut engine = InferenceEngine::new(&platform.topo, &platform.table, &plan, config);
+    let summary = engine.run(iters);
+    let warmup = iters / 5;
+    let post = &engine.history[warmup..];
+    let stats = TraceStats {
+        load_ratio: post.iter().map(|m| m.load_ratio).sum::<f64>() / post.len() as f64,
+        interruptions: engine.history.iter().filter(|m| m.interrupted()).count(),
+        total_stall: engine.history.iter().map(|m| m.migration_stall).sum(),
+        migrations: summary.migrations_completed,
+        mean_iteration: summary.mean_iteration_time,
+    };
+    let series = engine
+        .history
+        .iter()
+        .map(|m| (m.max_device_tokens, m.avg_device_tokens))
+        .collect();
+    (stats, series)
+}
+
+/// Regenerates Fig. 15 (Qwen3 on a 4×4 WSC, cycling mixed workload).
+pub fn run(quick: bool) -> Report {
+    let iters = if quick { 40 } else { 150 };
+    let mut report = Report::new(
+        "fig15",
+        "Run-time load traces under the four balancing strategies",
+    )
+    .columns([
+        "Strategy",
+        "Load ratio (max/avg)",
+        "Interrupted iters",
+        "Total stall",
+        "Migrations",
+        "Mean iter time",
+    ]);
+
+    let strategies = [
+        ("No balance", BalancerKind::None),
+        ("Greedy (invasive)", BalancerKind::Greedy),
+        ("Topology-aware (invasive)", BalancerKind::TopologyAware),
+        ("Non-invasive topology-aware", BalancerKind::NonInvasive),
+    ];
+    let mut ratios = Vec::new();
+    for (name, kind) in strategies {
+        let (stats, _series) = run_strategy(kind, iters, 17);
+        ratios.push((name, stats.load_ratio, stats.interruptions));
+        report.row([
+            name.to_string(),
+            format!("{:.2}", stats.load_ratio),
+            stats.interruptions.to_string(),
+            crate::report::fmt_time(stats.total_stall),
+            stats.migrations.to_string(),
+            crate::report::fmt_time(stats.mean_iteration),
+        ]);
+    }
+    report.note(
+        "Paper shape: without balancing the max load sits ~2x above average; \
+         greedy balancing fixes the ratio but interrupts inference (~every 10 \
+         iterations, ~2-iteration overhead); topology-aware shortens the \
+         interruptions; non-invasive eliminates them entirely while staying \
+         continuously active.",
+    );
+    report.note(format!(
+        "Measured: unbalanced ratio {:.2} vs non-invasive {:.2}; invasive \
+         strategies interrupted {} / {} iterations, non-invasive {}.",
+        ratios[0].1, ratios[3].1, ratios[1].2, iters, ratios[3].2
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_invasive_has_no_interruptions_and_better_balance() {
+        let (none, _) = run_strategy(BalancerKind::None, 30, 3);
+        let (ni, _) = run_strategy(BalancerKind::NonInvasive, 30, 3);
+        assert_eq!(ni.interruptions, 0);
+        assert!(ni.total_stall == 0.0);
+        assert!(ni.load_ratio < none.load_ratio);
+    }
+
+    #[test]
+    fn greedy_interrupts() {
+        let (greedy, _) = run_strategy(BalancerKind::Greedy, 30, 3);
+        assert!(greedy.interruptions > 0);
+        assert!(greedy.total_stall > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Fig. 17: the full system ablation — multi-WSC vs the NVL72 supernode.
+
+use moe_model::{InferencePhase, ModelConfig};
+use moe_workload::WorkloadMix;
+use moentwine_core::balancer::BalancerKind;
+use moentwine_core::comm::{ClusterLayout, ParallelLayout};
+use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine, RunSummary};
+
+use crate::platforms::{wsc_plan, Platform, WscMapping};
+use crate::Report;
+
+/// NVMe side-channel bandwidth used by the NVL72 baseline to hide expert
+/// migration (paper cites dedicated NVMe channels).
+const NVME_BW: f64 = 8.0e9;
+
+fn run_system(
+    platform: &Platform,
+    layout: &dyn ParallelLayout,
+    model: &ModelConfig,
+    kind: BalancerKind,
+    cold_bw: f64,
+    slots: usize,
+    iters: usize,
+) -> RunSummary {
+    let mut config = EngineConfig::new(model.clone())
+        .with_batch(BatchMode::Fixed {
+            tokens_per_group: 256,
+            avg_context: 4096.0,
+            phase: InferencePhase::Decode,
+        })
+        .with_workload(WorkloadMix::mixed(300.0))
+        .with_balancer(kind)
+        .with_seed(5);
+    config.comm_layer_stride = 8;
+    // WSC at E/D ≤ 1 has abundant spare HBM for shadow replicas (a 42 MiB
+    // expert against 180 GB); NVL72 at E/D ≈ 2–3.6 is memory-constrained,
+    // which is exactly the paper's point about its limited balancing gains.
+    config.slots_per_device = slots;
+    config.max_actions_per_layer = 2 * slots;
+    config.cold_bandwidth = cold_bw;
+    let mut engine = InferenceEngine::new(&platform.topo, &platform.table, layout, config);
+    engine.run(iters)
+}
+
+/// Regenerates Fig. 17: eight system points for Qwen3 and DeepSeek-V3.
+pub fn run(quick: bool) -> Report {
+    let iters = if quick { 8 } else { 40 };
+    let mut report = Report::new(
+        "fig17",
+        "Ablation: multi-WSC (4x(8x8), EP=256) vs NVL72 (EP=72)",
+    )
+    .columns([
+        "Model",
+        "System",
+        "All-to-all",
+        "MoE compute",
+        "Migration",
+        "Total (rel.)",
+        "Tokens/s/device",
+    ]);
+
+    let models: Vec<ModelConfig> = if quick {
+        vec![ModelConfig::qwen3_235b()]
+    } else {
+        vec![ModelConfig::qwen3_235b(), ModelConfig::deepseek_v3()]
+    };
+
+    for model in &models {
+        let mut rows: Vec<(String, RunSummary)> = Vec::new();
+
+        let nvl = Platform::nvl72();
+        let nvl_layout = ClusterLayout::new(&nvl.topo, 8);
+        rows.push((
+            "NVL72".into(),
+            run_system(&nvl, &nvl_layout, model, BalancerKind::None, NVME_BW, 1, iters),
+        ));
+        rows.push((
+            "NVL72 + Balance".into(),
+            run_system(
+                &nvl,
+                &nvl_layout,
+                model,
+                BalancerKind::NonInvasive,
+                NVME_BW,
+                1,
+                iters,
+            ),
+        ));
+
+        let wsc = Platform::multi_wsc(2, 2, 8);
+        let baseline = wsc_plan(&wsc, 8, WscMapping::Baseline);
+        let er = wsc_plan(&wsc, 8, WscMapping::Er);
+        let her = wsc_plan(&wsc, 8, WscMapping::Her);
+        let cold = 4.0e12;
+        rows.push((
+            "WSC".into(),
+            run_system(&wsc, &baseline, model, BalancerKind::None, cold, 2, iters),
+        ));
+        rows.push((
+            "WSC + ER".into(),
+            run_system(&wsc, &er, model, BalancerKind::None, cold, 2, iters),
+        ));
+        rows.push((
+            "WSC + HER".into(),
+            run_system(&wsc, &her, model, BalancerKind::None, cold, 2, iters),
+        ));
+        rows.push((
+            "WSC + HER + Greedy".into(),
+            run_system(&wsc, &her, model, BalancerKind::Greedy, cold, 2, iters),
+        ));
+        rows.push((
+            "WSC + HER + Topology".into(),
+            run_system(&wsc, &her, model, BalancerKind::TopologyAware, cold, 2, iters),
+        ));
+        rows.push((
+            "WSC + HER + Non-invasive".into(),
+            run_system(&wsc, &her, model, BalancerKind::NonInvasive, cold, 2, iters),
+        ));
+
+        let norm = rows[0].1.mean_iteration_time;
+        for (name, s) in &rows {
+            report.row([
+                model.name.clone(),
+                name.clone(),
+                crate::report::fmt_time(s.mean_all_to_all),
+                crate::report::fmt_time(s.mean_moe_compute),
+                crate::report::fmt_time(s.mean_migration_stall),
+                format!("{:.2}", s.mean_iteration_time / norm),
+                format!("{:.0}", s.tokens_per_second_per_device),
+            ]);
+        }
+        let nvl_perf = rows[1].1.tokens_per_second_per_device;
+        let wsc_perf = rows[7].1.tokens_per_second_per_device;
+        report.note(format!(
+            "{}: per-device MoE throughput — WSC+MoEntwine {:.0} tok/s vs \
+             NVL72+Balance {:.0} tok/s ({:+.0}%); paper reports +39% average.",
+            model.name,
+            wsc_perf,
+            nvl_perf,
+            (wsc_perf - nvl_perf) / nvl_perf * 100.0
+        ));
+    }
+    report.note(
+        "Paper shape: naive WSC port is throttled by mesh all-to-all; ER cuts \
+         it ~30%, HER ~71%; greedy balancing helps compute but exposes \
+         migration; topology-aware cuts migration ~67%; non-invasive removes it.",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_stack_beats_naive_port() {
+        let r = super::run(true);
+        let rel = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[1] == name)
+                .map(|row| row[5].parse::<f64>().unwrap())
+                .unwrap()
+        };
+        assert!(rel("WSC + HER + Non-invasive") < rel("WSC"));
+        assert!(rel("WSC + HER") <= rel("WSC + ER"));
+    }
+}

@@ -1,0 +1,46 @@
+//! One module per paper table/figure. Each exposes
+//! `pub fn run(quick: bool) -> Report`.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig04;
+pub mod fig06;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13a;
+pub mod fig13b;
+pub mod fig13c;
+pub mod fig13d;
+pub mod fig14a;
+pub mod fig14b;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod table1;
+
+use crate::Report;
+
+/// An experiment entry point.
+pub type Runner = fn(bool) -> Report;
+
+/// Every experiment in paper order: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("table1", table1::run as Runner),
+        ("fig01", fig01::run),
+        ("fig04", fig04::run),
+        ("fig06", fig06::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13a", fig13a::run),
+        ("fig13b", fig13b::run),
+        ("fig13c", fig13c::run),
+        ("fig13d", fig13d::run),
+        ("fig14a", fig14a::run),
+        ("fig14b", fig14b::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("ablation", ablation::run),
+    ]
+}

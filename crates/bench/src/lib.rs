@@ -1,0 +1,32 @@
+//! Benchmark harness reproducing every table and figure of the MoEntwine
+//! paper.
+//!
+//! Each `figs::*` module computes one table/figure and returns a
+//! [`Report`]; the `src/bin/*` binaries are thin wrappers so that any
+//! experiment can be regenerated with
+//! `cargo run --release -p moentwine-bench --bin <exp>`. The `repro_all`
+//! binary runs the whole suite and writes `results/*.json` plus a combined
+//! markdown summary for EXPERIMENTS.md.
+//!
+//! Pass `--quick` to any binary for a reduced-iteration smoke run.
+
+pub mod figs;
+pub mod platforms;
+pub mod report;
+
+pub use report::Report;
+
+/// Parses the common `--quick` flag.
+pub fn quick_from_args() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Runs a figure function as a binary entry point: print and save.
+pub fn run_binary(f: impl FnOnce(bool) -> Report) {
+    let quick = quick_from_args();
+    let report = f(quick);
+    report.print();
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Platform constructors and communication measurement helpers shared by
+//! the figure experiments.
+
+use moe_model::{ModelConfig, Precision};
+use moe_workload::LayerGating;
+use moentwine_core::comm::{A2aModel, ParallelLayout};
+use moentwine_core::mapping::{BaselineMapping, ErMapping, HierarchicalErMapping, MappingPlan};
+use moentwine_core::placement::ExpertPlacement;
+use wsc_collectives::{all_to_all_concurrent, Transfer};
+use wsc_sim::AnalyticModel;
+use wsc_topology::{
+    DgxCluster, FlatSwitch, Mesh, MultiWafer, PlatformParams, RouteTable, Topology,
+};
+
+/// A topology plus its precomputed route table.
+pub struct Platform {
+    /// The interconnect.
+    pub topo: Topology,
+    /// All-pairs routes.
+    pub table: RouteTable,
+}
+
+impl Platform {
+    fn of(topo: Topology) -> Self {
+        let table = RouteTable::build(&topo);
+        Platform { topo, table }
+    }
+
+    /// Single wafer `n × n`.
+    pub fn wsc(n: u16) -> Self {
+        Self::of(Mesh::new(n, PlatformParams::dojo_like()).build())
+    }
+
+    /// Multi-wafer grid.
+    pub fn multi_wsc(wafers_x: u16, wafers_y: u16, n: u16) -> Self {
+        Self::of(MultiWafer::grid(wafers_x, wafers_y, n, PlatformParams::dojo_like()).build())
+    }
+
+    /// DGX cluster of `nodes` 8-GPU boxes.
+    pub fn dgx(nodes: u16) -> Self {
+        Self::of(DgxCluster::new(nodes, PlatformParams::dgx_b200()).build())
+    }
+
+    /// NVL72 supernode.
+    pub fn nvl72() -> Self {
+        Self::of(FlatSwitch::nvl72(PlatformParams::nvl72()).build())
+    }
+
+    /// Flat supernode of `k` devices.
+    pub fn flat(k: u16) -> Self {
+        Self::of(FlatSwitch::new(k, PlatformParams::nvl72()).build())
+    }
+}
+
+/// Which WSC mapping to construct.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WscMapping {
+    /// Corner-block baseline.
+    Baseline,
+    /// Entwined Ring Mapping.
+    Er,
+    /// Hierarchical ER (multi-wafer).
+    Her,
+}
+
+/// Builds a mapping plan for a WSC platform with total TP degree `tp`.
+///
+/// # Panics
+///
+/// Panics if the TP degree does not tile the platform.
+pub fn wsc_plan(platform: &Platform, tp: usize, mapping: WscMapping) -> MappingPlan {
+    let dims = platform.topo.mesh_dims().expect("WSC platform");
+    match mapping {
+        WscMapping::Baseline => BaselineMapping::with_tp_degree(dims, tp)
+            .expect("TP tiles platform")
+            .plan(),
+        WscMapping::Er => ErMapping::with_tp_degree(dims, tp)
+            .expect("TP tiles platform")
+            .plan(),
+        WscMapping::Her => HierarchicalErMapping::with_tp_degree(dims, tp)
+            .expect("TP tiles wafer")
+            .plan(),
+    }
+}
+
+/// A balanced gating outcome: every expert receives an equal share of each
+/// group's `tokens × top_k` selections (remainders spread round-robin).
+pub fn balanced_gating(groups: usize, experts: usize, tokens: u32, top_k: u32) -> LayerGating {
+    let selections = tokens as u64 * top_k as u64;
+    let base = (selections / experts as u64) as u32;
+    let rem = (selections % experts as u64) as usize;
+    let counts = (0..groups)
+        .map(|_| {
+            (0..experts)
+                .map(|e| base + u32::from(e < rem))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    LayerGating { counts }
+}
+
+/// Fidelity of a communication measurement.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Fidelity {
+    /// Flow-level discrete-event simulation (exact congestion).
+    Des,
+    /// Analytical bottleneck model (fast, validated against DES).
+    Analytic,
+}
+
+/// Attention all-reduce + MoE all-to-all latency for one layer under
+/// balanced gating.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CommLatency {
+    /// All-reduce time, seconds.
+    pub all_reduce: f64,
+    /// Dispatch + combine time, seconds.
+    pub all_to_all: f64,
+    /// Per-hop link latency share of the all-to-all (decode-relevant).
+    pub link_latency_share: f64,
+}
+
+impl CommLatency {
+    /// Total communication time.
+    pub fn total(&self) -> f64 {
+        self.all_reduce + self.all_to_all
+    }
+}
+
+/// Measures one layer's communication for any layout (WSC mapping or GPU
+/// cluster) with balanced gating of `tokens_per_group` tokens per group.
+pub fn comm_latency(
+    platform: &Platform,
+    layout: &dyn ParallelLayout,
+    model: &ModelConfig,
+    tokens_per_group: u32,
+    fidelity: Fidelity,
+) -> CommLatency {
+    let topo = &platform.topo;
+    let token_bytes = model.token_bytes(Precision::Fp16);
+    let ar_bytes = tokens_per_group as f64 * token_bytes;
+
+    let ar_schedule = layout.all_reduce_schedule(topo, ar_bytes);
+    let all_reduce = match fidelity {
+        Fidelity::Des => ar_schedule.run(topo).total_time,
+        Fidelity::Analytic => {
+            AnalyticModel::new(topo)
+                .estimate_schedule(&ar_schedule)
+                .total_time
+        }
+    };
+
+    let placement = ExpertPlacement::balanced(
+        model.num_experts as usize,
+        topo.num_devices(),
+        1,
+    );
+    let gating = balanced_gating(
+        layout.num_groups(),
+        model.num_experts as usize,
+        tokens_per_group,
+        model.experts_per_token,
+    );
+    let a2a_model = A2aModel::new(topo, &platform.table, layout);
+    let est = a2a_model.estimate(&gating, &placement, token_bytes, tokens_per_group);
+    let (all_to_all, latency_part) = match fidelity {
+        Fidelity::Analytic => (
+            est.dispatch.total_time + est.combine.total_time,
+            est.dispatch.latency_time + est.combine.latency_time,
+        ),
+        Fidelity::Des => {
+            let transfers: Vec<Transfer> = a2a_model
+                .dispatch_transfers(&gating, &placement, token_bytes)
+                .into_iter()
+                .map(|(s, d, b)| Transfer::new(s, d, b))
+                .collect();
+            let dispatch = all_to_all_concurrent(topo, &transfers).run(topo).total_time;
+            let reversed: Vec<Transfer> = transfers
+                .iter()
+                .map(|t| Transfer::new(t.dst, t.src, t.bytes))
+                .collect();
+            let combine = all_to_all_concurrent(topo, &reversed).run(topo).total_time;
+            (
+                dispatch + combine,
+                est.dispatch.latency_time + est.combine.latency_time,
+            )
+        }
+    };
+    CommLatency {
+        all_reduce,
+        all_to_all,
+        link_latency_share: if all_to_all > 0.0 {
+            latency_part / all_to_all
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moentwine_core::comm::ClusterLayout;
+
+    #[test]
+    fn balanced_gating_conserves_selections() {
+        let g = balanced_gating(3, 7, 100, 4);
+        for group in &g.counts {
+            let sum: u64 = group.iter().map(|&c| c as u64).sum();
+            assert_eq!(sum, 400);
+        }
+    }
+
+    #[test]
+    fn des_and_analytic_agree_on_small_mesh() {
+        let platform = Platform::wsc(4);
+        let plan = wsc_plan(&platform, 4, WscMapping::Er);
+        let model = ModelConfig::qwen3_235b();
+        let des = comm_latency(&platform, &plan, &model, 256, Fidelity::Des);
+        let analytic = comm_latency(&platform, &plan, &model, 256, Fidelity::Analytic);
+        // AR is phase-synchronous: exact agreement. A2A: analytic is a
+        // bottleneck bound; allow a 2x band.
+        assert!((des.all_reduce - analytic.all_reduce).abs() / des.all_reduce < 1e-6);
+        let ratio = des.all_to_all / analytic.all_to_all;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wsc_beats_dgx_at_same_scale() {
+        // Fig. 13's headline: the unified wafer network beats DGX clusters.
+        let wsc = Platform::wsc(6);
+        let plan = wsc_plan(&wsc, 4, WscMapping::Baseline);
+        let model = ModelConfig::qwen3_235b();
+        let wsc_comm = comm_latency(&wsc, &plan, &model, 256, Fidelity::Analytic);
+
+        let dgx = Platform::dgx(4);
+        let layout = ClusterLayout::new(&dgx.topo, 8);
+        let dgx_comm = comm_latency(&dgx, &layout, &model, 256, Fidelity::Analytic);
+        assert!(
+            wsc_comm.total() < dgx_comm.total(),
+            "wsc {} vs dgx {}",
+            wsc_comm.total(),
+            dgx_comm.total()
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Experiment reports: printable tables persisted as JSON.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's output: a titled table plus free-form observations
+/// (typically the paper-vs-measured comparison).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Report {
+    /// Stable identifier, e.g. `"fig13b"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Formatted table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Observations / paper-vs-measured notes.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn columns<I: IntoIterator<Item = S>, S: Into<String>>(mut self, cols: I) -> Self {
+        self.columns = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the report as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {} — {}\n\n", self.id, self.title);
+        if !self.columns.is_empty() {
+            out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+            out.push_str(&format!(
+                "|{}\n",
+                self.columns.iter().map(|_| "---|").collect::<String>()
+            ));
+            for row in &self.rows {
+                out.push_str(&format!("| {} |\n", row.join(" | ")));
+            }
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("- {n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Persists the report as `dir/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        fs::write(dir.join(format!("{}.json", self.id)), json)
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds == 0.0 {
+        "0".into()
+    } else if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Formats `new` as a percentage improvement over `old`
+/// (positive = faster).
+pub fn fmt_improvement(old: f64, new: f64) -> String {
+    if old <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.0}%", (old - new) / old * 100.0)
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn fmt_ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = Report::new("figX", "demo").columns(["a", "b"]);
+        r.row(["1", "2"]);
+        r.note("note");
+        let md = r.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("- note"));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(0.0), "0");
+        assert_eq!(fmt_time(5e-9), "5.0 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50 µs");
+        assert_eq!(fmt_time(3.0e-3), "3.00 ms");
+        assert_eq!(fmt_time(2.0), "2.000 s");
+    }
+
+    #[test]
+    fn improvement_formatting() {
+        assert_eq!(fmt_improvement(2.0, 1.0), "+50%");
+        assert_eq!(fmt_improvement(1.0, 1.5), "-50%");
+        assert_eq!(fmt_improvement(0.0, 1.0), "n/a");
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("moentwine-report-test");
+        let mut r = Report::new("t1", "x").columns(["c"]);
+        r.row(["v"]);
+        r.save(&dir).unwrap();
+        let loaded: Report =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("t1.json")).unwrap()).unwrap();
+        assert_eq!(loaded, r);
+    }
+}

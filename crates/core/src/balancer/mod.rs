@@ -1,0 +1,174 @@
+//! Expert load-balancing strategies (paper §V).
+//!
+//! A balancer inspects per-expert historical loads and the current
+//! [`ExpertPlacement`] of one layer and
+//! proposes actions: *replicate* an expert into a shadow slot elsewhere, or
+//! *release* a stale shadow replica. Whether executing those actions stalls
+//! inference is the engine's concern (invasive vs non-invasive execution,
+//! see [`migration`](crate::migration)).
+//!
+//! Implementations:
+//!
+//! * [`GreedyBalancer`] — the EPLB-style baseline: replicate the globally
+//!   hottest expert onto the globally coldest device, ignoring distance.
+//! * [`TopologyAwareBalancer`] — the paper's Algorithm 1: migrate the most
+//!   popular expert of the *hottest* device to the **topologically nearest**
+//!   device that stays below the current peak heat.
+
+mod greedy;
+mod topo_aware;
+mod trigger;
+
+pub use greedy::GreedyBalancer;
+pub use topo_aware::TopologyAwareBalancer;
+pub use trigger::{cumulative_imbalance, Trigger};
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::{DeviceId, RouteTable};
+
+use crate::placement::{ExpertId, ExpertPlacement};
+
+/// Everything a balancer sees when planning one layer.
+pub struct BalanceContext<'a> {
+    /// Sparse-layer index.
+    pub layer: usize,
+    /// Smoothed historical load per expert (the `Load_e` of Algorithm 1).
+    pub expert_loads: &'a [f64],
+    /// Current placement of the layer.
+    pub placement: &'a ExpertPlacement,
+    /// Route table for topology distances.
+    pub table: &'a RouteTable,
+}
+
+/// One balancing action.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum BalanceAction {
+    /// Copy `expert`'s weights from `source` into a shadow slot on `target`.
+    Replicate {
+        /// Layer the expert belongs to.
+        layer: usize,
+        /// The expert to replicate.
+        expert: ExpertId,
+        /// Replica to copy from (weights travel from here).
+        source: DeviceId,
+        /// Device receiving the new replica.
+        target: DeviceId,
+    },
+    /// Drop the shadow replica of `expert` on `device` (no data movement).
+    Release {
+        /// Layer the expert belongs to.
+        layer: usize,
+        /// The expert whose replica is dropped.
+        expert: ExpertId,
+        /// Device freeing the slot.
+        device: DeviceId,
+    },
+}
+
+/// A load-balancing strategy. Object-safe; the engine holds a boxed
+/// balancer.
+pub trait Balancer {
+    /// Plans actions for one layer. Implementations must not mutate the
+    /// placement; the engine applies actions according to its execution
+    /// policy.
+    fn plan_layer(&mut self, ctx: &BalanceContext<'_>) -> Vec<BalanceAction>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which balancer (and execution style) an engine run uses.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BalancerKind {
+    /// No balancing at all.
+    None,
+    /// EPLB-style greedy, executed invasively (migration on the critical
+    /// path).
+    Greedy,
+    /// Algorithm 1, executed invasively.
+    TopologyAware,
+    /// Algorithm 1, executed non-invasively on cold links (the full
+    /// NI-Balancer).
+    NonInvasive,
+}
+
+impl std::fmt::Display for BalancerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BalancerKind::None => "no-balance",
+            BalancerKind::Greedy => "greedy",
+            BalancerKind::TopologyAware => "topology-aware",
+            BalancerKind::NonInvasive => "non-invasive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shared helper: per-device heat (`Σ Load_e / Num_e`, Algorithm 1 line 1)
+/// given a tentative placement.
+pub(crate) fn device_heats(placement: &ExpertPlacement, expert_loads: &[f64]) -> Vec<f64> {
+    placement.device_loads(expert_loads)
+}
+
+/// Shared helper: release shadow replicas that no longer pull their weight.
+/// A replica is stale when its per-replica share is below `threshold ×` the
+/// mean device load — this keeps slots available as the scenario mixture
+/// drifts (paper §V-B: "continuous fine-tuning of slot assignments").
+pub(crate) fn stale_replicas(
+    placement: &ExpertPlacement,
+    expert_loads: &[f64],
+    layer: usize,
+    threshold: f64,
+) -> Vec<BalanceAction> {
+    let heats = device_heats(placement, expert_loads);
+    let mean = heats.iter().sum::<f64>() / heats.len() as f64;
+    if mean <= 0.0 {
+        return Vec::new();
+    }
+    let mut actions = Vec::new();
+    for d in 0..placement.num_devices() {
+        let device = DeviceId(d as u32);
+        for &e in placement.shadow_experts(device) {
+            let share = expert_loads[e] / placement.num_replicas(e) as f64;
+            if share < threshold * mean {
+                actions.push(BalanceAction::Release {
+                    layer,
+                    expert: e,
+                    device,
+                });
+            }
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balancer_kind_display() {
+        assert_eq!(BalancerKind::NonInvasive.to_string(), "non-invasive");
+        assert_eq!(BalancerKind::Greedy.to_string(), "greedy");
+    }
+
+    #[test]
+    fn stale_replica_detection() {
+        let mut p = ExpertPlacement::balanced(4, 4, 1);
+        p.add_replica(0, DeviceId(2)).unwrap();
+        // Expert 0 has negligible load → its replica on device 2 is stale.
+        let loads = [0.01, 10.0, 10.0, 10.0];
+        let actions = stale_replicas(&p, &loads, 0, 0.1);
+        assert_eq!(
+            actions,
+            vec![BalanceAction::Release {
+                layer: 0,
+                expert: 0,
+                device: DeviceId(2)
+            }]
+        );
+        // A busy replica is kept.
+        let busy = [40.0, 10.0, 10.0, 10.0];
+        assert!(stale_replicas(&p, &busy, 0, 0.1).is_empty());
+    }
+}

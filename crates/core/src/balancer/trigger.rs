@@ -1,0 +1,134 @@
+//! The balancing trigger of paper Eq. 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Decides *when* to rebalance (paper Eq. 2):
+///
+/// ```text
+/// Σ_{i=1}^{L} (max(load_i) − µ(load_i)) / µ(load_i)  >  α
+/// Δt_mig > β          (β = 0 for non-invasive balancing)
+/// ```
+///
+/// The cumulative imbalance across all `L` layers must exceed `alpha`, and
+/// at least `beta` iterations must have passed since the last migration.
+/// Invasive balancers use `beta > 0` to avoid interrupting every iteration;
+/// the non-invasive balancer sets `beta = 0` and fine-tunes continuously.
+///
+/// # Example
+///
+/// ```
+/// use moentwine_core::balancer::Trigger;
+///
+/// let mut t = Trigger::new(10.0, 5);
+/// assert!(!t.should_balance(0, 8.0));  // below alpha
+/// assert!(t.should_balance(1, 12.0));  // fires
+/// assert!(!t.should_balance(3, 12.0)); // within beta window
+/// assert!(t.should_balance(6, 12.0));  // window elapsed
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Trigger {
+    alpha: f64,
+    beta_iterations: u64,
+    last_migration: Option<u64>,
+}
+
+impl Trigger {
+    /// Creates a trigger with cumulative-imbalance threshold `alpha` and
+    /// minimum migration spacing `beta_iterations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn new(alpha: f64, beta_iterations: u64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be ≥ 0");
+        Trigger {
+            alpha,
+            beta_iterations,
+            last_migration: None,
+        }
+    }
+
+    /// The imbalance threshold.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The spacing requirement in iterations.
+    pub fn beta_iterations(&self) -> u64 {
+        self.beta_iterations
+    }
+
+    /// Evaluates Eq. 2 at `iteration` with the measured cumulative
+    /// imbalance; records the migration time when it fires.
+    pub fn should_balance(&mut self, iteration: u64, cumulative_imbalance: f64) -> bool {
+        if cumulative_imbalance <= self.alpha {
+            return false;
+        }
+        if let Some(last) = self.last_migration {
+            if iteration.saturating_sub(last) < self.beta_iterations {
+                return false;
+            }
+        }
+        self.last_migration = Some(iteration);
+        true
+    }
+
+    /// Iteration of the last fired migration, if any.
+    pub fn last_migration(&self) -> Option<u64> {
+        self.last_migration
+    }
+}
+
+/// The cumulative imbalance statistic of Eq. 2 over per-layer device loads:
+/// `Σ_layers (max − mean) / mean`. Layers with zero mean contribute nothing.
+pub fn cumulative_imbalance<'a>(per_layer_loads: impl IntoIterator<Item = &'a [f64]>) -> f64 {
+    let mut total = 0.0;
+    for loads in per_layer_loads {
+        if loads.is_empty() {
+            continue;
+        }
+        let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+        if mean > 0.0 {
+            let max = loads.iter().copied().fold(0.0, f64::max);
+            total += (max - mean) / mean;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_fires_every_iteration() {
+        let mut t = Trigger::new(1.0, 0);
+        assert!(t.should_balance(0, 2.0));
+        assert!(t.should_balance(0, 2.0));
+        assert!(t.should_balance(1, 2.0));
+    }
+
+    #[test]
+    fn below_alpha_never_fires() {
+        let mut t = Trigger::new(5.0, 0);
+        for i in 0..10 {
+            assert!(!t.should_balance(i, 4.9));
+        }
+        assert_eq!(t.last_migration(), None);
+    }
+
+    #[test]
+    fn imbalance_statistic() {
+        // One layer: max 4, mean 2 → (4-2)/2 = 1.
+        let a: &[f64] = &[4.0, 2.0, 1.0, 1.0];
+        let x = cumulative_imbalance([a]);
+        assert!((x - 1.0).abs() < 1e-12);
+        // Balanced layer contributes zero.
+        let b: &[f64] = &[2.0, 2.0];
+        let y = cumulative_imbalance([a, b]);
+        assert!((y - 1.0).abs() < 1e-12);
+        // Empty / zero layers are ignored.
+        let z: &[f64] = &[0.0, 0.0];
+        assert_eq!(cumulative_imbalance([z]), 0.0);
+    }
+}

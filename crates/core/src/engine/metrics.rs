@@ -1,0 +1,167 @@
+//! Per-iteration metrics and run summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing and load measurements for one inference iteration (sums over all
+/// sparse layers).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct IterationMetrics {
+    /// Iteration index.
+    pub iteration: u64,
+    /// Tokens entering the MoE layers this iteration (per TP group).
+    pub tokens_per_group: u32,
+    /// Attention compute time, seconds.
+    pub attention_compute: f64,
+    /// Attention all-reduce time, seconds.
+    pub all_reduce: f64,
+    /// MoE dispatch all-to-all time, seconds.
+    pub dispatch: f64,
+    /// MoE combine all-to-all time, seconds.
+    pub combine: f64,
+    /// MoE expert compute time (max over devices, summed over layers),
+    /// seconds.
+    pub moe_compute: f64,
+    /// Stall caused by invasive expert migration, seconds.
+    pub migration_stall: f64,
+    /// End-to-end iteration time after comm/compute overlap, seconds.
+    pub iteration_time: f64,
+    /// Average over layers of max/mean device token load.
+    pub load_ratio: f64,
+    /// Average over layers of the maximum per-device token load.
+    pub max_device_tokens: f64,
+    /// Average over layers of the mean per-device token load.
+    pub avg_device_tokens: f64,
+    /// Replications issued this iteration.
+    pub migrations_started: u64,
+    /// Replications that became active this iteration.
+    pub migrations_completed: u64,
+}
+
+impl IterationMetrics {
+    /// Total all-to-all time (dispatch + combine).
+    pub fn all_to_all(&self) -> f64 {
+        self.dispatch + self.combine
+    }
+
+    /// Whether this iteration was interrupted by invasive migration.
+    pub fn interrupted(&self) -> bool {
+        self.migration_stall > 0.0
+    }
+}
+
+/// Aggregate statistics over a run (optionally excluding a warm-up prefix).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Iterations aggregated.
+    pub iterations: usize,
+    /// Mean iteration time, seconds.
+    pub mean_iteration_time: f64,
+    /// Mean attention compute time per iteration, seconds.
+    pub mean_attention_compute: f64,
+    /// Mean all-reduce time per iteration, seconds.
+    pub mean_all_reduce: f64,
+    /// Mean all-to-all (dispatch + combine) time per iteration, seconds.
+    pub mean_all_to_all: f64,
+    /// Mean MoE compute time per iteration, seconds.
+    pub mean_moe_compute: f64,
+    /// Mean invasive-migration stall per iteration, seconds.
+    pub mean_migration_stall: f64,
+    /// Mean max/mean device-load ratio.
+    pub mean_load_ratio: f64,
+    /// Total replications issued.
+    pub migrations_started: u64,
+    /// Total replications activated.
+    pub migrations_completed: u64,
+    /// Fraction of iterations interrupted by invasive migration.
+    pub interruption_rate: f64,
+    /// Mean tokens per group per iteration.
+    pub mean_tokens_per_group: f64,
+    /// Per-device MoE throughput: routed tokens processed per second per
+    /// device, counting only MoE phase time (compute ∥ all-to-all).
+    pub tokens_per_second_per_device: f64,
+}
+
+impl RunSummary {
+    /// Aggregates `history[skip..]`.
+    pub fn from_history(history: &[IterationMetrics], skip: usize, num_devices: usize) -> Self {
+        let slice = &history[skip.min(history.len())..];
+        let n = slice.len();
+        if n == 0 {
+            return RunSummary::default();
+        }
+        let nf = n as f64;
+        let mut s = RunSummary {
+            iterations: n,
+            ..Default::default()
+        };
+        let mut total_selections = 0.0;
+        let mut total_moe_time = 0.0;
+        for m in slice {
+            s.mean_iteration_time += m.iteration_time / nf;
+            s.mean_attention_compute += m.attention_compute / nf;
+            s.mean_all_reduce += m.all_reduce / nf;
+            s.mean_all_to_all += m.all_to_all() / nf;
+            s.mean_moe_compute += m.moe_compute / nf;
+            s.mean_migration_stall += m.migration_stall / nf;
+            s.mean_load_ratio += m.load_ratio / nf;
+            s.migrations_started += m.migrations_started;
+            s.migrations_completed += m.migrations_completed;
+            if m.interrupted() {
+                s.interruption_rate += 1.0 / nf;
+            }
+            s.mean_tokens_per_group += m.tokens_per_group as f64 / nf;
+            total_selections += m.avg_device_tokens * num_devices as f64;
+            total_moe_time +=
+                m.moe_compute.max(m.all_to_all()) + m.migration_stall;
+        }
+        if total_moe_time > 0.0 {
+            s.tokens_per_second_per_device =
+                total_selections / total_moe_time / num_devices as f64;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(t: f64, stall: f64) -> IterationMetrics {
+        IterationMetrics {
+            iteration_time: t,
+            migration_stall: stall,
+            dispatch: 1.0,
+            combine: 2.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_to_all_sums_halves() {
+        assert_eq!(metric(1.0, 0.0).all_to_all(), 3.0);
+    }
+
+    #[test]
+    fn summary_means_and_interruption_rate() {
+        let history = vec![metric(1.0, 0.0), metric(3.0, 0.5)];
+        let s = RunSummary::from_history(&history, 0, 4);
+        assert!((s.mean_iteration_time - 2.0).abs() < 1e-12);
+        assert!((s.interruption_rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.iterations, 2);
+    }
+
+    #[test]
+    fn warmup_skip() {
+        let history = vec![metric(100.0, 0.0), metric(1.0, 0.0)];
+        let s = RunSummary::from_history(&history, 1, 4);
+        assert_eq!(s.iterations, 1);
+        assert!((s.mean_iteration_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let s = RunSummary::from_history(&[], 0, 4);
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.mean_iteration_time, 0.0);
+    }
+}

@@ -1,0 +1,672 @@
+//! The end-to-end per-iteration inference simulator.
+//!
+//! [`InferenceEngine`] drives the full loop of paper Fig. 11(e): for every
+//! sparse layer of every iteration it prices attention compute overlapped
+//! with the all-reduce, gating, dispatch all-to-all overlapped with expert
+//! compute, and combine; it tracks per-layer expert loads, fires the Eq. 2
+//! trigger, runs the configured balancer, and executes migrations either
+//! invasively (stall on the critical path) or non-invasively (drained on
+//! phase-cold links by the [`MigrationEngine`](crate::migration)).
+//!
+//! Communication is priced with the analytical congestion model
+//! (per-link volumes over precomputed routes); the flow-level simulator is
+//! reserved for the single-collective experiments where full fidelity is
+//! affordable (see DESIGN.md §5).
+
+mod metrics;
+
+pub use metrics::{IterationMetrics, RunSummary};
+
+use moe_model::{CostModel, InferencePhase, ModelConfig, Precision};
+use moe_workload::{
+    ArrivalProcess, BatchScheduler, RequestGenerator, Scenario, SchedulingMode, TraceGenerator,
+    WorkloadMix,
+};
+use serde::{Deserialize, Serialize};
+use wsc_sim::AnalyticModel;
+use wsc_topology::{RouteTable, Topology};
+
+use crate::balancer::{
+    cumulative_imbalance, BalanceAction, BalanceContext, Balancer, BalancerKind, GreedyBalancer,
+    TopologyAwareBalancer, Trigger,
+};
+use crate::comm::{A2aModel, ParallelLayout};
+use crate::migration::{enqueue_replications, MigrationEngine, MigrationPhase};
+use crate::placement::ExpertPlacement;
+
+pub use crate::balancer::cumulative_imbalance as imbalance_statistic;
+
+/// How iteration batches are produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum BatchMode {
+    /// A fixed batch every iteration (the communication experiments).
+    Fixed {
+        /// Tokens per TP group per iteration.
+        tokens_per_group: u32,
+        /// Average attended context length.
+        avg_context: f64,
+        /// Roofline phase.
+        phase: InferencePhase,
+    },
+    /// Request-pool driven batches (the balancer experiments, §VI-C).
+    Scheduled {
+        /// Serving discipline.
+        mode: SchedulingMode,
+        /// Token budget per group per iteration.
+        max_batch_tokens: u32,
+        /// Concurrent decode sequences per group.
+        max_active: usize,
+        /// Request arrival rate (requests/second, whole system).
+        request_rate: f64,
+        /// Wall-clock estimate of one iteration (drives arrival admission).
+        iteration_period: f64,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The MoE model being served.
+    pub model: ModelConfig,
+    /// Device cost model.
+    pub cost: CostModel,
+    /// Scenario mixture driving expert selection.
+    pub workload: WorkloadMix,
+    /// Batch production mode.
+    pub batch: BatchMode,
+    /// Balancing strategy.
+    pub balancer: BalancerKind,
+    /// Eq. 2 `α`, specified per layer (total `α = this × L`).
+    pub trigger_alpha_per_layer: f64,
+    /// Eq. 2 `β` in iterations (forced to 0 for non-invasive balancing).
+    pub trigger_beta: u64,
+    /// Shadow slots per device.
+    pub slots_per_device: usize,
+    /// Cap on replications per layer per balancing event.
+    pub max_actions_per_layer: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Estimate the all-to-all on every `k`-th layer, reusing between
+    /// (1 = every layer).
+    pub comm_layer_stride: usize,
+    /// Micro-batches for communication/compute overlap (PipeMoE-style).
+    pub pipeline_microbatches: usize,
+    /// Force uniform gating (isolates mapping effects, §VI-B).
+    pub uniform_gating: bool,
+    /// Bandwidth available to non-invasive migration on cold links, bytes/s.
+    pub cold_bandwidth: f64,
+    /// EMA factor for historical expert loads in `(0, 1]`.
+    pub load_ema: f64,
+}
+
+impl EngineConfig {
+    /// Reasonable defaults for `model`: fixed 256-token decode batches,
+    /// mixed workload, no balancing.
+    pub fn new(model: ModelConfig) -> Self {
+        EngineConfig {
+            cost: CostModel::new(moe_model::DeviceSpec::b200()),
+            workload: WorkloadMix::mixed(500.0),
+            batch: BatchMode::Fixed {
+                tokens_per_group: 256,
+                avg_context: 4096.0,
+                phase: InferencePhase::Decode,
+            },
+            balancer: BalancerKind::None,
+            trigger_alpha_per_layer: 0.25,
+            trigger_beta: 10,
+            slots_per_device: 1,
+            max_actions_per_layer: 4,
+            seed: 7,
+            comm_layer_stride: 1,
+            pipeline_microbatches: 4,
+            uniform_gating: false,
+            cold_bandwidth: 4.0e12,
+            load_ema: 0.3,
+            model,
+        }
+    }
+
+    /// Sets the balancer kind (builder style).
+    pub fn with_balancer(mut self, kind: BalancerKind) -> Self {
+        self.balancer = kind;
+        self
+    }
+
+    /// Sets the workload mix (builder style).
+    pub fn with_workload(mut self, workload: WorkloadMix) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the batch mode (builder style).
+    pub fn with_batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The end-to-end inference simulator. See the [module docs](self).
+pub struct InferenceEngine<'a> {
+    topo: &'a Topology,
+    table: &'a RouteTable,
+    layout: &'a dyn ParallelLayout,
+    config: EngineConfig,
+    a2a: A2aModel<'a>,
+    trace: TraceGenerator,
+    scheduler: Option<BatchScheduler>,
+    placements: Vec<ExpertPlacement>,
+    /// `[layer][expert]` smoothed historical loads.
+    loads: Vec<Vec<f64>>,
+    balancer: Option<Box<dyn Balancer>>,
+    invasive: bool,
+    migration: MigrationEngine,
+    trigger: Trigger,
+    iteration: u64,
+    /// All-reduce cost decomposition: `time = ser_per_byte × bytes + lat`.
+    ar_ser_per_byte: f64,
+    ar_latency: f64,
+    /// Per-iteration metrics, in order.
+    pub history: Vec<IterationMetrics>,
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Builds an engine over a topology, its route table, and a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (zero stride or
+    /// micro-batches, EMA out of range).
+    pub fn new(
+        topo: &'a Topology,
+        table: &'a RouteTable,
+        layout: &'a dyn ParallelLayout,
+        config: EngineConfig,
+    ) -> Self {
+        assert!(config.comm_layer_stride >= 1, "stride must be ≥ 1");
+        assert!(config.pipeline_microbatches >= 1, "need ≥ 1 micro-batch");
+        assert!(
+            config.load_ema > 0.0 && config.load_ema <= 1.0,
+            "EMA factor must be in (0, 1]"
+        );
+        let num_layers = config.model.num_sparse_layers as usize;
+        let num_experts = config.model.num_experts as usize;
+        let num_groups = layout.num_groups();
+
+        let trace = {
+            let t = TraceGenerator::new(
+                &config.model,
+                config.workload.clone(),
+                num_groups,
+                256,
+                config.seed,
+            );
+            if config.uniform_gating {
+                t.with_uniform_gating()
+            } else {
+                t
+            }
+        };
+
+        let scheduler = match &config.batch {
+            BatchMode::Fixed { .. } => None,
+            BatchMode::Scheduled {
+                mode,
+                max_batch_tokens,
+                max_active,
+                request_rate,
+                iteration_period,
+            } => {
+                let arrivals =
+                    ArrivalProcess::new(*request_rate, 0.3, 600.0, config.seed ^ 0x5EED);
+                let generator = RequestGenerator::new(
+                    arrivals,
+                    Scenario::all().map(|s| (s, 1.0)).to_vec(),
+                    config.seed ^ 0xFEED,
+                );
+                Some(BatchScheduler::new(
+                    *mode,
+                    *max_batch_tokens,
+                    *max_active,
+                    *iteration_period,
+                    generator,
+                ))
+            }
+        };
+
+        let placements = (0..num_layers)
+            .map(|_| {
+                ExpertPlacement::balanced(
+                    num_experts,
+                    topo.num_devices(),
+                    config.slots_per_device,
+                )
+            })
+            .collect();
+
+        let (balancer, invasive): (Option<Box<dyn Balancer>>, bool) = match config.balancer {
+            BalancerKind::None => (None, false),
+            BalancerKind::Greedy => (
+                Some(Box::new(GreedyBalancer::new(config.max_actions_per_layer))),
+                true,
+            ),
+            BalancerKind::TopologyAware => (
+                Some(Box::new(TopologyAwareBalancer::new(
+                    config.max_actions_per_layer,
+                ))),
+                true,
+            ),
+            BalancerKind::NonInvasive => (
+                Some(Box::new(TopologyAwareBalancer::new(
+                    config.max_actions_per_layer,
+                ))),
+                false,
+            ),
+        };
+
+        let beta = if config.balancer == BalancerKind::NonInvasive {
+            0
+        } else {
+            config.trigger_beta
+        };
+        let trigger = Trigger::new(
+            config.trigger_alpha_per_layer * num_layers as f64,
+            beta,
+        );
+
+        let mut migration = MigrationEngine::new(config.cold_bandwidth);
+        if layout.ftd_of_device(wsc_topology::DeviceId(0)).is_none() {
+            migration = migration.phase_agnostic();
+        }
+
+        // All-reduce cost decomposition from a unit-byte schedule.
+        let unit = layout.all_reduce_schedule(topo, 1.0);
+        let est = AnalyticModel::new(topo).estimate_schedule(&unit);
+        let a2a = A2aModel::new(topo, table, layout);
+
+        InferenceEngine {
+            topo,
+            table,
+            layout,
+            a2a,
+            trace,
+            scheduler,
+            placements,
+            loads: vec![vec![0.0; num_experts]; num_layers],
+            balancer,
+            invasive,
+            migration,
+            trigger,
+            iteration: 0,
+            ar_ser_per_byte: est.serialization_time,
+            ar_latency: est.latency_time,
+            history: Vec::new(),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current per-layer placements.
+    pub fn placements(&self) -> &[ExpertPlacement] {
+        &self.placements
+    }
+
+    /// PipeMoE-style overlap: with `m` micro-batches the longer stream
+    /// hides the shorter except for one pipeline-fill fragment.
+    fn overlap(&self, compute: f64, comm: f64) -> f64 {
+        let m = self.config.pipeline_microbatches as f64;
+        compute.max(comm) + compute.min(comm) / m
+    }
+
+    /// Runs `iterations` steps.
+    pub fn run(&mut self, iterations: usize) -> RunSummary {
+        for _ in 0..iterations {
+            self.step();
+        }
+        RunSummary::from_history(&self.history, 0, self.topo.num_devices())
+    }
+
+    /// Executes one iteration and records its metrics.
+    pub fn step(&mut self) -> &IterationMetrics {
+        let config = &self.config;
+        let model = &config.model;
+        let tp = self.layout.tp_degree();
+        let num_layers = model.num_sparse_layers as usize;
+
+        // 1. Batch shape.
+        let (tokens_per_group, avg_context, phase) = match &config.batch {
+            BatchMode::Fixed {
+                tokens_per_group,
+                avg_context,
+                phase,
+            } => (*tokens_per_group, *avg_context, *phase),
+            BatchMode::Scheduled { .. } => {
+                let spec = self
+                    .scheduler
+                    .as_mut()
+                    .expect("scheduled mode has a scheduler")
+                    .next_batch();
+                (
+                    spec.total_tokens().max(1),
+                    spec.avg_context.max(1.0),
+                    spec.phase,
+                )
+            }
+        };
+        self.trace.set_tokens_per_group(tokens_per_group);
+        let trace = self.trace.next_iteration();
+
+        // 2. Attention phase costs (identical across layers).
+        let attn = config.cost.attention_time(
+            model,
+            tokens_per_group as f64,
+            avg_context,
+            tp,
+            phase,
+        );
+        let ar_bytes = tokens_per_group as f64 * model.token_bytes(Precision::Fp16);
+        let ar_time = self.ar_ser_per_byte * ar_bytes + self.ar_latency;
+        let attn_phase = self.overlap(attn.total(), ar_time);
+
+        // 3. Per-layer MoE phases.
+        let token_bytes = model.token_bytes(Precision::Fp16);
+        let mut metrics = IterationMetrics {
+            iteration: self.iteration,
+            tokens_per_group,
+            ..Default::default()
+        };
+        let mut per_layer_loads: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
+        let mut cached_comm: Option<(f64, f64)> = None;
+        for (l, gating) in trace.layers.iter().enumerate() {
+            let est = self.a2a.estimate(gating, &self.placements[l], token_bytes, tokens_per_group);
+            let (dispatch_t, combine_t) = if l % config.comm_layer_stride == 0 {
+                let t = (est.dispatch.total_time, est.combine.total_time);
+                cached_comm = Some(t);
+                t
+            } else {
+                cached_comm.unwrap_or((est.dispatch.total_time, est.combine.total_time))
+            };
+
+            // Expert compute: slowest device.
+            let mut moe_comp: f64 = 0.0;
+            for d in 0..self.topo.num_devices() {
+                let t = config
+                    .cost
+                    .moe_device_time(
+                        model,
+                        est.device_tokens[d],
+                        est.device_active_experts[d],
+                    )
+                    .total();
+                moe_comp = moe_comp.max(t);
+            }
+            // Shared experts run where the tokens live.
+            if model.num_shared_experts > 0 {
+                let local_tokens = trace.layers[l].total_selections() as f64
+                    / model.experts_per_token as f64
+                    / self.topo.num_devices() as f64;
+                moe_comp += config
+                    .cost
+                    .moe_device_time(model, local_tokens, model.num_shared_experts as f64)
+                    .total();
+            }
+
+            let a2a_time = dispatch_t + combine_t;
+            let moe_phase = self.overlap(moe_comp, a2a_time);
+
+            // Accumulate.
+            metrics.attention_compute += attn.total();
+            metrics.all_reduce += ar_time;
+            metrics.dispatch += dispatch_t;
+            metrics.combine += combine_t;
+            metrics.moe_compute += moe_comp;
+            metrics.iteration_time += attn_phase + moe_phase;
+
+            let max = est.device_tokens.iter().copied().fold(0.0, f64::max);
+            let mean = est.device_tokens.iter().sum::<f64>()
+                / est.device_tokens.len() as f64;
+            metrics.max_device_tokens += max / num_layers as f64;
+            metrics.avg_device_tokens += mean / num_layers as f64;
+            metrics.load_ratio += if mean > 0.0 { max / mean } else { 1.0 } / num_layers as f64;
+
+            // Non-invasive migration progress on cold links.
+            for done in self.migration.advance(MigrationPhase::Local, attn_phase) {
+                if self.placements[done.layer]
+                    .add_replica(done.expert, done.target)
+                    .is_ok()
+                {
+                    metrics.migrations_completed += 1;
+                }
+            }
+            for done in self.migration.advance(MigrationPhase::Global, moe_phase) {
+                if self.placements[done.layer]
+                    .add_replica(done.expert, done.target)
+                    .is_ok()
+                {
+                    metrics.migrations_completed += 1;
+                }
+            }
+
+            // Historical loads (EMA).
+            let totals = gating.expert_totals();
+            let ema = config.load_ema;
+            for (slot, &t) in self.loads[l].iter_mut().zip(&totals) {
+                *slot = (1.0 - ema) * *slot + ema * t as f64;
+            }
+            per_layer_loads.push(self.placements[l].device_loads(&self.loads[l]));
+        }
+
+        // 4. Balancing trigger (Eq. 2) and execution.
+        if let Some(balancer) = self.balancer.as_mut() {
+            let imbalance =
+                cumulative_imbalance(per_layer_loads.iter().map(Vec::as_slice));
+            if self.trigger.should_balance(self.iteration, imbalance) {
+                let expert_bytes = model.expert_bytes(config.cost.linear_precision);
+                let mut stall_pairs: Vec<(wsc_topology::DeviceId, wsc_topology::DeviceId, f64)> =
+                    Vec::new();
+                for l in 0..num_layers {
+                    let actions = balancer.plan_layer(&BalanceContext {
+                        layer: l,
+                        expert_loads: &self.loads[l],
+                        placement: &self.placements[l],
+                        table: self.table,
+                    });
+                    if self.invasive {
+                        for action in &actions {
+                            match *action {
+                                BalanceAction::Replicate {
+                                    layer,
+                                    expert,
+                                    source,
+                                    target,
+                                } => {
+                                    if self.placements[layer]
+                                        .add_replica(expert, target)
+                                        .is_ok()
+                                    {
+                                        stall_pairs.push((source, target, expert_bytes));
+                                        metrics.migrations_started += 1;
+                                        metrics.migrations_completed += 1;
+                                    }
+                                }
+                                BalanceAction::Release {
+                                    layer,
+                                    expert,
+                                    device,
+                                } => {
+                                    self.placements[layer].remove_replica(expert, device);
+                                }
+                            }
+                        }
+                    } else {
+                        let before = self.migration.in_flight();
+                        let releases = enqueue_replications(
+                            &mut self.migration,
+                            self.topo,
+                            self.table,
+                            self.layout,
+                            &actions,
+                            expert_bytes,
+                        );
+                        metrics.migrations_started +=
+                            (self.migration.in_flight() - before) as u64;
+                        for action in releases {
+                            if let BalanceAction::Release {
+                                layer,
+                                expert,
+                                device,
+                            } = action
+                            {
+                                self.placements[layer].remove_replica(expert, device);
+                            }
+                        }
+                    }
+                }
+                if self.invasive && !stall_pairs.is_empty() {
+                    // The migrations run concurrently on the idle-but-shared
+                    // fabric, interrupting inference (paper Fig. 7b).
+                    let est = AnalyticModel::new(self.topo)
+                        .estimate_pairs(self.table, stall_pairs);
+                    metrics.migration_stall = est.total_time;
+                    metrics.iteration_time += est.total_time;
+                }
+            }
+        }
+
+        self.iteration += 1;
+        self.history.push(metrics);
+        self.history.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ErMapping, TpShape};
+    use wsc_topology::{Mesh, PlatformParams};
+
+    fn small_model() -> ModelConfig {
+        // A scaled-down model for fast engine tests.
+        ModelConfig {
+            name: "tiny".into(),
+            total_params_b: 1.0,
+            num_layers: 4,
+            num_sparse_layers: 4,
+            hidden_size: 1024,
+            moe_intermediate_size: 512,
+            num_experts: 16,
+            experts_per_token: 2,
+            num_shared_experts: 0,
+            num_attention_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 128,
+        }
+    }
+
+    fn fixture() -> (Topology, RouteTable, crate::mapping::MappingPlan) {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        (topo, table, plan)
+    }
+
+    #[test]
+    fn engine_runs_and_records_history() {
+        let (topo, table, plan) = fixture();
+        let config = EngineConfig::new(small_model()).with_seed(3);
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        let summary = engine.run(5);
+        assert_eq!(summary.iterations, 5);
+        assert!(summary.mean_iteration_time > 0.0);
+        assert!(summary.mean_all_to_all > 0.0);
+        assert_eq!(engine.history.len(), 5);
+    }
+
+    #[test]
+    fn non_invasive_never_stalls() {
+        let (topo, table, plan) = fixture();
+        let config = EngineConfig::new(small_model())
+            .with_balancer(BalancerKind::NonInvasive)
+            .with_workload(WorkloadMix::Fixed(Scenario::Math));
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(30);
+        assert!(engine.history.iter().all(|m| m.migration_stall == 0.0));
+        // And some migrations actually happened.
+        let completed: u64 = engine.history.iter().map(|m| m.migrations_completed).sum();
+        assert!(completed > 0, "no migrations completed");
+    }
+
+    #[test]
+    fn invasive_greedy_stalls_iterations() {
+        let (topo, table, plan) = fixture();
+        let config = EngineConfig::new(small_model())
+            .with_balancer(BalancerKind::Greedy)
+            .with_workload(WorkloadMix::Fixed(Scenario::Math));
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(30);
+        assert!(
+            engine.history.iter().any(|m| m.migration_stall > 0.0),
+            "greedy balancing should interrupt at least once"
+        );
+    }
+
+    #[test]
+    fn balancing_improves_load_ratio() {
+        let (topo, table, plan) = fixture();
+        let base_cfg = EngineConfig::new(small_model())
+            .with_workload(WorkloadMix::Fixed(Scenario::Math))
+            .with_seed(11);
+        let mut unbalanced = InferenceEngine::new(&topo, &table, &plan, base_cfg.clone());
+        let without = unbalanced.run(40);
+        let mut balanced = InferenceEngine::new(
+            &topo,
+            &table,
+            &plan,
+            base_cfg.with_balancer(BalancerKind::NonInvasive),
+        );
+        let with = balanced.run(40);
+        assert!(
+            with.mean_load_ratio < without.mean_load_ratio,
+            "balancing should reduce load ratio: {} vs {}",
+            with.mean_load_ratio,
+            without.mean_load_ratio
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (topo, table, plan) = fixture();
+        let mk = || {
+            let config = EngineConfig::new(small_model()).with_seed(42);
+            let mut e = InferenceEngine::new(&topo, &table, &plan, config);
+            e.run(5).mean_iteration_time
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn scheduled_decode_mode_runs() {
+        let (topo, table, plan) = fixture();
+        let config = EngineConfig::new(small_model()).with_batch(BatchMode::Scheduled {
+            mode: SchedulingMode::DecodeOnly,
+            max_batch_tokens: 512,
+            max_active: 64,
+            request_rate: 200.0,
+            iteration_period: 0.02,
+        });
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        let summary = engine.run(20);
+        assert!(summary.mean_tokens_per_group >= 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Full Token Domains.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::{DeviceId, Topology};
+
+/// A Full Token Domain (paper §IV-A): the minimal set of devices that
+/// collectively holds tokens from every TP group, so that dispatch and
+/// combine can be confined within it.
+///
+/// Every device belongs to exactly one FTD; an FTD contains exactly one
+/// device of each TP group.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Ftd {
+    index: usize,
+    devices: Vec<DeviceId>,
+}
+
+impl Ftd {
+    /// Creates an FTD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty.
+    pub fn new(index: usize, devices: Vec<DeviceId>) -> Self {
+        assert!(!devices.is_empty(), "an FTD contains at least one device");
+        Ftd { index, devices }
+    }
+
+    /// This FTD's index within its plan.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Member devices (one per TP group).
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Number of member devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// FTDs are never empty; provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the FTD contains `device`.
+    pub fn contains(&self, device: DeviceId) -> bool {
+        self.devices.contains(&device)
+    }
+
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y, wafer)` of
+    /// the member dies, in global die coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is not a mesh device.
+    pub fn bounding_box(&self, topo: &Topology) -> (u16, u16, u16, u16, usize) {
+        let dims = topo.mesh_dims().expect("FTDs exist only on meshes");
+        let mut min_x = u16::MAX;
+        let mut min_y = u16::MAX;
+        let mut max_x = 0;
+        let mut max_y = 0;
+        let mut wafer = 0usize;
+        for &d in &self.devices {
+            let loc = topo.location(d);
+            let (x, y) = loc.xy().expect("mesh location");
+            let (wx, wy) = loc.wafer().expect("mesh location");
+            let gx = wx * dims.n + x;
+            let gy = wy * dims.n + y;
+            min_x = min_x.min(gx);
+            min_y = min_y.min(gy);
+            max_x = max_x.max(gx);
+            max_y = max_y.max(gy);
+            wafer = 0; // global coordinates already absorb the wafer
+        }
+        (min_x, min_y, max_x, max_y, wafer)
+    }
+
+    /// Area of the bounding box in dies (the paper speaks of "3×3 area"
+    /// vs "2×2 area" FTDs).
+    pub fn area(&self, topo: &Topology) -> usize {
+        let (x0, y0, x1, y1, _) = self.bounding_box(topo);
+        (x1 - x0 + 1) as usize * (y1 - y0 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_topology::{Mesh, PlatformParams};
+
+    #[test]
+    fn bounding_box_and_area() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let d = |x, y| topo.device_at_xy(x, y).unwrap();
+        let compact = Ftd::new(0, vec![d(0, 0), d(1, 0), d(0, 1), d(1, 1)]);
+        assert_eq!(compact.area(&topo), 4);
+        let spread = Ftd::new(1, vec![d(0, 0), d(2, 0), d(0, 2), d(2, 2)]);
+        assert_eq!(spread.area(&topo), 9);
+        assert_eq!(spread.bounding_box(&topo), (0, 0, 2, 2, 0));
+    }
+
+    #[test]
+    fn contains_members() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let d = |x, y| topo.device_at_xy(x, y).unwrap();
+        let f = Ftd::new(0, vec![d(0, 0), d(1, 1)]);
+        assert!(f.contains(d(0, 0)));
+        assert!(!f.contains(d(1, 0)));
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert_eq!(f.index(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII rendering of mapping plans (the paper's Fig. 5 / Fig. 8 diagrams).
+
+use wsc_topology::Topology;
+
+use super::MappingPlan;
+
+/// Renders the TP-group assignment of each die as a grid, one wafer after
+/// another. Groups are labelled `G<idx>`; the paper's Fig. 8 uses the same
+/// spatial layout.
+///
+/// # Example
+///
+/// ```
+/// use moentwine_core::mapping::{render_groups, ErMapping, TpShape};
+/// use wsc_topology::{Mesh, PlatformParams};
+///
+/// let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+/// let plan = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+///     .unwrap()
+///     .plan();
+/// let art = render_groups(&topo, &plan);
+/// // ER-Mapping interleaves the groups: row 0 alternates G0 G1 G0 G1.
+/// assert!(art.lines().next().unwrap().contains("G0 G1 G0 G1"));
+/// ```
+pub fn render_groups(topo: &Topology, plan: &MappingPlan) -> String {
+    render_with(topo, plan, |plan, d| format!("G{}", plan.group_of(d).0))
+}
+
+/// Renders the FTD assignment of each die as a grid (`F<idx>` labels),
+/// making FTD compactness (ER) vs spread (baseline) visible.
+pub fn render_ftds(topo: &Topology, plan: &MappingPlan) -> String {
+    render_with(topo, plan, |plan, d| format!("F{}", plan.ftd_of(d)))
+}
+
+fn render_with(
+    topo: &Topology,
+    plan: &MappingPlan,
+    label: impl Fn(&MappingPlan, wsc_topology::DeviceId) -> String,
+) -> String {
+    let dims = plan.dims();
+    let width = (plan.num_groups().max(plan.ftds().len()))
+        .to_string()
+        .len()
+        + 1;
+    let mut out = String::new();
+    for wy in 0..dims.wafers_y {
+        for wx in 0..dims.wafers_x {
+            if dims.num_wafers() > 1 {
+                out.push_str(&format!("wafer ({wx},{wy}):\n"));
+            }
+            for y in 0..dims.n {
+                let row: Vec<String> = (0..dims.n)
+                    .map(|x| {
+                        let d = topo.device_at(wx, wy, x, y).expect("die in range");
+                        format!("{:>width$}", label(plan, d))
+                    })
+                    .collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+            if dims.num_wafers() > 1 {
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{BaselineMapping, ErMapping, TpShape};
+    use wsc_topology::{Mesh, PlatformParams};
+
+    fn topo() -> Topology {
+        Mesh::new(4, PlatformParams::dojo_like()).build()
+    }
+
+    #[test]
+    fn baseline_groups_are_blocks() {
+        let topo = topo();
+        let plan = BaselineMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        let art = render_groups(&topo, &plan);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "G0 G0 G1 G1");
+        assert_eq!(lines[2], "G2 G2 G3 G3");
+    }
+
+    #[test]
+    fn er_groups_are_interleaved() {
+        let topo = topo();
+        let plan = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        let art = render_groups(&topo, &plan);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "G0 G1 G0 G1");
+        assert_eq!(lines[1], "G2 G3 G2 G3");
+    }
+
+    #[test]
+    fn er_ftds_are_blocks() {
+        let topo = topo();
+        let plan = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        let art = render_ftds(&topo, &plan);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0], "F0 F0 F1 F1");
+        assert_eq!(lines[3], "F2 F2 F3 F3");
+    }
+
+    #[test]
+    fn multi_wafer_render_labels_wafers() {
+        let topo = wsc_topology::MultiWafer::grid(2, 1, 2, PlatformParams::dojo_like()).build();
+        let plan = crate::mapping::HierarchicalErMapping::new(
+            topo.mesh_dims().unwrap(),
+            TpShape::new(2, 1),
+        )
+        .unwrap()
+        .plan();
+        let art = render_groups(&topo, &plan);
+        assert!(art.contains("wafer (0,0):"));
+        assert!(art.contains("wafer (1,0):"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Expert migration execution: invasive and non-invasive.
+//!
+//! A replication decision moves an expert's weights (tens to hundreds of
+//! MiB) across the fabric. The paper contrasts:
+//!
+//! * **Invasive** execution — the transfer runs on the already-busy network
+//!   between iterations, stalling inference (Fig. 7b); the stall is priced
+//!   with the analytical model over the migration routes.
+//! * **Non-invasive** execution — the NI-Balancer decomposes the route into
+//!   **Local** (intra-FTD) and **Global** (inter-FTD) segments (Fig. 11d)
+//!   and drains each on the links left cold by the current phase: Local
+//!   segments progress during attention/all-reduce, Global segments during
+//!   MoE/all-to-all. Zero critical-path overhead, but the replica only
+//!   activates once the last segment lands — balancing is delayed, not
+//!   degraded.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::{DeviceId, RouteTable, Topology};
+
+use crate::balancer::BalanceAction;
+use crate::comm::ParallelLayout;
+use crate::placement::ExpertId;
+
+/// Which phase's cold links a migration segment may use.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MigrationPhase {
+    /// Intra-FTD segment: executes during attention (all-reduce leaves
+    /// intra-FTD links cold).
+    Local,
+    /// Inter-FTD segment: executes during MoE (all-to-all is confined
+    /// within FTDs, leaving inter-FTD links cold).
+    Global,
+}
+
+/// One store-and-forward hop group of a migration route.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MigrationSegment {
+    /// Phase whose cold links carry this segment.
+    pub phase: MigrationPhase,
+    /// Payload bytes (the full expert weights).
+    pub bytes: f64,
+}
+
+/// A migration in progress.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct InFlightMigration {
+    /// Sparse-layer index.
+    pub layer: usize,
+    /// The expert being replicated.
+    pub expert: ExpertId,
+    /// Replica the weights are read from.
+    pub source: DeviceId,
+    /// Device receiving the new replica.
+    pub target: DeviceId,
+    /// Remaining segments (front is active).
+    pub segments: Vec<MigrationSegment>,
+    /// Bytes already moved within the active segment.
+    pub progress: f64,
+}
+
+/// A migration that finished this phase; the engine activates the replica.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CompletedMigration {
+    /// Sparse-layer index.
+    pub layer: usize,
+    /// The replicated expert.
+    pub expert: ExpertId,
+    /// Device that received the replica.
+    pub target: DeviceId,
+}
+
+/// Decomposes a migration route into Local/Global segments using the
+/// layout's FTD structure (paper Fig. 11d: Local → Global → Local). When the
+/// layout defines no FTDs (clusters), the whole route is one Local segment.
+pub fn decompose_route(
+    topo: &Topology,
+    table: &RouteTable,
+    layout: &dyn ParallelLayout,
+    source: DeviceId,
+    target: DeviceId,
+    bytes: f64,
+) -> Vec<MigrationSegment> {
+    let route = table.route(source, target);
+    if route.is_empty() {
+        return Vec::new();
+    }
+    let Some(_) = layout.ftd_of_device(source) else {
+        return vec![MigrationSegment {
+            phase: MigrationPhase::Local,
+            bytes,
+        }];
+    };
+    let mut segments: Vec<MigrationSegment> = Vec::new();
+    for &l in route.links() {
+        let link = topo.link(l);
+        let (src_dev, dst_dev) = (
+            topo.node_device(link.src).expect("mesh link endpoints are devices"),
+            topo.node_device(link.dst).expect("mesh link endpoints are devices"),
+        );
+        let phase = if layout.ftd_of_device(src_dev) == layout.ftd_of_device(dst_dev) {
+            MigrationPhase::Local
+        } else {
+            MigrationPhase::Global
+        };
+        match segments.last_mut() {
+            Some(last) if last.phase == phase => {} // same store-and-forward leg
+            _ => segments.push(MigrationSegment { phase, bytes }),
+        }
+    }
+    segments
+}
+
+/// Tracks in-flight non-invasive migrations and drains them on phase-cold
+/// links.
+///
+/// `cold_bandwidth` is the per-migration bandwidth available on the cold
+/// links (a full on-wafer link under the Fig. 11 complementarity analysis;
+/// the NVMe channel bandwidth for the NVL72 baseline).
+#[derive(Clone, Debug)]
+pub struct MigrationEngine {
+    cold_bandwidth: f64,
+    /// Clusters have no phase structure for migrations: drain in any phase.
+    phase_agnostic: bool,
+    in_flight: Vec<InFlightMigration>,
+    /// Total bytes moved (statistics).
+    pub bytes_moved: f64,
+    /// Total migrations completed (statistics).
+    pub migrations_completed: u64,
+}
+
+impl MigrationEngine {
+    /// Creates an engine draining segments at `cold_bandwidth` bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(cold_bandwidth: f64) -> Self {
+        assert!(cold_bandwidth > 0.0, "bandwidth must be positive");
+        MigrationEngine {
+            cold_bandwidth,
+            phase_agnostic: false,
+            in_flight: Vec::new(),
+            bytes_moved: 0.0,
+            migrations_completed: 0,
+        }
+    }
+
+    /// Makes every phase eligible for every segment (NVMe-style side
+    /// channels on GPU clusters).
+    pub fn phase_agnostic(mut self) -> Self {
+        self.phase_agnostic = true;
+        self
+    }
+
+    /// Number of migrations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Queues a replication for background execution.
+    pub fn enqueue(
+        &mut self,
+        layer: usize,
+        expert: ExpertId,
+        source: DeviceId,
+        target: DeviceId,
+        segments: Vec<MigrationSegment>,
+    ) {
+        if segments.is_empty() {
+            // Degenerate co-located migration: complete instantly on next
+            // advance by inserting a zero-byte local segment.
+            self.in_flight.push(InFlightMigration {
+                layer,
+                expert,
+                source,
+                target,
+                segments: vec![MigrationSegment {
+                    phase: MigrationPhase::Local,
+                    bytes: 0.0,
+                }],
+                progress: 0.0,
+            });
+            return;
+        }
+        self.in_flight.push(InFlightMigration {
+            layer,
+            expert,
+            source,
+            target,
+            segments,
+            progress: 0.0,
+        });
+    }
+
+    /// Whether a migration for `(layer, expert, target)` is already queued.
+    pub fn is_pending(&self, layer: usize, expert: ExpertId, target: DeviceId) -> bool {
+        self.in_flight
+            .iter()
+            .any(|m| m.layer == layer && m.expert == expert && m.target == target)
+    }
+
+    /// Advances all in-flight migrations through a phase window of
+    /// `duration` seconds, returning the migrations that completed.
+    pub fn advance(&mut self, phase: MigrationPhase, duration: f64) -> Vec<CompletedMigration> {
+        let mut done = Vec::new();
+        let budget = self.cold_bandwidth * duration;
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let m = &mut self.in_flight[i];
+            let mut remaining_budget = budget;
+            while let Some(seg) = m.segments.first().copied() {
+                if !(self.phase_agnostic || seg.phase == phase) {
+                    break;
+                }
+                let needed = seg.bytes - m.progress;
+                if needed <= remaining_budget {
+                    remaining_budget -= needed;
+                    self.bytes_moved += needed;
+                    m.segments.remove(0);
+                    m.progress = 0.0;
+                    // A store-and-forward boundary: the next segment may be
+                    // the other phase, in which case we stop here.
+                } else {
+                    m.progress += remaining_budget;
+                    self.bytes_moved += remaining_budget;
+                    break;
+                }
+                if remaining_budget <= 0.0 {
+                    break;
+                }
+            }
+            if m.segments.is_empty() {
+                let m = self.in_flight.swap_remove(i);
+                self.migrations_completed += 1;
+                done.push(CompletedMigration {
+                    layer: m.layer,
+                    expert: m.expert,
+                    target: m.target,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Drops every queued migration (used when a run resets placement).
+    pub fn clear(&mut self) {
+        self.in_flight.clear();
+    }
+}
+
+/// Converts balancer actions into enqueue calls, returning the release
+/// actions that must be applied immediately (releases move no data).
+pub fn enqueue_replications(
+    engine: &mut MigrationEngine,
+    topo: &Topology,
+    table: &RouteTable,
+    layout: &dyn ParallelLayout,
+    actions: &[BalanceAction],
+    expert_bytes: f64,
+) -> Vec<BalanceAction> {
+    let mut releases = Vec::new();
+    for action in actions {
+        match *action {
+            BalanceAction::Replicate {
+                layer,
+                expert,
+                source,
+                target,
+            } => {
+                if !engine.is_pending(layer, expert, target) {
+                    let segments =
+                        decompose_route(topo, table, layout, source, target, expert_bytes);
+                    engine.enqueue(layer, expert, source, target, segments);
+                }
+            }
+            BalanceAction::Release { .. } => releases.push(*action),
+        }
+    }
+    releases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ErMapping, TpShape};
+    use wsc_topology::{Mesh, PlatformParams};
+
+    fn fixture() -> (Topology, RouteTable, crate::mapping::MappingPlan) {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        (topo, table, plan)
+    }
+
+    #[test]
+    fn route_decomposes_local_global_local() {
+        let (topo, table, plan) = fixture();
+        // (0,0) [FTD 0] to (3,3) [FTD 3]: XY route crosses FTD borders.
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(3, 3).unwrap();
+        let segs = decompose_route(&topo, &table, &plan, src, dst, 42.0e6);
+        assert!(segs.len() >= 2, "{segs:?}");
+        assert!(segs.iter().any(|s| s.phase == MigrationPhase::Global));
+        // Alternation: no two consecutive segments share a phase.
+        for w in segs.windows(2) {
+            assert_ne!(w[0].phase, w[1].phase);
+        }
+    }
+
+    #[test]
+    fn intra_ftd_migration_is_all_local() {
+        let (topo, table, plan) = fixture();
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(1, 1).unwrap();
+        assert_eq!(plan.ftd_of(src), plan.ftd_of(dst));
+        let segs = decompose_route(&topo, &table, &plan, src, dst, 1.0e6);
+        assert!(segs.iter().all(|s| s.phase == MigrationPhase::Local));
+    }
+
+    #[test]
+    fn migration_progresses_only_in_matching_phase() {
+        let (topo, table, plan) = fixture();
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(2, 0).unwrap(); // neighbouring FTD
+        let bytes = 1.0e6;
+        let segs = decompose_route(&topo, &table, &plan, src, dst, bytes);
+        let mut engine = MigrationEngine::new(1.0e9); // 1 GB/s cold links
+        engine.enqueue(0, 7, src, dst, segs);
+        // Global-only phases cannot start a Local first segment.
+        assert!(engine.advance(MigrationPhase::Global, 1.0).is_empty());
+        assert_eq!(engine.in_flight(), 1);
+        // One long Local phase finishes the local leg; then Global completes.
+        assert!(engine.advance(MigrationPhase::Local, 1.0).is_empty());
+        let done = engine.advance(MigrationPhase::Global, 1.0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].expert, 7);
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[test]
+    fn partial_progress_accumulates_across_windows() {
+        let (topo, table, plan) = fixture();
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(1, 0).unwrap(); // same FTD: one Local seg
+        let segs = decompose_route(&topo, &table, &plan, src, dst, 10.0);
+        let mut engine = MigrationEngine::new(1.0); // 1 B/s
+        engine.enqueue(0, 0, src, dst, segs);
+        for _ in 0..9 {
+            assert!(engine.advance(MigrationPhase::Local, 1.0).is_empty());
+        }
+        assert_eq!(engine.advance(MigrationPhase::Local, 1.0).len(), 1);
+        assert!((engine.bytes_moved - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_agnostic_mode_ignores_phase() {
+        let (topo, table, plan) = fixture();
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(3, 3).unwrap();
+        let segs = decompose_route(&topo, &table, &plan, src, dst, 6.0);
+        let mut engine = MigrationEngine::new(100.0).phase_agnostic();
+        engine.enqueue(0, 0, src, dst, segs);
+        let done = engine.advance(MigrationPhase::Global, 1.0);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_enqueue_detected() {
+        let (topo, table, plan) = fixture();
+        let src = topo.device_at_xy(0, 0).unwrap();
+        let dst = topo.device_at_xy(1, 0).unwrap();
+        let mut engine = MigrationEngine::new(1.0);
+        let actions = vec![
+            BalanceAction::Replicate {
+                layer: 2,
+                expert: 5,
+                source: src,
+                target: dst,
+            };
+            2
+        ];
+        enqueue_replications(&mut engine, &topo, &table, &plan, &actions, 100.0);
+        assert_eq!(engine.in_flight(), 1);
+        assert!(engine.is_pending(2, 5, dst));
+    }
+}

@@ -1,0 +1,276 @@
+//! Model configurations (the paper's Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::precision::Precision;
+
+/// Architecture of an MoE large language model.
+///
+/// Dimensions are chosen so that derived quantities match the paper's
+/// Table I (single-expert size, expert counts, layer counts) and the public
+/// model cards of the five evaluation models.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name, e.g. `"DeepSeek-V3"`.
+    pub name: String,
+    /// Total parameter count (informational), in billions.
+    pub total_params_b: f64,
+    /// Total transformer layers.
+    pub num_layers: u32,
+    /// Layers whose MLP is a sparse MoE layer.
+    pub num_sparse_layers: u32,
+    /// Model (residual stream) hidden size.
+    pub hidden_size: u32,
+    /// Per-expert FFN intermediate size.
+    pub moe_intermediate_size: u32,
+    /// Number of routed experts per MoE layer.
+    pub num_experts: u32,
+    /// Experts activated per token (top-k).
+    pub experts_per_token: u32,
+    /// Shared (always-active) experts per MoE layer.
+    pub num_shared_experts: u32,
+    /// Attention heads.
+    pub num_attention_heads: u32,
+    /// Key/value heads (GQA; MLA models approximated by an equivalent
+    /// compressed KV width).
+    pub num_kv_heads: u32,
+    /// Per-head dimension.
+    pub head_dim: u32,
+}
+
+impl ModelConfig {
+    /// DeepSeek-V3 / R1: 671B, 256 experts, 8 active, 42 MiB/expert.
+    pub fn deepseek_v3() -> Self {
+        ModelConfig {
+            name: "DeepSeek-V3".into(),
+            total_params_b: 671.0,
+            num_layers: 61,
+            num_sparse_layers: 58,
+            hidden_size: 7168,
+            moe_intermediate_size: 2048,
+            num_experts: 256,
+            experts_per_token: 8,
+            num_shared_experts: 1,
+            num_attention_heads: 128,
+            num_kv_heads: 16, // MLA compressed-KV equivalent
+            head_dim: 128,
+        }
+    }
+
+    /// Qwen3-235B-A22B: 128 experts, 8 active, 18 MiB/expert.
+    pub fn qwen3_235b() -> Self {
+        ModelConfig {
+            name: "Qwen3".into(),
+            total_params_b: 235.0,
+            num_layers: 94,
+            num_sparse_layers: 94,
+            hidden_size: 4096,
+            moe_intermediate_size: 1536,
+            num_experts: 128,
+            experts_per_token: 8,
+            num_shared_experts: 0,
+            num_attention_heads: 64,
+            num_kv_heads: 4,
+            head_dim: 128,
+        }
+    }
+
+    /// DeepSeek-V2: 236B, 160 experts, 6 active, 23 MiB/expert.
+    pub fn deepseek_v2() -> Self {
+        ModelConfig {
+            name: "DeepSeek-V2".into(),
+            total_params_b: 236.0,
+            num_layers: 60,
+            num_sparse_layers: 59,
+            hidden_size: 5120,
+            moe_intermediate_size: 1536,
+            num_experts: 160,
+            experts_per_token: 6,
+            num_shared_experts: 2,
+            num_attention_heads: 128,
+            num_kv_heads: 16,
+            head_dim: 128,
+        }
+    }
+
+    /// DBRX-Instruct: 132B, 16 experts, 4 active, 189 MiB/expert.
+    pub fn dbrx() -> Self {
+        ModelConfig {
+            name: "DBRX".into(),
+            total_params_b: 132.0,
+            num_layers: 40,
+            num_sparse_layers: 40,
+            hidden_size: 6144,
+            moe_intermediate_size: 10752,
+            num_experts: 16,
+            experts_per_token: 4,
+            num_shared_experts: 0,
+            num_attention_heads: 48,
+            num_kv_heads: 8,
+            head_dim: 128,
+        }
+    }
+
+    /// Mixtral-8x22B: 141B, 8 experts, 2 active, 288 MiB/expert.
+    pub fn mixtral_8x22b() -> Self {
+        ModelConfig {
+            name: "Mixtral".into(),
+            total_params_b: 141.0,
+            num_layers: 56,
+            num_sparse_layers: 56,
+            hidden_size: 6144,
+            moe_intermediate_size: 16384,
+            num_experts: 8,
+            experts_per_token: 2,
+            num_shared_experts: 0,
+            num_attention_heads: 48,
+            num_kv_heads: 8,
+            head_dim: 128,
+        }
+    }
+
+    /// All five evaluation models of Table I, in the paper's order.
+    pub fn evaluation_suite() -> Vec<ModelConfig> {
+        vec![
+            Self::deepseek_v3(),
+            Self::qwen3_235b(),
+            Self::deepseek_v2(),
+            Self::dbrx(),
+            Self::mixtral_8x22b(),
+        ]
+    }
+
+    /// Parameters in one routed expert: gate, up, and down projections.
+    pub fn expert_params(&self) -> f64 {
+        3.0 * self.hidden_size as f64 * self.moe_intermediate_size as f64
+    }
+
+    /// Bytes of one routed expert's weights at `precision`.
+    pub fn expert_bytes(&self, precision: Precision) -> f64 {
+        self.expert_params() * precision.bytes()
+    }
+
+    /// FLOPs to push one token through one expert (2 FLOPs per MAC).
+    pub fn expert_flops_per_token(&self) -> f64 {
+        2.0 * self.expert_params()
+    }
+
+    /// Parameters in the attention block (Q, K, V, O projections).
+    pub fn attention_params(&self) -> f64 {
+        let h = self.hidden_size as f64;
+        let q = h * (self.num_attention_heads * self.head_dim) as f64;
+        let kv = 2.0 * h * (self.num_kv_heads * self.head_dim) as f64;
+        let o = (self.num_attention_heads * self.head_dim) as f64 * h;
+        q + kv + o
+    }
+
+    /// Bytes of KV-cache appended per token at `precision`.
+    pub fn kv_bytes_per_token(&self, precision: Precision) -> f64 {
+        2.0 * (self.num_kv_heads * self.head_dim) as f64 * precision.bytes()
+    }
+
+    /// Bytes of one token's hidden-state activation at `precision` (the unit
+    /// of dispatch/combine communication volume).
+    pub fn token_bytes(&self, precision: Precision) -> f64 {
+        self.hidden_size as f64 * precision.bytes()
+    }
+
+    /// The expert-to-device ratio `E/D` for a given device count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn ed_ratio(&self, devices: usize) -> f64 {
+        assert!(devices > 0, "device count must be positive");
+        self.num_experts as f64 / devices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    #[test]
+    fn expert_sizes_match_table_one() {
+        // Paper Table I: 42 / 18 / 23 / 189 / 288 MB per expert (INT8).
+        let cases = [
+            (ModelConfig::deepseek_v3(), 42.0),
+            (ModelConfig::qwen3_235b(), 18.0),
+            (ModelConfig::deepseek_v2(), 23.0),
+            (ModelConfig::dbrx(), 189.0),
+            (ModelConfig::mixtral_8x22b(), 288.0),
+        ];
+        for (config, expect_mib) in cases {
+            let mib = config.expert_bytes(Precision::Int8) / MIB;
+            assert!(
+                (mib - expect_mib).abs() <= 0.5,
+                "{}: {mib:.1} MiB != {expect_mib}",
+                config.name
+            );
+        }
+    }
+
+    #[test]
+    fn activation_ratios_match_table_one() {
+        let cases = [
+            (ModelConfig::deepseek_v3(), 8, 256),
+            (ModelConfig::qwen3_235b(), 8, 128),
+            (ModelConfig::deepseek_v2(), 6, 160),
+            (ModelConfig::dbrx(), 4, 16),
+            (ModelConfig::mixtral_8x22b(), 2, 8),
+        ];
+        for (config, active, total) in cases {
+            assert_eq!(config.experts_per_token, active, "{}", config.name);
+            assert_eq!(config.num_experts, total, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn sparse_layer_counts_match_table_one() {
+        let cases = [
+            (ModelConfig::deepseek_v3(), 58, 61),
+            (ModelConfig::qwen3_235b(), 94, 94),
+            (ModelConfig::deepseek_v2(), 59, 60),
+            (ModelConfig::dbrx(), 40, 40),
+            (ModelConfig::mixtral_8x22b(), 56, 56),
+        ];
+        for (config, sparse, total) in cases {
+            assert_eq!(config.num_sparse_layers, sparse, "{}", config.name);
+            assert_eq!(config.num_layers, total, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn ed_ratio() {
+        let ds = ModelConfig::deepseek_v3();
+        assert_eq!(ds.ed_ratio(32), 8.0);
+        assert_eq!(ds.ed_ratio(256), 1.0);
+        assert!((ds.ed_ratio(72) - 256.0 / 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_bytes_fp16() {
+        let q = ModelConfig::qwen3_235b();
+        assert_eq!(q.token_bytes(Precision::Fp16), 8192.0);
+    }
+
+    #[test]
+    fn evaluation_suite_order() {
+        let names: Vec<String> = ModelConfig::evaluation_suite()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            names,
+            ["DeepSeek-V3", "Qwen3", "DeepSeek-V2", "DBRX", "Mixtral"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "device count must be positive")]
+    fn ed_ratio_zero_devices_panics() {
+        ModelConfig::deepseek_v3().ed_ratio(0);
+    }
+}

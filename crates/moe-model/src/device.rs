@@ -1,0 +1,74 @@
+//! Accelerator device specifications.
+
+use serde::{Deserialize, Serialize};
+
+use crate::precision::Precision;
+
+/// Peak capabilities of one accelerator device (a GPU or an equivalent
+/// wafer die).
+///
+/// The paper assumes every WSC die is equivalent to an NVIDIA B200
+/// (§VI-A1): 2250 TFLOPS FP16 dense, 180 GB HBM at 8 TB/s. INT8 throughput
+/// is taken as 2× FP16, per B200 specifications.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Peak dense FP16 throughput, FLOP/s.
+    pub fp16_flops: f64,
+    /// Peak dense INT8 throughput, OP/s.
+    pub int8_ops: f64,
+    /// HBM capacity, bytes.
+    pub hbm_bytes: f64,
+    /// HBM bandwidth, bytes/s.
+    pub hbm_bandwidth: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's B200-equivalent device.
+    pub fn b200() -> Self {
+        DeviceSpec {
+            name: "B200".to_string(),
+            fp16_flops: 2250.0e12,
+            int8_ops: 4500.0e12,
+            hbm_bytes: 180.0e9,
+            hbm_bandwidth: 8.0e12,
+        }
+    }
+
+    /// Peak math throughput at a given precision, OP/s.
+    pub fn peak_ops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp16 => self.fp16_flops,
+            Precision::Int8 => self.int8_ops,
+        }
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::b200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b200_matches_paper() {
+        let d = DeviceSpec::b200();
+        assert_eq!(d.fp16_flops, 2250.0e12);
+        assert_eq!(d.hbm_bytes, 180.0e9);
+        assert_eq!(d.hbm_bandwidth, 8.0e12);
+    }
+
+    #[test]
+    fn int8_is_double_fp16() {
+        let d = DeviceSpec::b200();
+        assert_eq!(
+            d.peak_ops(Precision::Int8),
+            2.0 * d.peak_ops(Precision::Fp16)
+        );
+    }
+}

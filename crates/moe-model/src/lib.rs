@@ -1,0 +1,39 @@
+//! Mixture-of-experts model configurations and accelerator cost models.
+//!
+//! This crate substitutes for the paper's profile-driven methodology
+//! (§VI-A2: vLLM request profiles + FlashInfer kernel measurements on a
+//! B200). Instead of measured kernel tables we use a **roofline** model over
+//! a B200-parameter device: an operation's time is the maximum of its
+//! compute time (FLOPs over achievable throughput) and its memory time
+//! (bytes over achievable HBM bandwidth). This reproduces the
+//! compute/memory-bound crossover that drives the paper's E/D-ratio analysis
+//! (Fig. 4): at high expert-to-device ratios decode iterations are dominated
+//! by expert-weight reads.
+//!
+//! The five evaluation models of Table I are provided as presets whose
+//! single-expert sizes match the paper exactly (42 / 18 / 23 / 189 / 288 MiB
+//! at INT8).
+//!
+//! # Example
+//!
+//! ```
+//! use moe_model::{ModelConfig, Precision};
+//!
+//! let ds = ModelConfig::deepseek_v3();
+//! let mib = ds.expert_bytes(Precision::Int8) / (1024.0 * 1024.0);
+//! assert_eq!(mib.round(), 42.0);
+//! assert_eq!(ds.experts_per_token, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod device;
+pub mod precision;
+pub mod roofline;
+
+pub use config::ModelConfig;
+pub use device::DeviceSpec;
+pub use precision::Precision;
+pub use roofline::{CostModel, Efficiency, InferencePhase, TimeBreakdown};

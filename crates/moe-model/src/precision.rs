@@ -1,0 +1,53 @@
+//! Numeric precisions used by the inference stack.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of weights or activations.
+///
+/// The paper's configuration (§VI-A1): FP16 for attention and all
+/// communication, INT8 for the remaining linear operations (expert FFNs).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Precision {
+    /// 16-bit floating point (2 bytes/element).
+    Fp16,
+    /// 8-bit integer (1 byte/element).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per element.
+    pub fn bytes(self) -> f64 {
+        match self {
+            Precision::Fp16 => 2.0,
+            Precision::Int8 => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Fp16 => f.write_str("fp16"),
+            Precision::Int8 => f.write_str("int8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Precision::Fp16.bytes(), 2.0);
+        assert_eq!(Precision::Int8.bytes(), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Precision::Fp16.to_string(), "fp16");
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+}

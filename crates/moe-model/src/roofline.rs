@@ -1,0 +1,310 @@
+//! Roofline compute/memory cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::device::DeviceSpec;
+use crate::precision::Precision;
+
+/// Fraction of peak hardware capability that kernels actually achieve.
+///
+/// Real GEMM/attention kernels reach 40–70 % of peak math and 70–90 % of
+/// peak HBM bandwidth; the defaults (0.5 / 0.8) sit in the middle of those
+/// ranges. Absolute times shift with these knobs but every paper-shape
+/// comparison is a ratio, so the conclusions are insensitive to them.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Efficiency {
+    /// Achievable fraction of peak math throughput, in `(0, 1]`.
+    pub compute: f64,
+    /// Achievable fraction of peak memory bandwidth, in `(0, 1]`.
+    pub memory: f64,
+}
+
+impl Default for Efficiency {
+    fn default() -> Self {
+        Efficiency {
+            compute: 0.5,
+            memory: 0.8,
+        }
+    }
+}
+
+/// Which serving stage an iteration belongs to.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InferencePhase {
+    /// Prompt processing: long sequences, compute-bound.
+    Prefill,
+    /// Token generation: one token per sequence per iteration, memory-bound.
+    Decode,
+}
+
+/// A roofline time estimate: the compute and memory components of an
+/// operation, assumed perfectly overlapped.
+#[derive(Copy, Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Math time, seconds.
+    pub compute_time: f64,
+    /// Memory-traffic time, seconds.
+    pub memory_time: f64,
+}
+
+impl TimeBreakdown {
+    /// Roofline total: `max(compute, memory)`.
+    pub fn total(&self) -> f64 {
+        self.compute_time.max(self.memory_time)
+    }
+
+    /// Fraction of the total attributable to memory traffic, in `[0, 1]`.
+    /// Zero-duration breakdowns report 0.
+    pub fn memory_fraction(&self) -> f64 {
+        let t = self.compute_time + self.memory_time;
+        if t == 0.0 {
+            0.0
+        } else {
+            self.memory_time / t
+        }
+    }
+
+    /// Element-wise sum (for composing independent operations that execute
+    /// back-to-back).
+    pub fn plus(&self, other: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            compute_time: self.compute_time + other.compute_time,
+            memory_time: self.memory_time + other.memory_time,
+        }
+    }
+}
+
+/// Roofline cost model over a device specification.
+///
+/// Precisions follow the paper (§VI-A1): FP16 attention, INT8 linear
+/// (expert) operations.
+///
+/// # Example
+///
+/// ```
+/// use moe_model::{CostModel, DeviceSpec, ModelConfig};
+///
+/// let cost = CostModel::new(DeviceSpec::b200());
+/// let ds = ModelConfig::deepseek_v3();
+/// // One expert serving very few tokens is memory-bound...
+/// let few = cost.expert_time(&ds, 4.0);
+/// assert!(few.memory_time > few.compute_time);
+/// // ...but compute-bound at prefill-scale token counts.
+/// let many = cost.expert_time(&ds, 16384.0);
+/// assert!(many.compute_time > many.memory_time);
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    device: DeviceSpec,
+    efficiency: Efficiency,
+    /// Precision of expert / MLP weights and math.
+    pub linear_precision: Precision,
+    /// Precision of attention math, KV cache, and activations.
+    pub attention_precision: Precision,
+}
+
+impl CostModel {
+    /// Creates a cost model with default efficiency and the paper's
+    /// precision assignment.
+    pub fn new(device: DeviceSpec) -> Self {
+        CostModel {
+            device,
+            efficiency: Efficiency::default(),
+            linear_precision: Precision::Int8,
+            attention_precision: Precision::Fp16,
+        }
+    }
+
+    /// Replaces the efficiency assumptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either efficiency is outside `(0, 1]`.
+    pub fn with_efficiency(mut self, efficiency: Efficiency) -> Self {
+        assert!(
+            efficiency.compute > 0.0
+                && efficiency.compute <= 1.0
+                && efficiency.memory > 0.0
+                && efficiency.memory <= 1.0,
+            "efficiencies must be in (0, 1]"
+        );
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// The device this model prices.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    fn math_rate(&self, precision: Precision) -> f64 {
+        self.device.peak_ops(precision) * self.efficiency.compute
+    }
+
+    fn mem_rate(&self) -> f64 {
+        self.device.hbm_bandwidth * self.efficiency.memory
+    }
+
+    /// Time for `tokens` tokens through one expert instance whose weights
+    /// are read from HBM once.
+    pub fn expert_time(&self, config: &ModelConfig, tokens: f64) -> TimeBreakdown {
+        self.moe_device_time(config, tokens, 1.0)
+    }
+
+    /// Time for one device's MoE work in one iteration: `tokens` total
+    /// routed tokens across `activated_experts` resident experts whose
+    /// weights must each be streamed from HBM.
+    ///
+    /// This is the quantity whose memory term shrinks as EP grows (fewer
+    /// experts per device), reproducing the paper's Fig. 4.
+    pub fn moe_device_time(
+        &self,
+        config: &ModelConfig,
+        tokens: f64,
+        activated_experts: f64,
+    ) -> TimeBreakdown {
+        let act_bytes = 2.0 * tokens
+            * config.token_bytes(self.attention_precision)
+            + tokens * config.moe_intermediate_size as f64 * self.attention_precision.bytes();
+        TimeBreakdown {
+            compute_time: tokens * config.expert_flops_per_token()
+                / self.math_rate(self.linear_precision),
+            memory_time: (activated_experts * config.expert_bytes(self.linear_precision)
+                + act_bytes)
+                / self.mem_rate(),
+        }
+    }
+
+    /// Attention time for one device in a TP group processing
+    /// `batch_tokens` new tokens whose average attended context length is
+    /// `avg_context`, with the heads split `tp` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp == 0`.
+    pub fn attention_time(
+        &self,
+        config: &ModelConfig,
+        batch_tokens: f64,
+        avg_context: f64,
+        tp: usize,
+        phase: InferencePhase,
+    ) -> TimeBreakdown {
+        assert!(tp > 0, "tensor parallel degree must be positive");
+        let tp = tp as f64;
+        let prec = self.attention_precision;
+
+        // Projection math: Q, K, V, O GEMMs.
+        let proj_flops = 2.0 * config.attention_params() * batch_tokens / tp;
+        // Score/value math: 2 GEMMs of (heads/tp × head_dim) against context.
+        let qk_dim = (config.num_attention_heads * config.head_dim) as f64 / tp;
+        let attn_flops = 4.0 * batch_tokens * qk_dim * avg_context;
+        // Weights are streamed once per iteration; KV cache is read for
+        // decode (for prefill it is produced, and FlashAttention keeps the
+        // working set on-chip, so only the write traffic counts).
+        let weight_bytes = config.attention_params() * prec.bytes() / tp;
+        let kv_per_token = config.kv_bytes_per_token(prec) / tp;
+        let kv_bytes = match phase {
+            InferencePhase::Decode => batch_tokens * kv_per_token * avg_context,
+            InferencePhase::Prefill => batch_tokens * kv_per_token,
+        };
+        let act_bytes = 2.0 * batch_tokens * config.token_bytes(prec) / tp;
+
+        TimeBreakdown {
+            compute_time: (proj_flops + attn_flops) / self.math_rate(prec),
+            memory_time: (weight_bytes + kv_bytes + act_bytes) / self.mem_rate(),
+        }
+    }
+
+    /// Time to read an expert's weights from HBM (the device-local cost of
+    /// sourcing an expert migration).
+    pub fn expert_read_time(&self, config: &ModelConfig) -> f64 {
+        config.expert_bytes(self.linear_precision) / self.mem_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::new(DeviceSpec::b200())
+    }
+
+    #[test]
+    fn decode_is_memory_bound_prefill_compute_bound() {
+        let ds = ModelConfig::deepseek_v3();
+        let c = cost();
+        // Decode-like: 8 tokens onto one expert.
+        let decode = c.moe_device_time(&ds, 8.0, 1.0);
+        assert!(decode.memory_fraction() > 0.5);
+        // Prefill-like: 16k tokens onto one expert.
+        let prefill = c.moe_device_time(&ds, 16384.0, 1.0);
+        assert!(prefill.memory_fraction() < 0.5);
+    }
+
+    #[test]
+    fn memory_time_scales_with_resident_experts() {
+        let ds = ModelConfig::deepseek_v3();
+        let c = cost();
+        let one = c.moe_device_time(&ds, 64.0, 1.0);
+        let eight = c.moe_device_time(&ds, 64.0, 8.0);
+        assert!(eight.memory_time > 4.0 * one.memory_time);
+        assert_eq!(eight.compute_time, one.compute_time);
+    }
+
+    #[test]
+    fn attention_tp_scales_down_per_device_work() {
+        let q = ModelConfig::qwen3_235b();
+        let c = cost();
+        let tp1 = c.attention_time(&q, 256.0, 4096.0, 1, InferencePhase::Decode);
+        let tp4 = c.attention_time(&q, 256.0, 4096.0, 4, InferencePhase::Decode);
+        assert!(tp4.compute_time < tp1.compute_time / 3.0);
+        assert!(tp4.memory_time < tp1.memory_time / 3.0);
+    }
+
+    #[test]
+    fn decode_kv_traffic_dominates_prefill_kv_traffic() {
+        let q = ModelConfig::qwen3_235b();
+        let c = cost();
+        let decode = c.attention_time(&q, 256.0, 8192.0, 4, InferencePhase::Decode);
+        let prefill = c.attention_time(&q, 256.0, 8192.0, 4, InferencePhase::Prefill);
+        assert!(decode.memory_time > prefill.memory_time);
+    }
+
+    #[test]
+    fn totals_are_max_of_components() {
+        let t = TimeBreakdown {
+            compute_time: 2.0,
+            memory_time: 3.0,
+        };
+        assert_eq!(t.total(), 3.0);
+        assert_eq!(t.memory_fraction(), 0.6);
+        let sum = t.plus(t);
+        assert_eq!(sum.compute_time, 4.0);
+        assert_eq!(sum.memory_time, 6.0);
+    }
+
+    #[test]
+    fn expert_read_time_positive() {
+        let c = cost();
+        let t = c.expert_read_time(&ModelConfig::mixtral_8x22b());
+        // 288 MiB at 6.4 TB/s effective ≈ 47 µs.
+        assert!(t > 30e-6 && t < 80e-6, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiencies must be in (0, 1]")]
+    fn invalid_efficiency_rejected() {
+        let _ = cost().with_efficiency(Efficiency {
+            compute: 0.0,
+            memory: 0.5,
+        });
+    }
+
+    #[test]
+    fn zero_breakdown_memory_fraction_is_zero() {
+        assert_eq!(TimeBreakdown::default().memory_fraction(), 0.0);
+    }
+}

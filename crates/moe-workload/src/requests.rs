@@ -1,0 +1,250 @@
+//! Request generation: length profiles and arrival processes.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+
+/// A single inference request.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Scenario this request belongs to.
+    pub scenario: Scenario,
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Output (generation) length in tokens.
+    pub output_len: u32,
+    /// Arrival time in seconds since the start of the trace.
+    pub arrival: f64,
+}
+
+/// Log-normal-ish token length profile for one scenario.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LengthProfile {
+    /// Median prompt length, tokens.
+    pub input_median: f64,
+    /// Median output length, tokens.
+    pub output_median: f64,
+    /// Log-space standard deviation.
+    pub sigma: f64,
+}
+
+impl LengthProfile {
+    /// The length profile for a scenario, qualitatively matching the
+    /// benchmark suites the paper profiles: chat is short/medium, coding is
+    /// long-in/medium-out, math is medium-in/long-out (chain-of-thought),
+    /// privacy probes are short/short.
+    pub fn for_scenario(scenario: Scenario) -> Self {
+        match scenario {
+            Scenario::Chat => LengthProfile {
+                input_median: 512.0,
+                output_median: 256.0,
+                sigma: 0.6,
+            },
+            Scenario::Coding => LengthProfile {
+                input_median: 2048.0,
+                output_median: 512.0,
+                sigma: 0.5,
+            },
+            Scenario::Math => LengthProfile {
+                input_median: 768.0,
+                output_median: 2048.0,
+                sigma: 0.5,
+            },
+            Scenario::Privacy => LengthProfile {
+                input_median: 384.0,
+                output_median: 128.0,
+                sigma: 0.4,
+            },
+        }
+    }
+}
+
+/// Time-varying Poisson arrival process with an Azure-like diurnal cycle.
+///
+/// The instantaneous rate is `base_rate × (1 + amplitude·sin(2πt/period))`,
+/// sampled by thinning. All draws are seeded.
+#[derive(Clone, Debug)]
+pub struct ArrivalProcess {
+    base_rate: f64,
+    amplitude: f64,
+    period: f64,
+    rng: rand::rngs::StdRng,
+    now: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates a process with `base_rate` requests/second, diurnal
+    /// `amplitude` in `[0, 1)`, and cycle `period` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate <= 0`, `period <= 0`, or `amplitude` is outside
+    /// `[0, 1)`.
+    pub fn new(base_rate: f64, amplitude: f64, period: f64, seed: u64) -> Self {
+        assert!(base_rate > 0.0, "rate must be positive");
+        assert!(period > 0.0, "period must be positive");
+        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+        ArrivalProcess {
+            base_rate,
+            amplitude,
+            period,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            now: 0.0,
+        }
+    }
+
+    /// Instantaneous arrival rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.base_rate
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period).sin())
+    }
+
+    /// Draws the next arrival time (strictly increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        // Thinning against the rate ceiling.
+        let ceiling = self.base_rate * (1.0 + self.amplitude);
+        loop {
+            let u: f64 = self.rng.gen::<f64>().max(1e-12);
+            self.now += -u.ln() / ceiling;
+            let accept: f64 = self.rng.gen();
+            if accept < self.rate_at(self.now) / ceiling {
+                return self.now;
+            }
+        }
+    }
+}
+
+/// Generates requests by combining an arrival process, a scenario mixture,
+/// and per-scenario length profiles.
+#[derive(Clone, Debug)]
+pub struct RequestGenerator {
+    arrivals: ArrivalProcess,
+    scenario_weights: Vec<(Scenario, f64)>,
+    rng: rand::rngs::StdRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the given scenario blend (weights are
+    /// normalised internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario_weights` is empty or sums to zero.
+    pub fn new(arrivals: ArrivalProcess, scenario_weights: Vec<(Scenario, f64)>, seed: u64) -> Self {
+        let total: f64 = scenario_weights.iter().map(|(_, w)| w).sum();
+        assert!(
+            !scenario_weights.is_empty() && total > 0.0,
+            "need positive scenario weights"
+        );
+        RequestGenerator {
+            arrivals,
+            scenario_weights,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF_CAFE),
+        }
+    }
+
+    fn sample_scenario(&mut self) -> Scenario {
+        let total: f64 = self.scenario_weights.iter().map(|(_, w)| w).sum();
+        let mut x: f64 = self.rng.gen::<f64>() * total;
+        for &(s, w) in &self.scenario_weights {
+            if x < w {
+                return s;
+            }
+            x -= w;
+        }
+        self.scenario_weights.last().expect("non-empty").0
+    }
+
+    fn sample_lognormal(&mut self, median: f64, sigma: f64) -> u32 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (median * (sigma * z).exp()).round().max(1.0) as u32
+    }
+
+    /// Draws the next request.
+    pub fn next_request(&mut self) -> Request {
+        let arrival = self.arrivals.next_arrival();
+        let scenario = self.sample_scenario();
+        let profile = LengthProfile::for_scenario(scenario);
+        Request {
+            scenario,
+            input_len: self.sample_lognormal(profile.input_median, profile.sigma),
+            output_len: self.sample_lognormal(profile.output_median, profile.sigma),
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut p = ArrivalProcess::new(100.0, 0.5, 60.0, 1);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let t = p.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mean_rate_approximately_base() {
+        let mut p = ArrivalProcess::new(50.0, 0.8, 10.0, 2);
+        let mut count = 0;
+        loop {
+            if p.next_arrival() > 100.0 {
+                break;
+            }
+            count += 1;
+        }
+        // 50 req/s over 100 s ≈ 5000 arrivals (diurnal term integrates out).
+        assert!((count as f64 - 5000.0).abs() < 400.0, "{count}");
+    }
+
+    #[test]
+    fn math_outputs_longer_than_privacy() {
+        let arrivals = ArrivalProcess::new(10.0, 0.0, 60.0, 3);
+        let mut g = RequestGenerator::new(
+            arrivals,
+            vec![(Scenario::Math, 1.0), (Scenario::Privacy, 1.0)],
+            3,
+        );
+        let mut math_sum = 0.0;
+        let mut math_n = 0.0;
+        let mut privacy_sum = 0.0;
+        let mut privacy_n = 0.0;
+        for _ in 0..400 {
+            let r = g.next_request();
+            match r.scenario {
+                Scenario::Math => {
+                    math_sum += r.output_len as f64;
+                    math_n += 1.0;
+                }
+                Scenario::Privacy => {
+                    privacy_sum += r.output_len as f64;
+                    privacy_n += 1.0;
+                }
+                _ => {}
+            }
+        }
+        assert!(math_sum / math_n > 4.0 * (privacy_sum / privacy_n));
+    }
+
+    #[test]
+    fn rate_oscillates() {
+        let p = ArrivalProcess::new(100.0, 0.5, 100.0, 4);
+        assert!(p.rate_at(25.0) > 140.0); // peak of sine
+        assert!(p.rate_at(75.0) < 60.0); // trough
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn invalid_amplitude_rejected() {
+        ArrivalProcess::new(1.0, 1.5, 1.0, 0);
+    }
+}

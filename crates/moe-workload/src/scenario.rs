@@ -1,0 +1,73 @@
+//! Inference scenarios.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four representative inference scenarios used by the paper's balancer
+/// evaluation (§VI-C): multi-turn chat, code reasoning, graduate-level math,
+/// and privacy-agent trustworthiness probes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Multi-turn conversational requests.
+    Chat,
+    /// Code understanding / generation requests.
+    Coding,
+    /// Hard applied-mathematics requests (long chain-of-thought outputs).
+    Math,
+    /// Privacy-agent requests (short, templated outputs).
+    Privacy,
+}
+
+impl Scenario {
+    /// All scenarios, in the paper's order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::Chat,
+            Scenario::Coding,
+            Scenario::Math,
+            Scenario::Privacy,
+        ]
+    }
+
+    /// Stable small integer id (used for seeding derived RNG streams).
+    pub fn id(self) -> u64 {
+        match self {
+            Scenario::Chat => 0,
+            Scenario::Coding => 1,
+            Scenario::Math => 2,
+            Scenario::Privacy => 3,
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scenario::Chat => "Chat",
+            Scenario::Coding => "Coding",
+            Scenario::Math => "Math",
+            Scenario::Privacy => "Privacy",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct() {
+        let mut ids: Vec<u64> = Scenario::all().iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scenario::Math.to_string(), "Math");
+        assert_eq!(Scenario::Privacy.to_string(), "Privacy");
+    }
+}

@@ -1,0 +1,333 @@
+//! Batch schedulers: prefill-only, decode-only, and hybrid serving.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use moe_model::InferencePhase;
+
+use crate::requests::{Request, RequestGenerator};
+
+/// Serving discipline (paper §VI-C): disaggregated prefill, disaggregated
+/// decode, or Sarathi-style hybrid batches mixing a prefill chunk with
+/// ongoing decodes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SchedulingMode {
+    /// The platform serves only prompt processing.
+    PrefillOnly,
+    /// The platform serves only token generation.
+    DecodeOnly,
+    /// Chunked prefill mixed into decode batches.
+    Hybrid,
+}
+
+impl std::fmt::Display for SchedulingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedulingMode::PrefillOnly => "Prefill-only",
+            SchedulingMode::DecodeOnly => "Decode-only",
+            SchedulingMode::Hybrid => "Hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The shape of one scheduled iteration (per DP group).
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BatchSpec {
+    /// Prompt tokens processed this iteration.
+    pub prefill_tokens: u32,
+    /// Generation tokens processed this iteration (one per active request).
+    pub decode_tokens: u32,
+    /// Average attended context length across the batch.
+    pub avg_context: f64,
+    /// Dominant phase, used to select the roofline variant.
+    pub phase: InferencePhase,
+}
+
+impl BatchSpec {
+    /// Total tokens entering the MoE layers this iteration.
+    pub fn total_tokens(&self) -> u32 {
+        self.prefill_tokens + self.decode_tokens
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ActiveSequence {
+    context: u32,
+    remaining_output: u32,
+}
+
+/// A per-DP-group batch scheduler fed by a request generator.
+///
+/// Keeps a pool of admitted sequences: prefill work is consumed in chunks of
+/// at most `max_batch_tokens`; each decode iteration advances every active
+/// sequence by one token. Hybrid mode packs a prefill chunk alongside the
+/// decodes (Sarathi-style), up to the token budget.
+#[derive(Clone, Debug)]
+pub struct BatchScheduler {
+    mode: SchedulingMode,
+    max_batch_tokens: u32,
+    max_active: usize,
+    generator: RequestGenerator,
+    waiting: VecDeque<Request>,
+    active: Vec<ActiveSequence>,
+    horizon: f64,
+    iteration_period: f64,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler.
+    ///
+    /// * `max_batch_tokens` — per-iteration token budget per DP group.
+    /// * `max_active` — concurrent decode sequences per DP group.
+    /// * `iteration_period` — wall-clock seconds per iteration, used to admit
+    ///   arrivals from the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget is zero or the period is non-positive.
+    pub fn new(
+        mode: SchedulingMode,
+        max_batch_tokens: u32,
+        max_active: usize,
+        iteration_period: f64,
+        generator: RequestGenerator,
+    ) -> Self {
+        assert!(max_batch_tokens > 0, "token budget must be positive");
+        assert!(max_active > 0, "active budget must be positive");
+        assert!(iteration_period > 0.0, "period must be positive");
+        BatchScheduler {
+            mode,
+            max_batch_tokens,
+            max_active,
+            generator,
+            waiting: VecDeque::new(),
+            active: Vec::new(),
+            horizon: 0.0,
+            iteration_period,
+        }
+    }
+
+    /// The scheduling mode.
+    pub fn mode(&self) -> SchedulingMode {
+        self.mode
+    }
+
+    /// Number of sequences currently decoding.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    fn admit_arrivals(&mut self) {
+        self.horizon += self.iteration_period;
+        // Pull arrivals up to the new horizon. Bound the pull so a burst
+        // cannot stall the simulation.
+        for _ in 0..10_000 {
+            if let Some(last) = self.waiting.back() {
+                if last.arrival > self.horizon {
+                    break;
+                }
+            }
+            let r = self.generator.next_request();
+            let done = r.arrival > self.horizon;
+            self.waiting.push_back(r);
+            if done {
+                break;
+            }
+        }
+    }
+
+    /// Schedules the next iteration.
+    pub fn next_batch(&mut self) -> BatchSpec {
+        self.admit_arrivals();
+
+        // Promote waiting requests to active sequences (up to the cap).
+        // In PrefillOnly mode the prefill output is handed to a decode tier,
+        // so sequences never become active here.
+        let mut prefill_tokens = 0u32;
+        let prefill_budget = match self.mode {
+            SchedulingMode::PrefillOnly => self.max_batch_tokens,
+            SchedulingMode::Hybrid => self.max_batch_tokens / 2,
+            SchedulingMode::DecodeOnly => 0,
+        };
+        let mut prefill_context = 0.0f64;
+        let mut prefill_chunks = 0u32;
+        while prefill_tokens < prefill_budget {
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
+            if front.arrival > self.horizon {
+                break;
+            }
+            if self.mode != SchedulingMode::PrefillOnly && self.active.len() >= self.max_active {
+                break;
+            }
+            let r = self.waiting.pop_front().expect("checked front");
+            let take = r.input_len.min(prefill_budget - prefill_tokens);
+            prefill_tokens += take;
+            prefill_context += r.input_len as f64 / 2.0;
+            prefill_chunks += 1;
+            if self.mode != SchedulingMode::PrefillOnly {
+                self.active.push(ActiveSequence {
+                    context: r.input_len,
+                    remaining_output: r.output_len,
+                });
+            }
+        }
+
+        // Decode step for all active sequences.
+        let mut decode_tokens = 0u32;
+        let mut decode_context = 0.0f64;
+        if self.mode != SchedulingMode::PrefillOnly {
+            for seq in &mut self.active {
+                seq.context += 1;
+                seq.remaining_output = seq.remaining_output.saturating_sub(1);
+                decode_tokens += 1;
+                decode_context += seq.context as f64;
+            }
+            self.active.retain(|s| s.remaining_output > 0);
+        }
+
+        // In decode-only mode the prefill tier feeds us directly: admit
+        // waiting requests as already-prefilled sequences.
+        if self.mode == SchedulingMode::DecodeOnly {
+            while self.active.len() < self.max_active {
+                let Some(front) = self.waiting.front() else {
+                    break;
+                };
+                if front.arrival > self.horizon {
+                    break;
+                }
+                let r = self.waiting.pop_front().expect("checked front");
+                self.active.push(ActiveSequence {
+                    context: r.input_len,
+                    remaining_output: r.output_len,
+                });
+            }
+        }
+
+        let total_ctx_samples = prefill_chunks as f64 + decode_tokens as f64;
+        let avg_context = if total_ctx_samples == 0.0 {
+            0.0
+        } else {
+            (prefill_context + decode_context) / total_ctx_samples
+        };
+        let phase = if decode_tokens >= prefill_tokens {
+            InferencePhase::Decode
+        } else {
+            InferencePhase::Prefill
+        };
+        BatchSpec {
+            prefill_tokens,
+            decode_tokens,
+            avg_context,
+            phase,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requests::ArrivalProcess;
+    use crate::scenario::Scenario;
+
+    fn generator(rate: f64, seed: u64) -> RequestGenerator {
+        RequestGenerator::new(
+            ArrivalProcess::new(rate, 0.0, 60.0, seed),
+            vec![(Scenario::Chat, 1.0), (Scenario::Math, 1.0)],
+            seed,
+        )
+    }
+
+    #[test]
+    fn prefill_only_never_decodes() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::PrefillOnly,
+            4096,
+            64,
+            0.05,
+            generator(100.0, 1),
+        );
+        for _ in 0..50 {
+            let b = s.next_batch();
+            assert_eq!(b.decode_tokens, 0);
+        }
+    }
+
+    #[test]
+    fn decode_only_never_prefills() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::DecodeOnly,
+            4096,
+            64,
+            0.05,
+            generator(100.0, 2),
+        );
+        let mut saw_decode = false;
+        for _ in 0..50 {
+            let b = s.next_batch();
+            assert_eq!(b.prefill_tokens, 0);
+            saw_decode |= b.decode_tokens > 0;
+        }
+        assert!(saw_decode);
+    }
+
+    #[test]
+    fn decode_reaches_active_cap_under_load() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::DecodeOnly,
+            4096,
+            32,
+            0.05,
+            generator(500.0, 3),
+        );
+        for _ in 0..100 {
+            s.next_batch();
+        }
+        assert_eq!(s.num_active(), 32);
+        let b = s.next_batch();
+        assert_eq!(b.decode_tokens, 32);
+        assert!(b.avg_context > 0.0);
+    }
+
+    #[test]
+    fn hybrid_mixes_both() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::Hybrid,
+            2048,
+            64,
+            0.05,
+            generator(300.0, 4),
+        );
+        let mut saw_both = false;
+        for _ in 0..100 {
+            let b = s.next_batch();
+            if b.prefill_tokens > 0 && b.decode_tokens > 0 {
+                saw_both = true;
+            }
+        }
+        assert!(saw_both, "hybrid never produced a mixed batch");
+    }
+
+    #[test]
+    fn contexts_grow_during_decode() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::DecodeOnly,
+            4096,
+            8,
+            0.05,
+            generator(500.0, 5),
+        );
+        for _ in 0..20 {
+            s.next_batch();
+        }
+        let early = s.next_batch().avg_context;
+        for _ in 0..200 {
+            s.next_batch();
+        }
+        let late = s.next_batch().avg_context;
+        assert!(late > early, "context should grow: {early} -> {late}");
+    }
+}

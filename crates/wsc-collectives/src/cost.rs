@@ -1,0 +1,88 @@
+//! Closed-form α-β reference costs for validating schedules.
+
+/// Closed-form time of a bidirectional 1-hop ring all-reduce of `n` members
+/// with `bytes` per member over duplex links of `bandwidth` (per direction)
+/// and per-hop `latency`:
+///
+/// `2(n-1) × (bytes / (2n·bandwidth) + latency)`.
+///
+/// # Example
+///
+/// ```
+/// let t = wsc_collectives::cost::ring_all_reduce_time(4, 8.0e6, 4.0e12, 50e-9);
+/// assert!(t > 0.0);
+/// ```
+pub fn ring_all_reduce_time(n: usize, bytes: f64, bandwidth: f64, latency: f64) -> f64 {
+    let n_f = n as f64;
+    2.0 * (n_f - 1.0) * (bytes / (2.0 * n_f * bandwidth) + latency)
+}
+
+/// Closed-form time of a staggered multi-hop ring all-reduce:
+/// `parities ×` the single-ring time with `hops`-hop steps.
+pub fn staggered_all_reduce_time(
+    n: usize,
+    bytes: f64,
+    bandwidth: f64,
+    latency: f64,
+    hops: usize,
+    parities: usize,
+) -> f64 {
+    let n_f = n as f64;
+    parities as f64
+        * 2.0
+        * (n_f - 1.0)
+        * (bytes / (2.0 * n_f * bandwidth) + hops as f64 * latency)
+}
+
+/// Lower bound for an all-to-all where every device sends `bytes_per_pair`
+/// to each of the `n-1` others through a per-device injection bandwidth
+/// `bandwidth`: the egress-limited time.
+pub fn all_to_all_injection_bound(n: usize, bytes_per_pair: f64, bandwidth: f64) -> f64 {
+    (n as f64 - 1.0) * bytes_per_pair / bandwidth
+}
+
+/// Bisection-limited lower bound for uniform all-to-all on an `n×n` mesh:
+/// half the traffic must cross the `n` center column links (per direction).
+pub fn mesh_all_to_all_bisection_bound(n: usize, bytes_per_pair: f64, bandwidth: f64) -> f64 {
+    let devices = (n * n) as f64;
+    // Pairs crossing the bisection in one direction: (devices/2)^2.
+    let crossing_bytes = (devices / 2.0) * (devices / 2.0) * bytes_per_pair;
+    crossing_bytes / (n as f64 * bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alltoall::{all_to_all_concurrent, uniform_all_to_all_matrix};
+    use wsc_topology::{Mesh, PlatformParams};
+
+    #[test]
+    fn staggered_cost_is_parities_times_base_with_hop_latency() {
+        let base = ring_all_reduce_time(4, 1e6, 1e12, 1e-7);
+        let twice = staggered_all_reduce_time(4, 1e6, 1e12, 1e-7, 1, 2);
+        assert!((twice - 2.0 * base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mesh_a2a_respects_bisection_bound() {
+        let params = PlatformParams::dojo_like();
+        let topo = Mesh::new(4, params).build();
+        let bytes = 1.0e6;
+        let sched = all_to_all_concurrent(&topo, &uniform_all_to_all_matrix(&topo, bytes));
+        let t = sched.run(&topo).total_time;
+        let bound = mesh_all_to_all_bisection_bound(4, bytes, params.on_wafer_bw);
+        assert!(t >= bound * 0.99, "{t} vs bound {bound}");
+    }
+
+    #[test]
+    fn injection_bound_below_simulated() {
+        let params = PlatformParams::dojo_like();
+        let topo = Mesh::new(4, params).build();
+        let bytes = 1.0e6;
+        let sched = all_to_all_concurrent(&topo, &uniform_all_to_all_matrix(&topo, bytes));
+        let t = sched.run(&topo).total_time;
+        // Corner devices inject over 2 links.
+        let bound = all_to_all_injection_bound(16, bytes, 2.0 * params.on_wafer_bw);
+        assert!(t >= bound, "{t} vs {bound}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Collective communication schedules for wafer meshes and GPU clusters.
+//!
+//! Collectives here are *schedule builders*: they compile a logical
+//! collective (all-reduce, reduce-scatter, all-gather, all-to-all) over a
+//! concrete [`Topology`](wsc_topology::Topology) into a
+//! [`FlowSchedule`](wsc_sim::FlowSchedule) that the flow-level simulator or
+//! the analytical model can price. The builders implemented are exactly
+//! those the paper needs:
+//!
+//! * [`ring`] — classic bidirectional ring reduce-scatter, all-gather,
+//!   and all-reduce over an arbitrary ordered device ring (neighbour rings
+//!   for the baseline mapping; the paper calls these "zero-hop rings").
+//! * [`stagger`] — **entwined multi-hop rings** (paper §IV-B2, Fig. 8d):
+//!   several rings whose multi-hop step routes intersect are time-staggered
+//!   by a parity schedule so that no two rings contend for a link in the
+//!   same sub-phase.
+//! * [`alltoall`] — arbitrary dispatch/combine transfer matrices, scheduled
+//!   either fully concurrently or in stride-phased rounds.
+//! * [`hierarchical`] — the DeepSpeed-style two-level all-reduce used by the
+//!   DGX baseline (intra-node reduce-scatter → inter-node all-reduce →
+//!   intra-node all-gather).
+//! * [`cost`] — closed-form α-β reference times used to validate schedules.
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_topology::{Mesh, PlatformParams};
+//! use wsc_collectives::ring::{ring_all_reduce, Ring};
+//!
+//! let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+//! let ring = Ring::new(topo.devices().collect());
+//! let sched = ring_all_reduce(&topo, &ring, 1.0e6);
+//! // 2(n-1) steps for n=4 devices.
+//! assert_eq!(sched.num_phases(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alltoall;
+pub mod cost;
+pub mod hierarchical;
+pub mod ring;
+pub mod stagger;
+
+pub use alltoall::{all_to_all_concurrent, all_to_all_phased, Transfer};
+pub use hierarchical::hierarchical_all_reduce;
+pub use ring::{ring_all_gather, ring_all_reduce, ring_reduce_scatter, Ring};
+pub use stagger::{staggered_ring_all_reduce, staggered_ring_reduce_scatter, StaggeredRings};

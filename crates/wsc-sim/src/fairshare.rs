@@ -1,0 +1,141 @@
+//! Max-min fair rate allocation (progressive water-filling).
+
+/// Computes the max-min fair rate for each flow given link capacities.
+///
+/// `routes[f]` lists the link indices traversed by flow `f`; `capacity[l]`
+/// is the bandwidth of link `l` in bytes/second. Flows with empty routes
+/// receive `f64::INFINITY`.
+///
+/// The algorithm is classic progressive filling: repeatedly find the most
+/// contended link (smallest `residual capacity / unfixed flow count`), fix
+/// every unfixed flow crossing it at that fair share, subtract, repeat.
+/// Runs in `O(links × iterations)`; deterministic (ties broken by lowest
+/// link index).
+///
+/// # Example
+///
+/// ```
+/// use wsc_sim::fairshare::max_min_rates;
+///
+/// // Two flows share link 0; one continues over link 1 alone.
+/// let routes: Vec<Vec<usize>> = vec![vec![0], vec![0, 1]];
+/// let rates = max_min_rates(&routes, &[10.0, 4.0]);
+/// // Flow 1 is capped at 4 by link 1; flow 0 then gets the remaining 6.
+/// assert_eq!(rates, vec![6.0, 4.0]);
+/// ```
+pub fn max_min_rates(routes: &[Vec<usize>], capacity: &[f64]) -> Vec<f64> {
+    let num_links = capacity.len();
+    let mut residual = capacity.to_vec();
+    let mut flows_on_link: Vec<u32> = vec![0; num_links];
+    for route in routes {
+        for &l in route {
+            flows_on_link[l] += 1;
+        }
+    }
+
+    let mut rates = vec![f64::INFINITY; routes.len()];
+    let mut unfixed: Vec<usize> = (0..routes.len())
+        .filter(|&f| !routes[f].is_empty())
+        .collect();
+
+    while !unfixed.is_empty() {
+        // Find the bottleneck link among links still carrying unfixed flows.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for l in 0..num_links {
+            if flows_on_link[l] > 0 {
+                let fair = residual[l] / flows_on_link[l] as f64;
+                match bottleneck {
+                    Some((_, best)) if fair >= best => {}
+                    _ => bottleneck = Some((l, fair)),
+                }
+            }
+        }
+        let Some((bl, fair)) = bottleneck else {
+            // No contended links left: remaining flows are unconstrained
+            // (cannot happen with positive-capacity links, but stay safe).
+            for &f in &unfixed {
+                rates[f] = f64::INFINITY;
+            }
+            break;
+        };
+
+        // Fix every unfixed flow crossing the bottleneck.
+        let mut still_unfixed = Vec::with_capacity(unfixed.len());
+        for &f in &unfixed {
+            if routes[f].contains(&bl) {
+                rates[f] = fair;
+                for &l in &routes[f] {
+                    residual[l] -= fair;
+                    flows_on_link[l] -= 1;
+                }
+            } else {
+                still_unfixed.push(f);
+            }
+        }
+        // Guard against pathological floating-point residue.
+        residual[bl] = residual[bl].max(0.0);
+        unfixed = still_unfixed;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let rates = max_min_rates(&[vec![0, 1]], &[5.0, 3.0]);
+        assert_eq!(rates, vec![3.0]);
+    }
+
+    #[test]
+    fn equal_split_on_shared_link() {
+        let routes = vec![vec![0], vec![0], vec![0], vec![0]];
+        let rates = max_min_rates(&routes, &[8.0]);
+        assert_eq!(rates, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn classic_parking_lot() {
+        // Three links in a chain; one long flow crosses all, one short flow
+        // per link. Long flow gets capacity/2 at the tightest link; short
+        // flows soak up the rest.
+        let routes = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
+        let rates = max_min_rates(&routes, &[10.0, 6.0, 10.0]);
+        assert_eq!(rates[0], 3.0); // bottleneck: link 1 shared by 2 flows
+        assert_eq!(rates[2], 3.0);
+        assert_eq!(rates[1], 7.0);
+        assert_eq!(rates[3], 7.0);
+    }
+
+    #[test]
+    fn local_flows_are_unconstrained() {
+        let routes = vec![vec![], vec![0]];
+        let rates = max_min_rates(&routes, &[1.0]);
+        assert!(rates[0].is_infinite());
+        assert_eq!(rates[1], 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_min_rates(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn rates_never_exceed_any_link_capacity() {
+        // Property-ish check with a fixed awkward instance.
+        let routes = vec![vec![0, 1], vec![1, 2], vec![0, 2], vec![0], vec![2]];
+        let caps = [4.0, 2.0, 6.0];
+        let rates = max_min_rates(&routes, &caps);
+        let mut used = [0.0; 3];
+        for (f, route) in routes.iter().enumerate() {
+            for &l in route {
+                used[l] += rates[f];
+            }
+        }
+        for l in 0..3 {
+            assert!(used[l] <= caps[l] + 1e-9, "link {l} over capacity");
+        }
+    }
+}

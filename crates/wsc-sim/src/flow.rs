@@ -1,0 +1,73 @@
+//! Flow descriptions.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::Route;
+
+/// Identifier of a flow within a single simulation run (dense index, in
+/// submission order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Returns the flow id as a `usize` suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A point-to-point transfer: a number of bytes pushed along a fixed route.
+///
+/// A flow with an empty route models a device-local copy and completes
+/// instantaneously.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// The route the flow traverses.
+    pub route: Route,
+    /// Payload size in bytes.
+    pub bytes: f64,
+}
+
+impl FlowSpec {
+    /// Creates a flow of `bytes` bytes over `route`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or not finite.
+    pub fn new(route: Route, bytes: f64) -> Self {
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be a non-negative finite byte count, got {bytes}"
+        );
+        FlowSpec { route, bytes }
+    }
+
+    /// Whether this flow is a device-local no-op.
+    pub fn is_local(&self) -> bool {
+        self.route.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_topology::LinkId;
+
+    #[test]
+    fn local_flow_detection() {
+        assert!(FlowSpec::new(Route::default(), 100.0).is_local());
+        let r = Route::new(vec![LinkId(0)]);
+        assert!(!FlowSpec::new(r, 100.0).is_local());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bytes_rejected() {
+        let _ = FlowSpec::new(Route::default(), -1.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_allowed() {
+        let f = FlowSpec::new(Route::default(), 0.0);
+        assert_eq!(f.bytes, 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! The discrete-event flow simulator.
+
+use wsc_topology::Topology;
+
+use crate::fairshare::max_min_rates;
+use crate::flow::FlowSpec;
+use crate::stats::LinkStats;
+
+/// Bytes below which a flow is considered fully drained (guards against
+/// floating-point residue).
+const EPS_BYTES: f64 = 1e-6;
+/// Seconds below which two event times are considered simultaneous.
+const EPS_TIME: f64 = 1e-15;
+
+/// Result of simulating a set of flows.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Time at which the last flow completed, seconds.
+    pub total_time: f64,
+    /// Completion time of each flow, in submission order.
+    pub completion_times: Vec<f64>,
+    /// Per-link traffic over the run.
+    pub stats: LinkStats,
+}
+
+/// Flow-level discrete-event network simulator over a fixed topology.
+///
+/// Flows become *active* after their submission time plus the summed per-hop
+/// latency of their route; active flows drain at max-min fair rates,
+/// re-allocated whenever any flow starts or finishes.
+///
+/// See the [crate-level documentation](crate) for the modelling rationale.
+#[derive(Debug)]
+pub struct NetworkSim<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> NetworkSim<'a> {
+    /// Creates a simulator over `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        NetworkSim { topo }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Runs all `flows` starting at time zero and returns when the last
+    /// completes.
+    pub fn run_concurrent(&mut self, flows: &[FlowSpec]) -> RunResult {
+        let timed: Vec<(f64, FlowSpec)> = flows.iter().map(|f| (0.0, f.clone())).collect();
+        self.run_at(&timed)
+    }
+
+    /// Runs flows with explicit submission times (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any submission time is negative or not finite.
+    pub fn run_at(&mut self, flows: &[(f64, FlowSpec)]) -> RunResult {
+        struct Active {
+            idx: usize,
+            route: Vec<usize>,
+            remaining: f64,
+        }
+
+        let num_links = self.topo.num_links();
+        let mut stats = LinkStats::new(num_links);
+        let mut completion_times = vec![0.0_f64; flows.len()];
+
+        // Pending flows sorted by activation time (submission + route latency).
+        let mut pending: Vec<(f64, usize)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, (start, spec))| {
+                assert!(
+                    start.is_finite() && *start >= 0.0,
+                    "submission time must be non-negative, got {start}"
+                );
+                let activation = start + self.topo.route_latency(&spec.route);
+                (activation, i)
+            })
+            .collect();
+        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut next_pending = 0usize;
+
+        let mut active: Vec<Active> = Vec::new();
+        let mut now = 0.0_f64;
+        let mut last_completion = 0.0_f64;
+
+        loop {
+            // Activate everything due at or before `now`.
+            while next_pending < pending.len() && pending[next_pending].0 <= now + EPS_TIME {
+                let (at, idx) = pending[next_pending];
+                next_pending += 1;
+                let spec = &flows[idx].1;
+                if spec.is_local() || spec.bytes <= EPS_BYTES {
+                    // Local copies and empty flows complete instantly.
+                    completion_times[idx] = at.max(now);
+                    last_completion = last_completion.max(completion_times[idx]);
+                } else {
+                    active.push(Active {
+                        idx,
+                        route: spec.route.links().iter().map(|l| l.index()).collect(),
+                        remaining: spec.bytes,
+                    });
+                }
+            }
+
+            if active.is_empty() {
+                if next_pending >= pending.len() {
+                    break;
+                }
+                now = pending[next_pending].0;
+                continue;
+            }
+
+            // Allocate max-min fair rates.
+            let routes: Vec<Vec<usize>> = active.iter().map(|a| a.route.clone()).collect();
+            let capacities: Vec<f64> =
+                self.topo.links().iter().map(|l| l.bandwidth).collect();
+            let rates = max_min_rates(&routes, &capacities);
+
+            // Earliest next event: a completion or an activation.
+            let mut horizon = f64::INFINITY;
+            for (a, &rate) in active.iter().zip(&rates) {
+                let t = if rate.is_infinite() {
+                    now
+                } else {
+                    now + a.remaining / rate
+                };
+                horizon = horizon.min(t);
+            }
+            if next_pending < pending.len() {
+                horizon = horizon.min(pending[next_pending].0);
+            }
+            let dt = (horizon - now).max(0.0);
+
+            // Drain and record traffic.
+            for (a, &rate) in active.iter_mut().zip(&rates) {
+                let moved = if rate.is_infinite() {
+                    a.remaining
+                } else {
+                    (rate * dt).min(a.remaining)
+                };
+                a.remaining -= moved;
+                for &l in &a.route {
+                    stats.bytes[l] += moved;
+                    if rate > 0.0 && dt > 0.0 {
+                        stats.busy_time[l] += dt;
+                    }
+                }
+            }
+            now = horizon;
+
+            // Retire completed flows.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].remaining <= EPS_BYTES {
+                    let done = active.swap_remove(i);
+                    completion_times[done.idx] = now;
+                    last_completion = last_completion.max(now);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        stats.duration = last_completion;
+        RunResult {
+            total_time: last_completion,
+            completion_times,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_topology::{Mesh, PlatformParams};
+
+    fn mesh4() -> Topology {
+        Mesh::new(4, PlatformParams::dojo_like()).build()
+    }
+
+    #[test]
+    fn single_flow_matches_closed_form() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(3, 0).unwrap();
+        let route = topo.route(a, b);
+        let bytes = 1.0e9;
+        let mut sim = NetworkSim::new(&topo);
+        let result = sim.run_concurrent(&[FlowSpec::new(route.clone(), bytes)]);
+        let expect = topo.route_latency(&route) + bytes / topo.route_bandwidth(&route);
+        assert!((result.total_time - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_a_link() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let route = topo.route(a, b);
+        let mut sim = NetworkSim::new(&topo);
+        let result = sim.run_concurrent(&[
+            FlowSpec::new(route.clone(), 4.0e9),
+            FlowSpec::new(route.clone(), 4.0e9),
+        ]);
+        // Shared 4 TB/s link: 8 GB total over it, plus one hop latency.
+        let expect = 8.0e9 / 4.0e12 + 50e-9;
+        assert!((result.total_time - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interact() {
+        let topo = mesh4();
+        let mut sim = NetworkSim::new(&topo);
+        let r1 = topo.route(
+            topo.device_at_xy(0, 0).unwrap(),
+            topo.device_at_xy(1, 0).unwrap(),
+        );
+        let r2 = topo.route(
+            topo.device_at_xy(0, 3).unwrap(),
+            topo.device_at_xy(1, 3).unwrap(),
+        );
+        let solo = sim.run_concurrent(&[FlowSpec::new(r1.clone(), 1.0e9)]);
+        let both = sim.run_concurrent(&[FlowSpec::new(r1, 1.0e9), FlowSpec::new(r2, 1.0e9)]);
+        assert!((solo.total_time - both.total_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_flow_is_instant() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let mut sim = NetworkSim::new(&topo);
+        let result = sim.run_concurrent(&[FlowSpec::new(topo.route(a, a), 1.0e12)]);
+        assert_eq!(result.total_time, 0.0);
+    }
+
+    #[test]
+    fn staggered_start_times() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let route = topo.route(a, b);
+        let mut sim = NetworkSim::new(&topo);
+        // Second flow starts after the first finishes: no sharing.
+        let first_time = 50e-9 + 4.0e9 / 4.0e12;
+        let result = sim.run_at(&[
+            (0.0, FlowSpec::new(route.clone(), 4.0e9)),
+            (first_time, FlowSpec::new(route.clone(), 4.0e9)),
+        ]);
+        let expect = first_time * 2.0;
+        assert!((result.total_time - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn completion_times_reported_per_flow() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let c = topo.device_at_xy(2, 0).unwrap();
+        let mut sim = NetworkSim::new(&topo);
+        let result = sim.run_concurrent(&[
+            FlowSpec::new(topo.route(a, b), 4.0e9),
+            FlowSpec::new(topo.route(a, c), 4.0e9),
+        ]);
+        // Flow 0 shares its single link with flow 1, so both drain that link
+        // at 2 TB/s initially; flow 0 finishes, then flow 1 continues alone.
+        assert!(result.completion_times[0] < result.completion_times[1]);
+        assert_eq!(result.total_time, result.completion_times[1]);
+    }
+
+    #[test]
+    fn link_stats_account_all_bytes() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let c = topo.device_at_xy(2, 0).unwrap();
+        let mut sim = NetworkSim::new(&topo);
+        let bytes = 3.0e9;
+        let result = sim.run_concurrent(&[FlowSpec::new(topo.route(a, c), bytes)]);
+        let total: f64 = result.stats.bytes.iter().sum();
+        // Two hops → bytes counted on two links.
+        assert!((total - 2.0 * bytes).abs() < 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Phased flow schedules: how collectives are expressed to the simulator.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::Topology;
+
+use crate::flow::FlowSpec;
+use crate::network::NetworkSim;
+use crate::stats::LinkStats;
+
+/// One step of a step-synchronous collective: a set of flows that start
+/// together and must all finish before the next phase begins.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable label (e.g. `"rs-step-3"`).
+    pub label: String,
+    /// The flows of this phase.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl Phase {
+    /// Creates a labelled phase.
+    pub fn new(label: impl Into<String>, flows: Vec<FlowSpec>) -> Self {
+        Phase {
+            label: label.into(),
+            flows,
+        }
+    }
+
+    /// Total payload bytes across the phase's flows.
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+/// A sequence of phases with a barrier between consecutive phases.
+///
+/// Collective builders (`wsc-collectives`) emit these; they can be run at
+/// full fidelity on a [`NetworkSim`] or estimated with
+/// [`AnalyticModel`](crate::AnalyticModel).
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{Mesh, PlatformParams};
+/// use wsc_sim::{FlowSchedule, FlowSpec};
+///
+/// let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+/// let a = topo.device_at_xy(0, 0).unwrap();
+/// let b = topo.device_at_xy(1, 0).unwrap();
+/// let mut sched = FlowSchedule::new();
+/// sched.push_phase("step0", vec![FlowSpec::new(topo.route(a, b), 1e9)]);
+/// sched.push_phase("step1", vec![FlowSpec::new(topo.route(b, a), 1e9)]);
+/// let result = sched.run(&topo);
+/// assert_eq!(result.phase_times.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct FlowSchedule {
+    phases: Vec<Phase>,
+}
+
+impl FlowSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase.
+    pub fn push_phase(&mut self, label: impl Into<String>, flows: Vec<FlowSpec>) {
+        self.phases.push(Phase::new(label, flows));
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the schedule contains no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total payload bytes across all phases.
+    pub fn total_bytes(&self) -> f64 {
+        self.phases.iter().map(Phase::total_bytes).sum()
+    }
+
+    /// Merges several schedules that proceed in lock-step: phase `k` of the
+    /// result contains the union of every input's phase `k`.
+    ///
+    /// This models concurrent collectives that share the fabric — e.g. the
+    /// entwined rings of ER-Mapping, where all rings execute step `k`
+    /// simultaneously.
+    pub fn merge_lockstep<'a>(schedules: impl IntoIterator<Item = &'a FlowSchedule>) -> Self {
+        let mut merged = FlowSchedule::new();
+        for sched in schedules {
+            for (i, phase) in sched.phases.iter().enumerate() {
+                if merged.phases.len() <= i {
+                    merged.phases.push(Phase::new(phase.label.clone(), Vec::new()));
+                }
+                merged.phases[i].flows.extend(phase.flows.iter().cloned());
+            }
+        }
+        merged
+    }
+
+    /// Runs the schedule at full fidelity on a fresh simulator over `topo`.
+    pub fn run(&self, topo: &Topology) -> ScheduleResult {
+        let mut sim = NetworkSim::new(topo);
+        let mut stats = LinkStats::new(topo.num_links());
+        let mut phase_times = Vec::with_capacity(self.phases.len());
+        for phase in &self.phases {
+            if phase.flows.is_empty() {
+                phase_times.push(0.0);
+                continue;
+            }
+            let result = sim.run_concurrent(&phase.flows);
+            phase_times.push(result.total_time);
+            stats.merge(&result.stats);
+        }
+        ScheduleResult {
+            total_time: phase_times.iter().sum(),
+            phase_times,
+            stats,
+        }
+    }
+}
+
+/// Result of running a [`FlowSchedule`].
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// Sum of phase completion times, seconds.
+    pub total_time: f64,
+    /// Per-phase completion times, seconds.
+    pub phase_times: Vec<f64>,
+    /// Per-link traffic accumulated over all phases.
+    pub stats: LinkStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_topology::{Mesh, PlatformParams};
+
+    #[test]
+    fn phases_are_sequential() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let one = {
+            let mut s = FlowSchedule::new();
+            s.push_phase("p", vec![FlowSpec::new(topo.route(a, b), 4.0e9)]);
+            s.run(&topo).total_time
+        };
+        let mut two = FlowSchedule::new();
+        two.push_phase("p0", vec![FlowSpec::new(topo.route(a, b), 4.0e9)]);
+        two.push_phase("p1", vec![FlowSpec::new(topo.route(a, b), 4.0e9)]);
+        let result = two.run(&topo);
+        assert!((result.total_time - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_lockstep_unions_phases() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let c = topo.device_at_xy(0, 1).unwrap();
+        let mut s1 = FlowSchedule::new();
+        s1.push_phase("s", vec![FlowSpec::new(topo.route(a, b), 1.0)]);
+        let mut s2 = FlowSchedule::new();
+        s2.push_phase("s", vec![FlowSpec::new(topo.route(a, c), 1.0)]);
+        s2.push_phase("extra", vec![FlowSpec::new(topo.route(c, a), 1.0)]);
+        let merged = FlowSchedule::merge_lockstep([&s1, &s2]);
+        assert_eq!(merged.num_phases(), 2);
+        assert_eq!(merged.phases()[0].flows.len(), 2);
+        assert_eq!(merged.phases()[1].flows.len(), 1);
+        assert_eq!(merged.total_bytes(), 3.0);
+    }
+
+    #[test]
+    fn empty_schedule_runs_to_zero() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let s = FlowSchedule::new();
+        let r = s.run(&topo);
+        assert_eq!(r.total_time, 0.0);
+        assert!(s.is_empty());
+    }
+}

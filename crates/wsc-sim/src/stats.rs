@@ -1,0 +1,154 @@
+//! Per-link traffic statistics and hot/cold classification.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::{LinkId, Topology};
+
+/// Per-link traffic accumulated over a simulation run.
+///
+/// Used both for congestion inspection and for the hot/cold link analysis of
+/// the paper's Fig. 11, which the NI-Balancer exploits to place migration
+/// traffic on idle links.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Bytes carried per link (indexed by [`LinkId::index`]).
+    pub bytes: Vec<f64>,
+    /// Seconds each link spent with at least one active flow.
+    pub busy_time: Vec<f64>,
+    /// Wall-clock duration of the observed window, seconds.
+    pub duration: f64,
+}
+
+impl LinkStats {
+    /// Creates empty statistics for `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        LinkStats {
+            bytes: vec![0.0; num_links],
+            busy_time: vec![0.0; num_links],
+            duration: 0.0,
+        }
+    }
+
+    /// Number of links tracked.
+    pub fn num_links(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Accumulates another window of statistics (links must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stats cover different link counts.
+    pub fn merge(&mut self, other: &LinkStats) {
+        assert_eq!(
+            self.bytes.len(),
+            other.bytes.len(),
+            "cannot merge stats over different topologies"
+        );
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a += b;
+        }
+        for (a, b) in self.busy_time.iter_mut().zip(&other.busy_time) {
+            *a += b;
+        }
+        self.duration += other.duration;
+    }
+
+    /// Fraction of the window a link was busy, in `[0, 1]`.
+    pub fn busy_fraction(&self, link: LinkId) -> f64 {
+        if self.duration == 0.0 {
+            0.0
+        } else {
+            (self.busy_time[link.index()] / self.duration).min(1.0)
+        }
+    }
+
+    /// Average bandwidth utilization of a link over the window, in `[0, 1]`.
+    pub fn utilization(&self, link: LinkId, topo: &Topology) -> f64 {
+        if self.duration == 0.0 {
+            return 0.0;
+        }
+        let cap = topo.link(link).bandwidth * self.duration;
+        (self.bytes[link.index()] / cap).min(1.0)
+    }
+
+    /// The maximum bytes carried by any link.
+    pub fn max_bytes(&self) -> f64 {
+        self.bytes.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Links carrying at least `fraction` of the maximum per-link volume
+    /// ("hot" links in the paper's Fig. 11 terminology).
+    pub fn hot_links(&self, fraction: f64) -> Vec<LinkId> {
+        let threshold = self.max_bytes() * fraction;
+        if threshold == 0.0 {
+            return Vec::new();
+        }
+        self.bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b >= threshold)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
+    /// Links carrying *less* than `fraction` of the maximum per-link volume
+    /// ("cold" links — candidates for hidden migration traffic).
+    pub fn cold_links(&self, fraction: f64) -> Vec<LinkId> {
+        let threshold = self.max_bytes() * fraction;
+        self.bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b < threshold)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinkStats {
+        LinkStats {
+            bytes: vec![100.0, 10.0, 0.0, 100.0],
+            busy_time: vec![1.0, 0.1, 0.0, 0.5],
+            duration: 1.0,
+        }
+    }
+
+    #[test]
+    fn hot_cold_partition() {
+        let s = sample();
+        let hot = s.hot_links(0.5);
+        assert_eq!(hot, vec![LinkId(0), LinkId(3)]);
+        let cold = s.cold_links(0.5);
+        assert_eq!(cold, vec![LinkId(1), LinkId(2)]);
+        assert_eq!(hot.len() + cold.len(), s.num_links());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.bytes[0], 200.0);
+        assert_eq!(a.busy_time[1], 0.2);
+        assert_eq!(a.duration, 2.0);
+    }
+
+    #[test]
+    fn busy_fraction_clamped() {
+        let s = sample();
+        assert_eq!(s.busy_fraction(LinkId(0)), 1.0);
+        assert!((s.busy_fraction(LinkId(3)) - 0.5).abs() < 1e-12);
+        let empty = LinkStats::new(2);
+        assert_eq!(empty.busy_fraction(LinkId(0)), 0.0);
+    }
+
+    #[test]
+    fn hot_links_of_empty_stats() {
+        let s = LinkStats::new(3);
+        assert!(s.hot_links(0.5).is_empty());
+        assert_eq!(s.cold_links(0.5).len(), 0); // max=0 → threshold 0 → none strictly below
+    }
+}

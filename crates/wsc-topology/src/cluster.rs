@@ -1,0 +1,212 @@
+//! Switch-based GPU cluster builders: DGX nodes with an InfiniBand core, and
+//! flat NVL72-style supernodes.
+
+use crate::device::Location;
+use crate::link::LinkKind;
+use crate::params::PlatformParams;
+use crate::topology::{RouteStrategy, Topology, TopologyBuilder};
+
+/// Builder for a DGX-style cluster: `nodes` boxes of `devices_per_node` GPUs.
+///
+/// Each GPU attaches to its node's NVSwitch at NVLink bandwidth; each node
+/// attaches to a single InfiniBand core switch at the node's aggregate NIC
+/// bandwidth. Intra-node traffic takes 2 hops (GPU→switch→GPU); inter-node
+/// traffic takes 4 (GPU→switch→core→switch→GPU), reproducing the paper's
+/// "high-performance networking confined to each 8-GPU node".
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{DgxCluster, PlatformParams};
+///
+/// let topo = DgxCluster::new(4, PlatformParams::dgx_b200()).build();
+/// assert_eq!(topo.num_devices(), 32);
+/// let a = wsc_topology::DeviceId(0);
+/// let b = wsc_topology::DeviceId(9); // second node
+/// assert_eq!(topo.route(a, b).hops(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DgxCluster {
+    nodes: u16,
+    devices_per_node: u16,
+    params: PlatformParams,
+}
+
+impl DgxCluster {
+    /// Creates a builder for `nodes` DGX boxes of 8 GPUs each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: u16, params: PlatformParams) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        DgxCluster {
+            nodes,
+            devices_per_node: 8,
+            params,
+        }
+    }
+
+    /// Overrides the number of GPUs per node (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices_per_node == 0`.
+    pub fn devices_per_node(mut self, devices_per_node: u16) -> Self {
+        assert!(devices_per_node > 0, "node needs at least one device");
+        self.devices_per_node = devices_per_node;
+        self
+    }
+
+    /// Finalizes the topology.
+    pub fn build(&self) -> Topology {
+        let mut b = TopologyBuilder::with_strategy(
+            format!("DGX x{}", self.nodes),
+            RouteStrategy::TwoLevelSwitch {
+                devices_per_node: self.devices_per_node,
+                num_nodes: self.nodes,
+            },
+        );
+        for node in 0..self.nodes {
+            for rank in 0..self.devices_per_node {
+                b.add_device(Location::Cluster { node, rank });
+            }
+        }
+        let node_switches: Vec<_> = (0..self.nodes).map(|_| b.add_switch()).collect();
+        let core = b.add_switch();
+        for node in 0..self.nodes {
+            let sw = node_switches[node as usize];
+            for rank in 0..self.devices_per_node {
+                let dev = crate::device::DeviceId(
+                    node as u32 * self.devices_per_node as u32 + rank as u32,
+                );
+                b.add_duplex(
+                    crate::link::NodeId(dev.0),
+                    sw,
+                    self.params.nvlink_bw,
+                    self.params.nvlink_latency,
+                    LinkKind::NvLink,
+                );
+            }
+            b.add_duplex(
+                sw,
+                core,
+                self.params.infiniband_bw,
+                self.params.infiniband_latency,
+                LinkKind::InfiniBand,
+            );
+        }
+        b.build()
+    }
+}
+
+/// Builder for a flat supernode: `k` GPUs on one switch fabric (NVL72).
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{FlatSwitch, PlatformParams};
+///
+/// let nvl72 = FlatSwitch::nvl72(PlatformParams::nvl72()).build();
+/// assert_eq!(nvl72.num_devices(), 72);
+/// let a = wsc_topology::DeviceId(0);
+/// let b = wsc_topology::DeviceId(71);
+/// assert_eq!(nvl72.route(a, b).hops(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlatSwitch {
+    k: u16,
+    params: PlatformParams,
+}
+
+impl FlatSwitch {
+    /// Creates a builder for a `k`-device flat supernode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u16, params: PlatformParams) -> Self {
+        assert!(k > 0, "supernode needs at least one device");
+        FlatSwitch { k, params }
+    }
+
+    /// The NVIDIA NVL72 configuration: 72 devices.
+    pub fn nvl72(params: PlatformParams) -> Self {
+        Self::new(72, params)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(&self) -> Topology {
+        let mut b = TopologyBuilder::with_strategy(
+            format!("NVL{}", self.k),
+            RouteStrategy::FlatSwitch,
+        );
+        for rank in 0..self.k {
+            b.add_device(Location::Cluster { node: 0, rank });
+        }
+        let sw = b.add_switch();
+        for rank in 0..self.k {
+            b.add_duplex(
+                crate::link::NodeId(rank as u32),
+                sw,
+                self.params.nvlink_bw,
+                self.params.nvlink_latency,
+                LinkKind::NvLink,
+            );
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    #[test]
+    fn intra_node_two_hops() {
+        let t = DgxCluster::new(2, PlatformParams::dgx_b200()).build();
+        let r = t.route(DeviceId(0), DeviceId(7));
+        assert_eq!(r.hops(), 2);
+        assert!(r
+            .links()
+            .iter()
+            .all(|&l| t.link(l).kind == LinkKind::NvLink));
+    }
+
+    #[test]
+    fn inter_node_crosses_infiniband() {
+        let t = DgxCluster::new(2, PlatformParams::dgx_b200()).build();
+        let r = t.route(DeviceId(0), DeviceId(8));
+        assert_eq!(r.hops(), 4);
+        let ib = r
+            .links()
+            .iter()
+            .filter(|&&l| t.link(l).kind == LinkKind::InfiniBand)
+            .count();
+        assert_eq!(ib, 2);
+        // The bottleneck is the IB uplink.
+        assert_eq!(t.route_bandwidth(&r), PlatformParams::dgx_b200().infiniband_bw);
+    }
+
+    #[test]
+    fn nvl72_all_pairs_two_hops() {
+        let t = FlatSwitch::nvl72(PlatformParams::nvl72()).build();
+        for a in [0u32, 5, 71] {
+            for b in [1u32, 40] {
+                if a != b {
+                    assert_eq!(t.route(DeviceId(a), DeviceId(b)).hops(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_devices_per_node() {
+        let t = DgxCluster::new(2, PlatformParams::dgx_b200())
+            .devices_per_node(4)
+            .build();
+        assert_eq!(t.num_devices(), 8);
+        assert_eq!(t.route(DeviceId(3), DeviceId(4)).hops(), 4);
+    }
+}

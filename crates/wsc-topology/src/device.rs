@@ -1,0 +1,162 @@
+//! Compute-device identity and physical placement.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a compute device (a die on a wafer, or a GPU in a cluster).
+///
+/// `DeviceId`s are dense indices assigned by the topology builder in a
+/// deterministic order (row-major within a wafer, wafer-major across wafers;
+/// rank-major within a node for clusters), so they can be used directly as
+/// `Vec` indices via [`DeviceId::index`].
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::DeviceId;
+///
+/// let d = DeviceId(3);
+/// assert_eq!(d.index(), 3);
+/// assert_eq!(d.to_string(), "dev3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Returns the device id as a `usize` suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+impl From<u32> for DeviceId {
+    fn from(raw: u32) -> Self {
+        DeviceId(raw)
+    }
+}
+
+/// Physical placement of a device within its topology.
+///
+/// Mesh placements carry both the wafer grid coordinate and the die
+/// coordinate within the wafer; cluster placements carry the node index and
+/// the local rank.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Location {
+    /// A die on a (possibly multi-)wafer mesh.
+    Mesh {
+        /// X index of the wafer in the wafer grid (0 for single-wafer).
+        wafer_x: u16,
+        /// Y index of the wafer in the wafer grid (0 for single-wafer).
+        wafer_y: u16,
+        /// X coordinate of the die within its wafer, `0..n`.
+        x: u16,
+        /// Y coordinate of the die within its wafer, `0..n`.
+        y: u16,
+    },
+    /// A GPU in a switch-based cluster.
+    Cluster {
+        /// Index of the node (DGX box) hosting the GPU; always 0 for flat
+        /// supernodes such as NVL72.
+        node: u16,
+        /// Local rank of the GPU within its node.
+        rank: u16,
+    },
+}
+
+impl Location {
+    /// Convenience constructor for a die on a single wafer.
+    pub fn on_wafer(x: u16, y: u16) -> Self {
+        Location::Mesh {
+            wafer_x: 0,
+            wafer_y: 0,
+            x,
+            y,
+        }
+    }
+
+    /// Die coordinate within its wafer, if this is a mesh placement.
+    pub fn xy(&self) -> Option<(u16, u16)> {
+        match *self {
+            Location::Mesh { x, y, .. } => Some((x, y)),
+            Location::Cluster { .. } => None,
+        }
+    }
+
+    /// Wafer grid coordinate, if this is a mesh placement.
+    pub fn wafer(&self) -> Option<(u16, u16)> {
+        match *self {
+            Location::Mesh { wafer_x, wafer_y, .. } => Some((wafer_x, wafer_y)),
+            Location::Cluster { .. } => None,
+        }
+    }
+
+    /// Node index, if this is a cluster placement.
+    pub fn node(&self) -> Option<u16> {
+        match *self {
+            Location::Cluster { node, .. } => Some(node),
+            Location::Mesh { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Location::Mesh {
+                wafer_x,
+                wafer_y,
+                x,
+                y,
+            } => write!(f, "wafer({wafer_x},{wafer_y}):die({x},{y})"),
+            Location::Cluster { node, rank } => write!(f, "node{node}:gpu{rank}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_roundtrip() {
+        let d = DeviceId::from(7u32);
+        assert_eq!(d.index(), 7);
+        assert_eq!(format!("{d}"), "dev7");
+    }
+
+    #[test]
+    fn location_accessors() {
+        let m = Location::on_wafer(2, 3);
+        assert_eq!(m.xy(), Some((2, 3)));
+        assert_eq!(m.wafer(), Some((0, 0)));
+        assert_eq!(m.node(), None);
+
+        let c = Location::Cluster { node: 1, rank: 5 };
+        assert_eq!(c.xy(), None);
+        assert_eq!(c.node(), Some(1));
+        assert_eq!(format!("{c}"), "node1:gpu5");
+    }
+
+    #[test]
+    fn location_display_mesh() {
+        let m = Location::Mesh {
+            wafer_x: 1,
+            wafer_y: 0,
+            x: 2,
+            y: 3,
+        };
+        assert_eq!(format!("{m}"), "wafer(1,0):die(2,3)");
+    }
+
+    #[test]
+    fn device_id_ordering_is_numeric() {
+        assert!(DeviceId(2) < DeviceId(10));
+    }
+}

@@ -1,0 +1,51 @@
+//! Interconnect topologies for wafer-scale chips (WSCs) and GPU clusters.
+//!
+//! This crate models the *physical* substrate of the MoEntwine stack:
+//! compute devices (dies or GPUs), the directed links between them, and
+//! deterministic routing. Three families of topologies are provided:
+//!
+//! * [`mesh::Mesh`] — a single wafer: an `n × n` 2-D mesh of dies with
+//!   nearest-neighbour links (signal-integrity constraints forbid longer
+//!   high-bandwidth links on real wafers, see the paper §II-B).
+//! * [`multi_wafer::MultiWafer`] — a grid of wafers joined by border links
+//!   that share a fixed per-border bandwidth budget.
+//! * [`cluster`] — switch-based GPU systems: DGX nodes (NVSwitch star plus an
+//!   InfiniBand core) and NVL72-style flat supernodes.
+//!
+//! All builders return a [`Topology`], the uniform representation consumed by
+//! the flow-level simulator (`wsc-sim`) and the collective schedule builders
+//! (`wsc-collectives`).
+//!
+//! # Example
+//!
+//! ```
+//! use wsc_topology::{mesh::Mesh, PlatformParams};
+//!
+//! let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+//! assert_eq!(topo.num_devices(), 16);
+//! // XY routing: (0,0) -> (3,3) takes 6 hops.
+//! let a = topo.device_at_xy(0, 0).unwrap();
+//! let b = topo.device_at_xy(3, 3).unwrap();
+//! assert_eq!(topo.route(a, b).hops(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod device;
+pub mod link;
+pub mod mesh;
+pub mod multi_wafer;
+pub mod params;
+pub mod route_table;
+pub mod topology;
+
+pub use cluster::{DgxCluster, FlatSwitch};
+pub use device::{DeviceId, Location};
+pub use link::{Link, LinkId, LinkKind, NodeId};
+pub use mesh::Mesh;
+pub use multi_wafer::MultiWafer;
+pub use params::PlatformParams;
+pub use route_table::RouteTable;
+pub use topology::{MeshDims, Route, Topology};

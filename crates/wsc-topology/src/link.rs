@@ -1,0 +1,148 @@
+//! Directed links and interconnect node identity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an interconnect node: either a compute device or a switch.
+///
+/// Switches exist only in cluster topologies (NVSwitch stars, the InfiniBand
+/// core); wafer meshes contain only device nodes.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a directed link.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the link id as a `usize` suitable for indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The physical class of a link; determines bandwidth and latency defaults
+/// and lets analyses group traffic by interconnect tier.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Die-to-die link on a wafer interposer.
+    OnWafer,
+    /// Wafer-to-wafer border link (through peripheral I/O dies).
+    WaferBorder,
+    /// GPU-to-NVSwitch link inside a node or flat supernode.
+    NvLink,
+    /// Node-to-core InfiniBand uplink.
+    InfiniBand,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::OnWafer => "on-wafer",
+            LinkKind::WaferBorder => "wafer-border",
+            LinkKind::NvLink => "nvlink",
+            LinkKind::InfiniBand => "infiniband",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed link between two interconnect nodes.
+///
+/// Bandwidth is in bytes per second *per direction*; the reverse direction is
+/// a distinct `Link`. Latency is the per-hop traversal latency in seconds
+/// (wire + protocol), matching the `link_latency` term of the paper's Eq. 1.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier of this link (dense index into [`Topology::links`]).
+    ///
+    /// [`Topology::links`]: crate::Topology::links
+    pub id: LinkId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bandwidth in bytes/second for this direction.
+    pub bandwidth: f64,
+    /// Per-traversal latency in seconds.
+    pub latency: f64,
+    /// Physical class of the link.
+    pub kind: LinkKind,
+}
+
+impl Link {
+    /// Time in seconds to serialize `bytes` onto this link at full bandwidth,
+    /// excluding the propagation latency.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wsc_topology::{Link, LinkId, LinkKind, NodeId};
+    ///
+    /// let link = Link {
+    ///     id: LinkId(0),
+    ///     src: NodeId(0),
+    ///     dst: NodeId(1),
+    ///     bandwidth: 4.0e12,
+    ///     latency: 50e-9,
+    ///     kind: LinkKind::OnWafer,
+    /// };
+    /// assert!((link.serialization_time(4.0e9) - 1e-3).abs() < 1e-12);
+    /// ```
+    pub fn serialization_time(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_kind_display() {
+        assert_eq!(LinkKind::OnWafer.to_string(), "on-wafer");
+        assert_eq!(LinkKind::WaferBorder.to_string(), "wafer-border");
+        assert_eq!(LinkKind::NvLink.to_string(), "nvlink");
+        assert_eq!(LinkKind::InfiniBand.to_string(), "infiniband");
+    }
+
+    #[test]
+    fn serialization_time_scales_linearly() {
+        let link = Link {
+            id: LinkId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            bandwidth: 1e9,
+            latency: 0.0,
+            kind: LinkKind::NvLink,
+        };
+        assert!((link.serialization_time(1e9) - 1.0).abs() < 1e-12);
+        assert!((link.serialization_time(5e8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(4).to_string(), "node4");
+        assert_eq!(LinkId(9).to_string(), "link9");
+    }
+}

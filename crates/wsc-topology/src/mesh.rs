@@ -1,0 +1,198 @@
+//! Single-wafer mesh builder.
+
+use crate::device::Location;
+use crate::link::LinkKind;
+use crate::params::PlatformParams;
+use crate::topology::{MeshDims, RouteStrategy, Topology, TopologyBuilder};
+
+/// Builder for a single-wafer `n × n` die mesh.
+///
+/// Dies are connected to their four nearest neighbours with duplex on-wafer
+/// links; there are no diagonal or long-range links (signal-integrity
+/// constraints, paper §II-B). Device ids are assigned row-major:
+/// `id = y * n + x`.
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{Mesh, PlatformParams};
+///
+/// let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+/// assert_eq!(topo.num_devices(), 16);
+/// // 2 * 2 * n * (n-1) directed links.
+/// assert_eq!(topo.num_links(), 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    n: u16,
+    params: PlatformParams,
+}
+
+impl Mesh {
+    /// Creates a builder for an `n × n` wafer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u16, params: PlatformParams) -> Self {
+        assert!(n > 0, "mesh side must be positive");
+        Mesh { n, params }
+    }
+
+    /// Finalizes the topology.
+    pub fn build(&self) -> Topology {
+        build_wafer_grid(1, 1, self.n, self.params)
+    }
+}
+
+/// Shared construction for single- and multi-wafer grids.
+pub(crate) fn build_wafer_grid(
+    wafers_x: u16,
+    wafers_y: u16,
+    n: u16,
+    params: PlatformParams,
+) -> Topology {
+    let dims = MeshDims {
+        wafers_x,
+        wafers_y,
+        n,
+    };
+    let mut b = TopologyBuilder::with_strategy(dims.to_string(), RouteStrategy::MeshXy(dims));
+
+    // Devices: wafer-major, then row-major within each wafer, matching
+    // `Topology::device_at`.
+    for wy in 0..wafers_y {
+        for wx in 0..wafers_x {
+            for y in 0..n {
+                for x in 0..n {
+                    b.add_device(Location::Mesh {
+                        wafer_x: wx,
+                        wafer_y: wy,
+                        x,
+                        y,
+                    });
+                }
+            }
+        }
+    }
+    let per_wafer = n as u32 * n as u32;
+    let dev = |wx: u16, wy: u16, x: u16, y: u16| {
+        crate::device::DeviceId(
+            (wy as u32 * wafers_x as u32 + wx as u32) * per_wafer + y as u32 * n as u32 + x as u32,
+        )
+    };
+
+    // Intra-wafer nearest-neighbour links.
+    for wy in 0..wafers_y {
+        for wx in 0..wafers_x {
+            for y in 0..n {
+                for x in 0..n {
+                    if x + 1 < n {
+                        b.add_duplex_by_device(
+                            dev(wx, wy, x, y),
+                            dev(wx, wy, x + 1, y),
+                            params.on_wafer_bw,
+                            params.on_wafer_latency,
+                            LinkKind::OnWafer,
+                        );
+                    }
+                    if y + 1 < n {
+                        b.add_duplex_by_device(
+                            dev(wx, wy, x, y),
+                            dev(wx, wy, x, y + 1),
+                            params.on_wafer_bw,
+                            params.on_wafer_latency,
+                            LinkKind::OnWafer,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Wafer border links: every border row (for X crossings) / column (for Y
+    // crossings) gets a link carrying an equal share of the border budget.
+    let border_link_bw = params.wafer_border_bw / n as f64;
+    for wy in 0..wafers_y {
+        for wx in 0..wafers_x {
+            if wx + 1 < wafers_x {
+                for y in 0..n {
+                    b.add_duplex_by_device(
+                        dev(wx, wy, n - 1, y),
+                        dev(wx + 1, wy, 0, y),
+                        border_link_bw,
+                        params.wafer_border_latency,
+                        LinkKind::WaferBorder,
+                    );
+                }
+            }
+            if wy + 1 < wafers_y {
+                for x in 0..n {
+                    b.add_duplex_by_device(
+                        dev(wx, wy, x, n - 1),
+                        dev(wx, wy + 1, x, 0),
+                        border_link_bw,
+                        params.wafer_border_latency,
+                        LinkKind::WaferBorder,
+                    );
+                }
+            }
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn mesh_link_count() {
+        // n x n mesh: 2 directions * 2 axes * n * (n-1) links.
+        for n in [2u16, 3, 4, 6, 8] {
+            let t = Mesh::new(n, PlatformParams::dojo_like()).build();
+            let expected = 4 * n as usize * (n as usize - 1);
+            assert_eq!(t.num_links(), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        let t = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let a = t.device_at_xy(0, 0).unwrap();
+        let b = t.device_at_xy(2, 2).unwrap();
+        let r = t.route(a, b);
+        assert_eq!(r.hops(), 4);
+        // First two hops move in X: destinations are (1,0), (2,0).
+        let first = t.link(r.links()[0]);
+        let second = t.link(r.links()[1]);
+        assert_eq!(t.node_device(first.dst), t.device_at_xy(1, 0));
+        assert_eq!(t.node_device(second.dst), t.device_at_xy(2, 0));
+    }
+
+    #[test]
+    fn all_links_on_wafer_kind() {
+        let t = Mesh::new(3, PlatformParams::dojo_like()).build();
+        assert!(t.links().iter().all(|l| l.kind == LinkKind::OnWafer));
+    }
+
+    #[test]
+    fn manhattan_distance_equals_hops() {
+        let t = Mesh::new(6, PlatformParams::dojo_like()).build();
+        for (ax, ay, bx, by) in [(0u16, 0u16, 5u16, 5u16), (2, 3, 4, 1), (5, 0, 0, 5)] {
+            let a = t.device_at_xy(ax, ay).unwrap();
+            let b = t.device_at_xy(bx, by).unwrap();
+            let expect =
+                (ax as i32 - bx as i32).unsigned_abs() + (ay as i32 - by as i32).unsigned_abs();
+            assert_eq!(t.hops(a, b), expect as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh side must be positive")]
+    fn zero_mesh_rejected() {
+        let _ = Mesh::new(0, PlatformParams::dojo_like());
+    }
+}

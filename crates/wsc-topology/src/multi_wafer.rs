@@ -1,0 +1,138 @@
+//! Multi-wafer grid builder.
+
+use crate::mesh::build_wafer_grid;
+use crate::params::PlatformParams;
+use crate::topology::Topology;
+
+/// Builder for a grid of wafers joined by border links.
+///
+/// Each wafer is an `n × n` mesh; adjacent wafers are joined by `n` duplex
+/// border links (one per border row/column), which together share the
+/// per-border bandwidth budget of [`PlatformParams::wafer_border_bw`]
+/// (9 TB/s bidirectional in the paper's Dojo-like configuration).
+///
+/// The paper's multi-WSC system "4×(8×8)" is `MultiWafer::grid(2, 2, 8)`.
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{MultiWafer, PlatformParams};
+///
+/// let topo = MultiWafer::grid(2, 2, 4, PlatformParams::dojo_like()).build();
+/// assert_eq!(topo.num_devices(), 64);
+/// let dims = topo.mesh_dims().unwrap();
+/// assert_eq!(dims.num_wafers(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiWafer {
+    wafers_x: u16,
+    wafers_y: u16,
+    n: u16,
+    params: PlatformParams,
+}
+
+impl MultiWafer {
+    /// Creates a builder for a `wafers_x × wafers_y` grid of `n × n` wafers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn grid(wafers_x: u16, wafers_y: u16, n: u16, params: PlatformParams) -> Self {
+        assert!(
+            wafers_x > 0 && wafers_y > 0 && n > 0,
+            "all dimensions must be positive"
+        );
+        MultiWafer {
+            wafers_x,
+            wafers_y,
+            n,
+            params,
+        }
+    }
+
+    /// Convenience constructor for the paper's `k×(n×n)` systems with wafers
+    /// arranged as square a grid as possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_wafers` is not expressible as a grid (1, 2, 4, 6, 8, 9,
+    /// ... are fine; any value works since `1 × k` is a valid grid).
+    pub fn row_of(num_wafers: u16, n: u16, params: PlatformParams) -> Self {
+        // Prefer the squarest factorization a*b = num_wafers with a <= b.
+        let mut best = (1, num_wafers);
+        for a in 1..=num_wafers {
+            if num_wafers.is_multiple_of(a) {
+                let bdim = num_wafers / a;
+                if a <= bdim && bdim - a < best.1 - best.0 {
+                    best = (a, bdim);
+                }
+            }
+        }
+        Self::grid(best.1, best.0, n, params)
+    }
+
+    /// Finalizes the topology.
+    pub fn build(&self) -> Topology {
+        build_wafer_grid(self.wafers_x, self.wafers_y, self.n, self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn border_links_share_budget() {
+        let params = PlatformParams::dojo_like();
+        let t = MultiWafer::grid(2, 1, 4, params).build();
+        let borders: Vec<_> = t
+            .links()
+            .iter()
+            .filter(|l| l.kind == LinkKind::WaferBorder)
+            .collect();
+        // 4 rows, duplex.
+        assert_eq!(borders.len(), 8);
+        let total_one_direction: f64 = borders.iter().map(|l| l.bandwidth).sum::<f64>() / 2.0;
+        assert!((total_one_direction - params.wafer_border_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_wafer_route_uses_border() {
+        let t = MultiWafer::grid(2, 2, 4, PlatformParams::dojo_like()).build();
+        let a = t.device_at(0, 0, 1, 1).unwrap();
+        let b = t.device_at(1, 1, 2, 2).unwrap();
+        let r = t.route(a, b);
+        let border_hops = r
+            .links()
+            .iter()
+            .filter(|&&l| t.link(l).kind == LinkKind::WaferBorder)
+            .count();
+        assert_eq!(border_hops, 2, "one X crossing and one Y crossing");
+        // Route: (1,1) -> (3,1) [2 hops] -> border -> (0,1) on wafer(1,0)
+        // -> walk y to (0,3)? No: X crossings first at y=1, then Y crossing
+        // at x=2. Verify endpoint count instead: total hops is at least
+        // manhattan-ish; just check it's loop-free and nonempty.
+        assert!(r.hops() >= 4);
+    }
+
+    #[test]
+    fn row_of_prefers_square_grids() {
+        let m = MultiWafer::row_of(4, 4, PlatformParams::dojo_like());
+        let t = m.build();
+        let dims = t.mesh_dims().unwrap();
+        assert_eq!((dims.wafers_x, dims.wafers_y), (2, 2));
+
+        let m = MultiWafer::row_of(2, 4, PlatformParams::dojo_like());
+        let dims = m.build().mesh_dims().unwrap();
+        assert_eq!((dims.wafers_x, dims.wafers_y), (2, 1));
+    }
+
+    #[test]
+    fn device_ids_wafer_major() {
+        let t = MultiWafer::grid(2, 1, 3, PlatformParams::dojo_like()).build();
+        // Second wafer starts at id 9.
+        let d = t.device_at(1, 0, 0, 0).unwrap();
+        assert_eq!(d.0, 9);
+    }
+}

@@ -1,0 +1,130 @@
+//! Platform bandwidth/latency parameter sets.
+
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth and latency parameters for the platforms evaluated in the paper
+/// (§VI-A1).
+///
+/// All bandwidths are **bytes/second per direction**. The paper quotes
+/// bidirectional figures (8 TB/s die-to-die, 9 TB/s per wafer border,
+/// 1.8 TB/s NVLink); halving them gives the per-direction link capacity used
+/// by the simulator.
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::PlatformParams;
+///
+/// let p = PlatformParams::dojo_like();
+/// assert!((p.on_wafer_bw - 4.0e12).abs() < 1.0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct PlatformParams {
+    /// Die-to-die on-wafer bandwidth, bytes/s per direction.
+    pub on_wafer_bw: f64,
+    /// Total cross-wafer bandwidth of one wafer border, bytes/s per
+    /// direction; shared by the `n` row (or column) border links.
+    pub wafer_border_bw: f64,
+    /// GPU↔NVSwitch bandwidth, bytes/s per direction.
+    pub nvlink_bw: f64,
+    /// Node↔core InfiniBand bandwidth, bytes/s per direction (all NICs of a
+    /// node aggregated).
+    pub infiniband_bw: f64,
+    /// Per-hop latency of an on-wafer link, seconds.
+    pub on_wafer_latency: f64,
+    /// Per-hop latency of a wafer border link, seconds.
+    pub wafer_border_latency: f64,
+    /// Per-hop latency of an NVLink link (device↔switch), seconds.
+    pub nvlink_latency: f64,
+    /// Per-hop latency of an InfiniBand uplink, seconds.
+    pub infiniband_latency: f64,
+}
+
+impl PlatformParams {
+    /// Tesla-Dojo-like wafer-scale parameters used by the paper: 8 TB/s
+    /// bidirectional die-to-die, 9 TB/s bidirectional per wafer border.
+    pub fn dojo_like() -> Self {
+        PlatformParams {
+            on_wafer_bw: 4.0e12,
+            wafer_border_bw: 4.5e12,
+            nvlink_bw: 0.9e12,
+            infiniband_bw: 400.0e9,
+            on_wafer_latency: 50e-9,
+            wafer_border_latency: 100e-9,
+            nvlink_latency: 150e-9,
+            infiniband_latency: 1.0e-6,
+        }
+    }
+
+    /// DGX-B200-like cluster parameters: 1.8 TB/s bidirectional NVLink per
+    /// GPU, 8×400 Gb/s InfiniBand NICs per node (≈400 GB/s per direction).
+    pub fn dgx_b200() -> Self {
+        // Same numbers as the unified set: the kinds select which fields a
+        // topology uses.
+        Self::dojo_like()
+    }
+
+    /// NVL72-like supernode parameters: every GPU attaches to the switch
+    /// fabric at 1.8 TB/s bidirectional.
+    pub fn nvl72() -> Self {
+        Self::dojo_like()
+    }
+
+    /// Returns a copy with the on-wafer bandwidth replaced (useful for
+    /// sensitivity sweeps).
+    pub fn with_on_wafer_bw(mut self, bw: f64) -> Self {
+        self.on_wafer_bw = bw;
+        self
+    }
+
+    /// Returns a copy with the NVLink bandwidth replaced.
+    pub fn with_nvlink_bw(mut self, bw: f64) -> Self {
+        self.nvlink_bw = bw;
+        self
+    }
+
+    /// Returns a copy with the InfiniBand bandwidth replaced.
+    pub fn with_infiniband_bw(mut self, bw: f64) -> Self {
+        self.infiniband_bw = bw;
+        self
+    }
+}
+
+impl Default for PlatformParams {
+    fn default() -> Self {
+        Self::dojo_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_paper_values() {
+        let p = PlatformParams::dojo_like();
+        // 8 TB/s bidirectional => 4 TB/s per direction.
+        assert_eq!(p.on_wafer_bw, 4.0e12);
+        // 9 TB/s bidirectional border => 4.5 TB/s per direction.
+        assert_eq!(p.wafer_border_bw, 4.5e12);
+        // 1.8 TB/s bidirectional NVLink => 0.9 TB/s per direction.
+        assert_eq!(p.nvlink_bw, 0.9e12);
+        assert_eq!(p.infiniband_bw, 400.0e9);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let p = PlatformParams::default().with_on_wafer_bw(1.0);
+        assert_eq!(p.on_wafer_bw, 1.0);
+        let p = p.with_nvlink_bw(2.0).with_infiniband_bw(3.0);
+        assert_eq!(p.nvlink_bw, 2.0);
+        assert_eq!(p.infiniband_bw, 3.0);
+    }
+
+    #[test]
+    fn wsc_link_latency_below_cluster_latency() {
+        let p = PlatformParams::dojo_like();
+        assert!(p.on_wafer_latency < p.nvlink_latency);
+        assert!(p.nvlink_latency < p.infiniband_latency);
+    }
+}

@@ -1,0 +1,86 @@
+//! Precomputed all-pairs route cache.
+
+use crate::device::DeviceId;
+use crate::topology::{Route, Topology};
+
+/// Dense all-pairs route cache.
+///
+/// Routing on a mesh is cheap but not free, and the analytical communication
+/// model queries routes for every (source group, destination) pair on every
+/// simulated layer. `RouteTable` precomputes all `n²` routes once.
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{Mesh, PlatformParams, RouteTable, DeviceId};
+///
+/// let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+/// let table = RouteTable::build(&topo);
+/// let r = table.route(DeviceId(0), DeviceId(15));
+/// assert_eq!(r.hops(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Precomputes routes between every ordered pair of devices.
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.num_devices();
+        let mut routes = Vec::with_capacity(n * n);
+        for src in topo.devices() {
+            for dst in topo.devices() {
+                routes.push(topo.route(src, dst));
+            }
+        }
+        RouteTable { n, routes }
+    }
+
+    /// The cached route from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device is out of range.
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> &Route {
+        &self.routes[src.index() * self.n + dst.index()]
+    }
+
+    /// Number of hops between two devices.
+    pub fn hops(&self, src: DeviceId, dst: DeviceId) -> usize {
+        self.route(src, dst).hops()
+    }
+
+    /// Number of devices covered by the table.
+    pub fn num_devices(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+    use crate::params::PlatformParams;
+
+    #[test]
+    fn table_matches_on_demand_routing() {
+        let topo = Mesh::new(3, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        for a in topo.devices() {
+            for b in topo.devices() {
+                assert_eq!(table.route(a, b), &topo.route(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_routes_are_empty() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        for d in topo.devices() {
+            assert!(table.route(d, d).is_empty());
+        }
+    }
+}

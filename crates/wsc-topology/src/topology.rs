@@ -1,0 +1,596 @@
+//! The uniform topology representation and deterministic routing.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceId, Location};
+use crate::link::{Link, LinkId, LinkKind, NodeId};
+
+/// Dimensions of a (possibly multi-)wafer mesh topology.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MeshDims {
+    /// Number of wafers along X.
+    pub wafers_x: u16,
+    /// Number of wafers along Y.
+    pub wafers_y: u16,
+    /// Side length of each wafer (each wafer is `n × n` dies).
+    pub n: u16,
+}
+
+impl MeshDims {
+    /// Total number of dies across all wafers.
+    pub fn num_devices(&self) -> usize {
+        self.wafers_x as usize * self.wafers_y as usize * (self.n as usize).pow(2)
+    }
+
+    /// Number of wafers.
+    pub fn num_wafers(&self) -> usize {
+        self.wafers_x as usize * self.wafers_y as usize
+    }
+}
+
+impl fmt::Display for MeshDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.num_wafers() == 1 {
+            write!(f, "{0}x{0} WSC", self.n)
+        } else {
+            write!(f, "{}x({}x{}) WSC", self.num_wafers(), self.n, self.n)
+        }
+    }
+}
+
+/// A loop-free directed path through the topology, as a sequence of links.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Route {
+    links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Creates a route from an ordered list of links.
+    pub fn new(links: Vec<LinkId>) -> Self {
+        Route { links }
+    }
+
+    /// The links traversed, in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of links traversed (the paper's `hops`).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the route is empty (source equals destination).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+impl FromIterator<LinkId> for Route {
+    fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
+        Route {
+            links: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Routing strategy baked in by the topology builder.
+#[derive(Clone, Debug)]
+pub(crate) enum RouteStrategy {
+    /// XY dimension-order routing at wafer level then die level.
+    MeshXy(MeshDims),
+    /// Device → node switch → (core switch →) node switch → device.
+    TwoLevelSwitch {
+        devices_per_node: u16,
+        num_nodes: u16,
+    },
+    /// Device → switch → device.
+    FlatSwitch,
+    /// Breadth-first shortest path with deterministic tie-breaking; used for
+    /// custom topologies.
+    Bfs,
+}
+
+/// An interconnect topology: compute devices, switches, and directed links,
+/// with deterministic routing.
+///
+/// Built by [`Mesh`](crate::Mesh), [`MultiWafer`](crate::MultiWafer),
+/// [`DgxCluster`](crate::DgxCluster), [`FlatSwitch`](crate::FlatSwitch), or a
+/// custom [`TopologyBuilder`].
+#[derive(Clone, Debug)]
+pub struct Topology {
+    name: String,
+    num_nodes: usize,
+    locations: Vec<Location>,
+    links: Vec<Link>,
+    link_by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+    adjacency: Vec<Vec<LinkId>>,
+    strategy: RouteStrategy,
+}
+
+impl Topology {
+    /// Human-readable name, e.g. `"4x4 WSC"` or `"DGX x4"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compute devices.
+    pub fn num_devices(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Total number of interconnect nodes (devices plus switches).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Iterator over all device ids in ascending order.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.locations.len() as u32).map(DeviceId)
+    }
+
+    /// The interconnect node hosting a device. Device nodes are numbered
+    /// before switch nodes, so this is the identity map on the raw index.
+    pub fn device_node(&self, device: DeviceId) -> NodeId {
+        NodeId(device.0)
+    }
+
+    /// The device at an interconnect node, if the node is a device.
+    pub fn node_device(&self, node: NodeId) -> Option<DeviceId> {
+        (node.index() < self.locations.len()).then_some(DeviceId(node.0))
+    }
+
+    /// Physical placement of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range for this topology.
+    pub fn location(&self, device: DeviceId) -> Location {
+        self.locations[device.index()]
+    }
+
+    /// Mesh dimensions, if this is a wafer topology.
+    pub fn mesh_dims(&self) -> Option<MeshDims> {
+        match self.strategy {
+            RouteStrategy::MeshXy(dims) => Some(dims),
+            _ => None,
+        }
+    }
+
+    /// The device at die coordinate `(x, y)` on the first wafer, if this is a
+    /// mesh topology and the coordinate is in range.
+    pub fn device_at_xy(&self, x: u16, y: u16) -> Option<DeviceId> {
+        self.device_at(0, 0, x, y)
+    }
+
+    /// The device at die coordinate `(x, y)` on wafer `(wafer_x, wafer_y)`.
+    pub fn device_at(&self, wafer_x: u16, wafer_y: u16, x: u16, y: u16) -> Option<DeviceId> {
+        let dims = self.mesh_dims()?;
+        if wafer_x >= dims.wafers_x || wafer_y >= dims.wafers_y || x >= dims.n || y >= dims.n {
+            return None;
+        }
+        let per_wafer = (dims.n as u32).pow(2);
+        let wafer_index = wafer_y as u32 * dims.wafers_x as u32 + wafer_x as u32;
+        Some(DeviceId(
+            wafer_index * per_wafer + y as u32 * dims.n as u32 + x as u32,
+        ))
+    }
+
+    /// All links, indexable by [`LinkId::index`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The directed link from `src` to `dst`, if one exists.
+    pub fn link_between(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.link_by_endpoints.get(&(src, dst)).copied()
+    }
+
+    /// Deterministic route from `src` to `dst`. Empty if `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device is out of range, or if the topology is
+    /// disconnected (custom topologies only).
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> Route {
+        if src == dst {
+            return Route::default();
+        }
+        match &self.strategy {
+            RouteStrategy::MeshXy(dims) => self.mesh_route(*dims, src, dst),
+            RouteStrategy::TwoLevelSwitch {
+                devices_per_node,
+                num_nodes,
+            } => self.two_level_route(*devices_per_node, *num_nodes, src, dst),
+            RouteStrategy::FlatSwitch => self.flat_route(src, dst),
+            RouteStrategy::Bfs => self.bfs_route(src, dst),
+        }
+    }
+
+    /// Number of hops between two devices under this topology's routing.
+    pub fn hops(&self, src: DeviceId, dst: DeviceId) -> usize {
+        self.route(src, dst).hops()
+    }
+
+    /// Sum of per-link latencies along a route (the `link_latency × hops`
+    /// term of the paper's Eq. 1, with heterogeneous links supported).
+    pub fn route_latency(&self, route: &Route) -> f64 {
+        route
+            .links()
+            .iter()
+            .map(|&l| self.links[l.index()].latency)
+            .sum()
+    }
+
+    /// Minimum bandwidth along a route (the uncontended bottleneck).
+    ///
+    /// Returns `f64::INFINITY` for an empty route.
+    pub fn route_bandwidth(&self, route: &Route) -> f64 {
+        route
+            .links()
+            .iter()
+            .map(|&l| self.links[l.index()].bandwidth)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn push_link(&self, links: &mut Vec<LinkId>, src: NodeId, dst: NodeId) {
+        let id = self
+            .link_between(src, dst)
+            .unwrap_or_else(|| panic!("no link {src} -> {dst} in topology {}", self.name));
+        links.push(id);
+    }
+
+    /// XY walk between two dies on the *same* wafer, appending to `links`.
+    fn intra_wafer_walk(
+        &self,
+        links: &mut Vec<LinkId>,
+        dims: MeshDims,
+        wafer: (u16, u16),
+        from: (u16, u16),
+        to: (u16, u16),
+    ) {
+        let node =
+            |x: u16, y: u16| NodeId(self.device_at(wafer.0, wafer.1, x, y).expect("die").0);
+        let (mut x, mut y) = from;
+        while x != to.0 {
+            let nx = if to.0 > x { x + 1 } else { x - 1 };
+            self.push_link(links, node(x, y), node(nx, y));
+            x = nx;
+        }
+        while y != to.1 {
+            let ny = if to.1 > y { y + 1 } else { y - 1 };
+            self.push_link(links, node(x, y), node(x, ny));
+            y = ny;
+        }
+        debug_assert!(x < dims.n && y < dims.n);
+    }
+
+    fn mesh_route(&self, dims: MeshDims, src: DeviceId, dst: DeviceId) -> Route {
+        let (a, b) = (self.location(src), self.location(dst));
+        let (Location::Mesh { wafer_x: mut wx, wafer_y: mut wy, x, y },
+             Location::Mesh { wafer_x: twx, wafer_y: twy, x: tx, y: ty }) = (a, b)
+        else {
+            unreachable!("mesh topology has only mesh locations")
+        };
+        let mut links = Vec::new();
+        let (mut cx, mut cy) = (x, y);
+        // Wafer-level X crossings: exit at the border column, same row.
+        while wx != twx {
+            let step_pos = twx > wx;
+            let border = if step_pos { dims.n - 1 } else { 0 };
+            self.intra_wafer_walk(&mut links, dims, (wx, wy), (cx, cy), (border, cy));
+            let nwx = if step_pos { wx + 1 } else { wx - 1 };
+            let enter = if step_pos { 0 } else { dims.n - 1 };
+            let from = NodeId(self.device_at(wx, wy, border, cy).expect("die").0);
+            let to = NodeId(self.device_at(nwx, wy, enter, cy).expect("die").0);
+            self.push_link(&mut links, from, to);
+            wx = nwx;
+            cx = enter;
+        }
+        // Wafer-level Y crossings: exit at the border row, same column.
+        while wy != twy {
+            let step_pos = twy > wy;
+            let border = if step_pos { dims.n - 1 } else { 0 };
+            self.intra_wafer_walk(&mut links, dims, (wx, wy), (cx, cy), (cx, border));
+            let nwy = if step_pos { wy + 1 } else { wy - 1 };
+            let enter = if step_pos { 0 } else { dims.n - 1 };
+            let from = NodeId(self.device_at(wx, wy, cx, border).expect("die").0);
+            let to = NodeId(self.device_at(wx, nwy, cx, enter).expect("die").0);
+            self.push_link(&mut links, from, to);
+            wy = nwy;
+            cy = enter;
+        }
+        self.intra_wafer_walk(&mut links, dims, (wx, wy), (cx, cy), (tx, ty));
+        Route::new(links)
+    }
+
+    fn two_level_route(
+        &self,
+        devices_per_node: u16,
+        num_nodes: u16,
+        src: DeviceId,
+        dst: DeviceId,
+    ) -> Route {
+        let node_of = |d: DeviceId| (d.0 / devices_per_node as u32) as u16;
+        let node_switch =
+            |n: u16| NodeId(self.locations.len() as u32 + n as u32);
+        let core_switch = NodeId(self.locations.len() as u32 + num_nodes as u32);
+        let (sn, dn) = (node_of(src), node_of(dst));
+        let mut links = Vec::new();
+        self.push_link(&mut links, self.device_node(src), node_switch(sn));
+        if sn != dn {
+            self.push_link(&mut links, node_switch(sn), core_switch);
+            self.push_link(&mut links, core_switch, node_switch(dn));
+        }
+        self.push_link(&mut links, node_switch(dn), self.device_node(dst));
+        Route::new(links)
+    }
+
+    fn flat_route(&self, src: DeviceId, dst: DeviceId) -> Route {
+        let switch = NodeId(self.locations.len() as u32);
+        let mut links = Vec::new();
+        self.push_link(&mut links, self.device_node(src), switch);
+        self.push_link(&mut links, switch, self.device_node(dst));
+        Route::new(links)
+    }
+
+    fn bfs_route(&self, src: DeviceId, dst: DeviceId) -> Route {
+        let start = self.device_node(src);
+        let goal = self.device_node(dst);
+        let mut prev: Vec<Option<LinkId>> = vec![None; self.num_nodes];
+        let mut seen = vec![false; self.num_nodes];
+        seen[start.index()] = true;
+        let mut queue = VecDeque::from([start]);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for &lid in &self.adjacency[cur.index()] {
+                let next = self.links[lid.index()].dst;
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    prev[next.index()] = Some(lid);
+                    if next == goal {
+                        break 'bfs;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        let mut links = Vec::new();
+        let mut cur = goal;
+        while cur != start {
+            let lid = prev[cur.index()]
+                .unwrap_or_else(|| panic!("topology {} is disconnected", self.name));
+            links.push(lid);
+            cur = self.links[lid.index()].src;
+        }
+        links.reverse();
+        Route::new(links)
+    }
+}
+
+/// Incremental builder for custom topologies (exposed mainly for tests and
+/// exotic platforms; the provided platform builders cover the paper).
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::topology::TopologyBuilder;
+/// use wsc_topology::{Location, LinkKind};
+///
+/// let mut b = TopologyBuilder::custom("two-dies");
+/// let d0 = b.add_device(Location::on_wafer(0, 0));
+/// let d1 = b.add_device(Location::on_wafer(1, 0));
+/// b.add_duplex_by_device(d0, d1, 1e12, 1e-7, LinkKind::OnWafer);
+/// let topo = b.build();
+/// assert_eq!(topo.route(d0, d1).hops(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    name: String,
+    locations: Vec<Location>,
+    num_switches: usize,
+    links: Vec<Link>,
+    strategy: Option<RouteStrategy>,
+}
+
+impl TopologyBuilder {
+    /// Starts building a custom topology routed by BFS shortest path.
+    pub fn custom(name: impl Into<String>) -> Self {
+        TopologyBuilder {
+            name: name.into(),
+            locations: Vec::new(),
+            num_switches: 0,
+            links: Vec::new(),
+            strategy: None,
+        }
+    }
+
+    pub(crate) fn with_strategy(name: impl Into<String>, strategy: RouteStrategy) -> Self {
+        TopologyBuilder {
+            strategy: Some(strategy),
+            ..Self::custom(name)
+        }
+    }
+
+    /// Adds a compute device; devices must all be added before switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a switch has already been added.
+    pub fn add_device(&mut self, location: Location) -> DeviceId {
+        assert_eq!(self.num_switches, 0, "add all devices before switches");
+        let id = DeviceId(self.locations.len() as u32);
+        self.locations.push(location);
+        id
+    }
+
+    /// Adds a switch node and returns its node id.
+    pub fn add_switch(&mut self) -> NodeId {
+        let id = NodeId((self.locations.len() + self.num_switches) as u32);
+        self.num_switches += 1;
+        id
+    }
+
+    /// Adds a single directed link.
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bandwidth: f64,
+        latency: f64,
+        kind: LinkKind,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            bandwidth,
+            latency,
+            kind,
+        });
+        id
+    }
+
+    /// Adds a pair of directed links, one in each direction.
+    pub fn add_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: f64,
+        latency: f64,
+        kind: LinkKind,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, bandwidth, latency, kind),
+            self.add_link(b, a, bandwidth, latency, kind),
+        )
+    }
+
+    /// Adds a duplex link between two devices.
+    pub fn add_duplex_by_device(
+        &mut self,
+        a: DeviceId,
+        b: DeviceId,
+        bandwidth: f64,
+        latency: f64,
+        kind: LinkKind,
+    ) -> (LinkId, LinkId) {
+        self.add_duplex(NodeId(a.0), NodeId(b.0), bandwidth, latency, kind)
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two links share the same `(src, dst)` endpoints.
+    pub fn build(self) -> Topology {
+        let num_nodes = self.locations.len() + self.num_switches;
+        let mut link_by_endpoints = HashMap::with_capacity(self.links.len());
+        let mut adjacency = vec![Vec::new(); num_nodes];
+        for link in &self.links {
+            let dup = link_by_endpoints.insert((link.src, link.dst), link.id);
+            assert!(
+                dup.is_none(),
+                "duplicate link {} -> {} in topology {}",
+                link.src,
+                link.dst,
+                self.name
+            );
+            adjacency[link.src.index()].push(link.id);
+        }
+        Topology {
+            name: self.name,
+            num_nodes,
+            locations: self.locations,
+            links: self.links,
+            link_by_endpoints,
+            adjacency,
+            strategy: self.strategy.unwrap_or(RouteStrategy::Bfs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology(n: u32) -> Topology {
+        let mut b = TopologyBuilder::custom("line");
+        let devs: Vec<DeviceId> = (0..n)
+            .map(|i| b.add_device(Location::on_wafer(i as u16, 0)))
+            .collect();
+        for w in devs.windows(2) {
+            b.add_duplex_by_device(w[0], w[1], 1e9, 1e-6, LinkKind::OnWafer);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_route_on_line() {
+        let t = line_topology(5);
+        let r = t.route(DeviceId(0), DeviceId(4));
+        assert_eq!(r.hops(), 4);
+        assert!((t.route_latency(&r) - 4e-6).abs() < 1e-12);
+        assert_eq!(t.route_bandwidth(&r), 1e9);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = line_topology(3);
+        let r = t.route(DeviceId(1), DeviceId(1));
+        assert!(r.is_empty());
+        assert_eq!(t.route_bandwidth(&r), f64::INFINITY);
+    }
+
+    #[test]
+    fn route_collects_from_iterator() {
+        let r: Route = [LinkId(0), LinkId(1)].into_iter().collect();
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_links_rejected() {
+        let mut b = TopologyBuilder::custom("dup");
+        let d0 = b.add_device(Location::on_wafer(0, 0));
+        let d1 = b.add_device(Location::on_wafer(1, 0));
+        b.add_link(NodeId(d0.0), NodeId(d1.0), 1.0, 0.0, LinkKind::OnWafer);
+        b.add_link(NodeId(d0.0), NodeId(d1.0), 1.0, 0.0, LinkKind::OnWafer);
+        b.build();
+    }
+
+    #[test]
+    fn mesh_dims_display() {
+        let single = MeshDims {
+            wafers_x: 1,
+            wafers_y: 1,
+            n: 6,
+        };
+        assert_eq!(single.to_string(), "6x6 WSC");
+        assert_eq!(single.num_devices(), 36);
+        let multi = MeshDims {
+            wafers_x: 2,
+            wafers_y: 2,
+            n: 8,
+        };
+        assert_eq!(multi.to_string(), "4x(8x8) WSC");
+        assert_eq!(multi.num_devices(), 256);
+    }
+}

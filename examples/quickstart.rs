@@ -1,0 +1,49 @@
+//! Quickstart: build a wafer, map a model onto it with ER-Mapping, and
+//! simulate a few inference iterations with the NI-Balancer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use moentwine::core::balancer::BalancerKind;
+use moentwine::core::engine::{EngineConfig, InferenceEngine};
+use moentwine::prelude::*;
+
+fn main() {
+    // 1. A 4x4 wafer of B200-class dies with Dojo-like interconnect.
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    println!("platform: {} ({} devices)", topo.name(), topo.num_devices());
+
+    // 2. Co-design the attention/MoE mapping: Entwined Ring Mapping with a
+    //    2x2 TP shape (TP=4, DP=4, EP=16).
+    let dims = topo.mesh_dims().expect("wafer topology");
+    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2))
+        .expect("shape tiles the wafer")
+        .plan();
+    let er = ErMapping::new(dims, TpShape::new(2, 2))
+        .expect("shape tiles the wafer")
+        .plan();
+    println!(
+        "average token-fetch hops: baseline {:.2} vs ER {:.2} (paper: 2.7 vs 1.3)",
+        baseline.average_ftd_hops(&topo),
+        er.average_ftd_hops(&topo),
+    );
+    println!(
+        "FTD intersections: baseline {} vs ER {}",
+        baseline.ftd_intersections(&topo),
+        er.ftd_intersections(&topo),
+    );
+
+    // 3. Simulate DeepSeek-V3 decode iterations with the NI-Balancer.
+    let model = ModelConfig::deepseek_v3();
+    let config = EngineConfig::new(model).with_balancer(BalancerKind::NonInvasive);
+    let mut engine = InferenceEngine::new(&topo, &table, &er, config);
+    let summary = engine.run(20);
+
+    println!("\nafter 20 iterations:");
+    println!("  mean iteration time : {:.3} ms", summary.mean_iteration_time * 1e3);
+    println!("  all-to-all per iter : {:.3} ms", summary.mean_all_to_all * 1e3);
+    println!("  MoE compute per iter: {:.3} ms", summary.mean_moe_compute * 1e3);
+    println!("  migration stall     : {:.3} ms (non-invasive: always 0)", summary.mean_migration_stall * 1e3);
+    println!("  load ratio (max/avg): {:.2}", summary.mean_load_ratio);
+    println!("  migrations completed: {}", summary.migrations_completed);
+}

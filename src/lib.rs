@@ -1,0 +1,63 @@
+//! # MoEntwine
+//!
+//! A reproduction of *"MoEntwine: Unleashing the Potential of Wafer-Scale
+//! Chips for Large-Scale Expert Parallel Inference"* (HPCA 2026): a complete
+//! simulation stack for studying mixture-of-experts (MoE) inference on
+//! wafer-scale chips (WSCs), plus the paper's two contributions —
+//! **ER-Mapping** (entwined-ring co-mapping of attention and MoE layers) and
+//! the **NI-Balancer** (non-invasive expert-migration load balancer).
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`topology`] — meshes, multi-wafer grids, DGX/NVL72 clusters, routing.
+//! * [`sim`] — flow-level discrete-event network simulator and the fast
+//!   analytical congestion estimator.
+//! * [`collectives`] — all-reduce / reduce-scatter / all-gather / all-to-all
+//!   schedules, including entwined multi-hop rings and hierarchical variants.
+//! * [`model`] — MoE model configurations (Table I of the paper) and the
+//!   roofline compute/memory cost model.
+//! * [`workload`] — scenario-driven expert-selection traces, request arrival
+//!   processes, and batch schedulers.
+//! * [`core`] — Full Token Domain analysis, ER/HER-Mapping, the NI-Balancer,
+//!   and the end-to-end inference engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use moentwine::prelude::*;
+//!
+//! // A 4x4 wafer running DeepSeek-V3 with TP=4 attention and EP=16 MoE.
+//! let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+//! let mapping = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2)).unwrap();
+//! let plan = mapping.plan();
+//! assert_eq!(plan.ftds().len(), 4);
+//! // ER-Mapping's compact FTDs average 1.33 token-fetch hops (paper Fig. 8c).
+//! let hops = plan.average_ftd_hops(&topo);
+//! assert!((hops - 4.0 / 3.0).abs() < 1e-9);
+//! ```
+
+pub use moentwine_core as core;
+pub use moe_model as model;
+pub use moe_workload as workload;
+pub use wsc_collectives as collectives;
+pub use wsc_sim as sim;
+pub use wsc_topology as topology;
+
+/// Commonly used items from across the workspace.
+pub mod prelude {
+    pub use moe_model::{DeviceSpec, ModelConfig, Precision};
+    pub use moe_workload::{Scenario, TraceGenerator};
+    pub use moentwine_core::engine::{EngineConfig, InferenceEngine};
+    pub use moentwine_core::comm::{A2aModel, ClusterLayout, ParallelLayout};
+    pub use moentwine_core::mapping::{
+        BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,
+    };
+    pub use wsc_topology::RouteTable;
+    pub use moentwine_core::balancer::{
+        BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,
+    };
+    pub use wsc_sim::{AnalyticModel, FlowSchedule, NetworkSim};
+    pub use wsc_topology::{
+        DeviceId, DgxCluster, FlatSwitch, Mesh, MeshDims, MultiWafer, PlatformParams, Topology,
+    };
+}

@@ -1,0 +1,107 @@
+//! Validates the analytical bottleneck model against the flow-level DES —
+//! the methodological contract of DESIGN.md §5.
+
+use moentwine::collectives::{all_to_all_concurrent, ring_all_reduce, Ring, Transfer};
+use moentwine::core::comm::{A2aModel, ParallelLayout};
+use moentwine::core::placement::ExpertPlacement;
+use moentwine::prelude::*;
+use moentwine::sim::AnalyticModel;
+use moentwine::workload::LayerGating;
+
+fn mesh(n: u16) -> Topology {
+    Mesh::new(n, PlatformParams::dojo_like()).build()
+}
+
+#[test]
+fn ring_all_reduce_exact_agreement() {
+    // Phase-synchronous single-bottleneck schedules must match exactly.
+    let topo = mesh(4);
+    let ring = Ring::new(vec![
+        topo.device_at_xy(0, 0).unwrap(),
+        topo.device_at_xy(1, 0).unwrap(),
+        topo.device_at_xy(1, 1).unwrap(),
+        topo.device_at_xy(0, 1).unwrap(),
+    ]);
+    for bytes in [1.0e3, 1.0e6, 64.0e6] {
+        let sched = ring_all_reduce(&topo, &ring, bytes);
+        let des = sched.run(&topo).total_time;
+        let est = AnalyticModel::new(&topo).estimate_schedule(&sched).total_time;
+        assert!((des - est).abs() / des < 1e-9, "bytes={bytes}: {des} vs {est}");
+    }
+}
+
+#[test]
+fn mapping_all_reduce_agreement() {
+    for (n, tp) in [(4u16, 4usize), (6, 4), (6, 6)] {
+        let topo = mesh(n);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), tp)
+            .unwrap()
+            .plan();
+        let sched = plan.all_reduce_schedule(&topo, 2.0e6);
+        let des = sched.run(&topo).total_time;
+        let est = AnalyticModel::new(&topo).estimate_schedule(&sched).total_time;
+        let err = (des - est).abs() / des;
+        assert!(err < 0.01, "n={n} tp={tp}: DES {des} vs analytic {est}");
+    }
+}
+
+#[test]
+fn dispatch_a2a_within_bounded_factor() {
+    // The analytic estimate is a bottleneck bound: DES can be faster (flows
+    // finish at different times, freeing bandwidth) but never catastrophically
+    // different. Contract: within 2x either way on realistic patterns.
+    let topo = mesh(6);
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let model = ModelConfig::qwen3_235b();
+    let placement = ExpertPlacement::balanced(model.num_experts as usize, topo.num_devices(), 1);
+    let per = 256 * model.experts_per_token / model.num_experts;
+    let gating = LayerGating {
+        counts: vec![vec![per.max(1); model.num_experts as usize]; plan.num_groups()],
+    };
+    let a2a = A2aModel::new(&topo, &table, &plan);
+    let token_bytes = model.token_bytes(moentwine::model::Precision::Fp16);
+    let est = a2a.estimate(&gating, &placement, token_bytes, 256);
+
+    let transfers: Vec<Transfer> = a2a
+        .dispatch_transfers(&gating, &placement, token_bytes)
+        .into_iter()
+        .map(|(s, d, b)| Transfer::new(s, d, b))
+        .collect();
+    let des = all_to_all_concurrent(&topo, &transfers).run(&topo).total_time;
+    let ratio = des / est.dispatch.total_time;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "DES {des} vs analytic {} (ratio {ratio})",
+        est.dispatch.total_time
+    );
+}
+
+#[test]
+fn analytic_is_conservative_on_uniform_mesh_a2a() {
+    // For uniform all-to-all the bottleneck link is continuously busy, so
+    // the analytic *serialization* term is a strict lower bound on DES (the
+    // latency term is not — flows pay their own, shorter, route latencies).
+    let topo = mesh(4);
+    let transfers: Vec<Transfer> =
+        moentwine::collectives::alltoall::uniform_all_to_all_matrix(&topo, 1.0e6);
+    let des = all_to_all_concurrent(&topo, &transfers).run(&topo).total_time;
+    let est = AnalyticModel::new(&topo).estimate_flows(
+        &transfers
+            .iter()
+            .map(|t| moentwine::sim::FlowSpec::new(topo.route(t.src, t.dst), t.bytes))
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        des >= est.serialization_time * 0.999,
+        "DES {des} beats the serialization bound {}",
+        est.serialization_time
+    );
+    assert!(
+        des <= est.total_time * 2.0,
+        "DES {des} too far above estimate {}",
+        est.total_time
+    );
+}

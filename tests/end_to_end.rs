@@ -1,0 +1,174 @@
+//! End-to-end scenarios spanning every crate: the claims a downstream user
+//! of the library would rely on.
+
+use moentwine::core::balancer::BalancerKind;
+use moentwine::core::comm::ClusterLayout;
+use moentwine::core::engine::{EngineConfig, InferenceEngine};
+use moentwine::prelude::*;
+use moentwine::workload::{Scenario, WorkloadMix};
+
+fn small_model() -> ModelConfig {
+    ModelConfig {
+        name: "tiny".into(),
+        total_params_b: 1.0,
+        num_layers: 6,
+        num_sparse_layers: 6,
+        hidden_size: 1024,
+        moe_intermediate_size: 512,
+        num_experts: 16,
+        experts_per_token: 2,
+        num_shared_experts: 0,
+        num_attention_heads: 8,
+        num_kv_heads: 2,
+        head_dim: 128,
+    }
+}
+
+#[test]
+fn er_reduces_end_to_end_a2a_versus_baseline() {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let dims = topo.mesh_dims().unwrap();
+    let run = |plan: &MappingPlan| {
+        let config = EngineConfig::new(small_model()).with_seed(3);
+        InferenceEngine::new(&topo, &table, plan, config).run(10)
+    };
+    let base = run(&BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan());
+    let er = run(&ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan());
+    assert!(
+        er.mean_all_to_all < base.mean_all_to_all,
+        "ER {} vs baseline {}",
+        er.mean_all_to_all,
+        base.mean_all_to_all
+    );
+}
+
+#[test]
+fn her_beats_pure_er_on_multi_wafer() {
+    let topo = MultiWafer::grid(2, 2, 4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let dims = topo.mesh_dims().unwrap();
+    let run = |plan: &MappingPlan| {
+        let mut config = EngineConfig::new(small_model()).with_seed(3);
+        config.comm_layer_stride = 2;
+        InferenceEngine::new(&topo, &table, plan, config).run(6)
+    };
+    let er = run(&ErMapping::with_tp_degree(dims, 4).unwrap().plan());
+    let her = run(&HierarchicalErMapping::with_tp_degree(dims, 4).unwrap().plan());
+    let er_comm = er.mean_all_to_all + er.mean_all_reduce;
+    let her_comm = her.mean_all_to_all + her.mean_all_reduce;
+    assert!(
+        her_comm < er_comm,
+        "HER comm {her_comm} vs pure-ER comm {er_comm}"
+    );
+}
+
+#[test]
+fn wsc_engine_beats_dgx_engine_per_device() {
+    // The Fig. 1 story at engine level, on a small instance: 16-die wafer
+    // vs 2-node DGX (16 GPUs), identical model and per-group batch.
+    let model = small_model();
+
+    let dgx = DgxCluster::new(2, PlatformParams::dgx_b200()).build();
+    let dgx_table = RouteTable::build(&dgx);
+    let dgx_layout = ClusterLayout::new(&dgx, 4);
+    let mut dgx_engine = InferenceEngine::new(
+        &dgx,
+        &dgx_table,
+        &dgx_layout,
+        EngineConfig::new(model.clone()).with_seed(5),
+    );
+    let dgx_summary = dgx_engine.run(10);
+
+    let wsc = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let wsc_table = RouteTable::build(&wsc);
+    let plan = ErMapping::with_tp_degree(wsc.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let mut wsc_engine = InferenceEngine::new(
+        &wsc,
+        &wsc_table,
+        &plan,
+        EngineConfig::new(model).with_seed(5),
+    );
+    let wsc_summary = wsc_engine.run(10);
+
+    assert!(
+        wsc_summary.mean_all_to_all < dgx_summary.mean_all_to_all,
+        "WSC a2a {} vs DGX a2a {}",
+        wsc_summary.mean_all_to_all,
+        dgx_summary.mean_all_to_all
+    );
+}
+
+#[test]
+fn non_invasive_balancer_is_zero_overhead_and_converges() {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let config = EngineConfig::new(small_model())
+        .with_workload(WorkloadMix::Fixed(Scenario::Coding))
+        .with_balancer(BalancerKind::NonInvasive)
+        .with_seed(8);
+    let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+    engine.run(50);
+
+    // Zero overhead, ever.
+    assert!(engine.history.iter().all(|m| m.migration_stall == 0.0));
+    // Load ratio in the last third is better than the first three
+    // iterations (convergence).
+    let early: f64 = engine.history[..3].iter().map(|m| m.load_ratio).sum::<f64>() / 3.0;
+    let late_window = &engine.history[35..];
+    let late: f64 =
+        late_window.iter().map(|m| m.load_ratio).sum::<f64>() / late_window.len() as f64;
+    assert!(late < early, "no convergence: early {early} late {late}");
+}
+
+#[test]
+fn engine_histories_are_reproducible() {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let run = || {
+        let config = EngineConfig::new(small_model())
+            .with_balancer(BalancerKind::NonInvasive)
+            .with_seed(77);
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(15);
+        engine.history
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn invasive_beats_nothing_but_loses_to_non_invasive_on_stalls() {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let run = |kind: BalancerKind| {
+        let config = EngineConfig::new(small_model())
+            .with_workload(WorkloadMix::Fixed(Scenario::Math))
+            .with_balancer(kind)
+            .with_seed(4);
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(40)
+    };
+    let greedy = run(BalancerKind::Greedy);
+    let topo_aware = run(BalancerKind::TopologyAware);
+    let ni = run(BalancerKind::NonInvasive);
+    assert!(greedy.mean_migration_stall > 0.0);
+    // Topology-aware migrations travel shorter distances → smaller stalls.
+    assert!(
+        topo_aware.mean_migration_stall <= greedy.mean_migration_stall,
+        "topology-aware {} vs greedy {}",
+        topo_aware.mean_migration_stall,
+        greedy.mean_migration_stall
+    );
+    assert_eq!(ni.mean_migration_stall, 0.0);
+}
