@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the pluggable congestion-pricing backends:
+//! the cost of pricing the *same* collective with the closed-form analytic
+//! model versus the flow-level DES, at both collective and A2A scope.
+//!
+//! This quantifies the fidelity/speed trade the `EngineConfig::backend` knob
+//! buys (DESIGN.md §5): the analytic estimate is typically orders of
+//! magnitude cheaper per schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use moentwine_bench::platforms::{balanced_gating, Platform};
+use moe_model::{ModelConfig, Precision};
+use moentwine_core::comm::A2aModel;
+use moentwine_core::mapping::ErMapping;
+use moentwine_core::placement::ExpertPlacement;
+use wsc_sim::{CongestionBackend, FlowSchedule};
+
+fn er_all_reduce_schedule(platform: &Platform, tp: usize, bytes: f64) -> FlowSchedule {
+    let plan = ErMapping::with_tp_degree(platform.topo.mesh_dims().unwrap(), tp)
+        .unwrap()
+        .plan();
+    use moentwine_core::comm::ParallelLayout;
+    plan.all_reduce_schedule(&platform.topo, bytes)
+}
+
+fn bench_price_er_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_er_all_reduce");
+    for n in [4u16, 8] {
+        let platform = Platform::wsc(n);
+        let sched = er_all_reduce_schedule(&platform, 4, 2.0e6);
+        for backend in CongestionBackend::all() {
+            let model = backend.build(&platform.topo);
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), format!("{n}x{n}")),
+                &sched,
+                |b, sched| b.iter(|| model.price_schedule(sched)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_price_a2a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_a2a_dispatch_combine");
+    group.sample_size(10);
+    let model = ModelConfig::qwen3_235b();
+    let platform = Platform::wsc(6);
+    let plan = ErMapping::with_tp_degree(platform.topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let placement = ExpertPlacement::balanced(
+        model.num_experts as usize,
+        platform.topo.num_devices(),
+        1,
+    );
+    let gating = balanced_gating(
+        plan.num_groups(),
+        model.num_experts as usize,
+        256,
+        model.experts_per_token,
+    );
+    let a2a = A2aModel::new(&platform.topo, &platform.table, &plan);
+    let token_bytes = model.token_bytes(Precision::Fp16);
+    for backend in CongestionBackend::all() {
+        let pricer = backend.build(&platform.topo);
+        group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
+            b.iter(|| a2a.estimate_with(pricer.as_ref(), &gating, &placement, token_bytes, 256))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_price_er_all_reduce, bench_price_a2a);
+criterion_main!(benches);

@@ -1,11 +1,56 @@
 //! Runs every table/figure experiment in paper order, saving each report to
-//! `results/<id>.json` and writing a combined `results/SUMMARY.md` suitable
-//! for pasting into EXPERIMENTS.md.
+//! `results/<id>.json`, writing a combined `results/SUMMARY.md` suitable for
+//! pasting into EXPERIMENTS.md, and emitting a machine-readable run manifest
+//! to `target/figs/summary.json` (figure id → status, runtime, key metrics)
+//! for CI and downstream tooling.
+//!
+//! A panicking experiment is recorded as `"status": "failed"` in the
+//! manifest and the remaining experiments still run; the process then exits
+//! non-zero.
 //!
 //! Usage: `cargo run --release -p moentwine-bench --bin repro_all [--quick]`
 
 use std::fs;
+use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
+
+use moentwine_bench::json::Value;
+use moentwine_bench::Report;
+
+/// One experiment's manifest entry. `save_error` reports a figure that ran
+/// but whose `results/<id>.json` could not be written — `report_path` is
+/// only recorded when the file actually exists.
+fn manifest_entry(
+    id: &str,
+    outcome: &Result<Report, String>,
+    save_error: Option<&str>,
+    seconds: f64,
+) -> Value {
+    let mut fields = vec![("id".into(), Value::Str(id.into()))];
+    match outcome {
+        Ok(report) => {
+            fields.push(("status".into(), Value::Str("ok".into())));
+            fields.push(("title".into(), Value::Str(report.title.clone())));
+            fields.push(("rows".into(), Value::Num(report.rows.len() as f64)));
+            // The notes carry each figure's paper-vs-measured observations —
+            // the key metrics a reader checks first.
+            fields.push(("key_metrics".into(), Value::strings(report.notes.clone())));
+            match save_error {
+                None => fields.push((
+                    "report_path".into(),
+                    Value::Str(format!("results/{id}.json")),
+                )),
+                Some(e) => fields.push(("save_error".into(), Value::Str(e.into()))),
+            }
+        }
+        Err(message) => {
+            fields.push(("status".into(), Value::Str("failed".into())));
+            fields.push(("error".into(), Value::Str(message.clone())));
+        }
+    }
+    fields.push(("seconds".into(), Value::Num(seconds)));
+    Value::Obj(fields)
+}
 
 fn main() {
     let quick = moentwine_bench::quick_from_args();
@@ -14,29 +59,69 @@ fn main() {
         summary.push_str("> Generated with `--quick` (reduced iterations).\n\n");
     }
     let start = Instant::now();
+    let mut entries: Vec<Value> = Vec::new();
+    let mut failures = 0usize;
     for (id, runner) in moentwine_bench::figs::all() {
         let t0 = Instant::now();
         eprintln!("[repro] running {id} ...");
-        let report = runner(quick);
-        report.print();
-        if let Err(e) = report.save("results") {
-            eprintln!("[repro] warning: could not save {id}: {e}");
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| runner(quick))).map_err(|cause| {
+            cause
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| cause.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "experiment panicked".into())
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        let mut save_error = None;
+        match &outcome {
+            Ok(report) => {
+                report.print();
+                if let Err(e) = report.save("results") {
+                    eprintln!("[repro] warning: could not save {id}: {e}");
+                    save_error = Some(e.to_string());
+                }
+                summary.push_str(&report.to_markdown());
+                summary.push('\n');
+                eprintln!("[repro] {id} finished in {seconds:.1}s");
+            }
+            Err(message) => {
+                failures += 1;
+                summary.push_str(&format!("## {id} — FAILED\n\n- {message}\n\n"));
+                eprintln!("[repro] {id} FAILED after {seconds:.1}s: {message}");
+            }
         }
-        summary.push_str(&report.to_markdown());
-        summary.push('\n');
-        eprintln!("[repro] {id} finished in {:.1}s", t0.elapsed().as_secs_f64());
+        entries.push(manifest_entry(id, &outcome, save_error.as_deref(), seconds));
     }
     summary.push_str(&format!(
         "\n_Total generation time: {:.1}s_\n",
         start.elapsed().as_secs_f64()
     ));
-    if let Err(e) = fs::create_dir_all("results")
-        .and_then(|_| fs::write("results/SUMMARY.md", &summary))
+    if let Err(e) =
+        fs::create_dir_all("results").and_then(|_| fs::write("results/SUMMARY.md", &summary))
     {
         eprintln!("[repro] warning: could not write summary: {e}");
     }
+
+    let manifest = Value::Obj(vec![
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "total_seconds".into(),
+            Value::Num(start.elapsed().as_secs_f64()),
+        ),
+        ("failures".into(), Value::Num(failures as f64)),
+        ("figures".into(), Value::Arr(entries)),
+    ]);
+    match fs::create_dir_all("target/figs")
+        .and_then(|_| fs::write("target/figs/summary.json", manifest.pretty()))
+    {
+        Ok(()) => eprintln!("[repro] machine-readable manifest: target/figs/summary.json"),
+        Err(e) => eprintln!("[repro] warning: could not write manifest: {e}"),
+    }
     eprintln!(
-        "[repro] all experiments done in {:.1}s; see results/SUMMARY.md",
+        "[repro] all experiments done in {:.1}s ({failures} failed); see results/SUMMARY.md",
         start.elapsed().as_secs_f64()
     );
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }

@@ -11,6 +11,7 @@
 //! Pass `--quick` to any binary for a reduced-iteration smoke run.
 
 pub mod figs;
+pub mod json;
 pub mod platforms;
 pub mod report;
 

@@ -6,6 +6,8 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use crate::json::Value;
+
 /// One experiment's output: a titled table plus free-form observations
 /// (typically the paper-vs-measured comparison).
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -77,6 +79,60 @@ impl Report {
         println!("{}", self.to_markdown());
     }
 
+    /// The report as a JSON tree (see [`crate::json`]).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("title".into(), Value::Str(self.title.clone())),
+            ("columns".into(), Value::strings(self.columns.clone())),
+            (
+                "rows".into(),
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| Value::strings(row.clone()))
+                        .collect(),
+                ),
+            ),
+            ("notes".into(), Value::strings(self.notes.clone())),
+        ])
+    }
+
+    /// Rebuilds a report from [`Report::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static message naming the missing or mistyped field.
+    pub fn from_json(value: &Value) -> Result<Self, &'static str> {
+        fn string_list(value: &Value, what: &'static str) -> Result<Vec<String>, &'static str> {
+            value
+                .as_array()
+                .ok_or(what)?
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned).ok_or(what))
+                .collect()
+        }
+        let field = |key: &str, what: &'static str| value.get(key).ok_or(what);
+        Ok(Report {
+            id: field("id", "missing id")?
+                .as_str()
+                .ok_or("id must be a string")?
+                .to_owned(),
+            title: field("title", "missing title")?
+                .as_str()
+                .ok_or("title must be a string")?
+                .to_owned(),
+            columns: string_list(field("columns", "missing columns")?, "bad columns")?,
+            rows: field("rows", "missing rows")?
+                .as_array()
+                .ok_or("rows must be an array")?
+                .iter()
+                .map(|row| string_list(row, "bad row"))
+                .collect::<Result<_, _>>()?,
+            notes: string_list(field("notes", "missing notes")?, "bad notes")?,
+        })
+    }
+
     /// Persists the report as `dir/<id>.json`.
     ///
     /// # Errors
@@ -85,8 +141,20 @@ impl Report {
     pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
-        fs::write(dir.join(format!("{}.json", self.id)), json)
+        fs::write(dir.join(format!("{}.json", self.id)), self.to_json().pretty())
+    }
+
+    /// Loads a report previously written by [`Report::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; malformed JSON maps to
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        let value = Value::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Report::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -155,9 +223,9 @@ mod tests {
         let dir = std::env::temp_dir().join("moentwine-report-test");
         let mut r = Report::new("t1", "x").columns(["c"]);
         r.row(["v"]);
+        r.note("paper-vs-measured: \"close\"");
         r.save(&dir).unwrap();
-        let loaded: Report =
-            serde_json::from_str(&std::fs::read_to_string(dir.join("t1.json")).unwrap()).unwrap();
+        let loaded = Report::load(dir.join("t1.json")).unwrap();
         assert_eq!(loaded, r);
     }
 }

@@ -15,7 +15,7 @@ use wsc_collectives::{
     hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter,
     StaggeredRings,
 };
-use wsc_sim::{AnalyticEstimate, FlowSchedule};
+use wsc_sim::{AnalyticModel, CongestionModel, FlowSchedule};
 use wsc_topology::{DeviceId, Location, RouteTable, Topology};
 
 use crate::mapping::{MappingKind, MappingPlan, TokenSource};
@@ -240,9 +240,9 @@ impl ParallelLayout for ClusterLayout {
 #[derive(Clone, Debug)]
 pub struct A2aEstimate {
     /// Dispatch (token scatter) estimate.
-    pub dispatch: AnalyticEstimate,
+    pub dispatch: wsc_sim::AnalyticEstimate,
     /// Combine (result gather) estimate.
-    pub combine: AnalyticEstimate,
+    pub combine: wsc_sim::AnalyticEstimate,
     /// Expected token load per device (replica shares applied).
     pub device_tokens: Vec<f64>,
     /// Number of resident experts with non-zero load per device (each
@@ -269,6 +269,10 @@ impl A2aEstimate {
         }
     }
 }
+
+/// A `(source, destination, bytes)` transfer list, as consumed by
+/// [`CongestionModel::price_pairs`].
+type PairList = Vec<(DeviceId, DeviceId, f64)>;
 
 /// Analytical all-to-all model with precomputed token-source tables.
 ///
@@ -357,18 +361,10 @@ impl<'a> A2aModel<'a> {
         transfers
     }
 
-    /// Prices one layer's dispatch and combine given the gating outcome and
-    /// the current expert placement. `tokens_per_group` bounds the unique
-    /// tokens a group can contribute, enabling the dedup caps below.
-    ///
-    /// Two hierarchical-fabric refinements mirror the paper's baselines:
-    ///
-    /// * **Per-device dedup** — a token selecting several experts colocated
-    ///   on one device is sent once, so `volume(g→d) ≤ tokens × bytes`.
-    /// * **Node aggregation** (clusters only) — cross-node traffic is
-    ///   aggregated per destination node (dispatch) and locally reduced
-    ///   before returning (combine), the DeepSpeed-MoE-style optimization
-    ///   the paper grants the DGX baseline (§VI-B).
+    /// Prices one layer's dispatch and combine with the fast analytical
+    /// backend. Equivalent to [`A2aModel::estimate_with`] over an
+    /// [`AnalyticModel`]; kept as the hot-path spelling the engine's default
+    /// configuration uses.
     ///
     /// # Panics
     ///
@@ -380,16 +376,71 @@ impl<'a> A2aModel<'a> {
         token_bytes: f64,
         tokens_per_group: u32,
     ) -> A2aEstimate {
+        self.estimate_with(
+            &AnalyticModel::new(self.topo),
+            gating,
+            placement,
+            token_bytes,
+            tokens_per_group,
+        )
+    }
+
+    /// Prices one layer's dispatch and combine through any
+    /// [`CongestionModel`] backend, given the gating outcome and the current
+    /// expert placement. `tokens_per_group` bounds the unique tokens a group
+    /// can contribute, enabling the dedup caps below.
+    ///
+    /// Two hierarchical-fabric refinements mirror the paper's baselines:
+    ///
+    /// * **Per-device dedup** — a token selecting several experts colocated
+    ///   on one device is sent once, so `volume(g→d) ≤ tokens × bytes`.
+    /// * **Node aggregation** (clusters only) — cross-node traffic is
+    ///   aggregated per destination node (dispatch) and locally reduced
+    ///   before returning (combine), the DeepSpeed-MoE-style optimization
+    ///   the paper grants the DGX baseline (§VI-B).
+    ///
+    /// Both refinements are applied while expanding the gating outcome into
+    /// explicit `(source, destination, bytes)` transfer lists, so every
+    /// backend — closed-form or DES — prices exactly the same traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gating group count does not match the layout.
+    pub fn estimate_with(
+        &self,
+        backend: &dyn CongestionModel,
+        gating: &LayerGating,
+        placement: &ExpertPlacement,
+        token_bytes: f64,
+        tokens_per_group: u32,
+    ) -> A2aEstimate {
         assert_eq!(
             gating.num_groups(),
             self.num_groups,
             "gating groups must match layout groups"
         );
-        let num_devices = self.topo.num_devices();
-        let num_links = self.topo.num_links();
         let group_bytes_cap = tokens_per_group as f64 * token_bytes;
+        let (volume, device_tokens, device_active) =
+            self.volumes_and_loads(gating, placement, token_bytes, group_bytes_cap);
+        let (dispatch_pairs, combine_pairs) = self.transfer_pairs(&volume, group_bytes_cap);
+        A2aEstimate {
+            dispatch: backend.price_pairs(self.table, &dispatch_pairs),
+            combine: backend.price_pairs(self.table, &combine_pairs),
+            device_tokens,
+            device_active_experts: device_active,
+        }
+    }
 
-        // Step 1: per-(group, device) dispatch volumes and device loads.
+    /// Step 1 of pricing: per-(group, device) dispatch volumes (dedup-capped)
+    /// and the per-device token/active-expert loads the compute model needs.
+    fn volumes_and_loads(
+        &self,
+        gating: &LayerGating,
+        placement: &ExpertPlacement,
+        token_bytes: f64,
+        group_bytes_cap: f64,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let num_devices = self.topo.num_devices();
         let mut volume = vec![0.0f64; self.num_groups * num_devices];
         let mut device_tokens = vec![0.0f64; num_devices];
         let mut device_active = vec![0.0f64; num_devices];
@@ -419,29 +470,29 @@ impl<'a> A2aModel<'a> {
         for v in &mut volume {
             *v = v.min(group_bytes_cap);
         }
+        (volume, device_tokens, device_active)
+    }
 
-        // Step 2: expand to link volumes through the source table.
-        let mut dispatch = AnalyticEstimate {
-            link_volume: vec![0.0; num_links],
-            ..Default::default()
-        };
-        let mut combine = AnalyticEstimate {
-            link_volume: vec![0.0; num_links],
-            ..Default::default()
-        };
+    /// Step 2 of pricing: expands per-(group, device) volumes into the
+    /// explicit dispatch and combine transfer lists through the source
+    /// table, applying node aggregation on hierarchical fabrics.
+    fn transfer_pairs(&self, volume: &[f64], group_bytes_cap: f64) -> (PairList, PairList) {
+        let num_devices = self.topo.num_devices();
+        let mut dispatch = Vec::new();
+        let mut combine = Vec::new();
         for g in 0..self.num_groups {
+            let group_volume = &volume[g * num_devices..(g + 1) * num_devices];
             match &self.nodes {
-                Some(nodes) => self.expand_hierarchical(
+                Some(nodes) => self.hierarchical_pairs(
                     g,
-                    &volume[g * num_devices..(g + 1) * num_devices],
+                    group_volume,
                     nodes,
                     group_bytes_cap,
                     &mut dispatch,
                     &mut combine,
                 ),
                 None => {
-                    for d in 0..num_devices {
-                        let bytes = volume[g * num_devices + d];
+                    for (d, &bytes) in group_volume.iter().enumerate() {
                         if bytes <= 0.0 {
                             continue;
                         }
@@ -451,43 +502,26 @@ impl<'a> A2aModel<'a> {
                                 continue;
                             }
                             let part = bytes * source.fraction;
-                            accumulate(
-                                self.topo,
-                                &mut dispatch,
-                                self.table.route(source.device, dst),
-                                part,
-                            );
-                            accumulate(
-                                self.topo,
-                                &mut combine,
-                                self.table.route(dst, source.device),
-                                part,
-                            );
+                            dispatch.push((source.device, dst, part));
+                            combine.push((dst, source.device, part));
                         }
                     }
                 }
             }
         }
-        finalize(self.topo, &mut dispatch);
-        finalize(self.topo, &mut combine);
-
-        A2aEstimate {
-            dispatch,
-            combine,
-            device_tokens,
-            device_active_experts: device_active,
-        }
+        (dispatch, combine)
     }
 
-    /// Node-aggregated expansion for one group on a hierarchical cluster.
-    fn expand_hierarchical(
+    /// Node-aggregated transfer expansion for one group on a hierarchical
+    /// cluster.
+    fn hierarchical_pairs(
         &self,
         g: usize,
         volume: &[f64],
         nodes: &[u16],
         group_bytes_cap: f64,
-        dispatch: &mut AnalyticEstimate,
-        combine: &mut AnalyticEstimate,
+        dispatch: &mut PairList,
+        combine: &mut PairList,
     ) {
         let num_devices = self.topo.num_devices();
         // The cluster source table always has a single nearest source.
@@ -513,8 +547,8 @@ impl<'a> A2aModel<'a> {
                     if src == dst {
                         continue;
                     }
-                    accumulate(self.topo, dispatch, self.table.route(src, dst), volume[d]);
-                    accumulate(self.topo, combine, self.table.route(dst, src), volume[d]);
+                    dispatch.push((src, dst, volume[d]));
+                    combine.push((dst, src, volume[d]));
                 }
             } else {
                 // Cross-node: one aggregated transfer over the slow tier,
@@ -522,42 +556,16 @@ impl<'a> A2aModel<'a> {
                 let total: f64 = dsts.iter().map(|&d| volume[d]).sum();
                 let cross = total.min(group_bytes_cap);
                 let agg = DeviceId(dsts[0] as u32);
-                accumulate(self.topo, dispatch, self.table.route(src, agg), cross);
-                accumulate(self.topo, combine, self.table.route(agg, src), cross);
+                dispatch.push((src, agg, cross));
+                combine.push((agg, src, cross));
                 for &d in &dsts[1..] {
                     let dst = DeviceId(d as u32);
-                    accumulate(self.topo, dispatch, self.table.route(agg, dst), volume[d]);
-                    accumulate(self.topo, combine, self.table.route(dst, agg), volume[d]);
+                    dispatch.push((agg, dst, volume[d]));
+                    combine.push((dst, agg, volume[d]));
                 }
             }
         }
     }
-}
-
-fn accumulate(
-    topo: &Topology,
-    est: &mut AnalyticEstimate,
-    route: &wsc_topology::Route,
-    bytes: f64,
-) {
-    est.total_bytes += bytes;
-    est.max_hops = est.max_hops.max(route.hops());
-    let mut lat = 0.0;
-    for &l in route.links() {
-        est.link_volume[l.index()] += bytes;
-        lat += topo.link(l).latency;
-    }
-    est.latency_time = est.latency_time.max(lat);
-}
-
-fn finalize(topo: &Topology, est: &mut AnalyticEstimate) {
-    est.serialization_time = est
-        .link_volume
-        .iter()
-        .zip(topo.links())
-        .map(|(&v, l)| v / l.bandwidth)
-        .fold(0.0, f64::max);
-    est.total_time = est.serialization_time + est.latency_time;
 }
 
 #[cfg(test)]
@@ -625,6 +633,64 @@ mod tests {
         placement.add_replica(0, DeviceId(3)).unwrap();
         let after = model.estimate(&gating, &placement, 1024.0, 1000);
         assert!(after.load_ratio() < before.load_ratio());
+    }
+
+    #[test]
+    fn estimate_with_backends_wafer_and_cluster() {
+        use wsc_sim::CongestionBackend;
+        // Wafer mesh (flat expansion) and DGX cluster (node-aggregated
+        // expansion): the analytic backend must reproduce `estimate`
+        // exactly, and the DES backend must stay within the documented
+        // conservative-bound relationship on the same transfer lists.
+        let wafer = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let wafer_table = RouteTable::build(&wafer);
+        let wafer_plan = ErMapping::new(wafer.mesh_dims().unwrap(), TpShape::new(2, 2))
+            .unwrap()
+            .plan();
+        let cluster = DgxCluster::new(2, PlatformParams::dgx_b200()).build();
+        let cluster_table = RouteTable::build(&cluster);
+        let cluster_layout = ClusterLayout::new(&cluster, 8);
+        let cases: [(&Topology, &RouteTable, &dyn ParallelLayout); 2] = [
+            (&wafer, &wafer_table, &wafer_plan),
+            (&cluster, &cluster_table, &cluster_layout),
+        ];
+        for (topo, table, layout) in cases {
+            let model = A2aModel::new(topo, table, layout);
+            let placement = ExpertPlacement::balanced(16, topo.num_devices(), 1);
+            let mut gating = uniform_gating(model.num_groups(), 16, 8);
+            gating.counts[0][3] += 40; // some imbalance
+            let fast = model.estimate(&gating, &placement, 1024.0, 256);
+            let analytic = model.estimate_with(
+                CongestionBackend::Analytic.build(topo).as_ref(),
+                &gating,
+                &placement,
+                1024.0,
+                256,
+            );
+            assert_eq!(fast.dispatch, analytic.dispatch);
+            assert_eq!(fast.combine, analytic.combine);
+            assert_eq!(fast.device_tokens, analytic.device_tokens);
+
+            let des = model.estimate_with(
+                CongestionBackend::FlowSim.build(topo).as_ref(),
+                &gating,
+                &placement,
+                1024.0,
+                256,
+            );
+            assert_eq!(des.device_tokens, analytic.device_tokens);
+            assert!(
+                (des.dispatch.total_bytes - analytic.dispatch.total_bytes).abs() < 1e-6,
+                "backends must price identical traffic"
+            );
+            assert!(des.total_time() > 0.0);
+            assert!(
+                des.dispatch.total_time >= analytic.dispatch.serialization_time * 0.999,
+                "DES {} beats the serialization bound {}",
+                des.dispatch.total_time,
+                analytic.dispatch.serialization_time
+            );
+        }
     }
 
     #[test]

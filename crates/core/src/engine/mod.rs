@@ -8,10 +8,13 @@
 //! invasively (stall on the critical path) or non-invasively (drained on
 //! phase-cold links by the [`MigrationEngine`](crate::migration)).
 //!
-//! Communication is priced with the analytical congestion model
-//! (per-link volumes over precomputed routes); the flow-level simulator is
-//! reserved for the single-collective experiments where full fidelity is
-//! affordable (see DESIGN.md §5).
+//! Communication is priced through the pluggable
+//! [`CongestionModel`](wsc_sim::CongestionModel) backend selected by
+//! [`EngineConfig::backend`]: the default analytical congestion model
+//! (per-link volumes over precomputed routes) for production-scale sweeps,
+//! or the flow-level simulator when an experiment wants full fidelity on
+//! every collective (see DESIGN.md §5 for the fidelity split and
+//! `tests/analytic_vs_des.rs` for the cross-validation contract).
 
 mod metrics;
 
@@ -23,7 +26,7 @@ use moe_workload::{
     WorkloadMix,
 };
 use serde::{Deserialize, Serialize};
-use wsc_sim::AnalyticModel;
+use wsc_sim::{CongestionBackend, CongestionModel};
 use wsc_topology::{RouteTable, Topology};
 
 use crate::balancer::{
@@ -31,7 +34,7 @@ use crate::balancer::{
     TopologyAwareBalancer, Trigger,
 };
 use crate::comm::{A2aModel, ParallelLayout};
-use crate::migration::{enqueue_replications, MigrationEngine, MigrationPhase};
+use crate::migration::{enqueue_replications, invasive_stall, MigrationEngine, MigrationPhase};
 use crate::placement::ExpertPlacement;
 
 pub use crate::balancer::cumulative_imbalance as imbalance_statistic;
@@ -74,6 +77,9 @@ pub struct EngineConfig {
     pub workload: WorkloadMix,
     /// Batch production mode.
     pub batch: BatchMode,
+    /// Communication-pricing fidelity: the fast analytic congestion model
+    /// (default) or the flow-level DES on every collective.
+    pub backend: CongestionBackend,
     /// Balancing strategy.
     pub balancer: BalancerKind,
     /// Eq. 2 `α`, specified per layer (total `α = this × L`).
@@ -111,6 +117,7 @@ impl EngineConfig {
                 avg_context: 4096.0,
                 phase: InferencePhase::Decode,
             },
+            backend: CongestionBackend::Analytic,
             balancer: BalancerKind::None,
             trigger_alpha_per_layer: 0.25,
             trigger_beta: 10,
@@ -129,6 +136,12 @@ impl EngineConfig {
     /// Sets the balancer kind (builder style).
     pub fn with_balancer(mut self, kind: BalancerKind) -> Self {
         self.balancer = kind;
+        self
+    }
+
+    /// Sets the communication-pricing backend (builder style).
+    pub fn with_backend(mut self, backend: CongestionBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -157,6 +170,8 @@ pub struct InferenceEngine<'a> {
     table: &'a RouteTable,
     layout: &'a dyn ParallelLayout,
     config: EngineConfig,
+    /// Communication-pricing backend built from `config.backend`.
+    backend: Box<dyn CongestionModel + 'a>,
     a2a: A2aModel<'a>,
     trace: TraceGenerator,
     scheduler: Option<BatchScheduler>,
@@ -284,15 +299,19 @@ impl<'a> InferenceEngine<'a> {
             migration = migration.phase_agnostic();
         }
 
-        // All-reduce cost decomposition from a unit-byte schedule.
+        // All-reduce cost decomposition from a unit-byte schedule, priced by
+        // the configured backend (both backends are linear in bytes for a
+        // fixed schedule shape, so slope+intercept extraction is exact).
+        let backend = config.backend.build(topo);
         let unit = layout.all_reduce_schedule(topo, 1.0);
-        let est = AnalyticModel::new(topo).estimate_schedule(&unit);
+        let est = backend.price_schedule(&unit);
         let a2a = A2aModel::new(topo, table, layout);
 
         InferenceEngine {
             topo,
             table,
             layout,
+            backend,
             a2a,
             trace,
             scheduler,
@@ -313,6 +332,11 @@ impl<'a> InferenceEngine<'a> {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The active communication-pricing backend.
+    pub fn backend(&self) -> &dyn CongestionModel {
+        self.backend.as_ref()
     }
 
     /// Current per-layer placements.
@@ -387,7 +411,13 @@ impl<'a> InferenceEngine<'a> {
         let mut per_layer_loads: Vec<Vec<f64>> = Vec::with_capacity(num_layers);
         let mut cached_comm: Option<(f64, f64)> = None;
         for (l, gating) in trace.layers.iter().enumerate() {
-            let est = self.a2a.estimate(gating, &self.placements[l], token_bytes, tokens_per_group);
+            let est = self.a2a.estimate_with(
+                self.backend.as_ref(),
+                gating,
+                &self.placements[l],
+                token_bytes,
+                tokens_per_group,
+            );
             let (dispatch_t, combine_t) = if l % config.comm_layer_stride == 0 {
                 let t = (est.dispatch.total_time, est.combine.total_time);
                 cached_comm = Some(t);
@@ -534,8 +564,7 @@ impl<'a> InferenceEngine<'a> {
                 if self.invasive && !stall_pairs.is_empty() {
                     // The migrations run concurrently on the idle-but-shared
                     // fabric, interrupting inference (paper Fig. 7b).
-                    let est = AnalyticModel::new(self.topo)
-                        .estimate_pairs(self.table, stall_pairs);
+                    let est = invasive_stall(self.backend.as_ref(), self.table, &stall_pairs);
                     metrics.migration_stall = est.total_time;
                     metrics.iteration_time += est.total_time;
                 }
@@ -641,6 +670,32 @@ mod tests {
             "balancing should reduce load ratio: {} vs {}",
             with.mean_load_ratio,
             without.mean_load_ratio
+        );
+    }
+
+    #[test]
+    fn backend_knob_swaps_pricing_fidelity() {
+        let (topo, table, plan) = fixture();
+        let run = |backend: CongestionBackend| {
+            let config = EngineConfig::new(small_model())
+                .with_seed(3)
+                .with_backend(backend);
+            let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+            assert_eq!(engine.backend().name(), backend.name());
+            engine.run(3)
+        };
+        let analytic = run(CongestionBackend::Analytic);
+        let des = run(CongestionBackend::FlowSim);
+        assert!(analytic.mean_all_to_all > 0.0);
+        assert!(des.mean_all_to_all > 0.0);
+        // Same traffic, different fidelity: the results must be in the same
+        // ballpark (the analytic model is a conservative bottleneck bound).
+        let ratio = des.mean_all_to_all / analytic.mean_all_to_all;
+        assert!(
+            (0.2..=1.5).contains(&ratio),
+            "DES/analytic a2a ratio {ratio} out of range: {} vs {}",
+            des.mean_all_to_all,
+            analytic.mean_all_to_all
         );
     }
 

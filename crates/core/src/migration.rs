@@ -15,6 +15,7 @@
 //!   degraded.
 
 use serde::{Deserialize, Serialize};
+use wsc_sim::{AnalyticEstimate, CongestionModel};
 use wsc_topology::{DeviceId, RouteTable, Topology};
 
 use crate::balancer::BalanceAction;
@@ -248,6 +249,17 @@ impl MigrationEngine {
     pub fn clear(&mut self) {
         self.in_flight.clear();
     }
+}
+
+/// Prices the inference stall caused by executing `transfers` invasively on
+/// the busy fabric (paper Fig. 7b): all migrations run concurrently, and the
+/// configured [`CongestionModel`] backend decides how they contend.
+pub fn invasive_stall(
+    backend: &dyn CongestionModel,
+    table: &RouteTable,
+    transfers: &[(DeviceId, DeviceId, f64)],
+) -> AnalyticEstimate {
+    backend.price_pairs(table, transfers)
 }
 
 /// Converts balancer actions into enqueue calls, returning the release

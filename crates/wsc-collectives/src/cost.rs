@@ -1,4 +1,35 @@
-//! Closed-form α-β reference costs for validating schedules.
+//! Closed-form α-β reference costs for validating schedules, plus
+//! backend-driven pricing of the schedules themselves.
+//!
+//! The closed forms are paper Eq. 1-style references; [`schedule_time`] and
+//! [`backend_disagreement`] price an actual [`FlowSchedule`] through any
+//! [`CongestionModel`] backend, so per-collective experiments can spot-check
+//! the fast analytic estimate against the DES on the same schedule.
+
+use wsc_sim::{CongestionModel, FlowSchedule};
+
+/// Total time of `schedule` under the supplied backend, seconds.
+pub fn schedule_time(backend: &dyn CongestionModel, schedule: &FlowSchedule) -> f64 {
+    backend.price_schedule(schedule).total_time
+}
+
+/// Relative disagreement between two backends on one schedule:
+/// `|t_a − t_b| / t_b` (with `t_b` from `reference`). Zero-time schedules
+/// report zero disagreement.
+///
+/// This is the per-collective validation primitive behind the
+/// `tests/analytic_vs_des.rs` contract and the Fig. spot-checks.
+pub fn backend_disagreement(
+    candidate: &dyn CongestionModel,
+    reference: &dyn CongestionModel,
+    schedule: &FlowSchedule,
+) -> f64 {
+    let t_ref = schedule_time(reference, schedule);
+    if t_ref == 0.0 {
+        return 0.0;
+    }
+    (schedule_time(candidate, schedule) - t_ref).abs() / t_ref
+}
 
 /// Closed-form time of a bidirectional 1-hop ring all-reduce of `n` members
 /// with `bytes` per member over duplex links of `bandwidth` (per direction)
@@ -54,7 +85,43 @@ pub fn mesh_all_to_all_bisection_bound(n: usize, bytes_per_pair: f64, bandwidth:
 mod tests {
     use super::*;
     use crate::alltoall::{all_to_all_concurrent, uniform_all_to_all_matrix};
+    use crate::ring::{ring_all_reduce, Ring};
+    use wsc_sim::CongestionBackend;
     use wsc_topology::{Mesh, PlatformParams};
+
+    #[test]
+    fn both_backends_match_closed_form_ring_all_reduce() {
+        let params = PlatformParams::dojo_like();
+        let topo = Mesh::new(2, params).build();
+        // 1-hop Hamiltonian cycle, as the closed form assumes.
+        let ring = Ring::new(vec![
+            topo.device_at_xy(0, 0).unwrap(),
+            topo.device_at_xy(1, 0).unwrap(),
+            topo.device_at_xy(1, 1).unwrap(),
+            topo.device_at_xy(0, 1).unwrap(),
+        ]);
+        let bytes = 8.0e6;
+        let sched = ring_all_reduce(&topo, &ring, bytes);
+        let reference = ring_all_reduce_time(4, bytes, params.on_wafer_bw, params.on_wafer_latency);
+        for kind in CongestionBackend::all() {
+            let t = schedule_time(kind.build(&topo).as_ref(), &sched);
+            assert!(
+                (t - reference).abs() / reference < 1e-6,
+                "{kind}: {t} vs closed form {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_disagreement_is_zero_against_itself_and_bounded_on_a2a() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let sched = all_to_all_concurrent(&topo, &uniform_all_to_all_matrix(&topo, 1.0e6));
+        let analytic = CongestionBackend::Analytic.build(&topo);
+        let des = CongestionBackend::FlowSim.build(&topo);
+        assert_eq!(backend_disagreement(analytic.as_ref(), analytic.as_ref(), &sched), 0.0);
+        let gap = backend_disagreement(analytic.as_ref(), des.as_ref(), &sched);
+        assert!(gap < 1.0, "analytic vs DES diverged by {gap:.2} on uniform a2a");
+    }
 
     #[test]
     fn staggered_cost_is_parities_times_base_with_hop_latency() {

@@ -19,7 +19,10 @@
 //! * [`hierarchical`] — the DeepSpeed-style two-level all-reduce used by the
 //!   DGX baseline (intra-node reduce-scatter → inter-node all-reduce →
 //!   intra-node all-gather).
-//! * [`cost`] — closed-form α-β reference times used to validate schedules.
+//! * [`cost`] — closed-form α-β reference times used to validate schedules,
+//!   plus [`CongestionModel`](wsc_sim::CongestionModel)-driven pricing
+//!   helpers for spot-checking the analytic estimate against the DES on the
+//!   same schedule.
 //!
 //! # Example
 //!

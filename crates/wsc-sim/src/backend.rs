@@ -1,0 +1,342 @@
+//! Pluggable congestion-pricing backends.
+//!
+//! Everything above this crate prices communication through the object-safe
+//! [`CongestionModel`] trait rather than a hard-wired estimator, so any
+//! experiment can trade fidelity for speed with a configuration knob
+//! (see `EngineConfig::backend` in `moentwine-core` and DESIGN.md §5):
+//!
+//! * [`AnalyticModel`](crate::AnalyticModel) — the closed-form bottleneck
+//!   estimator; `O(flows × hops)`, exact for phase-synchronous
+//!   single-bottleneck schedules, conservative otherwise.
+//! * [`FlowSimBackend`] — full flow-level discrete-event simulation
+//!   ([`NetworkSim`]); orders of magnitude slower, but models flows
+//!   completing at different times and freeing bandwidth.
+//!
+//! Both return the same [`AnalyticEstimate`] shape, so callers compose and
+//! report results identically regardless of fidelity. Future backends (e.g.
+//! a memoizing cache keyed on schedule shape) only need to implement the
+//! trait.
+
+use serde::{Deserialize, Serialize};
+use wsc_topology::{DeviceId, RouteTable, Topology};
+
+use crate::analytic::{AnalyticEstimate, AnalyticModel};
+use crate::flow::FlowSpec;
+use crate::network::NetworkSim;
+use crate::schedule::FlowSchedule;
+
+/// Backend selection knob: which [`CongestionModel`] implementation an
+/// experiment uses. Carried by configuration structs (plain data, `Copy`)
+/// and materialized with [`CongestionBackend::build`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum CongestionBackend {
+    /// Closed-form bottleneck estimation ([`AnalyticModel`]); the default.
+    #[default]
+    Analytic,
+    /// Flow-level discrete-event simulation ([`FlowSimBackend`]).
+    FlowSim,
+}
+
+impl CongestionBackend {
+    /// Stable lowercase name (`"analytic"` / `"flow-sim"`), matching
+    /// [`CongestionModel::name`] and the `FromStr` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongestionBackend::Analytic => "analytic",
+            CongestionBackend::FlowSim => "flow-sim",
+        }
+    }
+
+    /// Materializes the backend over `topo`.
+    pub fn build(self, topo: &Topology) -> Box<dyn CongestionModel + '_> {
+        match self {
+            CongestionBackend::Analytic => Box::new(AnalyticModel::new(topo)),
+            CongestionBackend::FlowSim => Box::new(FlowSimBackend::new(topo)),
+        }
+    }
+
+    /// Every backend, for sweep-style experiments.
+    pub fn all() -> [CongestionBackend; 2] {
+        [CongestionBackend::Analytic, CongestionBackend::FlowSim]
+    }
+}
+
+impl std::str::FromStr for CongestionBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "analytic" => Ok(CongestionBackend::Analytic),
+            "flow-sim" | "flowsim" | "des" => Ok(CongestionBackend::FlowSim),
+            other => Err(format!(
+                "unknown congestion backend {other:?} (expected \"analytic\" or \"flow-sim\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CongestionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Object-safe communication-pricing interface.
+///
+/// A backend prices concurrent flow sets, point-to-point transfer lists, and
+/// phased [`FlowSchedule`]s into [`AnalyticEstimate`]-shaped results. The
+/// estimate's `total_time` is the quantity of record; the decomposition into
+/// `serialization_time` + `latency_time` is exact for the analytic backend
+/// and derived (total minus longest route latency) for simulation backends.
+pub trait CongestionModel {
+    /// Stable backend name for reports (`"analytic"`, `"flow-sim"`).
+    fn name(&self) -> &'static str;
+
+    /// The topology being priced.
+    fn topology(&self) -> &Topology;
+
+    /// Prices a set of concurrent flows starting together.
+    fn price_flows(&self, flows: &[FlowSpec]) -> AnalyticEstimate;
+
+    /// Prices concurrent point-to-point transfers routed through `table`.
+    /// Non-positive-byte entries are ignored.
+    fn price_pairs(
+        &self,
+        table: &RouteTable,
+        pairs: &[(DeviceId, DeviceId, f64)],
+    ) -> AnalyticEstimate;
+
+    /// Prices a phased schedule; phases are barrier-separated, so their
+    /// estimates compose sequentially.
+    fn price_schedule(&self, schedule: &FlowSchedule) -> AnalyticEstimate {
+        let mut total = AnalyticEstimate {
+            link_volume: vec![0.0; self.topology().num_links()],
+            ..Default::default()
+        };
+        for phase in schedule.phases() {
+            if phase.flows.is_empty() {
+                continue;
+            }
+            let phase_est = self.price_flows(&phase.flows);
+            total = total.then(&phase_est);
+        }
+        total
+    }
+}
+
+impl CongestionModel for AnalyticModel<'_> {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn topology(&self) -> &Topology {
+        AnalyticModel::topology(self)
+    }
+
+    fn price_flows(&self, flows: &[FlowSpec]) -> AnalyticEstimate {
+        self.estimate_flows(flows)
+    }
+
+    fn price_pairs(
+        &self,
+        table: &RouteTable,
+        pairs: &[(DeviceId, DeviceId, f64)],
+    ) -> AnalyticEstimate {
+        self.estimate_pairs(table, pairs.iter().copied())
+    }
+
+    fn price_schedule(&self, schedule: &FlowSchedule) -> AnalyticEstimate {
+        self.estimate_schedule(schedule)
+    }
+}
+
+/// Full-fidelity pricing backend wrapping the discrete-event [`NetworkSim`].
+///
+/// Each pricing call runs a fresh simulation (the simulator itself is
+/// stateless across runs). The returned estimate carries the simulated
+/// completion time as `total_time`, the DES per-link traffic as
+/// `link_volume`, and derives `serialization_time` as
+/// `total_time − latency_time` so that existing consumers of the analytic
+/// decomposition keep working.
+///
+/// # Example
+///
+/// ```
+/// use wsc_topology::{Mesh, PlatformParams};
+/// use wsc_sim::{CongestionModel, FlowSimBackend, FlowSpec};
+///
+/// let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+/// let a = topo.device_at_xy(0, 0).unwrap();
+/// let b = topo.device_at_xy(1, 0).unwrap();
+/// let backend = FlowSimBackend::new(&topo);
+/// let est = backend.price_flows(&[FlowSpec::new(topo.route(a, b), 4.0e9)]);
+/// let expect = 4.0e9 / 4.0e12 + 50e-9;
+/// assert!((est.total_time - expect).abs() / expect < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct FlowSimBackend<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> FlowSimBackend<'a> {
+    /// Creates a backend simulating over `topo`.
+    pub fn new(topo: &'a Topology) -> Self {
+        FlowSimBackend { topo }
+    }
+}
+
+impl CongestionModel for FlowSimBackend<'_> {
+    fn name(&self) -> &'static str {
+        "flow-sim"
+    }
+
+    fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    fn price_flows(&self, flows: &[FlowSpec]) -> AnalyticEstimate {
+        let result = NetworkSim::new(self.topo).run_concurrent(flows);
+        let latency_time = flows
+            .iter()
+            .map(|f| self.topo.route_latency(&f.route))
+            .fold(0.0, f64::max);
+        AnalyticEstimate {
+            serialization_time: (result.total_time - latency_time).max(0.0),
+            latency_time: latency_time.min(result.total_time),
+            total_time: result.total_time,
+            link_volume: result.stats.bytes.clone(),
+            total_bytes: flows.iter().map(|f| f.bytes).sum(),
+            max_hops: flows.iter().map(|f| f.route.hops()).max().unwrap_or(0),
+        }
+    }
+
+    fn price_pairs(
+        &self,
+        table: &RouteTable,
+        pairs: &[(DeviceId, DeviceId, f64)],
+    ) -> AnalyticEstimate {
+        let flows: Vec<FlowSpec> = pairs
+            .iter()
+            .filter(|&&(_, _, bytes)| bytes > 0.0)
+            .map(|&(src, dst, bytes)| FlowSpec::new(table.route(src, dst).clone(), bytes))
+            .collect();
+        self.price_flows(&flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsc_topology::{Mesh, PlatformParams};
+
+    fn mesh(n: u16) -> Topology {
+        Mesh::new(n, PlatformParams::dojo_like()).build()
+    }
+
+    /// Satellite contract: on a contention-free single-flow schedule the two
+    /// backends agree within tolerance.
+    #[test]
+    fn backends_agree_on_contention_free_single_flow() {
+        let topo = mesh(4);
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(3, 2).unwrap();
+        let mut sched = FlowSchedule::new();
+        sched.push_phase("only", vec![FlowSpec::new(topo.route(a, b), 16.0e6)]);
+        let estimates: Vec<AnalyticEstimate> = CongestionBackend::all()
+            .iter()
+            .map(|kind| kind.build(&topo).price_schedule(&sched))
+            .collect();
+        let (analytic, des) = (&estimates[0], &estimates[1]);
+        assert!(analytic.total_time > 0.0);
+        assert!(
+            (analytic.total_time - des.total_time).abs() / des.total_time < 1e-9,
+            "analytic {} vs DES {}",
+            analytic.total_time,
+            des.total_time
+        );
+        assert_eq!(analytic.max_hops, des.max_hops);
+        assert!((analytic.total_bytes - des.total_bytes).abs() < 1e-6);
+    }
+
+    /// Satellite contract: under link contention with staggered activation
+    /// the backends diverge in the expected direction — the DES exploits
+    /// early-finishing flows, so it lands strictly below the conservative
+    /// analytic total but never below the analytic serialization bound.
+    #[test]
+    fn backends_diverge_as_expected_under_contention() {
+        let topo = mesh(4);
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let c = topo.device_at_xy(2, 0).unwrap();
+        // Both flows contend on link a→b; the second continues one more hop,
+        // so the analytic latency term charges the longer route to both.
+        let flows = vec![
+            FlowSpec::new(topo.route(a, b), 1.0e6),
+            FlowSpec::new(topo.route(a, c), 1.0e6),
+        ];
+        let analytic = AnalyticModel::new(&topo).price_flows(&flows);
+        let des = FlowSimBackend::new(&topo).price_flows(&flows);
+        assert!(
+            des.total_time < analytic.total_time,
+            "DES {} should undercut the conservative analytic bound {}",
+            des.total_time,
+            analytic.total_time
+        );
+        assert!(
+            des.total_time >= analytic.serialization_time,
+            "DES {} cannot beat the bottleneck serialization bound {}",
+            des.total_time,
+            analytic.serialization_time
+        );
+        // Same traffic either way.
+        for (av, dv) in analytic.link_volume.iter().zip(&des.link_volume) {
+            assert!((av - dv).abs() < 1.0, "link volume mismatch: {av} vs {dv}");
+        }
+    }
+
+    #[test]
+    fn price_pairs_matches_price_flows_on_both_backends() {
+        let topo = mesh(4);
+        let table = RouteTable::build(&topo);
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(2, 1).unwrap();
+        let pairs = vec![(a, b, 3.0e6), (b, a, 1.0e6), (a, a, 5.0e6), (b, a, 0.0)];
+        for kind in CongestionBackend::all() {
+            let backend = kind.build(&topo);
+            let from_pairs = backend.price_pairs(&table, &pairs);
+            let flows: Vec<FlowSpec> = pairs
+                .iter()
+                .filter(|&&(_, _, bytes)| bytes > 0.0)
+                .map(|&(s, d, bytes)| FlowSpec::new(table.route(s, d).clone(), bytes))
+                .collect();
+            let from_flows = backend.price_flows(&flows);
+            assert!(
+                (from_pairs.total_time - from_flows.total_time).abs() < 1e-12,
+                "{kind}: {} vs {}",
+                from_pairs.total_time,
+                from_flows.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn backend_knob_parses_and_prints() {
+        assert_eq!("analytic".parse(), Ok(CongestionBackend::Analytic));
+        assert_eq!("flow-sim".parse(), Ok(CongestionBackend::FlowSim));
+        assert_eq!("des".parse(), Ok(CongestionBackend::FlowSim));
+        assert!("astra".parse::<CongestionBackend>().is_err());
+        assert_eq!(CongestionBackend::FlowSim.to_string(), "flow-sim");
+        assert_eq!(CongestionBackend::default(), CongestionBackend::Analytic);
+    }
+
+    #[test]
+    fn empty_schedule_prices_to_zero_on_both_backends() {
+        let topo = mesh(2);
+        let sched = FlowSchedule::new();
+        for kind in CongestionBackend::all() {
+            let est = kind.build(&topo).price_schedule(&sched);
+            assert_eq!(est.total_time, 0.0, "{kind}");
+            assert_eq!(est.total_bytes, 0.0, "{kind}");
+        }
+    }
+}

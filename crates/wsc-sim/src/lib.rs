@@ -19,6 +19,11 @@
 //! [`FlowSchedule`]s: sequences of phases, each phase a set of concurrent
 //! flows, with a barrier between phases (step-synchronous collectives).
 //!
+//! Consumers that should work at either fidelity price schedules through the
+//! pluggable [`CongestionModel`] trait ([`backend`] module): the
+//! [`AnalyticModel`] and the DES-wrapping [`FlowSimBackend`] are its two
+//! implementations, selected by the [`CongestionBackend`] knob.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod backend;
 pub mod fairshare;
 pub mod flow;
 pub mod network;
@@ -49,6 +55,7 @@ pub mod schedule;
 pub mod stats;
 
 pub use analytic::{AnalyticEstimate, AnalyticModel};
+pub use backend::{CongestionBackend, CongestionModel, FlowSimBackend};
 pub use flow::{FlowId, FlowSpec};
 pub use network::{NetworkSim, RunResult};
 pub use schedule::{FlowSchedule, Phase, ScheduleResult};

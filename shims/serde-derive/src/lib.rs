@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive macros are unavailable. This proc-macro crate accepts the same
+//! derive syntax — including `#[serde(...)]` helper attributes — and emits
+//! nothing: the sibling `serde` shim blanket-implements the `Serialize` /
+//! `Deserialize` marker traits for every type, so no per-type impl is
+//! needed. Swapping in the real serde later requires only replacing the two
+//! shim path dependencies.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and produces no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and produces no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this shim keeps the
+//! workspace compiling without the real serde. `Serialize` / `Deserialize`
+//! are marker traits blanket-implemented for every type, and the derive
+//! macros (re-exported from the sibling `serde_derive` shim) expand to
+//! nothing. Code that only *derives* the traits — all of this workspace —
+//! builds unchanged; actual serialization goes through the hand-rolled JSON
+//! layer in `moentwine-bench` (`moentwine_bench::json`). Replacing the shim
+//! with the real serde is a two-line manifest change.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization sub-module stand-ins.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+/// Serialization sub-module stand-ins.
+pub mod ser {
+    pub use crate::Serialize;
+}

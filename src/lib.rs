@@ -26,7 +26,8 @@
 //! ```
 //! use moentwine::prelude::*;
 //!
-//! // A 4x4 wafer running DeepSeek-V3 with TP=4 attention and EP=16 MoE.
+//! // A 4x4 wafer (Mesh::new takes the square side length) with TP=4
+//! // attention groups shaped 2x2 and EP=16 MoE.
 //! let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
 //! let mapping = ErMapping::new(topo.mesh_dims().unwrap(), TpShape::new(2, 2)).unwrap();
 //! let plan = mapping.plan();
@@ -34,6 +35,13 @@
 //! // ER-Mapping's compact FTDs average 1.33 token-fetch hops (paper Fig. 8c).
 //! let hops = plan.average_ftd_hops(&topo);
 //! assert!((hops - 4.0 / 3.0).abs() < 1e-9);
+//!
+//! // Communication pricing is pluggable (DESIGN.md §5): the same all-reduce
+//! // schedule priced by the closed-form model and the flow-level DES.
+//! let sched = plan.all_reduce_schedule(&topo, 2.0e6);
+//! let fast = CongestionBackend::Analytic.build(&topo).price_schedule(&sched);
+//! let full = CongestionBackend::FlowSim.build(&topo).price_schedule(&sched);
+//! assert!((fast.total_time - full.total_time).abs() / full.total_time < 0.01);
 //! ```
 
 pub use moentwine_core as core;
@@ -56,7 +64,10 @@ pub mod prelude {
     pub use moentwine_core::balancer::{
         BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,
     };
-    pub use wsc_sim::{AnalyticModel, FlowSchedule, NetworkSim};
+    pub use wsc_sim::{
+        AnalyticModel, CongestionBackend, CongestionModel, FlowSchedule, FlowSimBackend,
+        NetworkSim,
+    };
     pub use wsc_topology::{
         DeviceId, DgxCluster, FlatSwitch, Mesh, MeshDims, MultiWafer, PlatformParams, Topology,
     };

@@ -1,6 +1,7 @@
 //! Validates the analytical bottleneck model against the flow-level DES —
 //! the methodological contract of DESIGN.md §5.
 
+use moentwine::collectives::cost::{backend_disagreement, schedule_time};
 use moentwine::collectives::{all_to_all_concurrent, ring_all_reduce, Ring, Transfer};
 use moentwine::core::comm::{A2aModel, ParallelLayout};
 use moentwine::core::placement::ExpertPlacement;
@@ -76,6 +77,71 @@ fn dispatch_a2a_within_bounded_factor() {
         (0.5..=2.0).contains(&ratio),
         "DES {des} vs analytic {} (ratio {ratio})",
         est.dispatch.total_time
+    );
+}
+
+#[test]
+fn congestion_model_trait_cross_validates_er_all_reduce() {
+    // The mapping-agreement contract, restated through the pluggable
+    // backend interface: swapping fidelity via `CongestionBackend` prices
+    // the *same* ER all-reduce schedule to within 1%.
+    for (n, tp) in [(4u16, 4usize), (6, 6)] {
+        let topo = mesh(n);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), tp)
+            .unwrap()
+            .plan();
+        let sched = plan.all_reduce_schedule(&topo, 2.0e6);
+        let analytic = CongestionBackend::Analytic.build(&topo);
+        let des = CongestionBackend::FlowSim.build(&topo);
+        let gap = backend_disagreement(analytic.as_ref(), des.as_ref(), &sched);
+        assert!(
+            gap < 0.01,
+            "n={n} tp={tp}: backends disagree by {gap:.4} ({} vs {})",
+            schedule_time(analytic.as_ref(), &sched),
+            schedule_time(des.as_ref(), &sched)
+        );
+    }
+}
+
+#[test]
+fn engine_scope_backends_within_bounded_factor() {
+    // Engine-scope cross-validation: the same inference run priced at both
+    // fidelities. All-reduce schedules are phase-synchronous rings (near
+    // exact agreement); the all-to-all is a bottleneck bound (DES may be
+    // faster, bounded either way).
+    let topo = mesh(4);
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let model = ModelConfig {
+        name: "tiny".into(),
+        total_params_b: 1.0,
+        num_layers: 4,
+        num_sparse_layers: 4,
+        hidden_size: 1024,
+        moe_intermediate_size: 512,
+        num_experts: 16,
+        experts_per_token: 2,
+        num_shared_experts: 0,
+        num_attention_heads: 8,
+        num_kv_heads: 2,
+        head_dim: 128,
+    };
+    let run = |backend: CongestionBackend| {
+        let config = EngineConfig::new(model.clone()).with_seed(12).with_backend(backend);
+        InferenceEngine::new(&topo, &table, &plan, config).run(5)
+    };
+    let analytic = run(CongestionBackend::Analytic);
+    let des = run(CongestionBackend::FlowSim);
+    let ar_err = (analytic.mean_all_reduce - des.mean_all_reduce).abs() / des.mean_all_reduce;
+    assert!(ar_err < 0.02, "all-reduce disagreement {ar_err:.4}");
+    let a2a_ratio = des.mean_all_to_all / analytic.mean_all_to_all;
+    assert!(
+        (0.2..=1.5).contains(&a2a_ratio),
+        "a2a ratio {a2a_ratio}: DES {} vs analytic {}",
+        des.mean_all_to_all,
+        analytic.mean_all_to_all
     );
 }
 

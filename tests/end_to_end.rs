@@ -127,6 +127,32 @@ fn non_invasive_balancer_is_zero_overhead_and_converges() {
 }
 
 #[test]
+fn engine_scenarios_run_under_both_pricing_backends() {
+    // The backend knob must drive the same end-to-end scenario at either
+    // fidelity — including balancing and non-invasive migration.
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    for backend in CongestionBackend::all() {
+        let config = EngineConfig::new(small_model())
+            .with_workload(WorkloadMix::Fixed(Scenario::Coding))
+            .with_balancer(BalancerKind::NonInvasive)
+            .with_seed(9)
+            .with_backend(backend);
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        let summary = engine.run(8);
+        assert!(summary.mean_iteration_time > 0.0, "{backend}: empty run");
+        assert!(summary.mean_all_to_all > 0.0, "{backend}: no a2a priced");
+        assert!(
+            engine.history.iter().all(|m| m.migration_stall == 0.0),
+            "{backend}: non-invasive balancing must never stall"
+        );
+    }
+}
+
+#[test]
 fn engine_histories_are_reproducible() {
     let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
     let table = RouteTable::build(&topo);

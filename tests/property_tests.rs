@@ -56,8 +56,8 @@ proptest! {
         let capacity: Vec<f64> = (0..num_links).map(|_| rng.gen_range(1.0..50.0)).collect();
         let routes: Vec<Vec<usize>> = (0..8)
             .map(|_| {
-                let a = rng.gen_range(0..num_links);
-                let b = rng.gen_range(0..num_links);
+                let a: usize = rng.gen_range(0..num_links);
+                let b: usize = rng.gen_range(0..num_links);
                 if a == b { vec![a] } else { vec![a.min(b), a.max(b)] }
             })
             .collect();
