@@ -1,19 +1,25 @@
 //! Criterion benchmarks for the pluggable congestion-pricing backends:
 //! the cost of pricing the *same* collective with the closed-form analytic
-//! model versus the flow-level DES, at both collective and A2A scope.
+//! model, the flow-level DES, and the memoizing cached DES, at both
+//! collective and A2A scope — plus the incremental-vs-full-recompute
+//! allocator split inside the DES itself.
 //!
 //! This quantifies the fidelity/speed trade the `EngineConfig::backend` knob
-//! buys (DESIGN.md §5): the analytic estimate is typically orders of
-//! magnitude cheaper per schedule.
+//! buys (DESIGN.md §5 fidelity ladder). The machine-readable speedup ratios
+//! tracked across PRs are emitted by `repro_all` / the `bench_backend`
+//! binary into `target/figs/bench_backend.json`; the raw per-call timings
+//! live here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use moentwine_bench::perf::grouped_dispatch_flows;
 use moentwine_bench::platforms::{balanced_gating, Platform};
 use moe_model::{ModelConfig, Precision};
 use moentwine_core::comm::A2aModel;
 use moentwine_core::mapping::ErMapping;
 use moentwine_core::placement::ExpertPlacement;
-use wsc_sim::{CongestionBackend, FlowSchedule};
+use wsc_collectives::{all_to_all_concurrent, uniform_all_to_all_matrix};
+use wsc_sim::{CongestionBackend, FlowSchedule, NetworkSim};
 
 fn er_all_reduce_schedule(platform: &Platform, tp: usize, bytes: f64) -> FlowSchedule {
     let plan = ErMapping::with_tp_degree(platform.topo.mesh_dims().unwrap(), tp)
@@ -70,5 +76,74 @@ fn bench_price_a2a(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_price_er_all_reduce, bench_price_a2a);
+/// The repeated-schedule case the `flow-sim-cached` knob exists for: pricing
+/// the same engine-layer schedule over and over. The cached backend
+/// simulates once and replays; the uncached backend re-simulates each call.
+fn bench_repeated_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_repeated_schedule");
+    group.sample_size(10);
+    let platform = Platform::wsc(6);
+    let sched = er_all_reduce_schedule(&platform, 4, 2.0e6);
+    for backend in [CongestionBackend::FlowSim, CongestionBackend::FlowSimCached] {
+        let model = backend.build(&platform.topo);
+        // Prime the cache outside the measurement so the cached number is
+        // the steady-state replay cost.
+        model.price_schedule(&sched);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend.name()),
+            &sched,
+            |b, sched| b.iter(|| model.price_schedule(sched)),
+        );
+    }
+    group.finish();
+}
+
+/// Incremental component-scoped fair-share vs the PR-1 full-recompute
+/// reference, on two contended DES runs: the clustered EP-group dispatch
+/// (components fragment → the incremental win) and the globally-coupled
+/// uniform all-to-all (one component → constant-factor win only).
+fn bench_des_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_fairshare_allocator");
+    group.sample_size(10);
+    let mut case = |label: String, topo: &wsc_topology::Topology, flows: &[wsc_sim::FlowSpec]| {
+        group.bench_with_input(
+            BenchmarkId::new("incremental", &label),
+            &flows,
+            |b, flows| b.iter(|| NetworkSim::new(topo).run_concurrent(flows)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full-recompute", &label),
+            &flows,
+            |b, flows| {
+                b.iter(|| {
+                    NetworkSim::new(topo)
+                        .use_reference_allocator(true)
+                        .run_concurrent(flows)
+                })
+            },
+        );
+    };
+    for n in [8u16, 12] {
+        let platform = Platform::wsc(n);
+        let flows = grouped_dispatch_flows(&platform.topo, 1.0e6);
+        case(format!("grouped-{n}x{n}"), &platform.topo, &flows);
+    }
+    for n in [4u16, 6] {
+        let platform = Platform::wsc(n);
+        let sched = all_to_all_concurrent(
+            &platform.topo,
+            &uniform_all_to_all_matrix(&platform.topo, 1.0e6),
+        );
+        case(format!("uniform-{n}x{n}"), &platform.topo, &sched.phases()[0].flows);
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_price_er_all_reduce,
+    bench_price_a2a,
+    bench_repeated_schedule,
+    bench_des_allocators
+);
 criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks for max-min fair-share rate allocation: the
+//! incremental component-scoped allocator (`IncrementalMaxMin`) against the
+//! full-recompute water-filling oracle (`max_min_rates`), under dense and
+//! sparse contention.
+//!
+//! * **Dense** — every flow crosses one shared hub link, so the contention
+//!   graph is a single component: the incremental allocator still
+//!   re-waterfills everything on each event, and the win comes from the
+//!   indexed bottleneck heap and per-link flow lists (no per-round
+//!   membership scans, no route cloning).
+//! * **Sparse** — flows pair off on disjoint links, so an event touches a
+//!   two-flow component: the incremental allocator reprices a handful of
+//!   flows while the oracle recomputes all of them.
+//!
+//! Each measured iteration replays the same arrival/completion churn: all
+//! flows arrive, then half complete one by one — a rebalance per event, as
+//! the DES event loop issues them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsc_sim::{max_min_rates, IncrementalMaxMin};
+
+/// Flow routes for `flows` flows over `links` links.
+fn routes(flows: usize, links: usize, dense: bool) -> Vec<Vec<usize>> {
+    (0..flows)
+        .map(|f| {
+            if dense {
+                // Shared hub link 0 plus a private tail link.
+                vec![0, 1 + f % (links - 1)]
+            } else {
+                // Disjoint pairs: flows 2k and 2k+1 share link k.
+                vec![f / 2 % links]
+            }
+        })
+        .collect()
+}
+
+fn churn_incremental(routes: &[Vec<usize>], capacity: &[f64]) -> f64 {
+    let mut alloc = IncrementalMaxMin::new(capacity.to_vec());
+    let ids: Vec<u32> = routes
+        .iter()
+        .map(|r| {
+            let links: Vec<u32> = r.iter().map(|&l| l as u32).collect();
+            alloc.register(&links)
+        })
+        .collect();
+    let mut acc = 0.0;
+    for &id in &ids {
+        alloc.activate(id);
+        alloc.rebalance();
+        acc += alloc.rate(id);
+    }
+    for &id in ids.iter().take(ids.len() / 2) {
+        alloc.deactivate(id);
+        alloc.rebalance();
+        acc += alloc.rate(ids[ids.len() - 1]);
+    }
+    acc
+}
+
+fn churn_full_recompute(routes: &[Vec<usize>], capacity: &[f64]) -> f64 {
+    // The PR-1 pattern: rebuild the active route set and re-waterfill from
+    // scratch on every arrival/completion event.
+    let mut acc = 0.0;
+    for arrived in 1..=routes.len() {
+        let active: Vec<Vec<usize>> = routes[..arrived].to_vec();
+        let rates = max_min_rates(&active, capacity);
+        acc += rates[arrived - 1];
+    }
+    for completed in 1..=routes.len() / 2 {
+        let active: Vec<Vec<usize>> = routes[completed..].to_vec();
+        let rates = max_min_rates(&active, capacity);
+        acc += rates[rates.len() - 1];
+    }
+    acc
+}
+
+fn bench_fairshare_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare_churn");
+    group.sample_size(10);
+    for (label, dense) in [("dense", true), ("sparse", false)] {
+        for flows in [64usize, 512] {
+            let links = 65;
+            let capacity = vec![1.0e12; links];
+            let rts = routes(flows, links, dense);
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental-{label}"), flows),
+                &rts,
+                |b, rts| b.iter(|| churn_incremental(rts, &capacity)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("full-recompute-{label}"), flows),
+                &rts,
+                |b, rts| b.iter(|| churn_full_recompute(rts, &capacity)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairshare_churn);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Measures the congestion-backend hot paths and enforces the perf
+//! contract: the memoizing `flow-sim-cached` backend must price the
+//! repeated-schedule case at least 5× faster than uncached flow-sim (it is
+//! expected ≥ 20× on a full run), and the incremental fair-share DES is
+//! reported against the full-recompute reference.
+//!
+//! Writes `target/figs/bench_backend.json` so the perf trajectory is
+//! tracked across PRs, and exits non-zero when the gate fails — the CI
+//! bench-smoke step runs this with `--quick`.
+//!
+//! Usage: `cargo run --release -p moentwine-bench --bin bench_backend [--quick]`
+
+use moentwine_bench::perf::measure_backend_perf;
+
+/// Minimum accepted `cached_speedup` (CI gate).
+const MIN_CACHED_SPEEDUP: f64 = 5.0;
+
+fn main() {
+    let quick = moentwine_bench::quick_from_args();
+    let perf = measure_backend_perf(quick);
+    println!("{}", perf.summary());
+    match perf.save("target/figs/bench_backend.json", quick) {
+        Ok(()) => eprintln!("[bench_backend] manifest: target/figs/bench_backend.json"),
+        Err(e) => eprintln!("[bench_backend] warning: could not write manifest: {e}"),
+    }
+    if perf.cached_speedup < MIN_CACHED_SPEEDUP {
+        eprintln!(
+            "[bench_backend] FAIL: cached backend only {:.1}x faster than uncached \
+             flow-sim on the repeated-schedule case (gate: ≥ {MIN_CACHED_SPEEDUP}x)",
+            perf.cached_speedup
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench_backend] OK: cached {:.1}x (gate ≥ {MIN_CACHED_SPEEDUP}x), incremental {:.1}x",
+        perf.cached_speedup, perf.incremental_speedup
+    );
+}

@@ -102,8 +102,26 @@ fn main() {
         eprintln!("[repro] warning: could not write summary: {e}");
     }
 
+    // Backend-pricing perf snapshot: the incremental-DES and schedule-cache
+    // speedups tracked across PRs (see DESIGN.md §5 and bin/bench_backend).
+    eprintln!("[repro] measuring backend pricing perf ...");
+    let perf = moentwine_bench::perf::measure_backend_perf(quick);
+    eprintln!("{}", perf.summary());
+    match perf.save("target/figs/bench_backend.json", quick) {
+        Ok(()) => eprintln!("[repro] backend perf manifest: target/figs/bench_backend.json"),
+        Err(e) => eprintln!("[repro] warning: could not write backend perf manifest: {e}"),
+    }
+
     let manifest = Value::Obj(vec![
         ("quick".into(), Value::Bool(quick)),
+        (
+            "backend_incremental_speedup".into(),
+            Value::Num(perf.incremental_speedup),
+        ),
+        (
+            "backend_cached_speedup".into(),
+            Value::Num(perf.cached_speedup),
+        ),
         (
             "total_seconds".into(),
             Value::Num(start.elapsed().as_secs_f64()),

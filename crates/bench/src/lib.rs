@@ -12,6 +12,7 @@
 
 pub mod figs;
 pub mod json;
+pub mod perf;
 pub mod platforms;
 pub mod report;
 

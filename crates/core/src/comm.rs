@@ -390,6 +390,13 @@ impl<'a> A2aModel<'a> {
     /// expert placement. `tokens_per_group` bounds the unique tokens a group
     /// can contribute, enabling the dedup caps below.
     ///
+    /// The transfer lists are handed to the backend as `(src, dst, bytes)`
+    /// pairs resolved through the shared CSR route table, so every fidelity
+    /// tier prices borrowed routes with no per-call route allocation — and
+    /// the memoizing `flow-sim-cached` tier recognizes the repeated
+    /// layer/iteration dispatch shapes of an engine sweep and replays their
+    /// DES estimates instead of re-simulating.
+    ///
     /// Two hierarchical-fabric refinements mirror the paper's baselines:
     ///
     /// * **Per-device dedup** — a token selecting several experts colocated
@@ -678,6 +685,20 @@ mod tests {
                 1024.0,
                 256,
             );
+            // The memoizing tier must reproduce the DES bit-for-bit, both on
+            // the first (miss) and second (hit) pricing of the same layer.
+            let cached_backend = CongestionBackend::FlowSimCached.build(topo);
+            for _ in 0..2 {
+                let cached = model.estimate_with(
+                    cached_backend.as_ref(),
+                    &gating,
+                    &placement,
+                    1024.0,
+                    256,
+                );
+                assert_eq!(cached.dispatch, des.dispatch);
+                assert_eq!(cached.combine, des.combine);
+            }
             assert_eq!(des.device_tokens, analytic.device_tokens);
             assert!(
                 (des.dispatch.total_bytes - analytic.dispatch.total_bytes).abs() < 1e-6,

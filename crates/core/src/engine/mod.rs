@@ -10,10 +10,13 @@
 //!
 //! Communication is priced through the pluggable
 //! [`CongestionModel`](wsc_sim::CongestionModel) backend selected by
-//! [`EngineConfig::backend`]: the default analytical congestion model
-//! (per-link volumes over precomputed routes) for production-scale sweeps,
-//! or the flow-level simulator when an experiment wants full fidelity on
-//! every collective (see DESIGN.md §5 for the fidelity split and
+//! [`EngineConfig::backend`], a three-tier fidelity ladder: the default
+//! analytical congestion model (per-link volumes over precomputed routes)
+//! for production-scale sweeps, the memoizing `flow-sim-cached` tier for
+//! engine-scope experiments that want DES fidelity at near-analytic
+//! amortized cost (repeated layer/iteration schedules are simulated once),
+//! or the uncached flow-level simulator when every collective must be
+//! re-simulated (see DESIGN.md §5 for the fidelity ladder and
 //! `tests/analytic_vs_des.rs` for the cross-validation contract).
 
 mod metrics;
@@ -78,7 +81,9 @@ pub struct EngineConfig {
     /// Batch production mode.
     pub batch: BatchMode,
     /// Communication-pricing fidelity: the fast analytic congestion model
-    /// (default) or the flow-level DES on every collective.
+    /// (default), the memoizing cached DES (`FlowSimCached` — DES estimates,
+    /// repeated schedules priced once), or the flow-level DES re-simulating
+    /// every collective.
     pub backend: CongestionBackend,
     /// Balancing strategy.
     pub balancer: BalancerKind,
@@ -697,6 +702,22 @@ mod tests {
             des.mean_all_to_all,
             analytic.mean_all_to_all
         );
+    }
+
+    #[test]
+    fn cached_backend_reproduces_flow_sim_run_exactly() {
+        let (topo, table, plan) = fixture();
+        let run = |backend: CongestionBackend| {
+            let config = EngineConfig::new(small_model())
+                .with_seed(9)
+                .with_backend(backend);
+            InferenceEngine::new(&topo, &table, &plan, config).run(4)
+        };
+        let des = run(CongestionBackend::FlowSim);
+        let cached = run(CongestionBackend::FlowSimCached);
+        assert_eq!(des.mean_iteration_time, cached.mean_iteration_time);
+        assert_eq!(des.mean_all_to_all, cached.mean_all_to_all);
+        assert_eq!(des.mean_all_reduce, cached.mean_all_reduce);
     }
 
     #[test]

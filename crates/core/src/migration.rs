@@ -381,6 +381,36 @@ mod tests {
     }
 
     #[test]
+    fn invasive_stall_priced_identically_by_des_and_cached_des() {
+        use wsc_sim::CongestionBackend;
+        let (topo, table, _plan) = fixture();
+        let transfers = vec![
+            (
+                topo.device_at_xy(0, 0).unwrap(),
+                topo.device_at_xy(3, 3).unwrap(),
+                42.0e6,
+            ),
+            (
+                topo.device_at_xy(2, 0).unwrap(),
+                topo.device_at_xy(0, 2).unwrap(),
+                42.0e6,
+            ),
+        ];
+        let des = invasive_stall(
+            CongestionBackend::FlowSim.build(&topo).as_ref(),
+            &table,
+            &transfers,
+        );
+        let cached_backend = CongestionBackend::FlowSimCached.build(&topo);
+        // Miss then hit: both must be the DES estimate, bit-for-bit.
+        for _ in 0..2 {
+            let cached = invasive_stall(cached_backend.as_ref(), &table, &transfers);
+            assert_eq!(des, cached);
+        }
+        assert!(des.total_time > 0.0);
+    }
+
+    #[test]
     fn duplicate_enqueue_detected() {
         let (topo, table, plan) = fixture();
         let src = topo.device_at_xy(0, 0).unwrap();

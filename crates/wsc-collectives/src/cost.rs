@@ -4,7 +4,11 @@
 //! The closed forms are paper Eq. 1-style references; [`schedule_time`] and
 //! [`backend_disagreement`] price an actual [`FlowSchedule`] through any
 //! [`CongestionModel`] backend, so per-collective experiments can spot-check
-//! the fast analytic estimate against the DES on the same schedule.
+//! the fast analytic estimate against the DES on the same schedule. All
+//! three fidelity tiers (analytic / cached DES / full DES — see
+//! `wsc_sim::CongestionBackend`) plug in here; collective sweeps that price
+//! the same schedule shape repeatedly should prefer the cached tier, whose
+//! estimates are bit-identical to the full DES.
 
 use wsc_sim::{CongestionModel, FlowSchedule};
 
@@ -121,6 +125,26 @@ mod tests {
         assert_eq!(backend_disagreement(analytic.as_ref(), analytic.as_ref(), &sched), 0.0);
         let gap = backend_disagreement(analytic.as_ref(), des.as_ref(), &sched);
         assert!(gap < 1.0, "analytic vs DES diverged by {gap:.2} on uniform a2a");
+    }
+
+    #[test]
+    fn cached_des_prices_collectives_identically_to_des() {
+        // The memoizing tier must be invisible fidelity-wise: zero
+        // disagreement (bit-identical totals) with the full DES on the same
+        // entwined all-to-all schedule, on first pricing and on replay.
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let sched = all_to_all_concurrent(&topo, &uniform_all_to_all_matrix(&topo, 1.0e6));
+        let des = CongestionBackend::FlowSim.build(&topo);
+        let cached = CongestionBackend::FlowSimCached.build(&topo);
+        assert_eq!(
+            backend_disagreement(cached.as_ref(), des.as_ref(), &sched),
+            0.0
+        );
+        // Replay hits the cache and must return the very same number.
+        assert_eq!(
+            schedule_time(cached.as_ref(), &sched),
+            schedule_time(des.as_ref(), &sched)
+        );
     }
 
     #[test]

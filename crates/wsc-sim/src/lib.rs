@@ -9,7 +9,10 @@
 //!   the summed per-hop link latency of its route before transmission begins
 //!   (the paper's Eq. 1: `latency = (volume/bandwidth + link_latency) × hops`
 //!   generalises to heterogeneous routes as
-//!   `Σ link_latency + volume / bottleneck_bandwidth`).
+//!   `Σ link_latency + volume / bottleneck_bandwidth`). Rate re-allocation
+//!   runs on the incremental component-scoped allocator
+//!   ([`fairshare::IncrementalMaxMin`]); the full-recompute water-filling
+//!   ([`fairshare::max_min_rates`]) remains as the reference oracle.
 //! * [`AnalyticModel`] — a closed-form congestion estimator: per-link volume
 //!   accumulation, bottleneck-link serialization, plus the maximum route
 //!   latency. Orders of magnitude faster; used by the end-to-end engine and
@@ -19,10 +22,12 @@
 //! [`FlowSchedule`]s: sequences of phases, each phase a set of concurrent
 //! flows, with a barrier between phases (step-synchronous collectives).
 //!
-//! Consumers that should work at either fidelity price schedules through the
-//! pluggable [`CongestionModel`] trait ([`backend`] module): the
-//! [`AnalyticModel`] and the DES-wrapping [`FlowSimBackend`] are its two
-//! implementations, selected by the [`CongestionBackend`] knob.
+//! Consumers that should work at any fidelity price schedules through the
+//! pluggable [`CongestionModel`] trait ([`backend`] module). Three
+//! implementations form the fidelity ladder, selected by the
+//! [`CongestionBackend`] knob: the [`AnalyticModel`], the DES-wrapping
+//! [`FlowSimBackend`], and the memoizing [`CachedBackend`] decorator that
+//! replays DES estimates for repeated schedule shapes.
 //!
 //! # Example
 //!
@@ -55,7 +60,10 @@ pub mod schedule;
 pub mod stats;
 
 pub use analytic::{AnalyticEstimate, AnalyticModel};
-pub use backend::{CongestionBackend, CongestionModel, FlowSimBackend};
+pub use backend::{
+    CacheStats, CachedBackend, CongestionBackend, CongestionModel, FlowSimBackend, ScheduleShape,
+};
+pub use fairshare::{max_min_rates, IncrementalMaxMin};
 pub use flow::{FlowId, FlowSpec};
 pub use network::{NetworkSim, RunResult};
 pub use schedule::{FlowSchedule, Phase, ScheduleResult};

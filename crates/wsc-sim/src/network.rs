@@ -1,8 +1,8 @@
 //! The discrete-event flow simulator.
 
-use wsc_topology::Topology;
+use wsc_topology::{LinkId, Topology};
 
-use crate::fairshare::max_min_rates;
+use crate::fairshare::{max_min_rates, IncrementalMaxMin};
 use crate::flow::FlowSpec;
 use crate::stats::LinkStats;
 
@@ -29,16 +29,41 @@ pub struct RunResult {
 /// latency of their route; active flows drain at max-min fair rates,
 /// re-allocated whenever any flow starts or finishes.
 ///
+/// The hot path is event-driven end to end: rate re-allocation runs on the
+/// incremental [`IncrementalMaxMin`] allocator (each arrival/completion
+/// reprices only the touched connected component of the contention graph),
+/// drain state is settled lazily so an event updates only the repriced
+/// component rather than every active flow, and per-link traffic/busy
+/// statistics are charged once per flow at completion instead of per event.
+/// Routes are copied once into the allocator's flat CSR store — no
+/// per-event route cloning.
+///
+/// [`NetworkSim::use_reference_allocator`] switches to the PR-1
+/// full-recompute loop — [`max_min_rates`] over freshly cloned routes, a
+/// full drain and horizon scan on every event — kept for differential tests
+/// and before/after benchmarks.
+///
 /// See the [crate-level documentation](crate) for the modelling rationale.
 #[derive(Debug)]
 pub struct NetworkSim<'a> {
     topo: &'a Topology,
+    reference: bool,
+}
+
+/// Per-run flow bookkeeping shared by both event loops.
+struct FlowTable {
+    alloc: IncrementalMaxMin,
+    bytes: Vec<f64>,
+    activations: Vec<f64>,
 }
 
 impl<'a> NetworkSim<'a> {
     /// Creates a simulator over `topo`.
     pub fn new(topo: &'a Topology) -> Self {
-        NetworkSim { topo }
+        NetworkSim {
+            topo,
+            reference: false,
+        }
     }
 
     /// The topology being simulated.
@@ -46,11 +71,21 @@ impl<'a> NetworkSim<'a> {
         self.topo
     }
 
+    /// Switches rate allocation to the full-recompute [`max_min_rates`]
+    /// oracle with per-event route cloning, full drains, and full horizon
+    /// scans (the pre-incremental hot path). Orders of magnitude slower on
+    /// contended schedules; exists so benchmarks can measure the incremental
+    /// speedup and tests can cross-check the two paths on identical event
+    /// sequences.
+    pub fn use_reference_allocator(&mut self, yes: bool) -> &mut Self {
+        self.reference = yes;
+        self
+    }
+
     /// Runs all `flows` starting at time zero and returns when the last
     /// completes.
     pub fn run_concurrent(&mut self, flows: &[FlowSpec]) -> RunResult {
-        let timed: Vec<(f64, FlowSpec)> = flows.iter().map(|f| (0.0, f.clone())).collect();
-        self.run_at(&timed)
+        self.run_paths(flows.iter().map(|f| (0.0, f.bytes, f.route.links())))
     }
 
     /// Runs flows with explicit submission times (seconds).
@@ -59,52 +94,226 @@ impl<'a> NetworkSim<'a> {
     ///
     /// Panics if any submission time is negative or not finite.
     pub fn run_at(&mut self, flows: &[(f64, FlowSpec)]) -> RunResult {
-        struct Active {
-            idx: usize,
-            route: Vec<usize>,
-            remaining: f64,
+        self.run_paths(
+            flows
+                .iter()
+                .map(|(start, spec)| (*start, spec.bytes, spec.route.links())),
+        )
+    }
+
+    /// Low-level entry point: runs `(submission time, bytes, route links)`
+    /// triples borrowed from anywhere — `FlowSpec`s, a CSR
+    /// [`RouteTable`](wsc_topology::RouteTable), or a transfer list — with
+    /// no per-flow route allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any submission time is negative or not finite.
+    pub fn run_paths<'r>(
+        &mut self,
+        flows: impl IntoIterator<Item = (f64, f64, &'r [LinkId])>,
+    ) -> RunResult {
+        let capacities: Vec<f64> = self.topo.links().iter().map(|l| l.bandwidth).collect();
+        let mut alloc = IncrementalMaxMin::new(capacities);
+        let mut bytes: Vec<f64> = Vec::new();
+        let mut activations: Vec<f64> = Vec::new();
+        let mut link_scratch: Vec<u32> = Vec::new();
+        for (start, payload, links) in flows {
+            assert!(
+                start.is_finite() && start >= 0.0,
+                "submission time must be non-negative, got {start}"
+            );
+            link_scratch.clear();
+            link_scratch.extend(links.iter().map(|l| l.0));
+            alloc.register(&link_scratch);
+            bytes.push(payload);
+            activations.push(start + self.topo.path_latency(links));
         }
+        let table = FlowTable {
+            alloc,
+            bytes,
+            activations,
+        };
+        if self.reference {
+            self.run_reference(table)
+        } else {
+            self.run_incremental(table)
+        }
+    }
 
-        let num_links = self.topo.num_links();
-        let mut stats = LinkStats::new(num_links);
-        let mut completion_times = vec![0.0_f64; flows.len()];
+    /// Pending-activation order: by activation time, ties by submission
+    /// index.
+    fn pending_order(activations: &[f64]) -> Vec<u32> {
+        let mut pending: Vec<u32> = (0..activations.len() as u32).collect();
+        pending.sort_by(|&a, &b| {
+            activations[a as usize]
+                .partial_cmp(&activations[b as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        pending
+    }
 
-        // Pending flows sorted by activation time (submission + route latency).
-        let mut pending: Vec<(f64, usize)> = flows
-            .iter()
-            .enumerate()
-            .map(|(i, (start, spec))| {
-                assert!(
-                    start.is_finite() && *start >= 0.0,
-                    "submission time must be non-negative, got {start}"
-                );
-                let activation = start + self.topo.route_latency(&spec.route);
-                (activation, i)
-            })
-            .collect();
-        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    /// The incremental event loop: rate repricing and drain settling touch
+    /// only the repriced component; the next event comes from a linear
+    /// minimum scan over the per-flow predicted finish times (branch-free
+    /// and allocation-free — cheaper in practice than maintaining a heap
+    /// that large components would flood with stale entries).
+    fn run_incremental(&mut self, table: FlowTable) -> RunResult {
+        let FlowTable {
+            mut alloc,
+            bytes,
+            activations,
+        } = table;
+        let num_flows = bytes.len();
+        let mut stats = LinkStats::new(self.topo.num_links());
+        let mut completion_times = vec![0.0_f64; num_flows];
+        let pending = Self::pending_order(&activations);
         let mut next_pending = 0usize;
 
-        let mut active: Vec<Active> = Vec::new();
+        // Per-flow drain state, settled lazily on rate changes; `finish[f]`
+        // is exact while `f`'s rate is unchanged.
+        let mut remaining = bytes.clone();
+        let mut cur_rate = vec![0.0_f64; num_flows];
+        let mut last_update = vec![0.0_f64; num_flows];
+        let mut start_time = vec![0.0_f64; num_flows];
+        let mut finish = vec![f64::INFINITY; num_flows];
+        let mut active: Vec<u32> = Vec::new();
+
+        let mut now;
+        let mut last_completion = 0.0_f64;
+
+        loop {
+            // Next event: the earliest predicted finish or activation.
+            let mut horizon = f64::INFINITY;
+            for &f in &active {
+                horizon = horizon.min(finish[f as usize]);
+            }
+            let next_act = (next_pending < pending.len())
+                .then(|| activations[pending[next_pending] as usize]);
+            now = match next_act {
+                Some(a) => horizon.min(a),
+                None if horizon.is_finite() => horizon,
+                None => break,
+            };
+
+            let mut changed = false;
+
+            // Activations due at or before `now`.
+            while next_pending < pending.len()
+                && activations[pending[next_pending] as usize] <= now + EPS_TIME
+            {
+                let idx = pending[next_pending];
+                next_pending += 1;
+                let f = idx as usize;
+                let at = activations[f];
+                if alloc.route_links_of(idx).is_empty() || bytes[f] <= EPS_BYTES {
+                    // Local copies and empty flows complete instantly.
+                    completion_times[f] = at.max(now);
+                    last_completion = last_completion.max(completion_times[f]);
+                } else {
+                    alloc.activate(idx);
+                    start_time[f] = now;
+                    last_update[f] = now;
+                    cur_rate[f] = 0.0;
+                    finish[f] = f64::INFINITY;
+                    active.push(idx);
+                    changed = true;
+                }
+            }
+
+            // Completions due at or before `now`.
+            let mut i = 0;
+            while i < active.len() {
+                let idx = active[i];
+                let f = idx as usize;
+                if finish[f] > now + EPS_TIME {
+                    i += 1;
+                    continue;
+                }
+                // Settle the drain since the last rate change.
+                let moved = (cur_rate[f] * (now - last_update[f])).min(remaining[f]);
+                remaining[f] -= moved;
+                last_update[f] = now;
+                if remaining[f] > EPS_BYTES {
+                    // Floating-point residue: correct the prediction.
+                    finish[f] = now + remaining[f] / cur_rate[f];
+                    i += 1;
+                    continue;
+                }
+                // Complete: charge stats once for the whole active interval.
+                active.swap_remove(i);
+                alloc.deactivate(idx);
+                let busy = now - start_time[f];
+                for &l in alloc.route_links_of(idx) {
+                    stats.bytes[l as usize] += bytes[f];
+                    stats.busy_time[l as usize] += busy;
+                }
+                completion_times[f] = now;
+                last_completion = last_completion.max(now);
+                changed = true;
+            }
+
+            if changed {
+                // Reprice the touched component(s) and refresh exactly the
+                // repriced flows' drain state and predicted finishes.
+                alloc.rebalance();
+                for &idx in alloc.last_component_flows() {
+                    let f = idx as usize;
+                    let moved = (cur_rate[f] * (now - last_update[f])).min(remaining[f]);
+                    remaining[f] -= moved;
+                    last_update[f] = now;
+                    cur_rate[f] = alloc.rate(idx);
+                    finish[f] = now + remaining[f] / cur_rate[f];
+                }
+            }
+
+            if active.is_empty() && next_pending >= pending.len() {
+                break;
+            }
+        }
+
+        stats.duration = last_completion;
+        RunResult {
+            total_time: last_completion,
+            completion_times,
+            stats,
+        }
+    }
+
+    /// The PR-1 reference loop: full water-filling over freshly cloned
+    /// routes, a full horizon scan, and a full per-event drain.
+    fn run_reference(&mut self, table: FlowTable) -> RunResult {
+        let FlowTable {
+            alloc,
+            bytes,
+            activations,
+        } = table;
+        let num_flows = bytes.len();
+        let mut stats = LinkStats::new(self.topo.num_links());
+        let mut completion_times = vec![0.0_f64; num_flows];
+        let pending = Self::pending_order(&activations);
+        let mut next_pending = 0usize;
+        let capacities = alloc.capacities().to_vec();
+
+        let mut active: Vec<u32> = Vec::new();
+        let mut remaining = bytes.clone();
         let mut now = 0.0_f64;
         let mut last_completion = 0.0_f64;
 
         loop {
-            // Activate everything due at or before `now`.
-            while next_pending < pending.len() && pending[next_pending].0 <= now + EPS_TIME {
-                let (at, idx) = pending[next_pending];
+            while next_pending < pending.len()
+                && activations[pending[next_pending] as usize] <= now + EPS_TIME
+            {
+                let idx = pending[next_pending];
                 next_pending += 1;
-                let spec = &flows[idx].1;
-                if spec.is_local() || spec.bytes <= EPS_BYTES {
-                    // Local copies and empty flows complete instantly.
-                    completion_times[idx] = at.max(now);
-                    last_completion = last_completion.max(completion_times[idx]);
+                let f = idx as usize;
+                let at = activations[f];
+                if alloc.route_links_of(idx).is_empty() || bytes[f] <= EPS_BYTES {
+                    completion_times[f] = at.max(now);
+                    last_completion = last_completion.max(completion_times[f]);
                 } else {
-                    active.push(Active {
-                        idx,
-                        route: spec.route.links().iter().map(|l| l.index()).collect(),
-                        remaining: spec.bytes,
-                    });
+                    active.push(idx);
                 }
             }
 
@@ -112,54 +321,59 @@ impl<'a> NetworkSim<'a> {
                 if next_pending >= pending.len() {
                     break;
                 }
-                now = pending[next_pending].0;
+                now = activations[pending[next_pending] as usize];
                 continue;
             }
 
-            // Allocate max-min fair rates.
-            let routes: Vec<Vec<usize>> = active.iter().map(|a| a.route.clone()).collect();
-            let capacities: Vec<f64> =
-                self.topo.links().iter().map(|l| l.bandwidth).collect();
+            // Full recompute over per-event route clones (the PR-1 cost).
+            let routes: Vec<Vec<usize>> = active
+                .iter()
+                .map(|&f| {
+                    alloc
+                        .route_links_of(f)
+                        .iter()
+                        .map(|&l| l as usize)
+                        .collect()
+                })
+                .collect();
             let rates = max_min_rates(&routes, &capacities);
 
-            // Earliest next event: a completion or an activation.
             let mut horizon = f64::INFINITY;
-            for (a, &rate) in active.iter().zip(&rates) {
+            for (&f, &rate) in active.iter().zip(&rates) {
                 let t = if rate.is_infinite() {
                     now
                 } else {
-                    now + a.remaining / rate
+                    now + remaining[f as usize] / rate
                 };
                 horizon = horizon.min(t);
             }
             if next_pending < pending.len() {
-                horizon = horizon.min(pending[next_pending].0);
+                horizon = horizon.min(activations[pending[next_pending] as usize]);
             }
             let dt = (horizon - now).max(0.0);
 
-            // Drain and record traffic.
-            for (a, &rate) in active.iter_mut().zip(&rates) {
+            for (&f, &rate) in active.iter().zip(&rates) {
                 let moved = if rate.is_infinite() {
-                    a.remaining
+                    remaining[f as usize]
                 } else {
-                    (rate * dt).min(a.remaining)
+                    (rate * dt).min(remaining[f as usize])
                 };
-                a.remaining -= moved;
-                for &l in &a.route {
-                    stats.bytes[l] += moved;
+                remaining[f as usize] -= moved;
+                for &l in alloc.route_links_of(f) {
+                    stats.bytes[l as usize] += moved;
                     if rate > 0.0 && dt > 0.0 {
-                        stats.busy_time[l] += dt;
+                        stats.busy_time[l as usize] += dt;
                     }
                 }
             }
             now = horizon;
 
-            // Retire completed flows.
             let mut i = 0;
             while i < active.len() {
-                if active[i].remaining <= EPS_BYTES {
-                    let done = active.swap_remove(i);
-                    completion_times[done.idx] = now;
+                let f = active[i];
+                if remaining[f as usize] <= EPS_BYTES {
+                    active.swap_remove(i);
+                    completion_times[f as usize] = now;
                     last_completion = last_completion.max(now);
                 } else {
                     i += 1;
@@ -285,5 +499,64 @@ mod tests {
         let total: f64 = result.stats.bytes.iter().sum();
         // Two hops → bytes counted on two links.
         assert!((total - 2.0 * bytes).abs() < 1.0);
+    }
+
+    #[test]
+    fn busy_time_spans_the_active_interval() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let route = topo.route(a, b);
+        let link = route.links()[0];
+        let mut sim = NetworkSim::new(&topo);
+        let result = sim.run_concurrent(&[FlowSpec::new(route.clone(), 4.0e9)]);
+        let active = 4.0e9 / 4.0e12;
+        assert!(
+            (result.stats.busy_time[link.index()] - active).abs() / active < 1e-9,
+            "busy {} vs active interval {}",
+            result.stats.busy_time[link.index()],
+            active
+        );
+    }
+
+    /// Differential contract: the incremental event loop reproduces the
+    /// full-recompute reference loop on a contended mixed-arrival schedule.
+    #[test]
+    fn incremental_matches_reference_allocator() {
+        let topo = mesh4();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let flows: Vec<(f64, FlowSpec)> = topo
+            .devices()
+            .filter(|&d| d != a)
+            .enumerate()
+            .map(|(i, d)| {
+                let stagger = (i % 4) as f64 * 2.0e-4;
+                (
+                    stagger,
+                    FlowSpec::new(topo.route(a, d), 1.0e8 * (1 + i % 3) as f64),
+                )
+            })
+            .collect();
+        let fast = NetworkSim::new(&topo).run_at(&flows);
+        let mut ref_sim = NetworkSim::new(&topo);
+        ref_sim.use_reference_allocator(true);
+        let slow = ref_sim.run_at(&flows);
+        assert!(
+            (fast.total_time - slow.total_time).abs() / slow.total_time < 1e-9,
+            "incremental {} vs reference {}",
+            fast.total_time,
+            slow.total_time
+        );
+        for (f, (x, y)) in fast
+            .completion_times
+            .iter()
+            .zip(&slow.completion_times)
+            .enumerate()
+        {
+            assert!((x - y).abs() / y.max(1e-30) < 1e-9, "flow {f}: {x} vs {y}");
+        }
+        for (l, (x, y)) in fast.stats.bytes.iter().zip(&slow.stats.bytes).enumerate() {
+            assert!((x - y).abs() < 1.0, "link {l} bytes: {x} vs {y}");
+        }
     }
 }

@@ -89,6 +89,14 @@ impl FlowSchedule {
         self.phases.iter().map(Phase::total_bytes).sum()
     }
 
+    /// The canonical shape of this schedule — the memoization key a
+    /// [`CachedBackend`](crate::CachedBackend) prices it under. Two
+    /// schedules with equal shapes (same phase structure, same per-phase
+    /// `(route, bytes)` multisets, labels ignored) share a cache entry.
+    pub fn shape(&self) -> crate::backend::ScheduleShape {
+        crate::backend::ScheduleShape::of_schedule(self)
+    }
+
     /// Merges several schedules that proceed in lock-step: phase `k` of the
     /// result contains the union of every input's phase `k`.
     ///
@@ -179,6 +187,21 @@ mod tests {
         assert_eq!(merged.phases()[0].flows.len(), 2);
         assert_eq!(merged.phases()[1].flows.len(), 1);
         assert_eq!(merged.total_bytes(), 3.0);
+    }
+
+    #[test]
+    fn shape_ignores_labels_and_flow_order() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let c = topo.device_at_xy(0, 1).unwrap();
+        let f1 = FlowSpec::new(topo.route(a, b), 1.0);
+        let f2 = FlowSpec::new(topo.route(a, c), 2.0);
+        let mut s1 = FlowSchedule::new();
+        s1.push_phase("x", vec![f1.clone(), f2.clone()]);
+        let mut s2 = FlowSchedule::new();
+        s2.push_phase("completely different label", vec![f2, f1]);
+        assert_eq!(s1.shape(), s2.shape());
     }
 
     #[test]

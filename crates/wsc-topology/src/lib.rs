@@ -48,4 +48,4 @@ pub use mesh::Mesh;
 pub use multi_wafer::MultiWafer;
 pub use params::PlatformParams;
 pub use route_table::RouteTable;
-pub use topology::{MeshDims, Route, Topology};
+pub use topology::{MeshDims, Route, RouteRef, Topology};

@@ -1,13 +1,20 @@
-//! Precomputed all-pairs route cache.
+//! Precomputed all-pairs route cache in a flat CSR layout.
 
 use crate::device::DeviceId;
-use crate::topology::{Route, Topology};
+use crate::link::LinkId;
+use crate::topology::{RouteRef, Topology};
 
 /// Dense all-pairs route cache.
 ///
 /// Routing on a mesh is cheap but not free, and the analytical communication
 /// model queries routes for every (source group, destination) pair on every
 /// simulated layer. `RouteTable` precomputes all `n²` routes once.
+///
+/// Routes are stored in a flat CSR layout — one shared `Vec<LinkId>` of hop
+/// links plus an offsets array — rather than `n²` owned `Route` values, so
+/// the table costs one allocation for the hop storage instead of one per
+/// pair, and [`RouteTable::route`] hands out allocation-free borrowed
+/// [`RouteRef`] views.
 ///
 /// # Example
 ///
@@ -22,29 +29,50 @@ use crate::topology::{Route, Topology};
 #[derive(Clone, Debug)]
 pub struct RouteTable {
     n: usize,
-    routes: Vec<Route>,
+    /// `offsets[src * n + dst] .. offsets[src * n + dst + 1]` indexes the
+    /// route's hop links within `links`.
+    offsets: Vec<u32>,
+    /// Shared flat hop storage for every route.
+    links: Vec<LinkId>,
 }
 
 impl RouteTable {
     /// Precomputes routes between every ordered pair of devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total hop count overflows the CSR offset width
+    /// (`u32`; > 4 billion stored hops).
     pub fn build(topo: &Topology) -> Self {
         let n = topo.num_devices();
-        let mut routes = Vec::with_capacity(n * n);
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        offsets.push(0u32);
+        // A loose lower bound (≥ 1 hop for every off-diagonal pair) that
+        // avoids most of the doubling reallocations during the fill.
+        let mut links = Vec::with_capacity(n * n.saturating_sub(1));
         for src in topo.devices() {
             for dst in topo.devices() {
-                routes.push(topo.route(src, dst));
+                links.extend_from_slice(topo.route(src, dst).links());
+                let end = u32::try_from(links.len())
+                    .expect("route table exceeds u32 CSR offsets");
+                offsets.push(end);
             }
         }
-        RouteTable { n, routes }
+        links.shrink_to_fit();
+        RouteTable { n, offsets, links }
     }
 
-    /// The cached route from `src` to `dst`.
+    /// The cached route from `src` to `dst`, as a borrowed view into the
+    /// shared CSR storage.
     ///
     /// # Panics
     ///
     /// Panics if either device is out of range.
-    pub fn route(&self, src: DeviceId, dst: DeviceId) -> &Route {
-        &self.routes[src.index() * self.n + dst.index()]
+    pub fn route(&self, src: DeviceId, dst: DeviceId) -> RouteRef<'_> {
+        let pair = src.index() * self.n + dst.index();
+        let start = self.offsets[pair] as usize;
+        let end = self.offsets[pair + 1] as usize;
+        RouteRef::new(&self.links[start..end])
     }
 
     /// Number of hops between two devices.
@@ -55,6 +83,11 @@ impl RouteTable {
     /// Number of devices covered by the table.
     pub fn num_devices(&self) -> usize {
         self.n
+    }
+
+    /// Total hop links stored across all routes (CSR payload size).
+    pub fn num_stored_hops(&self) -> usize {
+        self.links.len()
     }
 }
 
@@ -70,7 +103,7 @@ mod tests {
         let table = RouteTable::build(&topo);
         for a in topo.devices() {
             for b in topo.devices() {
-                assert_eq!(table.route(a, b), &topo.route(a, b));
+                assert_eq!(table.route(a, b), topo.route(a, b));
             }
         }
     }
@@ -82,5 +115,31 @@ mod tests {
         for d in topo.devices() {
             assert!(table.route(d, d).is_empty());
         }
+    }
+
+    #[test]
+    fn csr_stores_each_hop_once() {
+        let topo = Mesh::new(3, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let expected: usize = topo
+            .devices()
+            .flat_map(|a| topo.devices().map(move |b| (a, b)))
+            .map(|(a, b)| topo.route(a, b).hops())
+            .sum();
+        assert_eq!(table.num_stored_hops(), expected);
+    }
+
+    #[test]
+    fn views_borrow_shared_storage() {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let a = topo.devices().next().unwrap();
+        let b = topo.devices().last().unwrap();
+        // Two lookups of the same pair give the same slice (no per-call
+        // allocation), and `to_route` round-trips.
+        let v1 = table.route(a, b);
+        let v2 = table.route(a, b);
+        assert_eq!(v1.links().as_ptr(), v2.links().as_ptr());
+        assert_eq!(v1.to_route(), topo.route(a, b));
     }
 }

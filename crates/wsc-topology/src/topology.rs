@@ -69,11 +69,85 @@ impl Route {
     }
 }
 
+impl Route {
+    /// A borrowed view of this route, usable wherever a
+    /// [`RouteRef`] is expected.
+    pub fn as_view(&self) -> RouteRef<'_> {
+        RouteRef { links: &self.links }
+    }
+}
+
 impl FromIterator<LinkId> for Route {
     fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
         Route {
             links: iter.into_iter().collect(),
         }
+    }
+}
+
+/// A borrowed route: the same surface as [`Route`] over a link slice owned
+/// elsewhere (typically the flat CSR storage of a
+/// [`RouteTable`](crate::RouteTable)).
+///
+/// `Copy`, pointer-sized, and allocation-free — the hot-path currency of the
+/// flow-level simulator's pricing backends.
+#[derive(Copy, Clone, Debug)]
+pub struct RouteRef<'a> {
+    links: &'a [LinkId],
+}
+
+impl<'a> RouteRef<'a> {
+    /// Wraps an ordered link slice as a route view.
+    pub fn new(links: &'a [LinkId]) -> Self {
+        RouteRef { links }
+    }
+
+    /// The links traversed, in order (with the underlying storage lifetime).
+    pub fn links(self) -> &'a [LinkId] {
+        self.links
+    }
+
+    /// Number of links traversed.
+    pub fn hops(self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the route is empty (source equals destination).
+    pub fn is_empty(self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Materializes an owned [`Route`] (allocates; avoid on hot paths).
+    pub fn to_route(self) -> Route {
+        Route {
+            links: self.links.to_vec(),
+        }
+    }
+}
+
+impl PartialEq for RouteRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.links == other.links
+    }
+}
+
+impl Eq for RouteRef<'_> {}
+
+impl PartialEq<Route> for RouteRef<'_> {
+    fn eq(&self, other: &Route) -> bool {
+        self.links == other.links()
+    }
+}
+
+impl PartialEq<RouteRef<'_>> for Route {
+    fn eq(&self, other: &RouteRef<'_>) -> bool {
+        self.links() == other.links
+    }
+}
+
+impl<'a> From<&'a Route> for RouteRef<'a> {
+    fn from(route: &'a Route) -> Self {
+        route.as_view()
     }
 }
 
@@ -232,19 +306,28 @@ impl Topology {
     /// Sum of per-link latencies along a route (the `link_latency × hops`
     /// term of the paper's Eq. 1, with heterogeneous links supported).
     pub fn route_latency(&self, route: &Route) -> f64 {
-        route
-            .links()
-            .iter()
-            .map(|&l| self.links[l.index()].latency)
-            .sum()
+        self.path_latency(route.links())
+    }
+
+    /// Sum of per-link latencies along an ordered link slice — the borrowed
+    /// ([`RouteRef`]/CSR) counterpart of [`Topology::route_latency`].
+    pub fn path_latency(&self, links: &[LinkId]) -> f64 {
+        links.iter().map(|&l| self.links[l.index()].latency).sum()
     }
 
     /// Minimum bandwidth along a route (the uncontended bottleneck).
     ///
     /// Returns `f64::INFINITY` for an empty route.
     pub fn route_bandwidth(&self, route: &Route) -> f64 {
-        route
-            .links()
+        self.path_bandwidth(route.links())
+    }
+
+    /// Minimum bandwidth along an ordered link slice — the borrowed
+    /// ([`RouteRef`]/CSR) counterpart of [`Topology::route_bandwidth`].
+    ///
+    /// Returns `f64::INFINITY` for an empty slice.
+    pub fn path_bandwidth(&self, links: &[LinkId]) -> f64 {
+        links
             .iter()
             .map(|&l| self.links[l.index()].bandwidth)
             .fold(f64::INFINITY, f64::min)

@@ -37,11 +37,17 @@
 //! assert!((hops - 4.0 / 3.0).abs() < 1e-9);
 //!
 //! // Communication pricing is pluggable (DESIGN.md §5): the same all-reduce
-//! // schedule priced by the closed-form model and the flow-level DES.
+//! // schedule priced at all three fidelity tiers — closed form, memoizing
+//! // cached DES, and full flow-level DES.
 //! let sched = plan.all_reduce_schedule(&topo, 2.0e6);
 //! let fast = CongestionBackend::Analytic.build(&topo).price_schedule(&sched);
 //! let full = CongestionBackend::FlowSim.build(&topo).price_schedule(&sched);
 //! assert!((fast.total_time - full.total_time).abs() / full.total_time < 0.01);
+//! // The cached tier replays DES estimates for repeated schedule shapes:
+//! // identical numbers, priced once ("flow-sim-cached" also parses).
+//! let cached = "flow-sim-cached".parse::<CongestionBackend>().unwrap().build(&topo);
+//! assert_eq!(cached.price_schedule(&sched), full);
+//! assert_eq!(cached.price_schedule(&sched), full); // cache hit: no re-simulation
 //! ```
 
 pub use moentwine_core as core;
@@ -65,8 +71,8 @@ pub mod prelude {
         BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,
     };
     pub use wsc_sim::{
-        AnalyticModel, CongestionBackend, CongestionModel, FlowSchedule, FlowSimBackend,
-        NetworkSim,
+        AnalyticModel, CachedBackend, CongestionBackend, CongestionModel, FlowSchedule,
+        FlowSimBackend, NetworkSim,
     };
     pub use wsc_topology::{
         DeviceId, DgxCluster, FlatSwitch, Mesh, MeshDims, MultiWafer, PlatformParams, Topology,

@@ -84,23 +84,44 @@ fn dispatch_a2a_within_bounded_factor() {
 fn congestion_model_trait_cross_validates_er_all_reduce() {
     // The mapping-agreement contract, restated through the pluggable
     // backend interface: swapping fidelity via `CongestionBackend` prices
-    // the *same* ER all-reduce schedule to within 1%.
+    // the *same* ER all-reduce schedule to within 1% — for every backend in
+    // the sweep, with the DES as the reference.
     for (n, tp) in [(4u16, 4usize), (6, 6)] {
         let topo = mesh(n);
         let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), tp)
             .unwrap()
             .plan();
         let sched = plan.all_reduce_schedule(&topo, 2.0e6);
-        let analytic = CongestionBackend::Analytic.build(&topo);
         let des = CongestionBackend::FlowSim.build(&topo);
-        let gap = backend_disagreement(analytic.as_ref(), des.as_ref(), &sched);
-        assert!(
-            gap < 0.01,
-            "n={n} tp={tp}: backends disagree by {gap:.4} ({} vs {})",
-            schedule_time(analytic.as_ref(), &sched),
-            schedule_time(des.as_ref(), &sched)
-        );
+        for kind in CongestionBackend::all() {
+            let candidate = kind.build(&topo);
+            let gap = backend_disagreement(candidate.as_ref(), des.as_ref(), &sched);
+            assert!(
+                gap < 0.01,
+                "n={n} tp={tp} {kind}: disagrees by {gap:.4} ({} vs {})",
+                schedule_time(candidate.as_ref(), &sched),
+                schedule_time(des.as_ref(), &sched)
+            );
+        }
     }
+}
+
+#[test]
+fn cached_backend_is_bit_identical_to_flow_sim() {
+    // The memoizing tier is a pure decorator: on any schedule — priced cold
+    // (miss) or replayed (hit) — the estimate is the DES's own, bit for bit.
+    let topo = mesh(6);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let sched = plan.all_reduce_schedule(&topo, 2.0e6);
+    let des = CongestionBackend::FlowSim.build(&topo);
+    let cached = CongestionBackend::FlowSimCached.build(&topo);
+    let reference = des.price_schedule(&sched);
+    let cold = cached.price_schedule(&sched);
+    let replay = cached.price_schedule(&sched);
+    assert_eq!(reference, cold);
+    assert_eq!(reference, replay);
 }
 
 #[test]
@@ -143,6 +164,22 @@ fn engine_scope_backends_within_bounded_factor() {
         des.mean_all_to_all,
         analytic.mean_all_to_all
     );
+
+    // The cached DES must not change any reported engine figure beyond
+    // 1e-9 relative to the uncached DES on the same sweep.
+    let cached = run(CongestionBackend::FlowSimCached);
+    let figures = [
+        (des.mean_iteration_time, cached.mean_iteration_time),
+        (des.mean_all_reduce, cached.mean_all_reduce),
+        (des.mean_all_to_all, cached.mean_all_to_all),
+        (des.mean_load_ratio, cached.mean_load_ratio),
+    ];
+    for (i, (d, c)) in figures.into_iter().enumerate() {
+        assert!(
+            (d - c).abs() <= 1e-9 * d.abs().max(1e-30),
+            "figure {i}: flow-sim {d} vs cached {c}"
+        );
+    }
 }
 
 #[test]

@@ -8,7 +8,14 @@ use moentwine::core::migration::{decompose_route, MigrationPhase};
 use moentwine::core::placement::ExpertPlacement;
 use moentwine::prelude::*;
 use moentwine::sim::fairshare::max_min_rates;
+use moentwine::sim::{FlowSpec, IncrementalMaxMin, NetworkSim};
 use moentwine::workload::sample_gating_counts;
+
+/// Relative-tolerance comparison with an absolute floor, as the incremental
+/// fair-share contract specifies (1e-9 relative).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-30)
+}
 
 proptest! {
     /// Max-min fairness never oversubscribes a link and never assigns a
@@ -74,6 +81,111 @@ proptest! {
                 .iter()
                 .any(|&l| used[l] >= capacity[l] * (1.0 - 1e-6));
             prop_assert!(bottlenecked, "flow {f} rate {} unconstrained", rates[f]);
+        }
+    }
+
+    /// Incremental fair-share contract: after any arrival/completion churn,
+    /// the incremental allocator's rates equal the full-recompute
+    /// water-filling oracle over the surviving flow set, to 1e-9 relative
+    /// tolerance, on random link sets and random routes.
+    #[test]
+    fn incremental_fairshare_matches_oracle(
+        seed in 0u64..1000,
+        num_flows in 1usize..24,
+        num_links in 1usize..12,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFA1B);
+        let capacity: Vec<f64> =
+            (0..num_links).map(|_| rng.gen_range(1.0..100.0)).collect();
+        let routes: Vec<Vec<usize>> = (0..num_flows)
+            .map(|_| {
+                let len = rng.gen_range(0..=num_links.min(4));
+                let mut ls: Vec<usize> =
+                    (0..len).map(|_| rng.gen_range(0..num_links)).collect();
+                ls.sort_unstable();
+                ls.dedup();
+                ls
+            })
+            .collect();
+        let mut alloc = IncrementalMaxMin::new(capacity.clone());
+        let ids: Vec<u32> = routes
+            .iter()
+            .map(|r| {
+                let links: Vec<u32> = r.iter().map(|&l| l as u32).collect();
+                alloc.register(&links)
+            })
+            .collect();
+        // Arrive one by one, rebalancing after each arrival.
+        for &id in &ids {
+            alloc.activate(id);
+            alloc.rebalance();
+        }
+        // Retire a random subset, rebalancing after each completion.
+        let mut active: Vec<usize> = (0..num_flows).collect();
+        let retire = rng.gen_range(0..num_flows);
+        for _ in 0..retire {
+            let pos = rng.gen_range(0..active.len());
+            let f = active.swap_remove(pos);
+            alloc.deactivate(ids[f]);
+            alloc.rebalance();
+        }
+        // Oracle over the survivors.
+        let surviving: Vec<Vec<usize>> =
+            active.iter().map(|&f| routes[f].clone()).collect();
+        let oracle = max_min_rates(&surviving, &capacity);
+        for (&f, &expect) in active.iter().zip(&oracle) {
+            let got = alloc.rate(ids[f]);
+            if expect.is_infinite() {
+                prop_assert!(got.is_infinite(), "flow {f}: {got} vs inf");
+            } else {
+                prop_assert!(close(got, expect), "flow {f}: {got} vs {expect}");
+            }
+        }
+    }
+
+    /// Event-order invariance: permuting the submission order of a flow set
+    /// changes neither the makespan nor any flow's completion time beyond
+    /// floating-point tolerance.
+    #[test]
+    fn network_sim_is_event_order_invariant(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0DE5);
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let n = topo.num_devices() as u32;
+        let num_flows = rng.gen_range(2usize..24);
+        let flows: Vec<(f64, FlowSpec)> = (0..num_flows)
+            .map(|_| {
+                let src = DeviceId(rng.gen_range(0..n));
+                let dst = DeviceId(rng.gen_range(0..n));
+                let bytes = rng.gen_range(1.0e5..5.0e7);
+                let start = rng.gen_range(0.0..2.0e-4);
+                (start, FlowSpec::new(topo.route(src, dst), bytes))
+            })
+            .collect();
+        // A seed-derived permutation.
+        let mut perm: Vec<usize> = (0..num_flows).collect();
+        for i in (1..num_flows).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<(f64, FlowSpec)> =
+            perm.iter().map(|&i| flows[i].clone()).collect();
+        let base = NetworkSim::new(&topo).run_at(&flows);
+        let permuted = NetworkSim::new(&topo).run_at(&shuffled);
+        prop_assert!(
+            close(base.total_time, permuted.total_time),
+            "makespan {} vs {}",
+            base.total_time,
+            permuted.total_time
+        );
+        for (k, &i) in perm.iter().enumerate() {
+            prop_assert!(
+                close(base.completion_times[i], permuted.completion_times[k]),
+                "flow {i}: {} vs {}",
+                base.completion_times[i],
+                permuted.completion_times[k]
+            );
         }
     }
 
