@@ -1,0 +1,52 @@
+//! Request-level serving sweep: arrival rate × scenario mix × backend →
+//! SLO percentiles (p50/p95/p99 TTFT + TPOT), goodput, queue depth, and
+//! admission rejects per point.
+//!
+//! Prints the report, saves `results/serve_sweep.json`, writes the
+//! machine-readable manifest to `target/figs/serve_sweep.json`, then
+//! **re-reads and schema-validates the emitted manifest**, exiting
+//! non-zero if it is malformed (the CI smoke gate).
+//!
+//! Usage: `cargo run --release -p moentwine-bench --bin serve_sweep [--quick]`
+
+use std::process::ExitCode;
+
+use moentwine_bench::figs::serve_sweep;
+use moentwine_bench::json::Value;
+
+fn main() -> ExitCode {
+    let quick = moentwine_bench::quick_from_args();
+    let report = serve_sweep::run(quick);
+    report.print();
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+
+    // Validate the manifest as written to disk, not the in-memory tree: the
+    // gate must catch serialization problems too.
+    let path = serve_sweep::MANIFEST_PATH;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("serve_sweep: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("serve_sweep: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = serve_sweep::validate(&manifest) {
+        eprintln!("serve_sweep: {path} violates {}: {e}", serve_sweep::SCHEMA);
+        return ExitCode::FAILURE;
+    }
+    let points = manifest
+        .get("points")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    eprintln!("serve_sweep: {path} OK ({points} points, schema {})", serve_sweep::SCHEMA);
+    ExitCode::SUCCESS
+}

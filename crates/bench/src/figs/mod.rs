@@ -16,6 +16,7 @@ pub mod fig14b;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod serve_sweep;
 pub mod table1;
 
 use crate::Report;
@@ -42,5 +43,8 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig16", fig16::run),
         ("fig17", fig17::run),
         ("ablation", ablation::run),
+        // Beyond the paper's figures: the request-level serving sweep
+        // (latency-throughput curves; also emits target/figs/serve_sweep.json).
+        ("serve_sweep", serve_sweep::run),
     ]
 }

@@ -1,5 +1,7 @@
-//! Per-iteration metrics and run summaries.
+//! Per-iteration metrics, run summaries, and request-level serving
+//! summaries (SLO percentiles).
 
+use moe_workload::RequestRecord;
 use serde::{Deserialize, Serialize};
 
 /// Timing and load measurements for one inference iteration (sums over all
@@ -35,6 +37,20 @@ pub struct IterationMetrics {
     pub migrations_started: u64,
     /// Replications that became active this iteration.
     pub migrations_completed: u64,
+    /// Simulated wall-clock time at the end of this iteration, seconds
+    /// (cumulative priced iteration durations).
+    pub sim_time: f64,
+    /// Requests arrived but not yet admitted when the iteration was
+    /// scheduled (0 in fixed-batch mode).
+    pub queue_depth: u64,
+    /// Requests resident (admitted, not complete) when the iteration was
+    /// scheduled (0 in fixed-batch mode).
+    pub active_requests: u64,
+    /// KV tokens reserved against the admission budget (0 in fixed-batch
+    /// mode).
+    pub kv_tokens_in_use: u64,
+    /// Requests that completed at the end of this iteration.
+    pub requests_completed: u64,
 }
 
 impl IterationMetrics {
@@ -122,9 +138,147 @@ impl RunSummary {
     }
 }
 
+/// Nearest-rank percentile of an **ascending-sorted** slice: the smallest
+/// element with at least `p`% of the samples at or below it. Returns 0 for
+/// an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Request-level serving statistics over a run: SLO percentiles (TTFT,
+/// TPOT, end-to-end latency, queueing delay), goodput, queue/KV occupancy,
+/// and admission rejects. Produced by
+/// [`InferenceEngine::serving_summary`](super::InferenceEngine::serving_summary)
+/// alongside the per-iteration [`RunSummary`].
+///
+/// Latency percentiles are over **completed** requests only (nearest-rank,
+/// see [`percentile`]); TPOT percentiles additionally exclude requests with
+/// fewer than two decoded tokens, for which TPOT is undefined. Goodput
+/// counts only completed requests: `goodput_rps` is completions per
+/// simulated second, `goodput_tokens_per_s` their prompt+output tokens per
+/// simulated second.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ServingSummary {
+    /// Requests completed within the run.
+    pub completed: usize,
+    /// Requests rejected at admission (footprint exceeds the KV budget).
+    pub admission_rejects: u64,
+    /// Simulated wall-clock time covered, seconds.
+    pub sim_seconds: f64,
+    /// Completed requests per simulated second.
+    pub goodput_rps: f64,
+    /// Prompt + output tokens of completed requests per simulated second.
+    pub goodput_tokens_per_s: f64,
+    /// Median time-to-first-token, seconds.
+    pub ttft_p50: f64,
+    /// 95th-percentile time-to-first-token, seconds.
+    pub ttft_p95: f64,
+    /// 99th-percentile time-to-first-token, seconds.
+    pub ttft_p99: f64,
+    /// Median time-per-output-token, seconds.
+    pub tpot_p50: f64,
+    /// 95th-percentile time-per-output-token, seconds.
+    pub tpot_p95: f64,
+    /// 99th-percentile time-per-output-token, seconds.
+    pub tpot_p99: f64,
+    /// Median end-to-end request latency, seconds.
+    pub e2e_p50: f64,
+    /// 99th-percentile end-to-end request latency, seconds.
+    pub e2e_p99: f64,
+    /// Median queueing delay before admission, seconds.
+    pub queueing_p50: f64,
+    /// 99th-percentile queueing delay before admission, seconds.
+    pub queueing_p99: f64,
+    /// Mean un-admitted queue depth over iterations.
+    pub mean_queue_depth: f64,
+    /// Maximum un-admitted queue depth over iterations.
+    pub max_queue_depth: u64,
+    /// Mean resident (admitted) request count over iterations.
+    pub mean_active_requests: f64,
+    /// High-water mark of reserved KV tokens.
+    pub peak_kv_tokens: u64,
+}
+
+impl ServingSummary {
+    /// Builds a summary from completion records and the iteration history.
+    ///
+    /// * `records` — completed-request lifecycle records, any order.
+    /// * `history` — the run's per-iteration metrics (queue-depth /
+    ///   occupancy statistics; the last entry's `sim_time` is the covered
+    ///   simulated span).
+    /// * `admission_rejects` / `peak_kv_tokens` — queue counters.
+    pub fn from_records(
+        records: &[RequestRecord],
+        history: &[IterationMetrics],
+        admission_rejects: u64,
+        peak_kv_tokens: u64,
+    ) -> Self {
+        let sim_seconds = history.last().map_or(0.0, |m| m.sim_time);
+        let mut s = ServingSummary {
+            completed: records.len(),
+            admission_rejects,
+            sim_seconds,
+            peak_kv_tokens,
+            ..Default::default()
+        };
+        if !history.is_empty() {
+            let n = history.len() as f64;
+            for m in history {
+                s.mean_queue_depth += m.queue_depth as f64 / n;
+                s.mean_active_requests += m.active_requests as f64 / n;
+                s.max_queue_depth = s.max_queue_depth.max(m.queue_depth);
+            }
+        }
+        if records.is_empty() {
+            return s;
+        }
+        let sorted = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            v
+        };
+        let ttft = sorted(records.iter().map(RequestRecord::ttft).collect());
+        let tpot = sorted(records.iter().filter_map(RequestRecord::tpot).collect());
+        let e2e = sorted(records.iter().map(RequestRecord::e2e_latency).collect());
+        let queueing = sorted(records.iter().map(RequestRecord::queueing_delay).collect());
+        s.ttft_p50 = percentile(&ttft, 50.0);
+        s.ttft_p95 = percentile(&ttft, 95.0);
+        s.ttft_p99 = percentile(&ttft, 99.0);
+        s.tpot_p50 = percentile(&tpot, 50.0);
+        s.tpot_p95 = percentile(&tpot, 95.0);
+        s.tpot_p99 = percentile(&tpot, 99.0);
+        s.e2e_p50 = percentile(&e2e, 50.0);
+        s.e2e_p99 = percentile(&e2e, 99.0);
+        s.queueing_p50 = percentile(&queueing, 50.0);
+        s.queueing_p99 = percentile(&queueing, 99.0);
+        if sim_seconds > 0.0 {
+            s.goodput_rps = records.len() as f64 / sim_seconds;
+            let tokens: f64 = records
+                .iter()
+                .map(|r| r.input_len as f64 + r.output_len as f64)
+                .sum();
+            s.goodput_tokens_per_s = tokens / sim_seconds;
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moe_workload::{RequestId, Scenario};
 
     fn metric(t: f64, stall: f64) -> IterationMetrics {
         IterationMetrics {
@@ -163,5 +317,91 @@ mod tests {
         let s = RunSummary::from_history(&[], 0, 4);
         assert_eq!(s.iterations, 0);
         assert_eq!(s.mean_iteration_time, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    fn record(id: u64, arrival: f64, ttft: f64, e2e: f64, out: u32) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            scenario: Scenario::Chat,
+            input_len: 10,
+            output_len: out,
+            arrival,
+            admitted: arrival + 0.5,
+            first_token: arrival + ttft,
+            finish: arrival + e2e,
+            prefill_scheduled: 10,
+            decode_scheduled: out,
+        }
+    }
+
+    #[test]
+    fn serving_summary_percentiles_and_goodput() {
+        let records: Vec<RequestRecord> = (0..4)
+            .map(|i| record(i, i as f64, 1.0 + i as f64, 3.0 + i as f64, 4))
+            .collect();
+        let history = vec![
+            IterationMetrics {
+                sim_time: 5.0,
+                queue_depth: 2,
+                active_requests: 3,
+                ..Default::default()
+            },
+            IterationMetrics {
+                sim_time: 10.0,
+                queue_depth: 4,
+                active_requests: 1,
+                ..Default::default()
+            },
+        ];
+        let s = ServingSummary::from_records(&records, &history, 7, 123);
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.admission_rejects, 7);
+        assert_eq!(s.peak_kv_tokens, 123);
+        assert_eq!(s.sim_seconds, 10.0);
+        // TTFTs are [1, 2, 3, 4]: nearest-rank p50 = 2, p99 = 4.
+        assert_eq!(s.ttft_p50, 2.0);
+        assert_eq!(s.ttft_p99, 4.0);
+        assert_eq!(s.e2e_p50, 4.0);
+        assert_eq!(s.queueing_p50, 0.5);
+        assert_eq!(s.goodput_rps, 0.4);
+        assert_eq!(s.goodput_tokens_per_s, 4.0 * 14.0 / 10.0);
+        assert_eq!(s.mean_queue_depth, 3.0);
+        assert_eq!(s.max_queue_depth, 4);
+        assert_eq!(s.mean_active_requests, 2.0);
+        // TPOT = (e2e - ttft) / (out - 1) = 2/3 for every record.
+        assert!((s.tpot_p50 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_summary_excludes_undefined_tpot() {
+        // A single-token response has no inter-token gap.
+        let records = vec![record(0, 0.0, 1.0, 1.0, 1), record(1, 0.0, 1.0, 3.0, 3)];
+        let history = vec![IterationMetrics {
+            sim_time: 4.0,
+            ..Default::default()
+        }];
+        let s = ServingSummary::from_records(&records, &history, 0, 0);
+        assert_eq!(s.tpot_p50, 1.0); // only the 3-token record contributes
+        assert_eq!(s.tpot_p99, 1.0);
+    }
+
+    #[test]
+    fn serving_summary_empty_is_safe() {
+        let s = ServingSummary::from_records(&[], &[], 0, 0);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.goodput_rps, 0.0);
+        assert_eq!(s.ttft_p99, 0.0);
     }
 }

@@ -175,6 +175,26 @@ impl ModelConfig {
         self.hidden_size as f64 * precision.bytes()
     }
 
+    /// Bytes of KV-cache one resident token occupies across **all** layers
+    /// at `precision` — the unit of the serving layer's admission budget
+    /// (every layer caches its own K/V for every attended token).
+    pub fn kv_bytes_per_token_all_layers(&self, precision: Precision) -> f64 {
+        self.kv_bytes_per_token(precision) * self.num_layers as f64
+    }
+
+    /// How many KV-cache tokens fit in `budget_bytes` of memory at
+    /// `precision` — the capacity that gates request admission in the
+    /// serving layer (`moe_workload::ServingQueue`).
+    ///
+    /// Returns 0 for non-positive budgets.
+    pub fn kv_token_capacity(&self, budget_bytes: f64, precision: Precision) -> u64 {
+        let per_token = self.kv_bytes_per_token_all_layers(precision);
+        if budget_bytes <= 0.0 || per_token <= 0.0 {
+            return 0;
+        }
+        (budget_bytes / per_token).floor() as u64
+    }
+
     /// The expert-to-device ratio `E/D` for a given device count.
     ///
     /// # Panics
@@ -272,5 +292,18 @@ mod tests {
     #[should_panic(expected = "device count must be positive")]
     fn ed_ratio_zero_devices_panics() {
         ModelConfig::deepseek_v3().ed_ratio(0);
+    }
+
+    #[test]
+    fn kv_capacity_scales_with_budget() {
+        let q = ModelConfig::qwen3_235b();
+        // 4 KV heads × 128 dim × 2 (K+V) × 2 bytes × 94 layers per token.
+        let per_token = q.kv_bytes_per_token_all_layers(Precision::Fp16);
+        assert_eq!(per_token, 4.0 * 128.0 * 2.0 * 2.0 * 94.0);
+        assert_eq!(q.kv_token_capacity(per_token * 1000.0, Precision::Fp16), 1000);
+        // Fractional tokens round down; degenerate budgets hold nothing.
+        assert_eq!(q.kv_token_capacity(per_token * 2.5, Precision::Fp16), 2);
+        assert_eq!(q.kv_token_capacity(0.0, Precision::Fp16), 0);
+        assert_eq!(q.kv_token_capacity(-1.0, Precision::Fp16), 0);
     }
 }

@@ -46,11 +46,13 @@ pub mod gating;
 pub mod requests;
 pub mod scenario;
 pub mod scheduler;
+pub mod serving;
 pub mod trace;
 
 pub use affinity::AffinityModel;
 pub use gating::sample_gating_counts;
-pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator};
+pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator, RequestId};
 pub use scenario::Scenario;
-pub use scheduler::{BatchScheduler, BatchSpec, SchedulingMode};
+pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode};
+pub use serving::{RequestRecord, ServingQueue, TokenAccounting};
 pub use trace::{IterationTrace, LayerGating, TraceGenerator, WorkloadMix};

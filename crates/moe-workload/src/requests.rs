@@ -5,9 +5,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::scenario::Scenario;
 
+/// Identity of one inference request, stable across its whole lifecycle
+/// (arrival → admission → prefill → decode → completion).
+///
+/// Ids are opaque labels: the serving layer's batch composition is invariant
+/// under relabeling (see the serving property tests), they exist so that
+/// per-request token attribution and latency records can be joined.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
 /// A single inference request.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Request {
+    /// Stable request identity.
+    pub id: RequestId,
     /// Scenario this request belongs to.
     pub scenario: Scenario,
     /// Prompt length in tokens.
@@ -122,6 +141,7 @@ pub struct RequestGenerator {
     arrivals: ArrivalProcess,
     scenario_weights: Vec<(Scenario, f64)>,
     rng: rand::rngs::StdRng,
+    next_id: u64,
 }
 
 impl RequestGenerator {
@@ -141,6 +161,7 @@ impl RequestGenerator {
             arrivals,
             scenario_weights,
             rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0xBEEF_CAFE),
+            next_id: 0,
         }
     }
 
@@ -163,12 +184,16 @@ impl RequestGenerator {
         (median * (sigma * z).exp()).round().max(1.0) as u32
     }
 
-    /// Draws the next request.
+    /// Draws the next request. Ids are assigned sequentially in arrival
+    /// order, starting at `r0`.
     pub fn next_request(&mut self) -> Request {
         let arrival = self.arrivals.next_arrival();
         let scenario = self.sample_scenario();
         let profile = LengthProfile::for_scenario(scenario);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
         Request {
+            id,
             scenario,
             input_len: self.sample_lognormal(profile.input_median, profile.sigma),
             output_len: self.sample_lognormal(profile.output_median, profile.sigma),
@@ -246,5 +271,16 @@ mod tests {
     #[should_panic(expected = "amplitude")]
     fn invalid_amplitude_rejected() {
         ArrivalProcess::new(1.0, 1.5, 1.0, 0);
+    }
+
+    #[test]
+    fn request_ids_are_sequential_in_arrival_order() {
+        let arrivals = ArrivalProcess::new(10.0, 0.0, 60.0, 5);
+        let mut g = RequestGenerator::new(arrivals, vec![(Scenario::Chat, 1.0)], 5);
+        for expect in 0..20 {
+            let r = g.next_request();
+            assert_eq!(r.id, RequestId(expect));
+        }
+        assert_eq!(RequestId(3).to_string(), "r3");
     }
 }

@@ -1,12 +1,17 @@
 //! Batch schedulers: prefill-only, decode-only, and hybrid serving.
-
-use std::collections::VecDeque;
+//!
+//! [`BatchScheduler`] couples a [`RequestGenerator`] arrival stream to the
+//! request-level [`ServingQueue`](crate::serving::ServingQueue): arrivals up
+//! to the current simulated time are offered to the queue, which composes
+//! each iteration's [`BatchSpec`] with per-request token attribution and
+//! tracks every request's lifecycle (see `crate::serving`).
 
 use serde::{Deserialize, Serialize};
 
 use moe_model::InferencePhase;
 
-use crate::requests::{Request, RequestGenerator};
+use crate::requests::{Request, RequestGenerator, RequestId};
+use crate::serving::{RequestRecord, ServingQueue};
 
 /// Serving discipline (paper §VI-C): disaggregated prefill, disaggregated
 /// decode, or Sarathi-style hybrid batches mixing a prefill chunk with
@@ -32,8 +37,22 @@ impl std::fmt::Display for SchedulingMode {
     }
 }
 
-/// The shape of one scheduled iteration (per DP group).
-#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+/// Per-request token attribution inside one scheduled iteration: which
+/// request the tokens belong to, and how many of each kind it received.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BatchEntry {
+    /// The request the tokens belong to.
+    pub id: RequestId,
+    /// Prompt tokens scheduled for this request this iteration (one chunk).
+    pub prefill_tokens: u32,
+    /// Output tokens scheduled for this request this iteration (0 or 1).
+    pub decode_tokens: u32,
+}
+
+/// The shape of one scheduled iteration (per DP group), carrying both the
+/// aggregate token counts the cost model prices and the per-request
+/// attribution ([`BatchEntry`]) the serving metrics are derived from.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct BatchSpec {
     /// Prompt tokens processed this iteration.
     pub prefill_tokens: u32,
@@ -43,6 +62,9 @@ pub struct BatchSpec {
     pub avg_context: f64,
     /// Dominant phase, used to select the roofline variant.
     pub phase: InferencePhase,
+    /// Per-request token attribution (empty for an idle iteration). Entry
+    /// token counts always sum to `prefill_tokens` / `decode_tokens`.
+    pub requests: Vec<BatchEntry>,
 }
 
 impl BatchSpec {
@@ -52,37 +74,38 @@ impl BatchSpec {
     }
 }
 
-#[derive(Clone, Debug)]
-struct ActiveSequence {
-    context: u32,
-    remaining_output: u32,
-}
-
 /// A per-DP-group batch scheduler fed by a request generator.
 ///
-/// Keeps a pool of admitted sequences: prefill work is consumed in chunks of
-/// at most `max_batch_tokens`; each decode iteration advances every active
-/// sequence by one token. Hybrid mode packs a prefill chunk alongside the
-/// decodes (Sarathi-style), up to the token budget.
+/// Wraps a [`ServingQueue`] (admission, continuous batching, lifecycle
+/// records) and pulls arrivals from the generator up to the scheduling
+/// clock. Two clock styles are supported:
+///
+/// * [`BatchScheduler::next_batch`] — legacy fixed-period mode: every call
+///   advances an internal horizon by `iteration_period` seconds.
+/// * [`BatchScheduler::next_batch_at`] /
+///   [`BatchScheduler::finish_iteration`] — engine-driven mode: the caller
+///   advances simulated wall-clock time from each iteration's priced
+///   duration, so per-request TTFT / TPOT / latency reflect the modeled
+///   hardware speed.
 #[derive(Clone, Debug)]
 pub struct BatchScheduler {
-    mode: SchedulingMode,
-    max_batch_tokens: u32,
-    max_active: usize,
+    queue: ServingQueue,
     generator: RequestGenerator,
-    waiting: VecDeque<Request>,
-    active: Vec<ActiveSequence>,
-    horizon: f64,
+    /// First generated request not yet released to the queue (its arrival
+    /// is beyond the clock).
+    lookahead: Option<Request>,
+    clock: f64,
     iteration_period: f64,
 }
 
 impl BatchScheduler {
-    /// Creates a scheduler.
+    /// Creates a scheduler with an unbounded KV budget.
     ///
     /// * `max_batch_tokens` — per-iteration token budget per DP group.
-    /// * `max_active` — concurrent decode sequences per DP group.
-    /// * `iteration_period` — wall-clock seconds per iteration, used to admit
-    ///   arrivals from the generator.
+    /// * `max_active` — concurrent resident sequences per DP group.
+    /// * `iteration_period` — wall-clock seconds per iteration in the
+    ///   legacy fixed-period mode (engine-driven callers pass explicit
+    ///   times to [`BatchScheduler::next_batch_at`] instead).
     ///
     /// # Panics
     ///
@@ -94,136 +117,118 @@ impl BatchScheduler {
         iteration_period: f64,
         generator: RequestGenerator,
     ) -> Self {
-        assert!(max_batch_tokens > 0, "token budget must be positive");
-        assert!(max_active > 0, "active budget must be positive");
         assert!(iteration_period > 0.0, "period must be positive");
         BatchScheduler {
-            mode,
-            max_batch_tokens,
-            max_active,
+            queue: ServingQueue::new(mode, max_batch_tokens, max_active, u64::MAX),
             generator,
-            waiting: VecDeque::new(),
-            active: Vec::new(),
-            horizon: 0.0,
+            lookahead: None,
+            clock: 0.0,
             iteration_period,
         }
     }
 
+    /// Bounds the KV-token budget gating admission (builder style). See
+    /// [`ServingQueue::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduling has already happened — the queue is rebuilt,
+    /// so changing the budget mid-run would silently discard resident
+    /// requests and lifecycle records.
+    pub fn with_kv_budget(mut self, kv_budget_tokens: u64) -> Self {
+        assert!(
+            self.clock == 0.0
+                && self.queue.num_active() == 0
+                && self.queue.queue_depth() == 0
+                && self.queue.completed().is_empty(),
+            "with_kv_budget must be called before scheduling starts"
+        );
+        let (mode, tokens, active) = (
+            self.queue.mode(),
+            self.max_batch_tokens(),
+            self.max_active(),
+        );
+        self.queue = ServingQueue::new(mode, tokens, active, kv_budget_tokens);
+        self
+    }
+
+    fn max_batch_tokens(&self) -> u32 {
+        // The queue is the single owner of the budgets; recover them for
+        // the builder without duplicating state.
+        self.queue_budget().0
+    }
+
+    fn max_active(&self) -> usize {
+        self.queue_budget().1
+    }
+
+    fn queue_budget(&self) -> (u32, usize) {
+        (self.queue.max_batch_tokens(), self.queue.max_active())
+    }
+
     /// The scheduling mode.
     pub fn mode(&self) -> SchedulingMode {
-        self.mode
+        self.queue.mode()
     }
 
-    /// Number of sequences currently decoding.
+    /// Number of sequences currently admitted (prefilling or decoding).
     pub fn num_active(&self) -> usize {
-        self.active.len()
+        self.queue.num_active()
     }
 
-    fn admit_arrivals(&mut self) {
-        self.horizon += self.iteration_period;
-        // Pull arrivals up to the new horizon. Bound the pull so a burst
-        // cannot stall the simulation.
+    /// The underlying serving queue (lifecycle records, KV accounting).
+    pub fn queue(&self) -> &ServingQueue {
+        &self.queue
+    }
+
+    /// Removes and returns the completed-request records.
+    pub fn drain_completed(&mut self) -> Vec<RequestRecord> {
+        self.queue.drain_completed()
+    }
+
+    /// Pulls generated arrivals with `arrival <= now` into the queue.
+    fn pull_arrivals(&mut self, now: f64) {
+        if let Some(r) = self.lookahead.take() {
+            if r.arrival <= now {
+                self.queue.offer(r);
+            } else {
+                self.lookahead = Some(r);
+                return;
+            }
+        }
+        // Bound the pull so a burst cannot stall the simulation.
         for _ in 0..10_000 {
-            if let Some(last) = self.waiting.back() {
-                if last.arrival > self.horizon {
-                    break;
-                }
-            }
             let r = self.generator.next_request();
-            let done = r.arrival > self.horizon;
-            self.waiting.push_back(r);
-            if done {
+            if r.arrival > now {
+                self.lookahead = Some(r);
                 break;
             }
+            self.queue.offer(r);
         }
     }
 
-    /// Schedules the next iteration.
+    /// Schedules the next iteration in legacy fixed-period mode: the clock
+    /// advances by `iteration_period` and any previous iteration is closed
+    /// at the new time.
     pub fn next_batch(&mut self) -> BatchSpec {
-        self.admit_arrivals();
+        let now = self.clock + self.iteration_period;
+        self.next_batch_at(now)
+    }
 
-        // Promote waiting requests to active sequences (up to the cap).
-        // In PrefillOnly mode the prefill output is handed to a decode tier,
-        // so sequences never become active here.
-        let mut prefill_tokens = 0u32;
-        let prefill_budget = match self.mode {
-            SchedulingMode::PrefillOnly => self.max_batch_tokens,
-            SchedulingMode::Hybrid => self.max_batch_tokens / 2,
-            SchedulingMode::DecodeOnly => 0,
-        };
-        let mut prefill_context = 0.0f64;
-        let mut prefill_chunks = 0u32;
-        while prefill_tokens < prefill_budget {
-            let Some(front) = self.waiting.front() else {
-                break;
-            };
-            if front.arrival > self.horizon {
-                break;
-            }
-            if self.mode != SchedulingMode::PrefillOnly && self.active.len() >= self.max_active {
-                break;
-            }
-            let r = self.waiting.pop_front().expect("checked front");
-            let take = r.input_len.min(prefill_budget - prefill_tokens);
-            prefill_tokens += take;
-            prefill_context += r.input_len as f64 / 2.0;
-            prefill_chunks += 1;
-            if self.mode != SchedulingMode::PrefillOnly {
-                self.active.push(ActiveSequence {
-                    context: r.input_len,
-                    remaining_output: r.output_len,
-                });
-            }
-        }
+    /// Schedules the iteration starting at simulated time `now` (must not
+    /// go backwards). An unclosed previous iteration is finished at `now`.
+    pub fn next_batch_at(&mut self, now: f64) -> BatchSpec {
+        self.clock = self.clock.max(now);
+        self.pull_arrivals(self.clock);
+        self.queue.next_batch(self.clock)
+    }
 
-        // Decode step for all active sequences.
-        let mut decode_tokens = 0u32;
-        let mut decode_context = 0.0f64;
-        if self.mode != SchedulingMode::PrefillOnly {
-            for seq in &mut self.active {
-                seq.context += 1;
-                seq.remaining_output = seq.remaining_output.saturating_sub(1);
-                decode_tokens += 1;
-                decode_context += seq.context as f64;
-            }
-            self.active.retain(|s| s.remaining_output > 0);
-        }
-
-        // In decode-only mode the prefill tier feeds us directly: admit
-        // waiting requests as already-prefilled sequences.
-        if self.mode == SchedulingMode::DecodeOnly {
-            while self.active.len() < self.max_active {
-                let Some(front) = self.waiting.front() else {
-                    break;
-                };
-                if front.arrival > self.horizon {
-                    break;
-                }
-                let r = self.waiting.pop_front().expect("checked front");
-                self.active.push(ActiveSequence {
-                    context: r.input_len,
-                    remaining_output: r.output_len,
-                });
-            }
-        }
-
-        let total_ctx_samples = prefill_chunks as f64 + decode_tokens as f64;
-        let avg_context = if total_ctx_samples == 0.0 {
-            0.0
-        } else {
-            (prefill_context + decode_context) / total_ctx_samples
-        };
-        let phase = if decode_tokens >= prefill_tokens {
-            InferencePhase::Decode
-        } else {
-            InferencePhase::Prefill
-        };
-        BatchSpec {
-            prefill_tokens,
-            decode_tokens,
-            avg_context,
-            phase,
-        }
+    /// Closes the in-flight iteration at simulated time `end`, stamping
+    /// first-token and completion events (see
+    /// [`ServingQueue::finish_iteration`]).
+    pub fn finish_iteration(&mut self, end: f64) {
+        self.clock = self.clock.max(end);
+        self.queue.finish_iteration(end);
     }
 }
 
@@ -329,5 +334,56 @@ mod tests {
         }
         let late = s.next_batch().avg_context;
         assert!(late > early, "context should grow: {early} -> {late}");
+    }
+
+    #[test]
+    fn entries_sum_to_totals_and_requests_complete() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::Hybrid,
+            2048,
+            64,
+            0.05,
+            generator(200.0, 6),
+        );
+        for _ in 0..400 {
+            let b = s.next_batch();
+            let (p, d) = b
+                .requests
+                .iter()
+                .fold((0u32, 0u32), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
+            assert_eq!((p, d), (b.prefill_tokens, b.decode_tokens));
+        }
+        let records = s.drain_completed();
+        assert!(!records.is_empty(), "no request finished in 400 iterations");
+        for r in &records {
+            assert_eq!(r.prefill_scheduled, r.input_len);
+            assert_eq!(r.decode_scheduled, r.output_len);
+            assert!(r.ttft() > 0.0 && r.ttft() <= r.e2e_latency());
+        }
+    }
+
+    #[test]
+    fn engine_driven_clock_stamps_priced_durations() {
+        let mut s = BatchScheduler::new(
+            SchedulingMode::DecodeOnly,
+            4096,
+            16,
+            0.05,
+            generator(400.0, 7),
+        );
+        let mut now = 0.0;
+        for _ in 0..200 {
+            s.next_batch_at(now);
+            now += 0.125; // "priced" iteration duration
+            s.finish_iteration(now);
+        }
+        let records = s.drain_completed();
+        assert!(!records.is_empty());
+        for r in &records {
+            // Completions land exactly on iteration boundaries.
+            let steps = r.finish / 0.125;
+            assert!((steps - steps.round()).abs() < 1e-9, "{}", r.finish);
+            assert!(r.first_token <= r.finish);
+        }
     }
 }

@@ -1,0 +1,623 @@
+//! Request-level continuous-batching serving queue.
+//!
+//! [`ServingQueue`] tracks every [`Request`] through its full lifecycle —
+//! **arrival → admission → prefill → decode → completion** — and composes
+//! per-iteration [`BatchSpec`]s with per-request token attribution
+//! ([`BatchEntry`]), the layer the paper's end-to-end serving results
+//! (Fig. 11(e), §VI-C) are measured on.
+//!
+//! Design (DESIGN.md §6):
+//!
+//! * **Admission** is FCFS, gated by a *KV-token capacity budget*: a request
+//!   reserves its final KV footprint (prompt + output tokens; prompt only in
+//!   the disaggregated-prefill tier) at admission and releases it on
+//!   completion, so the resident KV cache can never exceed the budget. A
+//!   request that could never fit even on an empty system is rejected
+//!   permanently and counted. The budget is derived from
+//!   `moe_model::ModelConfig::kv_token_capacity` by the engine.
+//! * **Continuous batching**: every iteration advances all fully-prefilled,
+//!   unfinished sequences by one decode token, then fills the remaining
+//!   prefill budget with FCFS *chunked* prefill (Sarathi-style in `Hybrid`
+//!   mode; a request's prompt may span several iterations). Prefill
+//!   completion makes a sequence decodable from the next iteration on.
+//! * **Clock**: the queue is clock-agnostic. The caller passes `now` to
+//!   [`ServingQueue::next_batch`] and the iteration's *end* time to
+//!   [`ServingQueue::finish_iteration`]; per-request TTFT, TPOT, end-to-end
+//!   latency and queueing delay fall out of those stamps (the engine derives
+//!   them from each iteration's priced duration).
+//!
+//! All state transitions are deterministic in the offered request sequence,
+//! and batch composition is invariant under request-id relabeling (ids are
+//! labels, never keys — see the serving property tests).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use moe_model::InferencePhase;
+
+use crate::requests::{Request, RequestId};
+use crate::scheduler::{BatchEntry, BatchSpec, SchedulingMode};
+
+/// Lifecycle record of one finished request: every timestamp needed to
+/// compute the serving percentiles (TTFT / TPOT / e2e / queueing delay).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request identity.
+    pub id: RequestId,
+    /// Scenario the request belonged to.
+    pub scenario: crate::scenario::Scenario,
+    /// Prompt length, tokens.
+    pub input_len: u32,
+    /// Requested output length, tokens.
+    pub output_len: u32,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+    /// Admission time (KV budget + concurrency slot granted), seconds.
+    pub admitted: f64,
+    /// Completion time of the iteration that produced the first output
+    /// token (prefill hand-off time in the prefill-only tier), seconds.
+    pub first_token: f64,
+    /// Completion time, seconds.
+    pub finish: f64,
+    /// Prompt tokens this queue scheduled (0 in the decode-only tier,
+    /// where prefill happened elsewhere).
+    pub prefill_scheduled: u32,
+    /// Output tokens this queue scheduled (0 in the prefill-only tier).
+    pub decode_scheduled: u32,
+}
+
+impl RequestRecord {
+    /// Time to first token: `first_token − arrival`.
+    pub fn ttft(&self) -> f64 {
+        self.first_token - self.arrival
+    }
+
+    /// End-to-end latency: `finish − arrival`.
+    pub fn e2e_latency(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Queueing delay before admission: `admitted − arrival`.
+    pub fn queueing_delay(&self) -> f64 {
+        self.admitted - self.arrival
+    }
+
+    /// Time per output token after the first (`None` with fewer than two
+    /// decoded tokens, where TPOT is undefined).
+    pub fn tpot(&self) -> Option<f64> {
+        if self.decode_scheduled >= 2 {
+            Some((self.finish - self.first_token) / (self.decode_scheduled - 1) as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// A request resident in the queue (admitted, not yet complete).
+#[derive(Clone, Debug)]
+struct ActiveRequest {
+    request: Request,
+    admitted: f64,
+    /// Prompt tokens processed so far (starts at `input_len` in the
+    /// decode-only tier, whose prefill ran elsewhere).
+    prefilled: u32,
+    /// Output tokens generated so far.
+    decoded: u32,
+    /// KV tokens reserved against the budget at admission.
+    kv_reserved: u64,
+    first_token: Option<f64>,
+    /// Tokens scheduled for this request in the in-flight iteration
+    /// (prefill, decode) — stamped by [`ServingQueue::finish_iteration`].
+    pending: (u32, u32),
+}
+
+impl ActiveRequest {
+    /// Prompt tokens scheduled by this queue (decode-only prefill is
+    /// external and counts as zero).
+    fn prefill_scheduled(&self, external_prefill: bool) -> u32 {
+        if external_prefill {
+            0
+        } else {
+            self.prefilled
+        }
+    }
+
+    fn is_complete(&self, mode: SchedulingMode) -> bool {
+        match mode {
+            SchedulingMode::PrefillOnly => self.prefilled >= self.request.input_len,
+            _ => {
+                self.prefilled >= self.request.input_len
+                    && self.decoded >= self.request.output_len
+            }
+        }
+    }
+}
+
+/// Aggregate token-accounting counters of a [`ServingQueue`] — the basis of
+/// the token-conservation property (prefill + decode tokens scheduled must
+/// equal the tokens admitted, none lost or double-counted).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct TokenAccounting {
+    /// Prompt tokens this queue owes across all admitted requests
+    /// (0-contribution per request in the decode-only tier).
+    pub admitted_prefill: u64,
+    /// Output tokens this queue owes across all admitted requests
+    /// (0-contribution per request in the prefill-only tier).
+    pub admitted_decode: u64,
+    /// Prompt tokens scheduled into batches so far.
+    pub scheduled_prefill: u64,
+    /// Output tokens scheduled into batches so far.
+    pub scheduled_decode: u64,
+}
+
+/// Continuous-batching serving queue. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ServingQueue {
+    mode: SchedulingMode,
+    max_batch_tokens: u32,
+    max_active: usize,
+    kv_budget: u64,
+    waiting: VecDeque<Request>,
+    active: Vec<ActiveRequest>,
+    completed: Vec<RequestRecord>,
+    kv_in_use: u64,
+    peak_kv_in_use: u64,
+    rejected: u64,
+    accounting: TokenAccounting,
+    in_iteration: bool,
+}
+
+impl ServingQueue {
+    /// Creates a queue.
+    ///
+    /// * `max_batch_tokens` — per-iteration token budget.
+    /// * `max_active` — maximum concurrently resident (admitted) requests.
+    /// * `kv_budget_tokens` — KV-cache capacity in tokens; admission
+    ///   reserves each request's final footprint against it. Use
+    ///   `u64::MAX` for an effectively unbounded cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget is zero.
+    pub fn new(
+        mode: SchedulingMode,
+        max_batch_tokens: u32,
+        max_active: usize,
+        kv_budget_tokens: u64,
+    ) -> Self {
+        assert!(max_batch_tokens > 0, "token budget must be positive");
+        assert!(max_active > 0, "active budget must be positive");
+        assert!(kv_budget_tokens > 0, "KV budget must be positive");
+        ServingQueue {
+            mode,
+            max_batch_tokens,
+            max_active,
+            kv_budget: kv_budget_tokens,
+            waiting: VecDeque::new(),
+            active: Vec::new(),
+            completed: Vec::new(),
+            kv_in_use: 0,
+            peak_kv_in_use: 0,
+            rejected: 0,
+            accounting: TokenAccounting::default(),
+            in_iteration: false,
+        }
+    }
+
+    /// The serving discipline.
+    pub fn mode(&self) -> SchedulingMode {
+        self.mode
+    }
+
+    /// Per-iteration token budget.
+    pub fn max_batch_tokens(&self) -> u32 {
+        self.max_batch_tokens
+    }
+
+    /// Maximum concurrently resident requests.
+    pub fn max_active(&self) -> usize {
+        self.max_active
+    }
+
+    /// The KV-token capacity budget.
+    pub fn kv_budget_tokens(&self) -> u64 {
+        self.kv_budget
+    }
+
+    /// KV tokens currently reserved by resident requests.
+    pub fn kv_tokens_in_use(&self) -> u64 {
+        self.kv_in_use
+    }
+
+    /// High-water mark of [`ServingQueue::kv_tokens_in_use`].
+    pub fn peak_kv_tokens(&self) -> u64 {
+        self.peak_kv_in_use
+    }
+
+    /// Requests arrived but not yet admitted.
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests admitted and not yet complete.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Requests rejected at admission (their footprint exceeds the whole
+    /// KV budget, so they could never be served).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Aggregate token-accounting counters.
+    pub fn accounting(&self) -> TokenAccounting {
+        self.accounting
+    }
+
+    /// Completed-request records accumulated so far.
+    pub fn completed(&self) -> &[RequestRecord] {
+        &self.completed
+    }
+
+    /// Removes and returns the accumulated completion records.
+    pub fn drain_completed(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Feeds an arrival. Requests must be offered in non-decreasing arrival
+    /// order (the FCFS discipline is defined over this order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.arrival` precedes the previously offered arrival.
+    pub fn offer(&mut self, request: Request) {
+        if let Some(back) = self.waiting.back() {
+            assert!(
+                request.arrival >= back.arrival,
+                "arrivals must be offered in order: {} after {}",
+                request.arrival,
+                back.arrival
+            );
+        }
+        self.waiting.push_back(request);
+    }
+
+    /// KV tokens `request` must reserve to be admitted.
+    fn kv_need(&self, request: &Request) -> u64 {
+        match self.mode {
+            // The prefill tier hands the sequence off at first token; it
+            // only ever holds the prompt's KV.
+            SchedulingMode::PrefillOnly => request.input_len as u64,
+            _ => request.input_len as u64 + request.output_len as u64,
+        }
+    }
+
+    /// FCFS admission at time `now`: admit from the head of the arrival
+    /// queue while a concurrency slot and KV reservation are available.
+    /// Head-of-line blocking is deliberate — skipping ahead would starve
+    /// large requests forever under load.
+    fn admit(&mut self, now: f64) {
+        while let Some(front) = self.waiting.front() {
+            if front.arrival > now {
+                break;
+            }
+            let need = self.kv_need(front);
+            if need > self.kv_budget {
+                // Could never fit, even on an empty system: reject.
+                self.rejected += 1;
+                self.waiting.pop_front();
+                continue;
+            }
+            if self.active.len() >= self.max_active
+                || self.kv_in_use.saturating_add(need) > self.kv_budget
+            {
+                break;
+            }
+            let request = self.waiting.pop_front().expect("checked front");
+            self.kv_in_use += need;
+            self.peak_kv_in_use = self.peak_kv_in_use.max(self.kv_in_use);
+            let external_prefill = self.mode == SchedulingMode::DecodeOnly;
+            if !external_prefill {
+                self.accounting.admitted_prefill += request.input_len as u64;
+            }
+            if self.mode != SchedulingMode::PrefillOnly {
+                self.accounting.admitted_decode += request.output_len as u64;
+            }
+            self.active.push(ActiveRequest {
+                prefilled: if external_prefill { request.input_len } else { 0 },
+                decoded: 0,
+                kv_reserved: need,
+                admitted: now,
+                first_token: None,
+                pending: (0, 0),
+                request,
+            });
+        }
+    }
+
+    /// Schedules the iteration starting at time `now`: admits arrivals, then
+    /// composes the batch (decode step for every fully-prefilled sequence,
+    /// then FCFS chunked prefill up to the mode's budget).
+    ///
+    /// If the previous iteration was not closed with
+    /// [`ServingQueue::finish_iteration`], it is closed implicitly at `now`
+    /// (fixed-period legacy callers rely on this).
+    pub fn next_batch(&mut self, now: f64) -> BatchSpec {
+        if self.in_iteration {
+            self.finish_iteration(now);
+        }
+        self.admit(now);
+        self.in_iteration = true;
+
+        let mut entries: Vec<BatchEntry> = Vec::new();
+        let mut prefill_tokens = 0u32;
+        let mut decode_tokens = 0u32;
+        let mut context_sum = 0.0f64;
+        let mut context_samples = 0.0f64;
+
+        // Decode step: one token per decodable sequence (continuous
+        // batching — decodes are never preempted by prefill).
+        if self.mode != SchedulingMode::PrefillOnly {
+            for r in &mut self.active {
+                if r.prefilled >= r.request.input_len && r.decoded < r.request.output_len {
+                    r.decoded += 1;
+                    r.pending.1 += 1;
+                    decode_tokens += 1;
+                    context_sum += (r.prefilled + r.decoded) as f64;
+                    context_samples += 1.0;
+                    entries.push(BatchEntry {
+                        id: r.request.id,
+                        prefill_tokens: 0,
+                        decode_tokens: 1,
+                    });
+                }
+            }
+        }
+
+        // Chunked prefill, FCFS in admission order (prefill-priority: the
+        // oldest admitted prompt drains first; hybrid reserves half the
+        // token budget so decodes retain headroom, Sarathi-style).
+        let prefill_budget = match self.mode {
+            SchedulingMode::PrefillOnly => self.max_batch_tokens,
+            SchedulingMode::Hybrid => self.max_batch_tokens / 2,
+            SchedulingMode::DecodeOnly => 0,
+        };
+        for r in &mut self.active {
+            if prefill_tokens >= prefill_budget {
+                break;
+            }
+            let remaining = r.request.input_len.saturating_sub(r.prefilled);
+            if remaining == 0 {
+                continue;
+            }
+            let take = remaining.min(prefill_budget - prefill_tokens);
+            context_sum += r.prefilled as f64 + take as f64 / 2.0;
+            context_samples += 1.0;
+            r.prefilled += take;
+            r.pending.0 += take;
+            prefill_tokens += take;
+            entries.push(BatchEntry {
+                id: r.request.id,
+                prefill_tokens: take,
+                decode_tokens: 0,
+            });
+        }
+
+        self.accounting.scheduled_prefill += prefill_tokens as u64;
+        self.accounting.scheduled_decode += decode_tokens as u64;
+
+        let avg_context = if context_samples == 0.0 {
+            0.0
+        } else {
+            context_sum / context_samples
+        };
+        let phase = if decode_tokens >= prefill_tokens {
+            InferencePhase::Decode
+        } else {
+            InferencePhase::Prefill
+        };
+        BatchSpec {
+            prefill_tokens,
+            decode_tokens,
+            avg_context,
+            phase,
+            requests: entries,
+        }
+    }
+
+    /// Closes the in-flight iteration at time `end`: stamps first-token
+    /// times for sequences that produced their first output this iteration,
+    /// completes finished requests (releasing their KV reservation), and
+    /// appends their [`RequestRecord`]s.
+    ///
+    /// A no-op when no iteration is in flight.
+    pub fn finish_iteration(&mut self, end: f64) {
+        if !self.in_iteration {
+            return;
+        }
+        self.in_iteration = false;
+        let mode = self.mode;
+        let external_prefill = mode == SchedulingMode::DecodeOnly;
+        let mut kv_released = 0u64;
+        let mut finished: Vec<RequestRecord> = Vec::new();
+        self.active.retain_mut(|r| {
+            if r.pending.1 > 0 && r.first_token.is_none() {
+                r.first_token = Some(end);
+            }
+            r.pending = (0, 0);
+            if !r.is_complete(mode) {
+                return true;
+            }
+            kv_released += r.kv_reserved;
+            finished.push(RequestRecord {
+                id: r.request.id,
+                scenario: r.request.scenario,
+                input_len: r.request.input_len,
+                output_len: r.request.output_len,
+                arrival: r.request.arrival,
+                admitted: r.admitted,
+                // Prefill-only hand-off (and degenerate zero-output
+                // requests) first-token at completion.
+                first_token: r.first_token.unwrap_or(end),
+                finish: end,
+                prefill_scheduled: r.prefill_scheduled(external_prefill),
+                decode_scheduled: r.decoded,
+            });
+            false
+        });
+        self.kv_in_use -= kv_released;
+        self.completed.append(&mut finished);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn req(id: u64, input: u32, output: u32, arrival: f64) -> Request {
+        Request {
+            id: RequestId(id),
+            scenario: Scenario::Chat,
+            input_len: input,
+            output_len: output,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn lifecycle_timestamps_are_monotone() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, 1_000);
+        q.offer(req(0, 40, 3, 0.5));
+        let mut now = 1.0;
+        for _ in 0..20 {
+            q.next_batch(now);
+            now += 0.1;
+            q.finish_iteration(now);
+        }
+        let records = q.drain_completed();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.id, RequestId(0));
+        assert_eq!(r.prefill_scheduled, 40);
+        assert_eq!(r.decode_scheduled, 3);
+        assert!(r.arrival <= r.admitted);
+        assert!(r.admitted <= r.first_token);
+        assert!(r.first_token <= r.finish);
+        assert!(r.ttft() <= r.e2e_latency());
+        // Prefill spans two 32-token chunks, then 3 decode iterations:
+        // admitted at 1.0, first token at the end of iteration 3 (now 1.3).
+        assert!((r.admitted - 1.0).abs() < 1e-12);
+        assert!((r.first_token - 1.3).abs() < 1e-12, "{}", r.first_token);
+        assert!((r.finish - 1.5).abs() < 1e-12, "{}", r.finish);
+        assert_eq!(r.tpot(), Some((r.finish - r.first_token) / 2.0));
+    }
+
+    #[test]
+    fn kv_budget_gates_admission_fcfs() {
+        // Budget fits exactly one of the 30-token requests at a time.
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, 40);
+        q.offer(req(0, 20, 10, 0.0));
+        q.offer(req(1, 20, 10, 0.0));
+        q.next_batch(0.0);
+        assert_eq!(q.num_active(), 1);
+        assert_eq!(q.queue_depth(), 1);
+        assert_eq!(q.kv_tokens_in_use(), 30);
+        // Run the first request to completion; the second then admits.
+        let mut now = 0.0;
+        while q.completed().is_empty() {
+            now += 1.0;
+            q.next_batch(now);
+            q.finish_iteration(now + 0.5);
+        }
+        q.next_batch(now + 1.0);
+        assert_eq!(q.num_active(), 1);
+        assert_eq!(q.queue_depth(), 0);
+        assert!(q.peak_kv_tokens() <= 40);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_permanently() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, 40);
+        q.offer(req(0, 100, 100, 0.0)); // can never fit
+        q.offer(req(1, 10, 5, 0.0));
+        q.next_batch(0.0);
+        assert_eq!(q.rejected(), 1);
+        // The queue did not head-of-line block on the impossible request.
+        assert_eq!(q.num_active(), 1);
+    }
+
+    #[test]
+    fn decode_only_skips_prefill_accounting() {
+        let mut q = ServingQueue::new(SchedulingMode::DecodeOnly, 64, 8, u64::MAX);
+        q.offer(req(0, 50, 2, 0.0));
+        q.next_batch(0.0);
+        q.finish_iteration(1.0);
+        q.next_batch(1.0);
+        q.finish_iteration(2.0);
+        let records = q.drain_completed();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].prefill_scheduled, 0);
+        assert_eq!(records[0].decode_scheduled, 2);
+        let acc = q.accounting();
+        assert_eq!(acc.admitted_prefill, 0);
+        assert_eq!(acc.scheduled_prefill, 0);
+        assert_eq!(acc.scheduled_decode, 2);
+    }
+
+    #[test]
+    fn prefill_only_completes_at_handoff() {
+        let mut q = ServingQueue::new(SchedulingMode::PrefillOnly, 32, 8, u64::MAX);
+        q.offer(req(0, 48, 99, 0.0));
+        let b = q.next_batch(0.0);
+        assert_eq!((b.prefill_tokens, b.decode_tokens), (32, 0));
+        q.finish_iteration(1.0);
+        let b = q.next_batch(1.0);
+        assert_eq!((b.prefill_tokens, b.decode_tokens), (16, 0));
+        q.finish_iteration(2.0);
+        let records = q.drain_completed();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].prefill_scheduled, 48);
+        assert_eq!(records[0].decode_scheduled, 0);
+        assert_eq!(records[0].first_token, records[0].finish);
+        assert_eq!(records[0].tpot(), None);
+    }
+
+    #[test]
+    fn batch_entries_attribute_every_token() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, u64::MAX);
+        q.offer(req(7, 32, 4, 0.0));
+        q.offer(req(9, 32, 4, 0.0));
+        let mut seen_prefill = 0u32;
+        let mut seen_decode = 0u32;
+        let mut now = 0.0;
+        for _ in 0..20 {
+            let b = q.next_batch(now);
+            let (ep, ed) = b
+                .requests
+                .iter()
+                .fold((0, 0), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
+            assert_eq!(ep, b.prefill_tokens, "entry/total prefill mismatch");
+            assert_eq!(ed, b.decode_tokens, "entry/total decode mismatch");
+            seen_prefill += ep;
+            seen_decode += ed;
+            now += 1.0;
+            q.finish_iteration(now);
+        }
+        assert_eq!(seen_prefill, 64);
+        assert_eq!(seen_decode, 8);
+        let acc = q.accounting();
+        assert_eq!(acc.scheduled_prefill, acc.admitted_prefill);
+        assert_eq!(acc.scheduled_decode, acc.admitted_decode);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals must be offered in order")]
+    fn out_of_order_offer_panics() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, 100);
+        q.offer(req(0, 1, 1, 2.0));
+        q.offer(req(1, 1, 1, 1.0));
+    }
+}

@@ -60,14 +60,33 @@ impl CongestionBackend {
         }
     }
 
-    /// Materializes the backend over `topo`.
+    /// Materializes the backend over `topo` (cached tier at
+    /// [`DEFAULT_CACHE_ENTRIES`] capacity).
     pub fn build(self, topo: &Topology) -> Box<dyn CongestionModel + '_> {
+        self.build_with_cache_capacity(topo, DEFAULT_CACHE_ENTRIES)
+    }
+
+    /// Materializes the backend over `topo`, bounding the memoizing tier's
+    /// schedule cache at `cache_entries` estimates. The capacity only
+    /// affects [`CongestionBackend::FlowSimCached`]; the stateless tiers
+    /// ignore it. Threaded from `EngineConfig::cache_entries` so engine
+    /// sweeps can size the cache to their schedule diversity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_entries` is zero and the cached tier is selected.
+    pub fn build_with_cache_capacity(
+        self,
+        topo: &Topology,
+        cache_entries: usize,
+    ) -> Box<dyn CongestionModel + '_> {
         match self {
             CongestionBackend::Analytic => Box::new(AnalyticModel::new(topo)),
             CongestionBackend::FlowSim => Box::new(FlowSimBackend::new(topo)),
-            CongestionBackend::FlowSimCached => {
-                Box::new(CachedBackend::new(Box::new(FlowSimBackend::new(topo))))
-            }
+            CongestionBackend::FlowSimCached => Box::new(CachedBackend::with_capacity_limit(
+                Box::new(FlowSimBackend::new(topo)),
+                cache_entries,
+            )),
         }
     }
 
@@ -727,6 +746,33 @@ mod tests {
             assert!(cached.cache_stats().entries <= 3, "iteration {i}");
         }
         assert_eq!(cached.cache_stats().misses, 10);
+    }
+
+    /// Satellite contract: the knob-level constructor threads the capacity
+    /// into the cached tier, and eviction at a tiny capacity still replays
+    /// shapes that survive in the (cleared-on-overflow) map correctly.
+    #[test]
+    fn build_with_cache_capacity_pins_eviction_at_tiny_capacity() {
+        let topo = mesh(4);
+        let a = topo.device_at_xy(0, 0).unwrap();
+        let b = topo.device_at_xy(1, 0).unwrap();
+        let c = topo.device_at_xy(2, 0).unwrap();
+        let backend = CongestionBackend::FlowSimCached.build_with_cache_capacity(&topo, 1);
+        let f_ab = vec![FlowSpec::new(topo.route(a, b), 1.0e6)];
+        let f_ac = vec![FlowSpec::new(topo.route(a, c), 1.0e6)];
+        let first = backend.price_flows(&f_ab);
+        // Same shape replays from the single slot...
+        assert_eq!(first, backend.price_flows(&f_ab));
+        // ...a second shape evicts it (capacity 1 clears the map)...
+        let other = backend.price_flows(&f_ac);
+        // ...so the original shape re-simulates, bit-identically.
+        assert_eq!(first, backend.price_flows(&f_ab));
+        assert_eq!(other, backend.price_flows(&f_ac));
+        // The stateless tiers accept (and ignore) the capacity.
+        for kind in [CongestionBackend::Analytic, CongestionBackend::FlowSim] {
+            let est = kind.build_with_cache_capacity(&topo, 1).price_flows(&f_ab);
+            assert_eq!(est.total_time, first.total_time, "{kind}");
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod stats;
 pub use analytic::{AnalyticEstimate, AnalyticModel};
 pub use backend::{
     CacheStats, CachedBackend, CongestionBackend, CongestionModel, FlowSimBackend, ScheduleShape,
+    DEFAULT_CACHE_ENTRIES,
 };
 pub use fairshare::{max_min_rates, IncrementalMaxMin};
 pub use flow::{FlowId, FlowSpec};

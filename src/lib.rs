@@ -60,8 +60,13 @@ pub use wsc_topology as topology;
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use moe_model::{DeviceSpec, ModelConfig, Precision};
-    pub use moe_workload::{Scenario, TraceGenerator};
-    pub use moentwine_core::engine::{EngineConfig, InferenceEngine};
+    pub use moe_workload::{
+        BatchScheduler, Request, RequestId, RequestRecord, Scenario, SchedulingMode,
+        ServingQueue, TraceGenerator, WorkloadMix,
+    };
+    pub use moentwine_core::engine::{
+        BatchMode, EngineConfig, InferenceEngine, RunSummary, ServingSummary,
+    };
     pub use moentwine_core::comm::{A2aModel, ClusterLayout, ParallelLayout};
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,

@@ -208,3 +208,97 @@ fn analytic_is_conservative_on_uniform_mesh_a2a() {
         est.total_time
     );
 }
+
+#[test]
+fn serving_metrics_cross_validate_across_backends() {
+    // The serving extension of the cross-validation contract: the same
+    // request-level serving run priced at every fidelity tier.
+    //
+    // * FlowSimCached vs FlowSim: pricing is bit-identical per schedule, so
+    //   every serving percentile and the goodput must agree to 1e-9
+    //   relative — the cache must never change what a request experienced.
+    // * Analytic vs FlowSim: iteration durations differ by the bounded
+    //   pricing gap (a2a within [0.2, 1.5] at engine scope, all-reduce
+    //   within 2%), and serving latencies are sums of iteration durations
+    //   plus queueing that depends on how many arrivals the clock sweeps
+    //   in. Documented bound: p50/p99 TTFT and goodput within 3x either
+    //   way. Batch composition itself is backend-independent, so completion
+    //   *counts* may shift only by arrivals near the horizon.
+    let topo = mesh(4);
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let model = ModelConfig {
+        name: "tiny".into(),
+        total_params_b: 1.0,
+        num_layers: 4,
+        num_sparse_layers: 4,
+        hidden_size: 1024,
+        moe_intermediate_size: 512,
+        num_experts: 16,
+        experts_per_token: 2,
+        num_shared_experts: 0,
+        num_attention_heads: 8,
+        num_kv_heads: 2,
+        head_dim: 128,
+    };
+    let run = |backend: CongestionBackend| {
+        let mut config = EngineConfig::new(model.clone())
+            .with_seed(77)
+            .with_backend(backend)
+            .with_workload(moentwine::workload::WorkloadMix::Fixed(
+                moentwine::workload::Scenario::Privacy,
+            ))
+            .with_batch(moentwine::core::engine::BatchMode::Scheduled {
+                mode: moentwine::workload::SchedulingMode::Hybrid,
+                max_batch_tokens: 2048,
+                max_active: 128,
+                request_rate: 8.0e3,
+                iteration_period: 0.02,
+            });
+        config.kv_hbm_fraction = 1.0e-3;
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(400);
+        engine.serving_summary()
+    };
+    let des = run(CongestionBackend::FlowSim);
+    let cached = run(CongestionBackend::FlowSimCached);
+    let analytic = run(CongestionBackend::Analytic);
+    assert!(des.completed > 0, "scenario must complete requests");
+
+    // Cached tier: ≤ 1e-9 relative drift on every serving figure.
+    let figures = [
+        ("ttft_p50", des.ttft_p50, cached.ttft_p50),
+        ("ttft_p99", des.ttft_p99, cached.ttft_p99),
+        ("tpot_p50", des.tpot_p50, cached.tpot_p50),
+        ("e2e_p99", des.e2e_p99, cached.e2e_p99),
+        ("goodput_rps", des.goodput_rps, cached.goodput_rps),
+        (
+            "goodput_tokens_per_s",
+            des.goodput_tokens_per_s,
+            cached.goodput_tokens_per_s,
+        ),
+    ];
+    for (name, d, c) in figures {
+        assert!(
+            (d - c).abs() <= 1e-9 * d.abs().max(1e-30),
+            "{name}: flow-sim {d} vs cached {c}"
+        );
+    }
+    assert_eq!(des.completed, cached.completed);
+    assert_eq!(des.admission_rejects, cached.admission_rejects);
+
+    // Analytic tier: within the documented 3x bound either way.
+    for (name, d, a) in [
+        ("ttft_p50", des.ttft_p50, analytic.ttft_p50),
+        ("ttft_p99", des.ttft_p99, analytic.ttft_p99),
+        ("goodput_rps", des.goodput_rps, analytic.goodput_rps),
+    ] {
+        let ratio = a / d;
+        assert!(
+            (1.0 / 3.0..=3.0).contains(&ratio),
+            "{name}: analytic {a} vs flow-sim {d} (ratio {ratio})"
+        );
+    }
+}

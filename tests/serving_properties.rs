@@ -1,0 +1,205 @@
+//! Property-based tests for the request-level serving queue: token
+//! conservation, KV-budget safety, lifecycle monotonicity, and
+//! relabeling-invariance of batch composition.
+
+use proptest::prelude::*;
+
+use moentwine::prelude::*;
+use moentwine::workload::serving::ServingQueue as Queue;
+use moentwine::workload::{BatchSpec, Scenario};
+
+fn mode_of(tag: u8) -> SchedulingMode {
+    match tag % 3 {
+        0 => SchedulingMode::PrefillOnly,
+        1 => SchedulingMode::DecodeOnly,
+        _ => SchedulingMode::Hybrid,
+    }
+}
+
+/// Deterministic random request set: increasing arrivals, bounded lengths.
+fn random_requests(seed: u64, count: usize) -> Vec<Request> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5E41);
+    let mut arrival = 0.0;
+    (0..count)
+        .map(|i| {
+            arrival += rng.gen_range(0.0..0.4);
+            Request {
+                id: moentwine::workload::RequestId(i as u64),
+                scenario: Scenario::all()[rng.gen_range(0..4usize)],
+                input_len: rng.gen_range(1..64u32),
+                output_len: rng.gen_range(1..32u32),
+                arrival,
+            }
+        })
+        .collect()
+}
+
+/// Drives `queue` over `requests` until everything admitted completes (or
+/// an iteration cap trips), collecting every batch.
+fn drive(queue: &mut Queue, requests: &[Request], kv_budget: u64) -> Vec<BatchSpec> {
+    let mut batches = Vec::new();
+    let mut next = 0usize;
+    let mut now = 0.0f64;
+    for _ in 0..4000 {
+        while next < requests.len() && requests[next].arrival <= now {
+            queue.offer(requests[next].clone());
+            next += 1;
+        }
+        let batch = queue.next_batch(now);
+        assert!(
+            queue.kv_tokens_in_use() <= kv_budget,
+            "KV over budget: {} > {kv_budget}",
+            queue.kv_tokens_in_use()
+        );
+        let (ep, ed) = batch
+            .requests
+            .iter()
+            .fold((0u32, 0u32), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
+        assert_eq!(ep, batch.prefill_tokens, "entries must attribute all prefill");
+        assert_eq!(ed, batch.decode_tokens, "entries must attribute all decode");
+        now += 0.25;
+        queue.finish_iteration(now);
+        batches.push(batch);
+        if next == requests.len() && queue.num_active() == 0 && queue.queue_depth() == 0 {
+            break;
+        }
+    }
+    batches
+}
+
+proptest! {
+    /// Token conservation: everything admitted is scheduled exactly once —
+    /// batch sums equal the accounting counters equal the per-record
+    /// counts, with nothing lost or double-counted — while the active KV
+    /// footprint never exceeds the budget (asserted inside `drive`).
+    #[test]
+    fn tokens_conserved_and_kv_bounded(
+        seed in 0u64..400,
+        count in 1usize..24,
+        mode_tag in 0u8..3,
+        budget in 64u64..512,
+    ) {
+        let mode = mode_of(mode_tag);
+        let requests = random_requests(seed, count);
+        let mut queue = Queue::new(mode, 48, 6, budget);
+        let batches = drive(&mut queue, &requests, budget);
+
+        let batch_prefill: u64 =
+            batches.iter().map(|b| b.prefill_tokens as u64).sum();
+        let batch_decode: u64 =
+            batches.iter().map(|b| b.decode_tokens as u64).sum();
+        let acc = queue.accounting();
+        prop_assert_eq!(batch_prefill, acc.scheduled_prefill);
+        prop_assert_eq!(batch_decode, acc.scheduled_decode);
+        // Everything admitted was fully served (the driver drains the
+        // queue), so scheduled == admitted on both sides.
+        prop_assert_eq!(acc.scheduled_prefill, acc.admitted_prefill);
+        prop_assert_eq!(acc.scheduled_decode, acc.admitted_decode);
+
+        // Per-record conservation, by discipline.
+        let records = queue.drain_completed();
+        let rec_prefill: u64 =
+            records.iter().map(|r| r.prefill_scheduled as u64).sum();
+        let rec_decode: u64 =
+            records.iter().map(|r| r.decode_scheduled as u64).sum();
+        prop_assert_eq!(rec_prefill, acc.scheduled_prefill);
+        prop_assert_eq!(rec_decode, acc.scheduled_decode);
+        for r in &records {
+            match mode {
+                SchedulingMode::PrefillOnly => {
+                    prop_assert_eq!(r.prefill_scheduled, r.input_len);
+                    prop_assert_eq!(r.decode_scheduled, 0);
+                }
+                SchedulingMode::DecodeOnly => {
+                    prop_assert_eq!(r.prefill_scheduled, 0);
+                    prop_assert_eq!(r.decode_scheduled, r.output_len);
+                }
+                SchedulingMode::Hybrid => {
+                    prop_assert_eq!(r.prefill_scheduled, r.input_len);
+                    prop_assert_eq!(r.decode_scheduled, r.output_len);
+                }
+            }
+        }
+        // Completed + rejected covers every request that was offered
+        // (small lengths vs budget ≥ 64 mean nothing is still in flight).
+        prop_assert_eq!(
+            records.len() as u64 + queue.rejected(),
+            requests.len() as u64
+        );
+    }
+
+    /// Lifecycle monotonicity: arrival ≤ admission ≤ first token ≤ finish,
+    /// hence TTFT ≤ end-to-end latency and a non-negative queueing delay.
+    #[test]
+    fn completed_lifecycles_are_monotone(
+        seed in 0u64..400,
+        count in 1usize..24,
+        mode_tag in 0u8..3,
+    ) {
+        let requests = random_requests(seed, count);
+        let mut queue = Queue::new(mode_of(mode_tag), 48, 6, u64::MAX);
+        drive(&mut queue, &requests, u64::MAX);
+        let records = queue.drain_completed();
+        prop_assert_eq!(records.len(), requests.len());
+        for r in records {
+            prop_assert!(r.arrival <= r.admitted, "{} > {}", r.arrival, r.admitted);
+            prop_assert!(r.admitted <= r.first_token);
+            prop_assert!(r.first_token <= r.finish);
+            prop_assert!(r.ttft() <= r.e2e_latency());
+            prop_assert!(r.queueing_delay() >= 0.0);
+            if let Some(tpot) = r.tpot() {
+                prop_assert!(tpot >= 0.0);
+            }
+        }
+    }
+
+    /// Batch composition is invariant under request-id relabeling: ids are
+    /// opaque labels, so re-tagging the same arrival sequence must produce
+    /// identical per-iteration shapes and identical lifecycle timings.
+    #[test]
+    fn composition_invariant_under_relabeling(
+        seed in 0u64..400,
+        count in 1usize..24,
+        mode_tag in 0u8..3,
+        id_offset in 1u64..1_000_000,
+    ) {
+        let requests = random_requests(seed, count);
+        let mut relabeled = requests.clone();
+        for r in &mut relabeled {
+            // Relabel: shift and reverse the id space.
+            r.id = moentwine::workload::RequestId(id_offset + (count as u64 - r.id.0));
+        }
+        let mut q1 = Queue::new(mode_of(mode_tag), 48, 6, 256);
+        let b1 = drive(&mut q1, &requests, 256);
+        let mut q2 = Queue::new(mode_of(mode_tag), 48, 6, 256);
+        let b2 = drive(&mut q2, &relabeled, 256);
+
+        prop_assert_eq!(b1.len(), b2.len());
+        for (x, y) in b1.iter().zip(&b2) {
+            prop_assert_eq!(x.prefill_tokens, y.prefill_tokens);
+            prop_assert_eq!(x.decode_tokens, y.decode_tokens);
+            prop_assert_eq!(x.avg_context, y.avg_context);
+            prop_assert_eq!(x.phase, y.phase);
+            // Entry-by-entry, everything but the label matches.
+            prop_assert_eq!(x.requests.len(), y.requests.len());
+            for (ex, ey) in x.requests.iter().zip(&y.requests) {
+                prop_assert_eq!(ex.prefill_tokens, ey.prefill_tokens);
+                prop_assert_eq!(ex.decode_tokens, ey.decode_tokens);
+            }
+        }
+        // Identical lifecycle timings record-by-record (completion order is
+        // deterministic, labels aside).
+        let r1 = q1.drain_completed();
+        let r2 = q2.drain_completed();
+        prop_assert_eq!(r1.len(), r2.len());
+        for (x, y) in r1.iter().zip(&r2) {
+            prop_assert_eq!(x.input_len, y.input_len);
+            prop_assert_eq!(x.output_len, y.output_len);
+            prop_assert_eq!(x.arrival, y.arrival);
+            prop_assert_eq!(x.admitted, y.admitted);
+            prop_assert_eq!(x.first_token, y.first_token);
+            prop_assert_eq!(x.finish, y.finish);
+        }
+    }
+}
