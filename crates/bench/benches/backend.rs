@@ -12,9 +12,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use moe_model::{ModelConfig, Precision};
 use moentwine_bench::perf::grouped_dispatch_flows;
 use moentwine_bench::platforms::{balanced_gating, Platform};
-use moe_model::{ModelConfig, Precision};
 use moentwine_core::comm::A2aModel;
 use moentwine_core::mapping::ErMapping;
 use moentwine_core::placement::ExpertPlacement;
@@ -54,11 +54,8 @@ fn bench_price_a2a(c: &mut Criterion) {
     let plan = ErMapping::with_tp_degree(platform.topo.mesh_dims().unwrap(), 4)
         .unwrap()
         .plan();
-    let placement = ExpertPlacement::balanced(
-        model.num_experts as usize,
-        platform.topo.num_devices(),
-        1,
-    );
+    let placement =
+        ExpertPlacement::balanced(model.num_experts as usize, platform.topo.num_devices(), 1);
     let gating = balanced_gating(
         plan.num_groups(),
         model.num_experts as usize,
@@ -134,7 +131,11 @@ fn bench_des_allocators(c: &mut Criterion) {
             &platform.topo,
             &uniform_all_to_all_matrix(&platform.topo, 1.0e6),
         );
-        case(format!("uniform-{n}x{n}"), &platform.topo, &sched.phases()[0].flows);
+        case(
+            format!("uniform-{n}x{n}"),
+            &platform.topo,
+            &sched.phases()[0].flows,
+        );
     }
     group.finish();
 }

@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 
 use moentwine_bench::platforms::Platform;
-use moentwine_core::balancer::{
-    BalanceContext, Balancer, GreedyBalancer, TopologyAwareBalancer,
-};
+use moentwine_core::balancer::{BalanceContext, Balancer, GreedyBalancer, TopologyAwareBalancer};
 use moentwine_core::placement::ExpertPlacement;
 
 fn bench_balancers(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use moentwine_bench::platforms::{balanced_gating, Platform};
 use moe_model::{ModelConfig, Precision};
+use moentwine_bench::platforms::{balanced_gating, Platform};
 use moentwine_core::comm::A2aModel;
 use moentwine_core::mapping::{ErMapping, TpShape};
 use moentwine_core::placement::ExpertPlacement;
@@ -15,9 +15,11 @@ fn bench_ring_all_reduce(c: &mut Criterion) {
     for n in [4u16, 8] {
         let platform = Platform::wsc(n);
         let ring = Ring::new(platform.topo.devices().take(n as usize).collect());
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &n, |b, _| {
-            b.iter(|| ring_all_reduce(&platform.topo, &ring, 2.0e6).run(&platform.topo))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &n,
+            |b, _| b.iter(|| ring_all_reduce(&platform.topo, &ring, 2.0e6).run(&platform.topo)),
+        );
     }
     group.finish();
 }
@@ -31,11 +33,8 @@ fn bench_all_to_all_des(c: &mut Criterion) {
         let plan = ErMapping::with_tp_degree(platform.topo.mesh_dims().unwrap(), 4)
             .unwrap()
             .plan();
-        let placement = ExpertPlacement::balanced(
-            model.num_experts as usize,
-            platform.topo.num_devices(),
-            1,
-        );
+        let placement =
+            ExpertPlacement::balanced(model.num_experts as usize, platform.topo.num_devices(), 1);
         let gating = balanced_gating(
             plan.num_groups(),
             model.num_experts as usize,

@@ -20,7 +20,11 @@ fn bench_plan_construction(c: &mut Criterion) {
             BenchmarkId::new("baseline", format!("{n}x{n}")),
             &dims,
             |b, &dims| {
-                b.iter(|| BaselineMapping::new(dims, TpShape::new(4, 2)).unwrap().plan())
+                b.iter(|| {
+                    BaselineMapping::new(dims, TpShape::new(4, 2))
+                        .unwrap()
+                        .plan()
+                })
             },
         );
     }
@@ -41,9 +45,11 @@ fn bench_route_table(c: &mut Criterion) {
     group.sample_size(10);
     for n in [8u16, 16] {
         let topo = wsc_topology::Mesh::new(n, wsc_topology::PlatformParams::dojo_like()).build();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &n, |b, _| {
-            b.iter(|| RouteTable::build(&topo))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &n,
+            |b, _| b.iter(|| RouteTable::build(&topo)),
+        );
     }
     group.finish();
 }

@@ -1,0 +1,61 @@
+//! Fleet-level serving sweep: replica count × router policy × arrival rate
+//! → fleet-aggregate SLO percentiles, goodput, rejects, and cross-replica
+//! load-imbalance per point.
+//!
+//! Prints the report, saves `results/fleet_sweep.json`, writes the
+//! machine-readable manifest to `target/figs/fleet_sweep.json`, then
+//! **re-reads and schema-validates the emitted manifest**, exiting non-zero
+//! if it is malformed (the CI smoke gate).
+//!
+//! Usage: `cargo run --release -p moentwine-bench --bin fleet_sweep --
+//! [--quick] [--threads N]`
+//!
+//! `--threads` (default: available parallelism) spreads grid points over
+//! the hand-rolled worker pool; the manifest is byte-identical for every
+//! thread count (CI `cmp`s `--threads 1` against `--threads 4`).
+
+use std::process::ExitCode;
+
+use moentwine_bench::figs::fleet_sweep;
+use moentwine_bench::json::Value;
+
+fn main() -> ExitCode {
+    let quick = moentwine_bench::quick_from_args();
+    let threads = moentwine_bench::threads_from_args();
+    let report = fleet_sweep::run_with_threads(quick, threads);
+    report.print();
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+
+    // Validate the manifest as written to disk, not the in-memory tree: the
+    // gate must catch serialization problems too.
+    let path = fleet_sweep::MANIFEST_PATH;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("fleet_sweep: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fleet_sweep: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fleet_sweep::validate(&manifest) {
+        eprintln!("fleet_sweep: {path} violates {}: {e}", fleet_sweep::SCHEMA);
+        return ExitCode::FAILURE;
+    }
+    let points = manifest
+        .get("points")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    eprintln!(
+        "fleet_sweep: {path} OK ({points} points, schema {})",
+        fleet_sweep::SCHEMA
+    );
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,11 @@
 //! **re-reads and schema-validates the emitted manifest**, exiting
 //! non-zero if it is malformed (the CI smoke gate).
 //!
-//! Usage: `cargo run --release -p moentwine-bench --bin serve_sweep [--quick]`
+//! Usage: `cargo run --release -p moentwine-bench --bin serve_sweep --
+//! [--quick] [--threads N]`
+//!
+//! `--threads` (default: available parallelism) spreads grid points over a
+//! worker pool; the manifest is byte-identical for every thread count.
 
 use std::process::ExitCode;
 
@@ -16,7 +20,8 @@ use moentwine_bench::json::Value;
 
 fn main() -> ExitCode {
     let quick = moentwine_bench::quick_from_args();
-    let report = serve_sweep::run(quick);
+    let threads = moentwine_bench::threads_from_args();
+    let report = serve_sweep::run_with_threads(quick, threads);
     report.print();
     if let Err(e) = report.save("results") {
         eprintln!("warning: could not save report: {e}");
@@ -47,6 +52,9 @@ fn main() -> ExitCode {
         .get("points")
         .and_then(Value::as_array)
         .map_or(0, <[Value]>::len);
-    eprintln!("serve_sweep: {path} OK ({points} points, schema {})", serve_sweep::SCHEMA);
+    eprintln!(
+        "serve_sweep: {path} OK ({points} points, schema {})",
+        serve_sweep::SCHEMA
+    );
     ExitCode::SUCCESS
 }

@@ -51,7 +51,12 @@ pub fn run(quick: bool) -> Report {
     ]);
 
     for alpha in [0.05, 0.25, 1.0, 4.0] {
-        let s = run_with(&platform, &plan, |c| c.trigger_alpha_per_layer = alpha, iters);
+        let s = run_with(
+            &platform,
+            &plan,
+            |c| c.trigger_alpha_per_layer = alpha,
+            iters,
+        );
         report.row([
             "trigger alpha/layer".to_string(),
             format!("{alpha}"),
@@ -111,7 +116,11 @@ mod tests {
             .filter(|row| row[0] == "shadow slots/device")
             .collect();
         let migrations = |row: &Vec<String>| row[3].parse::<u64>().unwrap();
-        assert_eq!(migrations(slot_rows[0]), 0, "0 slots must mean 0 migrations");
+        assert_eq!(
+            migrations(slot_rows[0]),
+            0,
+            "0 slots must mean 0 migrations"
+        );
         assert!(migrations(slot_rows[2]) > 0);
         // More slots → at least as good a load ratio.
         let ratio = |row: &Vec<String>| row[2].parse::<f64>().unwrap();

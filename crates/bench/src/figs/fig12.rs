@@ -34,18 +34,15 @@ fn stddev(xs: &[f64]) -> f64 {
 /// Regenerates Fig. 12's stability statistics.
 pub fn run(quick: bool) -> Report {
     let iterations = if quick { 200 } else { 2000 };
-    let mut report = Report::new(
-        "fig12",
-        "Expert load ratios across scenarios (Qwen3, EP=8)",
-    )
-    .columns([
-        "Scenario",
-        "Peak load ratio",
-        "Mean ratio (post-warmup)",
-        "Ratio σ early (first 10%)",
-        "Ratio σ late (last 50%)",
-        "Stable?",
-    ]);
+    let mut report = Report::new("fig12", "Expert load ratios across scenarios (Qwen3, EP=8)")
+        .columns([
+            "Scenario",
+            "Peak load ratio",
+            "Mean ratio (post-warmup)",
+            "Ratio σ early (first 10%)",
+            "Ratio σ late (last 50%)",
+            "Stable?",
+        ]);
     for scenario in Scenario::all() {
         let trace = load_ratio_trace(scenario, iterations, 42);
         let warmup = iterations / 10;

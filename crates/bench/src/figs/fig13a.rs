@@ -14,7 +14,9 @@ pub fn run(quick: bool) -> Report {
     let tokens: Vec<u32> = if quick {
         vec![16, 256, 4096]
     } else {
-        vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768]
+        vec![
+            16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+        ]
     };
     let mut report = Report::new(
         "fig13a",
@@ -55,8 +57,8 @@ pub fn run(quick: bool) -> Report {
             ]);
         }
     }
-    let avg = big_batch_improvements.iter().sum::<f64>()
-        / big_batch_improvements.len().max(1) as f64;
+    let avg =
+        big_batch_improvements.iter().sum::<f64>() / big_batch_improvements.len().max(1) as f64;
     report.note(format!(
         "Paper shape: beyond 256 tokens/group WSC consistently beats DGX \
          (paper: 54%, ER extends to 73%); measured average improvement beyond \

@@ -30,7 +30,11 @@ pub fn run(quick: bool) -> Report {
     let dgx = Platform::dgx(4);
     let gpu_layout = ClusterLayout::new(&dgx.topo, 8);
     let tokens = 256;
-    let fidelity = if quick { Fidelity::Analytic } else { Fidelity::Des };
+    let fidelity = if quick {
+        Fidelity::Analytic
+    } else {
+        Fidelity::Des
+    };
 
     let models = ModelConfig::evaluation_suite();
     let mut wsc_gains = Vec::new();
@@ -83,12 +87,7 @@ mod tests {
     #[test]
     fn er_helps_a2a_heavy_models_most() {
         let r = super::run(true);
-        let gain = |row: &Vec<String>| {
-            row[8]
-                .trim_end_matches('%')
-                .parse::<f64>()
-                .unwrap()
-        };
+        let gain = |row: &Vec<String>| row[8].trim_end_matches('%').parse::<f64>().unwrap();
         // DeepSeek-V3 (8/256 experts) gains more from ER than Mixtral (2/8).
         assert!(gain(&r.rows[0]) > gain(&r.rows[4]), "{r:?}");
     }

@@ -96,10 +96,7 @@ mod tests {
         let r = super::run(true);
         let mut wins = 0;
         for row in &r.rows {
-            let v: f64 = row[6]
-                .trim_end_matches('%')
-                .parse()
-                .unwrap();
+            let v: f64 = row[6].trim_end_matches('%').parse().unwrap();
             assert!(v > -30.0, "severe regression: {row:?}");
             if v > 0.0 {
                 wins += 1;

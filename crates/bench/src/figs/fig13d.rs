@@ -10,17 +10,14 @@ use crate::Report;
 /// pure ER and hierarchical ER improvements over the baseline mapping.
 pub fn run(quick: bool) -> Report {
     let model = ModelConfig::qwen3_235b();
-    let mut report = Report::new(
-        "fig13d",
-        "Hierarchical ER-Mapping on multi-WSC systems",
-    )
-    .columns([
-        "System",
-        "TP (per wafer)",
-        "Baseline total",
-        "ER improvement",
-        "HER improvement",
-    ]);
+    let mut report =
+        Report::new("fig13d", "Hierarchical ER-Mapping on multi-WSC systems").columns([
+            "System",
+            "TP (per wafer)",
+            "Baseline total",
+            "ER improvement",
+            "HER improvement",
+        ]);
 
     let cases: Vec<(&str, u16, Vec<usize>)> = if quick {
         vec![("4x(4x4)", 4, vec![4])]

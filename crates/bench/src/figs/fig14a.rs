@@ -11,11 +11,7 @@ use crate::Report;
 /// Regenerates Fig. 14(a): DBRX and Mixtral under ESP on GPU clusters vs
 /// WSC with and without ER-Mapping.
 pub fn run(_quick: bool) -> Report {
-    let mut report = Report::new(
-        "fig14a",
-        "ESP communication: GPU vs WSC vs WSC+ER",
-    )
-    .columns([
+    let mut report = Report::new("fig14a", "ESP communication: GPU vs WSC vs WSC+ER").columns([
         "Model",
         "Pair",
         "GPU (gather+AR)",

@@ -32,8 +32,7 @@ pub fn run(quick: bool) -> Report {
             let without_ag = with_ag.clone().without_all_gather();
             let tokens = 256;
             let with = comm_latency(&platform, &with_ag, &model, tokens, Fidelity::Analytic);
-            let without =
-                comm_latency(&platform, &without_ag, &model, tokens, Fidelity::Analytic);
+            let without = comm_latency(&platform, &without_ag, &model, tokens, Fidelity::Analytic);
             gains.push((without.total() - with.total()) / without.total());
             report.row([
                 model.name.clone(),

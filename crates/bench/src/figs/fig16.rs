@@ -184,8 +184,7 @@ mod tests {
             .with_seed(29);
         config.comm_layer_stride = 4;
         config.slots_per_device = 2;
-        let mut engine =
-            InferenceEngine::new(&platform.topo, &platform.table, &plan, config);
+        let mut engine = InferenceEngine::new(&platform.topo, &platform.table, &plan, config);
         engine.run(40)
     }
 

@@ -72,7 +72,15 @@ pub fn run(quick: bool) -> Report {
         let nvl_layout = ClusterLayout::new(&nvl.topo, 8);
         rows.push((
             "NVL72".into(),
-            run_system(&nvl, &nvl_layout, model, BalancerKind::None, NVME_BW, 1, iters),
+            run_system(
+                &nvl,
+                &nvl_layout,
+                model,
+                BalancerKind::None,
+                NVME_BW,
+                1,
+                iters,
+            ),
         ));
         rows.push((
             "NVL72 + Balance".into(),
@@ -110,7 +118,15 @@ pub fn run(quick: bool) -> Report {
         ));
         rows.push((
             "WSC + HER + Topology".into(),
-            run_system(&wsc, &her, model, BalancerKind::TopologyAware, cold, 2, iters),
+            run_system(
+                &wsc,
+                &her,
+                model,
+                BalancerKind::TopologyAware,
+                cold,
+                2,
+                iters,
+            ),
         ));
         rows.push((
             "WSC + HER + Non-invasive".into(),

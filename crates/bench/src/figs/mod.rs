@@ -16,8 +16,10 @@ pub mod fig14b;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod fleet_sweep;
 pub mod serve_sweep;
 pub mod table1;
+pub mod validate;
 
 use crate::Report;
 
@@ -44,7 +46,10 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig17", fig17::run),
         ("ablation", ablation::run),
         // Beyond the paper's figures: the request-level serving sweep
-        // (latency-throughput curves; also emits target/figs/serve_sweep.json).
+        // (latency-throughput curves; also emits target/figs/serve_sweep.json)
+        // and the fleet-level scale-out sweep (replica x router policy x
+        // arrival rate; emits target/figs/fleet_sweep.json).
         ("serve_sweep", serve_sweep::run),
+        ("fleet_sweep", fleet_sweep::run),
     ]
 }

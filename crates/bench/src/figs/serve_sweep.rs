@@ -36,20 +36,7 @@ const SEED: u64 = 97;
 /// per point quickly; serving dynamics (admission, chunked prefill,
 /// continuous batching) are model-size independent.
 fn sweep_model() -> ModelConfig {
-    ModelConfig {
-        name: "serve-tiny".into(),
-        total_params_b: 1.0,
-        num_layers: 4,
-        num_sparse_layers: 4,
-        hidden_size: 1024,
-        moe_intermediate_size: 512,
-        num_experts: 16,
-        experts_per_token: 2,
-        num_shared_experts: 0,
-        num_attention_heads: 8,
-        num_kv_heads: 2,
-        head_dim: 128,
-    }
+    ModelConfig::tiny()
 }
 
 /// The swept scenario mixes: `(name, gating + request-length blend)`.
@@ -110,12 +97,7 @@ fn run_point(
     engine.serving_summary()
 }
 
-fn point_json(
-    rate: f64,
-    mix_name: &str,
-    backend: CongestionBackend,
-    s: &ServingSummary,
-) -> Value {
+fn point_json(rate: f64, mix_name: &str, backend: CongestionBackend, s: &ServingSummary) -> Value {
     Value::Obj(vec![
         ("arrival_rate".into(), Value::Num(rate)),
         ("mix".into(), Value::Str(mix_name.into())),
@@ -144,37 +126,53 @@ fn point_json(
 }
 
 /// Builds the sweep manifest over explicit axes (the unit tests use a
-/// reduced grid; [`run`] uses the full/quick grids).
+/// reduced grid; [`run`] uses the full/quick grids). Grid points are
+/// independent engine runs, so they execute on a `threads`-wide
+/// [`WorkerPool`](crate::perf::pool::WorkerPool); results merge in grid
+/// order, so the manifest is byte-identical for every thread count.
 fn sweep_manifest(
     quick: bool,
     rates: &[f64],
     mixes: &[(&'static str, WorkloadMix)],
     backends: &[CongestionBackend],
     iterations: usize,
+    threads: usize,
     report: &mut Report,
 ) -> Value {
     let platform = Platform::wsc(4);
     let plan = crate::platforms::wsc_plan(&platform, 4, crate::platforms::WscMapping::Er);
-    let mut points: Vec<Value> = Vec::new();
+    let mut grid: Vec<(f64, &'static str, &WorkloadMix, CongestionBackend)> = Vec::new();
     for &rate in rates {
         for (mix_name, mix) in mixes {
             for &backend in backends {
-                let s = run_point(&platform, &plan, rate, mix, backend, iterations);
-                report.row([
-                    format!("{rate}"),
-                    (*mix_name).into(),
-                    backend.name().into(),
-                    fmt_time(s.ttft_p50),
-                    fmt_time(s.ttft_p99),
-                    fmt_time(s.tpot_p50),
-                    fmt_time(s.e2e_p99),
-                    format!("{:.1}", s.goodput_rps),
-                    format!("{}", s.completed),
-                    format!("{}", s.admission_rejects),
-                ]);
-                points.push(point_json(rate, mix_name, backend, &s));
+                grid.push((rate, mix_name, mix, backend));
             }
         }
+    }
+    let pool = crate::perf::pool::WorkerPool::new(threads);
+    let jobs: Vec<_> = grid
+        .iter()
+        .map(|&(rate, _, mix, backend)| {
+            let (platform, plan) = (&platform, &plan);
+            move || run_point(platform, plan, rate, mix, backend, iterations)
+        })
+        .collect();
+    let summaries = pool.run(jobs);
+    let mut points: Vec<Value> = Vec::new();
+    for (&(rate, mix_name, _, backend), s) in grid.iter().zip(&summaries) {
+        report.row([
+            format!("{rate}"),
+            mix_name.into(),
+            backend.name().into(),
+            fmt_time(s.ttft_p50),
+            fmt_time(s.ttft_p99),
+            fmt_time(s.tpot_p50),
+            fmt_time(s.e2e_p99),
+            format!("{:.1}", s.goodput_rps),
+            format!("{}", s.completed),
+            format!("{}", s.admission_rejects),
+        ]);
+        points.push(point_json(rate, mix_name, backend, s));
     }
     Value::Obj(vec![
         ("schema".into(), Value::Str(SCHEMA.into())),
@@ -193,74 +191,38 @@ fn sweep_manifest(
 ///
 /// Returns a message naming the first violated constraint.
 pub fn validate(manifest: &Value) -> Result<(), String> {
-    let schema = manifest
-        .get("schema")
-        .and_then(Value::as_str)
-        .ok_or("missing schema tag")?;
-    if schema != SCHEMA {
-        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
-    }
-    for key in ["seed", "iterations"] {
-        manifest
-            .get(key)
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
-    }
-    let points = manifest
-        .get("points")
-        .and_then(Value::as_array)
-        .ok_or("missing points array")?;
-    if points.is_empty() {
-        return Err("empty points array".into());
-    }
-    for (i, point) in points.iter().enumerate() {
-        let num = |key: &str| -> Result<f64, String> {
-            point
-                .get(key)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("point {i}: missing numeric field {key:?}"))
-        };
+    use crate::figs::validate as v;
+    v::require_schema(manifest, SCHEMA)?;
+    v::require_run_params(manifest, &["seed", "iterations"])?;
+    for (i, point) in v::require_points(manifest)?.iter().enumerate() {
         for key in ["mix", "backend"] {
-            point
-                .get(key)
-                .and_then(Value::as_str)
-                .ok_or_else(|| format!("point {i}: missing string field {key:?}"))?;
+            v::point_str(point, i, key)?;
         }
-        for key in [
-            "arrival_rate",
-            "e2e_p50",
-            "e2e_p99",
-            "completed",
-            "admission_rejects",
-            "mean_queue_depth",
-            "sim_seconds",
-        ] {
-            num(key)?;
-        }
-        for ladder in [
-            &["ttft_p50", "ttft_p95", "ttft_p99"][..],
-            &["tpot_p50", "tpot_p95", "tpot_p99"],
-            &["e2e_p50", "e2e_p99"],
-        ] {
-            let values = ladder.iter().map(|k| num(k)).collect::<Result<Vec<_>, _>>()?;
-            if values.windows(2).any(|w| w[0] > w[1]) {
-                return Err(format!(
-                    "point {i}: percentile ladder {ladder:?} not monotone: {values:?}"
-                ));
-            }
-        }
-        for key in ["goodput_rps", "goodput_tokens_per_s"] {
-            if num(key)? < 0.0 {
-                return Err(format!("point {i}: negative {key}"));
-            }
-        }
+        v::check_point_common(
+            point,
+            i,
+            &[
+                "arrival_rate",
+                "completed",
+                "admission_rejects",
+                "mean_queue_depth",
+                "sim_seconds",
+            ],
+        )?;
     }
     Ok(())
 }
 
-/// Runs the serving sweep, writes `target/figs/serve_sweep.json`, and
-/// returns the human-readable report.
+/// Runs the serving sweep single-threaded (the `repro_all` entry point,
+/// which parallelizes across figures instead).
 pub fn run(quick: bool) -> Report {
+    run_with_threads(quick, 1)
+}
+
+/// Runs the serving sweep with grid points spread over `threads` workers,
+/// writes `target/figs/serve_sweep.json` (byte-identical for any thread
+/// count), and returns the human-readable report.
+pub fn run_with_threads(quick: bool, threads: usize) -> Report {
     // Decode advances one token per sequence per iteration, so completing
     // median chat/math outputs (256 / 2048 tokens) needs iteration counts
     // of the same order. Arrival rates are sized to this platform's
@@ -296,7 +258,15 @@ pub fn run(quick: bool) -> Report {
         "Completed",
         "Rejects",
     ]);
-    let manifest = sweep_manifest(quick, &rates, &mixes, &backends, iterations, &mut report);
+    let manifest = sweep_manifest(
+        quick,
+        &rates,
+        &mixes,
+        &backends,
+        iterations,
+        threads,
+        &mut report,
+    );
     match fs::create_dir_all("target/figs")
         .and_then(|_| fs::write(MANIFEST_PATH, manifest.pretty()))
     {
@@ -314,20 +284,25 @@ pub fn run(quick: bool) -> Report {
 mod tests {
     use super::*;
 
-    fn tiny_manifest() -> (Value, Report) {
+    fn tiny_manifest_with_threads(threads: usize) -> (Value, Report) {
         let mut report = Report::new("serve_sweep_test", "t");
         let manifest = sweep_manifest(
             true,
-            &[100.0e3],
+            &[50.0e3, 100.0e3],
             &[(
                 "privacy",
                 WorkloadMix::Blend(vec![(Scenario::Privacy, 1.0)]),
             )],
             &[CongestionBackend::Analytic],
             400,
+            threads,
             &mut report,
         );
         (manifest, report)
+    }
+
+    fn tiny_manifest() -> (Value, Report) {
+        tiny_manifest_with_threads(1)
     }
 
     #[test]
@@ -342,16 +317,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_serial_byte_for_byte() {
+        let (serial, serial_report) = tiny_manifest_with_threads(1);
+        let (parallel, parallel_report) = tiny_manifest_with_threads(3);
+        assert_eq!(serial.pretty(), parallel.pretty());
+        assert_eq!(serial_report.to_markdown(), parallel_report.to_markdown());
+    }
+
+    #[test]
     fn validate_rejects_broken_manifests() {
         let (mut manifest, _) = tiny_manifest();
         assert!(validate(&Value::Obj(vec![])).is_err());
-        assert!(
-            validate(&Value::Obj(vec![(
-                "schema".into(),
-                Value::Str("other/v9".into())
-            )]))
-            .is_err()
-        );
+        assert!(validate(&Value::Obj(vec![(
+            "schema".into(),
+            Value::Str("other/v9".into())
+        )]))
+        .is_err());
         // Empty point list is a schema violation.
         if let Value::Obj(members) = &mut manifest {
             for (k, v) in members.iter_mut() {

@@ -1,0 +1,138 @@
+//! Shared golden-snapshot harness for the regression suites.
+//!
+//! Both golden suites (`tests/golden_trace.rs` per congestion backend,
+//! `tests/fleet_golden.rs` per router policy) flatten their summaries into
+//! ordered `name → value` fields and delegate the compare/bless mechanics
+//! here, so tolerance handling and diff formatting can never drift between
+//! them:
+//!
+//! * With `GOLDEN_BLESS=1` in the environment, the snapshot file is
+//!   (re)written and the check passes — the bless path.
+//! * Otherwise the snapshot is loaded and every field compared at a
+//!   relative tolerance; a drift fails with a per-field diff naming each
+//!   divergent, missing, and no-longer-emitted value.
+
+use std::fs;
+use std::path::Path;
+
+use crate::json::Value;
+
+/// Relative drift tolerance shared by the golden suites: metrics are
+/// deterministic f64 chains, so any real change lands far above this; the
+/// margin only absorbs libm-level differences across toolchains.
+pub const GOLDEN_TOLERANCE: f64 = 1e-9;
+
+/// Renders flattened snapshot fields as a JSON object (insertion order
+/// preserved).
+pub fn fields_to_json(fields: &[(String, f64)]) -> Value {
+    Value::Obj(
+        fields
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Num(*v)))
+            .collect(),
+    )
+}
+
+/// Compares `got` against the snapshot at `path` (or rewrites it under
+/// `GOLDEN_BLESS=1`). `label` names the scenario and `rebless_hint` the
+/// command that regenerates the file — both only appear in failure output.
+///
+/// # Panics
+///
+/// Panics with a per-field diff when any value drifts beyond
+/// [`GOLDEN_TOLERANCE`], when the snapshot is missing or malformed, or
+/// when blessing cannot write the file.
+pub fn check_or_bless(path: &Path, got: &[(String, f64)], label: &str, rebless_hint: &str) {
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create golden dir");
+        }
+        fs::write(path, fields_to_json(got).pretty()).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\nregenerate with `{rebless_hint}`",
+            path.display()
+        )
+    });
+    let expect = Value::parse(&text)
+        .unwrap_or_else(|e| panic!("malformed golden snapshot {}: {e}", path.display()));
+
+    // Readable diff: collect every divergent field before failing.
+    let mut diffs: Vec<String> = Vec::new();
+    for (name, actual) in got {
+        match expect.get(name).and_then(Value::as_f64) {
+            None => diffs.push(format!("  {name}: missing from snapshot (now {actual})")),
+            Some(want) => {
+                let scale = want.abs().max(actual.abs()).max(1e-30);
+                if (want - actual).abs() > GOLDEN_TOLERANCE * scale {
+                    diffs.push(format!(
+                        "  {name}: golden {want} vs current {actual} (rel drift {:.3e})",
+                        (want - actual).abs() / scale
+                    ));
+                }
+            }
+        }
+    }
+    if let Value::Obj(members) = &expect {
+        for (name, _) in members {
+            if !got.iter().any(|(k, _)| k == name) {
+                diffs.push(format!("  {name}: in snapshot but no longer emitted"));
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "golden trace drifted for {label} ({} field(s)):\n{}\n\
+         if the change is intentional, re-bless with `{rebless_hint}` and commit {}",
+        diffs.len(),
+        diffs.join("\n"),
+        path.display(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("moentwine-golden-harness");
+        fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn matching_fields_pass_and_render() {
+        let fields = vec![("a.x".to_string(), 1.5), ("a.y".to_string(), 0.0)];
+        let path = tmp("match.json");
+        fs::write(&path, fields_to_json(&fields).pretty()).unwrap();
+        check_or_bless(&path, &fields, "test", "bless");
+        // Within tolerance also passes.
+        let nudged = vec![
+            ("a.x".to_string(), 1.5 * (1.0 + 1e-12)),
+            ("a.y".to_string(), 0.0),
+        ];
+        check_or_bless(&path, &nudged, "test", "bless");
+    }
+
+    #[test]
+    #[should_panic(expected = "golden trace drifted")]
+    fn drifting_field_fails_with_diff() {
+        let fields = vec![("a.x".to_string(), 1.5)];
+        let path = tmp("drift.json");
+        fs::write(&path, fields_to_json(&fields).pretty()).unwrap();
+        check_or_bless(&path, &[("a.x".to_string(), 2.5)], "test", "bless");
+    }
+
+    #[test]
+    #[should_panic(expected = "no longer emitted")]
+    fn dropped_field_fails() {
+        let fields = vec![("a.x".to_string(), 1.5), ("a.y".to_string(), 2.0)];
+        let path = tmp("dropped.json");
+        fs::write(&path, fields_to_json(&fields).pretty()).unwrap();
+        check_or_bless(&path, &[("a.x".to_string(), 1.5)], "test", "bless");
+    }
+}

@@ -11,6 +11,7 @@
 //! Pass `--quick` to any binary for a reduced-iteration smoke run.
 
 pub mod figs;
+pub mod golden;
 pub mod json;
 pub mod perf;
 pub mod platforms;
@@ -21,6 +22,34 @@ pub use report::Report;
 /// Parses the common `--quick` flag.
 pub fn quick_from_args() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses the common `--threads N` flag (also `--threads=N`), defaulting to
+/// the machine's available parallelism. The parallel binaries guarantee
+/// byte-identical output for every thread count — `--threads 1` is the
+/// serial program, more threads only shorten the wall clock.
+///
+/// # Panics
+///
+/// Panics on a malformed or zero thread count (a CLI usage error).
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        let value = value.expect("--threads requires a count");
+        let n: usize = value
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid --threads value {value:?}"));
+        assert!(n > 0, "--threads must be at least 1");
+        return n;
+    }
+    perf::pool::WorkerPool::available()
 }
 
 /// Runs a figure function as a binary entry point: print and save.

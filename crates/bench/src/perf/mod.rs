@@ -21,6 +21,8 @@
 //! speedup there comes from eliminating per-event route cloning, full
 //! drains, and per-round membership scans.
 
+pub mod pool;
+
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -44,7 +46,9 @@ use crate::platforms::balanced_gating;
 /// contention component — clustered contention, the incremental
 /// allocator's target case.
 pub fn grouped_dispatch_flows(topo: &Topology, base_bytes: f64) -> Vec<FlowSpec> {
-    let dims = topo.mesh_dims().expect("grouped dispatch needs a mesh topology");
+    let dims = topo
+        .mesh_dims()
+        .expect("grouped dispatch needs a mesh topology");
     let n = dims.n;
     let mut flows = Vec::new();
     for by in (0..n.saturating_sub(1)).step_by(2) {
@@ -59,7 +63,10 @@ pub fn grouped_dispatch_flows(topo: &Topology, base_bytes: f64) -> Vec<FlowSpec>
                         continue;
                     }
                     let skew = 1 + (i * 4 + j + (bx + by) as usize) % 7;
-                    flows.push(FlowSpec::new(topo.route(src, dst), base_bytes * skew as f64));
+                    flows.push(FlowSpec::new(
+                        topo.route(src, dst),
+                        base_bytes * skew as f64,
+                    ));
                 }
             }
         }
@@ -158,11 +165,8 @@ pub fn measure_backend_perf(quick: bool) -> BackendPerf {
         .unwrap()
         .plan();
     let a2a = A2aModel::new(&a2a_topo, &table, &plan);
-    let placement = ExpertPlacement::balanced(
-        model.num_experts as usize,
-        a2a_topo.num_devices(),
-        1,
-    );
+    let placement =
+        ExpertPlacement::balanced(model.num_experts as usize, a2a_topo.num_devices(), 1);
     let gating = balanced_gating(
         a2a.num_groups(),
         model.num_experts as usize,
@@ -298,7 +302,9 @@ mod tests {
         // 4 groups of 4 devices, 12 ordered pairs each.
         assert_eq!(flows.len(), 4 * 12);
         // Every route stays inside a 2×2 block: at most 2 hops.
-        assert!(flows.iter().all(|f| f.route.hops() <= 2 && !f.route.is_empty()));
+        assert!(flows
+            .iter()
+            .all(|f| f.route.hops() <= 2 && !f.route.is_empty()));
     }
 
     #[test]
@@ -324,7 +330,10 @@ mod tests {
             json.get("incremental_speedup").and_then(Value::as_f64),
             Some(10.0)
         );
-        assert_eq!(json.get("cached_speedup").and_then(Value::as_f64), Some(40.0));
+        assert_eq!(
+            json.get("cached_speedup").and_then(Value::as_f64),
+            Some(40.0)
+        );
         assert!(perf.summary().contains("speedup"));
     }
 }

@@ -150,11 +150,7 @@ pub fn comm_latency(
         }
     };
 
-    let placement = ExpertPlacement::balanced(
-        model.num_experts as usize,
-        topo.num_devices(),
-        1,
-    );
+    let placement = ExpertPlacement::balanced(model.num_experts as usize, topo.num_devices(), 1);
     let gating = balanced_gating(
         layout.num_groups(),
         model.num_experts as usize,

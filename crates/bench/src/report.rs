@@ -141,7 +141,10 @@ impl Report {
     pub fn save(&self, dir: impl AsRef<Path>) -> io::Result<()> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        fs::write(dir.join(format!("{}.json", self.id)), self.to_json().pretty())
+        fs::write(
+            dir.join(format!("{}.json", self.id)),
+            self.to_json().pretty(),
+        )
     }
 
     /// Loads a report previously written by [`Report::save`].
@@ -152,8 +155,8 @@ impl Report {
     /// [`io::ErrorKind::InvalidData`].
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let text = fs::read_to_string(path)?;
-        let value = Value::parse(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let value =
+            Value::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Report::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }

@@ -87,11 +87,8 @@ impl Balancer for GreedyBalancer {
                 break;
             };
             // Only replicate if it actually reduces the peak.
-            let new_share = ctx.expert_loads[expert]
-                / (placement.num_replicas(expert) + 1) as f64;
-            if heats[target.index()] + new_share
-                >= heats.iter().copied().fold(0.0, f64::max)
-            {
+            let new_share = ctx.expert_loads[expert] / (placement.num_replicas(expert) + 1) as f64;
+            if heats[target.index()] + new_share >= heats.iter().copied().fold(0.0, f64::max) {
                 break;
             }
             let source = placement.primary_device(expert);

@@ -66,8 +66,9 @@ pub enum BalanceAction {
 }
 
 /// A load-balancing strategy. Object-safe; the engine holds a boxed
-/// balancer.
-pub trait Balancer {
+/// balancer. `Send` is a supertrait so an engine owning one can be moved
+/// across worker-pool threads (see `crate::fleet`).
+pub trait Balancer: Send {
     /// Plans actions for one layer. Implementations must not mutate the
     /// placement; the engine applies actions according to its execution
     /// policy.

@@ -99,8 +99,7 @@ impl Balancer for TopologyAwareBalancer {
             // Line 5: cold set — "devices whose Heat_d would not exceed the
             // current maximum after hosting this expert" (§V-C), with the
             // post-replication share Load/(Num+1).
-            let new_share =
-                ctx.expert_loads[src_e] / (placement.num_replicas(src_e) + 1) as f64;
+            let new_share = ctx.expert_loads[src_e] / (placement.num_replicas(src_e) + 1) as f64;
             let cold: Vec<DeviceId> = (0..placement.num_devices())
                 .map(|d| DeviceId(d as u32))
                 .filter(|&d| {
@@ -165,7 +164,12 @@ mod tests {
             table: &table,
         });
         match actions.last() {
-            Some(&BalanceAction::Replicate { expert, target, source, .. }) => {
+            Some(&BalanceAction::Replicate {
+                expert,
+                target,
+                source,
+                ..
+            }) => {
                 assert_eq!(expert, 0);
                 assert_eq!(source, DeviceId(0));
                 // Nearest cold devices to (0,0) are (1,0)=id1 and (0,1)=id4.

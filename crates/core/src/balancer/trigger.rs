@@ -6,13 +6,19 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```text
 /// Σ_{i=1}^{L} (max(load_i) − µ(load_i)) / µ(load_i)  >  α
-/// Δt_mig > β          (β = 0 for non-invasive balancing)
+/// Δt_mig ≥ β          (β = 0 disables the cooldown)
 /// ```
 ///
 /// The cumulative imbalance across all `L` layers must exceed `alpha`, and
-/// at least `beta` iterations must have passed since the last migration.
-/// Invasive balancers use `beta > 0` to avoid interrupting every iteration;
-/// the non-invasive balancer sets `beta = 0` and fine-tunes continuously.
+/// — once a migration has fired — at least `beta` iterations must have
+/// passed since it (the *cooldown*; a fire at exactly `last + beta` is
+/// allowed). Invasive balancers use `beta > 0` to avoid interrupting every
+/// iteration. `beta = 0` **disables the cooldown entirely**: the trigger
+/// fires on every evaluation where the imbalance exceeds `alpha`, including
+/// repeated evaluations at the same iteration — this is the non-invasive
+/// balancer's continuous fine-tuning mode, not a special case of the
+/// spacing rule. The first fire is never delayed: with no prior migration
+/// there is nothing to space from.
 ///
 /// # Example
 ///
@@ -60,13 +66,20 @@ impl Trigger {
 
     /// Evaluates Eq. 2 at `iteration` with the measured cumulative
     /// imbalance; records the migration time when it fires.
+    ///
+    /// `beta_iterations == 0` disables the cooldown branch outright (see
+    /// the type docs), rather than relying on the spacing comparison to be
+    /// vacuously true — the two happen to coincide for the `Some(last)`
+    /// path, but keeping the disable explicit pins the documented contract.
     pub fn should_balance(&mut self, iteration: u64, cumulative_imbalance: f64) -> bool {
         if cumulative_imbalance <= self.alpha {
             return false;
         }
-        if let Some(last) = self.last_migration {
-            if iteration.saturating_sub(last) < self.beta_iterations {
-                return false;
+        if self.beta_iterations > 0 {
+            if let Some(last) = self.last_migration {
+                if iteration.saturating_sub(last) < self.beta_iterations {
+                    return false;
+                }
             }
         }
         self.last_migration = Some(iteration);
@@ -106,6 +119,34 @@ mod tests {
         assert!(t.should_balance(0, 2.0));
         assert!(t.should_balance(0, 2.0));
         assert!(t.should_balance(1, 2.0));
+    }
+
+    /// Satellite contract: `beta == 0` means *cooldown disabled* — above
+    /// alpha it fires on every evaluation, even many at the same iteration,
+    /// and the recorded migration history never suppresses a fire.
+    #[test]
+    fn beta_zero_disables_cooldown_entirely() {
+        let mut t = Trigger::new(1.0, 0);
+        for i in [0, 0, 0, 1, 1, 5, 5, 6] {
+            assert!(t.should_balance(i, 1.5), "iteration {i}");
+            assert_eq!(t.last_migration(), Some(i));
+        }
+        // Dropping below alpha is still the only way to hold fire.
+        assert!(!t.should_balance(7, 1.0));
+    }
+
+    /// The cooldown boundary for `beta > 0`: a refire at exactly
+    /// `last + beta` is allowed (Δt ≥ β), one iteration earlier is not,
+    /// and the *first* fire is never delayed.
+    #[test]
+    fn beta_cooldown_boundary_is_inclusive() {
+        let mut t = Trigger::new(1.0, 5);
+        assert!(t.should_balance(0, 2.0), "first fire is undelayed");
+        assert!(!t.should_balance(4, 2.0), "within cooldown");
+        assert_eq!(t.last_migration(), Some(0), "blocked fire must not restamp");
+        assert!(t.should_balance(5, 2.0), "boundary Δt == β fires");
+        assert!(!t.should_balance(9, 2.0));
+        assert!(t.should_balance(10, 2.0));
     }
 
     #[test]

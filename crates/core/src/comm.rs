@@ -12,8 +12,7 @@
 
 use moe_workload::LayerGating;
 use wsc_collectives::{
-    hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter,
-    StaggeredRings,
+    hierarchical_all_reduce, ring_all_gather, ring_all_reduce, ring_reduce_scatter, StaggeredRings,
 };
 use wsc_sim::{AnalyticModel, CongestionModel, FlowSchedule};
 use wsc_topology::{DeviceId, Location, RouteTable, Topology};
@@ -25,13 +24,16 @@ use crate::placement::ExpertPlacement;
 /// fetches a group's tokens from, and how the attention all-reduce runs.
 ///
 /// This trait is object-safe; the engine stores a `&dyn ParallelLayout`.
-pub trait ParallelLayout {
+///
+/// `Sync` is a supertrait so several replica engines (and the worker-pool
+/// threads stepping them) can share one layout by reference — layouts are
+/// immutable precomputed data, so every implementation is trivially `Sync`.
+pub trait ParallelLayout: Sync {
     /// TP group member lists, rank-ordered.
     fn groups(&self) -> &[Vec<DeviceId>];
 
     /// Token sources for dispatching group `group`'s tokens to `device`.
-    fn token_sources(&self, topo: &Topology, group: usize, device: DeviceId)
-        -> Vec<TokenSource>;
+    fn token_sources(&self, topo: &Topology, group: usize, device: DeviceId) -> Vec<TokenSource>;
 
     /// The attention all-reduce schedule for `bytes_per_device` per member.
     fn all_reduce_schedule(&self, topo: &Topology, bytes_per_device: f64) -> FlowSchedule;
@@ -64,12 +66,7 @@ impl ParallelLayout for MappingPlan {
         MappingPlan::groups(self)
     }
 
-    fn token_sources(
-        &self,
-        topo: &Topology,
-        group: usize,
-        device: DeviceId,
-    ) -> Vec<TokenSource> {
+    fn token_sources(&self, topo: &Topology, group: usize, device: DeviceId) -> Vec<TokenSource> {
         MappingPlan::token_sources(self, topo, group, device)
     }
 
@@ -86,8 +83,7 @@ impl ParallelLayout for MappingPlan {
             MappingKind::HierarchicalEntwinedRing => {
                 // §IV-B4: intra-wafer reduce-scatter, then inter-wafer
                 // all-gather of the per-device shards.
-                let mut schedule =
-                    concurrent_rings(topo, self.rings(), bytes_per_device, true);
+                let mut schedule = concurrent_rings(topo, self.rings(), bytes_per_device, true);
                 let shard = bytes_per_device / self.tp().size() as f64;
                 let wafers = self.dims().num_wafers() as f64;
                 let inter: Vec<FlowSchedule> = self
@@ -182,12 +178,7 @@ impl ParallelLayout for ClusterLayout {
         &self.groups
     }
 
-    fn token_sources(
-        &self,
-        topo: &Topology,
-        group: usize,
-        device: DeviceId,
-    ) -> Vec<TokenSource> {
+    fn token_sources(&self, topo: &Topology, group: usize, device: DeviceId) -> Vec<TokenSource> {
         // Prefer same-node members (NVLink); spread the load across the
         // equidistant candidates — by destination rank for intra-node pulls
         // and by destination *node* for cross-node pulls, so that each
@@ -216,9 +207,7 @@ impl ParallelLayout for ClusterLayout {
             .groups
             .iter()
             .map(|group| {
-                hierarchical_all_reduce(topo, group, bytes_per_device, |d| {
-                    Self::node_of(topo, d)
-                })
+                hierarchical_all_reduce(topo, group, bytes_per_device, |d| Self::node_of(topo, d))
             })
             .collect();
         FlowSchedule::merge_lockstep(per_group.iter())
@@ -260,8 +249,7 @@ impl A2aEstimate {
     /// paper Figs. 15–16). Returns 1 for a perfectly balanced layer.
     pub fn load_ratio(&self) -> f64 {
         let max = self.device_tokens.iter().copied().fold(0.0, f64::max);
-        let mean =
-            self.device_tokens.iter().sum::<f64>() / self.device_tokens.len() as f64;
+        let mean = self.device_tokens.iter().sum::<f64>() / self.device_tokens.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
@@ -596,12 +584,22 @@ mod tests {
         let gating = uniform_gating(4, 16, 8);
         let token_bytes = 7168.0 * 2.0;
 
-        let base_plan = BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
+        let base_plan = BaselineMapping::new(dims, TpShape::new(2, 2))
+            .unwrap()
+            .plan();
         let er_plan = ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
-        let base = A2aModel::new(&topo, &table, &base_plan)
-            .estimate(&gating, &placement, token_bytes, 8 * 16);
-        let er = A2aModel::new(&topo, &table, &er_plan)
-            .estimate(&gating, &placement, token_bytes, 8 * 16);
+        let base = A2aModel::new(&topo, &table, &base_plan).estimate(
+            &gating,
+            &placement,
+            token_bytes,
+            8 * 16,
+        );
+        let er = A2aModel::new(&topo, &table, &er_plan).estimate(
+            &gating,
+            &placement,
+            token_bytes,
+            8 * 16,
+        );
         assert!(
             er.total_time() < base.total_time(),
             "ER {} vs baseline {}",
@@ -689,13 +687,8 @@ mod tests {
             // the first (miss) and second (hit) pricing of the same layer.
             let cached_backend = CongestionBackend::FlowSimCached.build(topo);
             for _ in 0..2 {
-                let cached = model.estimate_with(
-                    cached_backend.as_ref(),
-                    &gating,
-                    &placement,
-                    1024.0,
-                    256,
-                );
+                let cached =
+                    model.estimate_with(cached_backend.as_ref(), &gating, &placement, 1024.0, 256);
                 assert_eq!(cached.dispatch, des.dispatch);
                 assert_eq!(cached.combine, des.combine);
             }

@@ -127,12 +127,10 @@ impl RunSummary {
             }
             s.mean_tokens_per_group += m.tokens_per_group as f64 / nf;
             total_selections += m.avg_device_tokens * num_devices as f64;
-            total_moe_time +=
-                m.moe_compute.max(m.all_to_all()) + m.migration_stall;
+            total_moe_time += m.moe_compute.max(m.all_to_all()) + m.migration_stall;
         }
         if total_moe_time > 0.0 {
-            s.tokens_per_second_per_device =
-                total_selections / total_moe_time / num_devices as f64;
+            s.tokens_per_second_per_device = total_selections / total_moe_time / num_devices as f64;
         }
         s
     }

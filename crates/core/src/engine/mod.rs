@@ -42,6 +42,14 @@ use crate::placement::ExpertPlacement;
 
 pub use crate::balancer::cumulative_imbalance as imbalance_statistic;
 
+/// Diurnal amplitude of the serving arrival process (engine `Scheduled`
+/// mode and the fleet's global stream draw from the same cycle, so fleet
+/// and single-replica sweep curves stay comparable).
+pub const ARRIVAL_DIURNAL_AMPLITUDE: f64 = 0.3;
+
+/// Diurnal cycle period of the serving arrival process, seconds.
+pub const ARRIVAL_DIURNAL_PERIOD_SECS: f64 = 600.0;
+
 /// How iteration batches are produced.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum BatchMode {
@@ -66,6 +74,19 @@ pub enum BatchMode {
         request_rate: f64,
         /// Wall-clock estimate of one iteration (drives arrival admission).
         iteration_period: f64,
+    },
+    /// Externally-fed serving: like [`BatchMode::Scheduled`] but with no
+    /// internal arrival generator — requests enter only through
+    /// [`InferenceEngine::offer_request`]. This is the replica shape in a
+    /// fleet deployment, where a front-end router owns the global arrival
+    /// stream (see [`crate::fleet`]).
+    External {
+        /// Serving discipline.
+        mode: SchedulingMode,
+        /// Token budget per group per iteration.
+        max_batch_tokens: u32,
+        /// Concurrent decode sequences per group.
+        max_active: usize,
     },
 }
 
@@ -255,6 +276,20 @@ impl<'a> InferenceEngine<'a> {
             }
         };
 
+        // Admission budget for the serving modes: the KV tokens that fit in
+        // the HBM share set aside for cache, across the whole platform.
+        let kv_budget = || {
+            assert!(
+                (0.0..=1.0).contains(&config.kv_hbm_fraction),
+                "kv_hbm_fraction must be in [0, 1]"
+            );
+            let kv_bytes =
+                config.kv_hbm_fraction * config.cost.device().hbm_bytes * topo.num_devices() as f64;
+            config
+                .model
+                .kv_token_capacity(kv_bytes, Precision::Fp16)
+                .max(1)
+        };
         let scheduler = match &config.batch {
             BatchMode::Fixed { .. } => None,
             BatchMode::Scheduled {
@@ -264,8 +299,12 @@ impl<'a> InferenceEngine<'a> {
                 request_rate,
                 iteration_period,
             } => {
-                let arrivals =
-                    ArrivalProcess::new(*request_rate, 0.3, 600.0, config.seed ^ 0x5EED);
+                let arrivals = ArrivalProcess::new(
+                    *request_rate,
+                    ARRIVAL_DIURNAL_AMPLITUDE,
+                    ARRIVAL_DIURNAL_PERIOD_SECS,
+                    config.seed ^ 0x5EED,
+                );
                 // Request scenarios follow the gating workload mix so
                 // length profiles and expert affinities stay coherent
                 // (time-varying mixes use their initial blend).
@@ -274,19 +313,6 @@ impl<'a> InferenceEngine<'a> {
                     config.workload.weights(0),
                     config.seed ^ 0xFEED,
                 );
-                // Admission budget: the KV tokens that fit in the HBM
-                // share set aside for cache, across the whole platform.
-                assert!(
-                    (0.0..=1.0).contains(&config.kv_hbm_fraction),
-                    "kv_hbm_fraction must be in [0, 1]"
-                );
-                let kv_bytes = config.kv_hbm_fraction
-                    * config.cost.device().hbm_bytes
-                    * topo.num_devices() as f64;
-                let kv_budget = config
-                    .model
-                    .kv_token_capacity(kv_bytes, Precision::Fp16)
-                    .max(1);
                 Some(
                     BatchScheduler::new(
                         *mode,
@@ -295,18 +321,22 @@ impl<'a> InferenceEngine<'a> {
                         *iteration_period,
                         generator,
                     )
-                    .with_kv_budget(kv_budget),
+                    .with_kv_budget(kv_budget()),
                 )
             }
+            BatchMode::External {
+                mode,
+                max_batch_tokens,
+                max_active,
+            } => Some(
+                BatchScheduler::external(*mode, *max_batch_tokens, *max_active)
+                    .with_kv_budget(kv_budget()),
+            ),
         };
 
         let placements = (0..num_layers)
             .map(|_| {
-                ExpertPlacement::balanced(
-                    num_experts,
-                    topo.num_devices(),
-                    config.slots_per_device,
-                )
+                ExpertPlacement::balanced(num_experts, topo.num_devices(), config.slots_per_device)
             })
             .collect();
 
@@ -335,10 +365,7 @@ impl<'a> InferenceEngine<'a> {
         } else {
             config.trigger_beta
         };
-        let trigger = Trigger::new(
-            config.trigger_alpha_per_layer * num_layers as f64,
-            beta,
-        );
+        let trigger = Trigger::new(config.trigger_alpha_per_layer * num_layers as f64, beta);
 
         let mut migration = MigrationEngine::new(config.cold_bandwidth);
         if layout.ftd_of_device(wsc_topology::DeviceId(0)).is_none() {
@@ -426,11 +453,11 @@ impl<'a> InferenceEngine<'a> {
                 avg_context,
                 phase,
             } => (*tokens_per_group, *avg_context, *phase),
-            BatchMode::Scheduled { .. } => {
+            BatchMode::Scheduled { .. } | BatchMode::External { .. } => {
                 let scheduler = self
                     .scheduler
                     .as_mut()
-                    .expect("scheduled mode has a scheduler");
+                    .expect("serving modes have a scheduler");
                 let spec = scheduler.next_batch_at(self.clock);
                 let queue = scheduler.queue();
                 serving_stats = Some((
@@ -449,13 +476,10 @@ impl<'a> InferenceEngine<'a> {
         let trace = self.trace.next_iteration();
 
         // 2. Attention phase costs (identical across layers).
-        let attn = config.cost.attention_time(
-            model,
-            tokens_per_group as f64,
-            avg_context,
-            tp,
-            phase,
-        );
+        let attn =
+            config
+                .cost
+                .attention_time(model, tokens_per_group as f64, avg_context, tp, phase);
         let ar_bytes = tokens_per_group as f64 * model.token_bytes(Precision::Fp16);
         let ar_time = self.ar_ser_per_byte * ar_bytes + self.ar_latency;
         let attn_phase = self.overlap(attn.total(), ar_time);
@@ -495,11 +519,7 @@ impl<'a> InferenceEngine<'a> {
             for d in 0..self.topo.num_devices() {
                 let t = config
                     .cost
-                    .moe_device_time(
-                        model,
-                        est.device_tokens[d],
-                        est.device_active_experts[d],
-                    )
+                    .moe_device_time(model, est.device_tokens[d], est.device_active_experts[d])
                     .total();
                 moe_comp = moe_comp.max(t);
             }
@@ -526,8 +546,7 @@ impl<'a> InferenceEngine<'a> {
             metrics.iteration_time += attn_phase + moe_phase;
 
             let max = est.device_tokens.iter().copied().fold(0.0, f64::max);
-            let mean = est.device_tokens.iter().sum::<f64>()
-                / est.device_tokens.len() as f64;
+            let mean = est.device_tokens.iter().sum::<f64>() / est.device_tokens.len() as f64;
             metrics.max_device_tokens += max / num_layers as f64;
             metrics.avg_device_tokens += mean / num_layers as f64;
             metrics.load_ratio += if mean > 0.0 { max / mean } else { 1.0 } / num_layers as f64;
@@ -561,8 +580,7 @@ impl<'a> InferenceEngine<'a> {
 
         // 4. Balancing trigger (Eq. 2) and execution.
         if let Some(balancer) = self.balancer.as_mut() {
-            let imbalance =
-                cumulative_imbalance(per_layer_loads.iter().map(Vec::as_slice));
+            let imbalance = cumulative_imbalance(per_layer_loads.iter().map(Vec::as_slice));
             if self.trigger.should_balance(self.iteration, imbalance) {
                 let expert_bytes = model.expert_bytes(config.cost.linear_precision);
                 let mut stall_pairs: Vec<(wsc_topology::DeviceId, wsc_topology::DeviceId, f64)> =
@@ -583,10 +601,7 @@ impl<'a> InferenceEngine<'a> {
                                     source,
                                     target,
                                 } => {
-                                    if self.placements[layer]
-                                        .add_replica(expert, target)
-                                        .is_ok()
-                                    {
+                                    if self.placements[layer].add_replica(expert, target).is_ok() {
                                         stall_pairs.push((source, target, expert_bytes));
                                         metrics.migrations_started += 1;
                                         metrics.migrations_completed += 1;
@@ -611,8 +626,7 @@ impl<'a> InferenceEngine<'a> {
                             &actions,
                             expert_bytes,
                         );
-                        metrics.migrations_started +=
-                            (self.migration.in_flight() - before) as u64;
+                        metrics.migrations_started += (self.migration.in_flight() - before) as u64;
                         for action in releases {
                             if let BalanceAction::Release {
                                 layer,
@@ -657,6 +671,36 @@ impl<'a> InferenceEngine<'a> {
         self.clock
     }
 
+    /// Feeds one routed request to this replica's serving queue
+    /// ([`BatchMode::External`]; also accepted in [`BatchMode::Scheduled`],
+    /// where it mixes with generated arrivals). Requests must be offered in
+    /// non-decreasing arrival order per engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`BatchMode::Fixed`], which has no request lifecycle.
+    pub fn offer_request(&mut self, request: moe_workload::Request) {
+        self.scheduler
+            .as_mut()
+            .expect("offer_request requires a serving batch mode")
+            .offer(request);
+    }
+
+    /// This replica's serving load as observed by a fleet router (`None`
+    /// in [`BatchMode::Fixed`]).
+    pub fn replica_snapshot(&self) -> Option<moe_workload::ReplicaSnapshot> {
+        self.scheduler.as_ref().map(|s| {
+            let q = s.queue();
+            moe_workload::ReplicaSnapshot {
+                queue_depth: q.queue_depth(),
+                active: q.num_active(),
+                kv_tokens_in_use: q.kv_tokens_in_use(),
+                kv_budget_tokens: q.kv_budget_tokens(),
+                mode: q.mode(),
+            }
+        })
+    }
+
     /// Lifecycle records of every request completed so far (empty in
     /// [`BatchMode::Fixed`]).
     pub fn completed_requests(&self) -> &[RequestRecord] {
@@ -667,10 +711,9 @@ impl<'a> InferenceEngine<'a> {
     /// percentiles, goodput, queue occupancy, and admission rejects.
     /// Zeroed in [`BatchMode::Fixed`], which has no request lifecycle.
     pub fn serving_summary(&self) -> ServingSummary {
-        let (rejects, peak_kv) = self
-            .scheduler
-            .as_ref()
-            .map_or((0, 0), |s| (s.queue().rejected(), s.queue().peak_kv_tokens()));
+        let (rejects, peak_kv) = self.scheduler.as_ref().map_or((0, 0), |s| {
+            (s.queue().rejected(), s.queue().peak_kv_tokens())
+        });
         ServingSummary::from_records(&self.completed, &self.history, rejects, peak_kv)
     }
 }
@@ -684,20 +727,7 @@ mod tests {
 
     fn small_model() -> ModelConfig {
         // A scaled-down model for fast engine tests.
-        ModelConfig {
-            name: "tiny".into(),
-            total_params_b: 1.0,
-            num_layers: 4,
-            num_sparse_layers: 4,
-            hidden_size: 1024,
-            moe_intermediate_size: 512,
-            num_experts: 16,
-            experts_per_token: 2,
-            num_shared_experts: 0,
-            num_attention_heads: 8,
-            num_kv_heads: 2,
-            head_dim: 128,
-        }
+        ModelConfig::tiny()
     }
 
     fn fixture() -> (Topology, RouteTable, crate::mapping::MappingPlan) {
@@ -843,15 +873,16 @@ mod tests {
     #[test]
     fn serving_clock_advances_by_priced_durations() {
         let (topo, table, plan) = fixture();
-        let config = EngineConfig::new(small_model())
-            .with_seed(21)
-            .with_batch(BatchMode::Scheduled {
-                mode: SchedulingMode::Hybrid,
-                max_batch_tokens: 512,
-                max_active: 64,
-                request_rate: 400.0,
-                iteration_period: 0.02,
-            });
+        let config =
+            EngineConfig::new(small_model())
+                .with_seed(21)
+                .with_batch(BatchMode::Scheduled {
+                    mode: SchedulingMode::Hybrid,
+                    max_batch_tokens: 512,
+                    max_active: 64,
+                    request_rate: 400.0,
+                    iteration_period: 0.02,
+                });
         let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
         engine.run(60);
         let total: f64 = engine.history.iter().map(|m| m.iteration_time).sum();
@@ -896,12 +927,7 @@ mod tests {
             assert!(r.first_token <= r.finish);
         }
         // Fixed-batch mode has no request lifecycle.
-        let fixed = InferenceEngine::new(
-            &topo,
-            &table,
-            &plan,
-            EngineConfig::new(small_model()),
-        );
+        let fixed = InferenceEngine::new(&topo, &table, &plan, EngineConfig::new(small_model()));
         assert_eq!(fixed.serving_summary().completed, 0);
     }
 
@@ -926,13 +952,15 @@ mod tests {
         let model = config.model.clone();
         let kv_bytes =
             config.kv_hbm_fraction * config.cost.device().hbm_bytes * topo.num_devices() as f64;
-        let budget = model
-            .kv_token_capacity(kv_bytes, Precision::Fp16)
-            .max(1);
+        let budget = model.kv_token_capacity(kv_bytes, Precision::Fp16).max(1);
         let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
         engine.run(100);
         let s = engine.serving_summary();
-        assert!(s.peak_kv_tokens <= budget, "{} > {budget}", s.peak_kv_tokens);
+        assert!(
+            s.peak_kv_tokens <= budget,
+            "{} > {budget}",
+            s.peak_kv_tokens
+        );
         assert!(
             s.mean_queue_depth > 0.0,
             "starved budget should leave requests queued"

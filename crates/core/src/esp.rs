@@ -47,7 +47,11 @@ pub fn esp_groups_from_plan(plan: &MappingPlan) -> Vec<Vec<DeviceId>> {
 /// Panics if `group_size` is zero or does not divide the device count.
 pub fn esp_groups_by_node(topo: &Topology, group_size: usize) -> Vec<Vec<DeviceId>> {
     assert!(group_size > 0, "group size must be positive");
-    assert_eq!(topo.num_devices() % group_size, 0, "groups must tile devices");
+    assert_eq!(
+        topo.num_devices() % group_size,
+        0,
+        "groups must tile devices"
+    );
     (0..topo.num_devices() / group_size)
         .map(|g| {
             (0..group_size)
@@ -73,8 +77,7 @@ pub fn esp_estimate(
 ) -> EspEstimate {
     let num_tp_groups = layout.num_groups();
     // Tokens routed to each ESP group, from each TP group.
-    let tokens_per_esp_from_tp =
-        tokens_per_group as f64 * top_k as f64 / esp_groups.len() as f64;
+    let tokens_per_esp_from_tp = tokens_per_group as f64 * top_k as f64 / esp_groups.len() as f64;
     let bytes_per_esp_from_tp = tokens_per_esp_from_tp * token_bytes;
 
     // Gather: every member of the ESP group fetches every TP group's share.

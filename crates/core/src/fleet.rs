@@ -1,0 +1,564 @@
+//! Fleet-level serving: N replica engines behind a front-end router.
+//!
+//! The ROADMAP north star is heavy traffic from millions of users, which in
+//! practice means scale-*out*: a fleet of wafer (or multi-wafer pod)
+//! replicas, each running its own continuous-batching
+//! [`InferenceEngine`], behind a router that owns the global arrival
+//! stream. [`Fleet`] models exactly that deployment shape (see DESIGN.md
+//! §8):
+//!
+//! * **Replicas** are homogeneous engines sharing one immutable
+//!   [`Topology`] / [`RouteTable`] / [`ParallelLayout`] by reference —
+//!   single-wafer meshes and `wsc_topology::MultiWafer` pods both work —
+//!   each in [`BatchMode::External`] with its own seed-split RNG streams
+//!   and (optionally) its own congestion-pricing backend.
+//! * **The router** ([`moe_workload::Router`]) dispatches every arrival to
+//!   a replica's serving queue under a pluggable
+//!   [`RouterPolicy`](moe_workload::RouterPolicy).
+//! * **The clock** advances in lock-step rounds: at each synchronization
+//!   point the fleet routes all arrivals up to the fleet clock (the
+//!   *minimum* of the replicas' simulated times, so no replica is ever fed
+//!   an arrival from its own future), then every replica executes exactly
+//!   one iteration. Between synchronization points replicas share no
+//!   mutable state, so the per-replica steps can run on worker threads —
+//!   [`Fleet::step_round_with`] takes any [`ReplicaPool`] — and the result
+//!   is byte-identical to serial stepping by construction: routing is
+//!   serial at the barrier, and each engine's iteration is a pure function
+//!   of its own state.
+//!
+//! [`Fleet::summary`] reports per-replica and aggregate
+//! [`ServingSummary`]s plus the load-imbalance ratios a capacity planner
+//! reads ("how many wafers for this arrival rate at p99 TTFT ≤ X?").
+
+use moe_workload::{
+    ArrivalProcess, ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy,
+};
+use wsc_sim::CongestionBackend;
+use wsc_topology::{RouteTable, Topology};
+
+use crate::comm::ParallelLayout;
+use crate::engine::{BatchMode, EngineConfig, InferenceEngine, ServingSummary};
+
+/// Executes a batch of independent replica-step jobs. The contract is
+/// *completion*, not order: when [`ReplicaPool::run`] returns, every job
+/// has run exactly once. Jobs touch disjoint state (one engine each), so
+/// any execution order — serial, or spread over a worker pool like
+/// `moentwine_bench::perf::pool::WorkerPool` — produces identical fleet
+/// state.
+pub trait ReplicaPool {
+    /// Runs every job to completion.
+    fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>);
+}
+
+/// The trivial in-thread executor: runs jobs in replica order.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SerialReplicaPool;
+
+impl ReplicaPool for SerialReplicaPool {
+    fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+        for job in jobs {
+            job();
+        }
+    }
+}
+
+/// SplitMix64 stream splitting: replica `stream` of master seed `master`.
+/// Each replica's engine (gating trace, request-length draws) gets an
+/// independent, reproducible stream; the arrival process and router draw
+/// from further streams of the same master.
+fn split_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of a [`Fleet`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of replica engines.
+    pub replicas: usize,
+    /// Front-end dispatch policy.
+    pub policy: RouterPolicy,
+    /// Global arrival rate (requests/second across the whole fleet).
+    pub request_rate: f64,
+    /// Per-replica engine template. Its `batch` must be a serving mode
+    /// ([`BatchMode::Scheduled`] or [`BatchMode::External`]); the fleet
+    /// converts it to [`BatchMode::External`] and replaces the seed with a
+    /// per-replica stream split from `engine.seed`.
+    pub engine: EngineConfig,
+    /// Per-replica congestion-backend overrides: empty uses the template's
+    /// backend everywhere; otherwise replica `i` gets `overrides[i % len]`
+    /// (so a two-entry list alternates fidelity tiers across the fleet).
+    pub backend_overrides: Vec<CongestionBackend>,
+}
+
+impl FleetConfig {
+    /// A fleet of `replicas` engines dispatched by `policy` under a global
+    /// arrival stream of `request_rate` requests/second.
+    pub fn new(
+        replicas: usize,
+        policy: RouterPolicy,
+        request_rate: f64,
+        engine: EngineConfig,
+    ) -> Self {
+        FleetConfig {
+            replicas,
+            policy,
+            request_rate,
+            engine,
+            backend_overrides: Vec::new(),
+        }
+    }
+
+    /// Sets per-replica backend overrides (builder style).
+    pub fn with_backend_overrides(mut self, overrides: Vec<CongestionBackend>) -> Self {
+        self.backend_overrides = overrides;
+        self
+    }
+}
+
+/// Fleet-level serving statistics: per-replica and aggregate SLO
+/// percentiles plus cross-replica balance. See [`Fleet::summary`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetSummary {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Synchronization rounds executed (iterations per replica).
+    pub rounds: u64,
+    /// Fleet simulated time, seconds (minimum over replica clocks — the
+    /// time up to which all routing decisions have been made).
+    pub sim_seconds: f64,
+    /// Requests routed to each replica.
+    pub routed: Vec<u64>,
+    /// Per-replica serving summaries, in replica order.
+    pub per_replica: Vec<ServingSummary>,
+    /// Fleet-wide summary: percentiles over the union of all completed
+    /// requests; mean queue depth, mean active requests, rejects, and peak
+    /// KV are fleet-wide sums (peak KV sums per-replica peaks, an upper
+    /// bound since they need not coincide in time), while
+    /// `max_queue_depth` is the worst single replica's high-water mark;
+    /// goodput is measured against `sim_seconds`.
+    pub aggregate: ServingSummary,
+    /// Max/mean ratio of per-replica routed-request counts (1.0 when
+    /// balanced or empty).
+    pub routing_imbalance: f64,
+    /// Max/mean ratio of per-replica completed-request counts (1.0 when
+    /// balanced or empty).
+    pub completion_imbalance: f64,
+}
+
+/// N replica engines behind a router on a shared simulated clock. See the
+/// [module docs](self).
+pub struct Fleet<'a> {
+    engines: Vec<InferenceEngine<'a>>,
+    router: Router,
+    generator: RequestGenerator,
+    /// First generated arrival beyond the fleet clock.
+    lookahead: Option<Request>,
+    /// Fleet clock: min over replica clocks at the last synchronization.
+    clock: f64,
+    rounds: u64,
+}
+
+impl<'a> Fleet<'a> {
+    /// Builds a homogeneous fleet: every replica borrows the same
+    /// `topo`/`table`/`layout` and gets its own engine with a seed-split
+    /// RNG stream (and backend override, if configured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero or the engine template's batch
+    /// mode is [`BatchMode::Fixed`] (no request lifecycle to route).
+    pub fn new(
+        topo: &'a Topology,
+        table: &'a RouteTable,
+        layout: &'a dyn ParallelLayout,
+        config: FleetConfig,
+    ) -> Self {
+        assert!(config.replicas > 0, "need at least one replica");
+        let (mode, max_batch_tokens, max_active) = match config.engine.batch {
+            BatchMode::Scheduled {
+                mode,
+                max_batch_tokens,
+                max_active,
+                ..
+            }
+            | BatchMode::External {
+                mode,
+                max_batch_tokens,
+                max_active,
+            } => (mode, max_batch_tokens, max_active),
+            BatchMode::Fixed { .. } => {
+                panic!("fleet replicas need a serving batch mode, not BatchMode::Fixed")
+            }
+        };
+        let master = config.engine.seed;
+        let engines: Vec<InferenceEngine<'a>> = (0..config.replicas)
+            .map(|i| {
+                let mut cfg = config.engine.clone();
+                cfg.batch = BatchMode::External {
+                    mode,
+                    max_batch_tokens,
+                    max_active,
+                };
+                cfg.seed = split_seed(master, i as u64);
+                if !config.backend_overrides.is_empty() {
+                    cfg.backend = config.backend_overrides[i % config.backend_overrides.len()];
+                }
+                InferenceEngine::new(topo, table, layout, cfg)
+            })
+            .collect();
+        // The global arrival stream mirrors the single-engine scheduled
+        // mode (diurnal Poisson, scenario blend from the workload mix) but
+        // draws from fleet-level seed streams.
+        let arrivals = ArrivalProcess::new(
+            config.request_rate,
+            crate::engine::ARRIVAL_DIURNAL_AMPLITUDE,
+            crate::engine::ARRIVAL_DIURNAL_PERIOD_SECS,
+            split_seed(master, 0x0A5E_11A1),
+        );
+        let generator = RequestGenerator::new(
+            arrivals,
+            config.engine.workload.weights(0),
+            split_seed(master, 0x0A5E_11A2),
+        );
+        let router = Router::new(
+            config.policy,
+            config.replicas,
+            split_seed(master, 0x0A5E_11A3),
+        );
+        Fleet {
+            engines,
+            router,
+            generator,
+            lookahead: None,
+            clock: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// The replica engines, in replica order.
+    pub fn engines(&self) -> &[InferenceEngine<'a>] {
+        &self.engines
+    }
+
+    /// The front-end router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Fleet simulated time: the minimum over replica clocks, i.e. the
+    /// time up to which every routing decision has been made.
+    pub fn sim_time(&self) -> f64 {
+        self.clock
+    }
+
+    /// Synchronization rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Routes every arrival up to the fleet clock. Serial by design: the
+    /// router observes each offer it makes (snapshots are refreshed per
+    /// request), so load-aware policies see their own decisions within a
+    /// burst.
+    fn route_arrivals(&mut self) {
+        let mut snapshots: Vec<ReplicaSnapshot> = self
+            .engines
+            .iter()
+            .map(|e| e.replica_snapshot().expect("replicas run a serving mode"))
+            .collect();
+        // Bound the pull (as `BatchScheduler::pull_arrivals` does) so an
+        // extreme configured rate cannot stall a round; the overflow stays
+        // in the generator and drains over subsequent rounds.
+        for _ in 0..moe_workload::MAX_ARRIVALS_PER_PULL {
+            let request = match self.lookahead.take() {
+                Some(r) => r,
+                None => self.generator.next_request(),
+            };
+            if request.arrival > self.clock {
+                self.lookahead = Some(request);
+                break;
+            }
+            let choice = self.router.route(&request, &snapshots);
+            self.engines[choice].offer_request(request);
+            snapshots[choice] = self.engines[choice]
+                .replica_snapshot()
+                .expect("replicas run a serving mode");
+        }
+    }
+
+    /// One synchronization round on the in-thread executor.
+    pub fn step_round(&mut self) {
+        self.step_round_with(&SerialReplicaPool);
+    }
+
+    /// One synchronization round: route arrivals up to the fleet clock,
+    /// advance every replica by one iteration on `pool`, then resynchronize
+    /// the fleet clock. Output is identical for every [`ReplicaPool`].
+    pub fn step_round_with(&mut self, pool: &dyn ReplicaPool) {
+        self.route_arrivals();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .engines
+            .iter_mut()
+            .map(|engine| {
+                Box::new(move || {
+                    engine.step();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        self.clock = self
+            .engines
+            .iter()
+            .map(InferenceEngine::sim_time)
+            .fold(f64::INFINITY, f64::min);
+        self.rounds += 1;
+    }
+
+    /// Runs `rounds` synchronization rounds serially.
+    pub fn run(&mut self, rounds: usize) {
+        self.run_with(rounds, &SerialReplicaPool);
+    }
+
+    /// Runs `rounds` synchronization rounds, stepping replicas on `pool`.
+    pub fn run_with(&mut self, rounds: usize, pool: &dyn ReplicaPool) {
+        for _ in 0..rounds {
+            self.step_round_with(pool);
+        }
+    }
+
+    /// Fleet-level serving statistics over the run so far.
+    pub fn summary(&self) -> FleetSummary {
+        let per_replica: Vec<ServingSummary> = self
+            .engines
+            .iter()
+            .map(InferenceEngine::serving_summary)
+            .collect();
+
+        // Aggregate percentiles over the union of completed requests.
+        let all_records: Vec<moe_workload::RequestRecord> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.completed_requests().iter().cloned())
+            .collect();
+        let total_rejects: u64 = per_replica.iter().map(|s| s.admission_rejects).sum();
+        let mut aggregate = ServingSummary::from_records(&all_records, &[], total_rejects, 0);
+        aggregate.sim_seconds = self.clock;
+        if self.clock > 0.0 {
+            aggregate.goodput_rps = all_records.len() as f64 / self.clock;
+            aggregate.goodput_tokens_per_s = all_records
+                .iter()
+                .map(|r| r.input_len as f64 + r.output_len as f64)
+                .sum::<f64>()
+                / self.clock;
+        }
+        // Occupancy aggregates are fleet-wide sums (max over replicas for
+        // the depth high-water mark).
+        for s in &per_replica {
+            aggregate.mean_queue_depth += s.mean_queue_depth;
+            aggregate.mean_active_requests += s.mean_active_requests;
+            aggregate.max_queue_depth = aggregate.max_queue_depth.max(s.max_queue_depth);
+            aggregate.peak_kv_tokens += s.peak_kv_tokens;
+        }
+
+        let completed = per_replica.iter().map(|s| s.completed as f64);
+
+        FleetSummary {
+            replicas: self.engines.len(),
+            rounds: self.rounds,
+            sim_seconds: self.clock,
+            routed: self.router.routed().to_vec(),
+            routing_imbalance: self.router.routing_imbalance(),
+            completion_imbalance: moe_workload::max_mean_imbalance(completed),
+            per_replica,
+            aggregate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ErMapping;
+    use moe_model::ModelConfig;
+    use moe_workload::{Scenario, SchedulingMode, WorkloadMix};
+    use wsc_topology::{Mesh, MultiWafer, PlatformParams};
+
+    fn engine_template(seed: u64) -> EngineConfig {
+        let mut config = EngineConfig::new(ModelConfig::tiny())
+            .with_seed(seed)
+            .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+            .with_batch(BatchMode::Scheduled {
+                mode: SchedulingMode::Hybrid,
+                max_batch_tokens: 2048,
+                max_active: 128,
+                request_rate: 0.0, // ignored: the fleet owns arrivals
+                iteration_period: 0.02,
+            });
+        config.kv_hbm_fraction = 1.0e-3;
+        config
+    }
+
+    /// Compile-time guarantee the worker pool relies on: engines move
+    /// across threads.
+    #[test]
+    fn inference_engine_is_send() {
+        fn require_send<T: Send>() {}
+        require_send::<InferenceEngine<'static>>();
+        require_send::<Fleet<'static>>();
+    }
+
+    #[test]
+    fn fleet_serves_and_conserves_requests() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(3, RouterPolicy::LeastQueueDepth, 6.0e3, engine_template(11));
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(300);
+        let summary = fleet.summary();
+        assert_eq!(summary.replicas, 3);
+        assert_eq!(summary.rounds, 300);
+        assert!(summary.sim_seconds > 0.0);
+        assert!(summary.aggregate.completed > 0, "no request completed");
+        // Conservation: every routed request is waiting, resident,
+        // rejected, or completed on exactly one replica.
+        let routed: u64 = summary.routed.iter().sum();
+        let accounted: u64 = fleet
+            .engines()
+            .iter()
+            .zip(&summary.per_replica)
+            .map(|(e, s)| {
+                let snap = e.replica_snapshot().unwrap();
+                snap.queue_depth as u64
+                    + snap.active as u64
+                    + s.admission_rejects
+                    + s.completed as u64
+            })
+            .sum();
+        assert_eq!(routed, accounted, "requests lost or double-counted");
+        // Aggregate completions match the per-replica sum.
+        let sum: usize = summary.per_replica.iter().map(|s| s.completed).sum();
+        assert_eq!(summary.aggregate.completed, sum);
+        assert!(summary.routing_imbalance >= 1.0);
+        assert!(summary.completion_imbalance >= 1.0);
+    }
+
+    #[test]
+    fn fleet_clock_is_min_replica_clock() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 4.0e3, engine_template(5));
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(50);
+        let min = fleet
+            .engines()
+            .iter()
+            .map(|e| e.sim_time())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(fleet.sim_time(), min);
+        for e in fleet.engines() {
+            assert!(e.sim_time() >= fleet.sim_time());
+        }
+    }
+
+    #[test]
+    fn pooled_round_matches_serial_round() {
+        // A deliberately out-of-order executor: reversing job order must
+        // not change fleet state (replicas are independent in a round).
+        struct ReversedPool;
+        impl ReplicaPool for ReversedPool {
+            fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+                for job in jobs.into_iter().rev() {
+                    job();
+                }
+            }
+        }
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |pool: &dyn ReplicaPool| {
+            let config = FleetConfig::new(
+                3,
+                RouterPolicy::PowerOfTwoChoices,
+                6.0e3,
+                engine_template(17),
+            );
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run_with(120, pool);
+            fleet.summary()
+        };
+        let serial = run(&SerialReplicaPool);
+        let reversed = run(&ReversedPool);
+        assert_eq!(serial.routed, reversed.routed);
+        assert_eq!(serial.aggregate, reversed.aggregate);
+        assert_eq!(serial.per_replica, reversed.per_replica);
+    }
+
+    #[test]
+    fn seed_split_gives_replicas_distinct_streams() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 4.0e3, engine_template(23));
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(30);
+        // Round-robin feeds both replicas nearly identical load; distinct
+        // gating streams mean their priced iteration times diverge.
+        let [a, b] = &fleet.engines() else {
+            panic!("two replicas")
+        };
+        assert_ne!(
+            a.history.iter().map(|m| m.iteration_time).sum::<f64>(),
+            b.history.iter().map(|m| m.iteration_time).sum::<f64>(),
+        );
+    }
+
+    #[test]
+    fn multiwafer_pods_and_backend_overrides_work() {
+        let topo = MultiWafer::grid(2, 1, 4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan =
+            crate::mapping::HierarchicalErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+                .unwrap()
+                .plan();
+        let config = FleetConfig::new(2, RouterPolicy::LeastKvPressure, 2.0e3, engine_template(31))
+            .with_backend_overrides(vec![
+                CongestionBackend::Analytic,
+                CongestionBackend::FlowSimCached,
+            ]);
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        assert_eq!(fleet.engines()[0].backend().name(), "analytic");
+        assert_eq!(fleet.engines()[1].backend().name(), "flow-sim-cached");
+        fleet.run(40);
+        assert!(fleet.sim_time() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "serving batch mode")]
+    fn fixed_batch_template_is_rejected() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(
+            1,
+            RouterPolicy::RoundRobin,
+            1.0e3,
+            EngineConfig::new(ModelConfig::tiny()),
+        );
+        let _ = Fleet::new(&topo, &table, &plan, config);
+    }
+}

@@ -86,12 +86,13 @@ pub fn phase_heatmaps(
     // All-reduce volumes from the schedule.
     let ar_bytes = tokens_per_group as f64 * token_bytes;
     let sched = plan.all_reduce_schedule(topo, ar_bytes);
-    let ar = AnalyticModel::new(topo).estimate_schedule(&sched).link_volume;
+    let ar = AnalyticModel::new(topo)
+        .estimate_schedule(&sched)
+        .link_volume;
 
     // All-to-all volumes from a balanced gating outcome.
     let placement = ExpertPlacement::balanced(num_experts, topo.num_devices(), 1);
-    let per_expert =
-        (tokens_per_group as u64 * top_k as u64 / num_experts as u64).max(1) as u32;
+    let per_expert = (tokens_per_group as u64 * top_k as u64 / num_experts as u64).max(1) as u32;
     let gating = LayerGating {
         counts: vec![vec![per_expert; num_experts]; plan.num_groups()],
     };
@@ -140,7 +141,9 @@ mod tests {
         let plan = if er {
             ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan()
         } else {
-            BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan()
+            BaselineMapping::new(dims, TpShape::new(2, 2))
+                .unwrap()
+                .plan()
         };
         let hm = phase_heatmaps(&topo, &table, &plan, 256, 8, 2048.0, 16);
         (topo, hm)

@@ -19,6 +19,8 @@
 //!   phase-complementary cold links, Fig. 11d).
 //! * [`heatmap`] — the hot/cold link analysis of Fig. 11.
 //! * [`engine`] — the end-to-end per-iteration inference simulator.
+//! * [`fleet`] — scale-out serving: N replica engines in lock-step behind
+//!   a front-end router with pluggable dispatch policies (DESIGN.md §8).
 //! * [`esp`] — Expert Sharding Parallelism (Fig. 14a).
 //!
 //! # Example
@@ -42,11 +44,13 @@ pub mod balancer;
 pub mod comm;
 pub mod engine;
 pub mod esp;
+pub mod fleet;
 pub mod heatmap;
 pub mod mapping;
 pub mod migration;
 pub mod placement;
 
+pub use fleet::{Fleet, FleetConfig, FleetSummary, ReplicaPool, SerialReplicaPool};
 pub use mapping::{
     BaselineMapping, ErMapping, HierarchicalErMapping, MappingError, MappingKind, MappingPlan,
     TpShape,

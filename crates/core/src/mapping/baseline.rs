@@ -48,7 +48,10 @@ impl BaselineMapping {
         let w = dims.wafers_x * dims.n;
         let h = dims.wafers_y * dims.n;
         if !w.is_multiple_of(tp.x) || !h.is_multiple_of(tp.y) {
-            return Err(MappingError::ShapeDoesNotTile { shape: tp, n: dims.n });
+            return Err(MappingError::ShapeDoesNotTile {
+                shape: tp,
+                n: dims.n,
+            });
         }
         Ok(BaselineMapping { dims, tp })
     }
@@ -105,13 +108,7 @@ impl BaselineMapping {
 
         // Contiguous blocks: neighbour rings, no intersections, one parity.
         let order = grid_ring_order(tp.x as usize, tp.y as usize);
-        let rings = build_staggered_rings(
-            &groups,
-            vec![0; num_groups],
-            1,
-            &order,
-            tp.x as usize,
-        );
+        let rings = build_staggered_rings(&groups, vec![0; num_groups], 1, &order, tp.x as usize);
 
         MappingPlan {
             kind: MappingKind::Baseline,
@@ -140,7 +137,10 @@ mod tests {
 
     fn plan4() -> MappingPlan {
         BaselineMapping::new(
-            Mesh::new(4, PlatformParams::dojo_like()).build().mesh_dims().unwrap(),
+            Mesh::new(4, PlatformParams::dojo_like())
+                .build()
+                .mesh_dims()
+                .unwrap(),
             TpShape::new(2, 2),
         )
         .unwrap()

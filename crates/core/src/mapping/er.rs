@@ -53,7 +53,10 @@ impl ErMapping {
         let w = dims.wafers_x * dims.n;
         let h = dims.wafers_y * dims.n;
         if !w.is_multiple_of(tp.x) || !h.is_multiple_of(tp.y) {
-            return Err(MappingError::ShapeDoesNotTile { shape: tp, n: dims.n });
+            return Err(MappingError::ShapeDoesNotTile {
+                shape: tp,
+                n: dims.n,
+            });
         }
         Ok(ErMapping { dims, tp })
     }

@@ -46,7 +46,10 @@ impl HierarchicalErMapping {
     /// single wafer.
     pub fn new(dims: MeshDims, tp: TpShape) -> Result<Self, MappingError> {
         if !dims.n.is_multiple_of(tp.x) || !dims.n.is_multiple_of(tp.y) {
-            return Err(MappingError::ShapeDoesNotTile { shape: tp, n: dims.n });
+            return Err(MappingError::ShapeDoesNotTile {
+                shape: tp,
+                n: dims.n,
+            });
         }
         Ok(HierarchicalErMapping { dims, tp })
     }
@@ -91,8 +94,7 @@ impl HierarchicalErMapping {
             }
             for ftd in &base.ftds {
                 let global_f = w * base.ftds.len() + ftd.index();
-                let shifted: Vec<DeviceId> =
-                    ftd.devices().iter().map(|&d| shift(d, w)).collect();
+                let shifted: Vec<DeviceId> = ftd.devices().iter().map(|&d| shift(d, w)).collect();
                 for &d in &shifted {
                     ftd_of[d.index()] = global_f;
                 }

@@ -370,8 +370,7 @@ impl MappingPlan {
         for i in 0..boxes.len() {
             for j in i + 1..boxes.len() {
                 let (a, b) = (&boxes[i], &boxes[j]);
-                let disjoint =
-                    a.2 < b.0 || b.2 < a.0 || a.3 < b.1 || b.3 < a.1 || a.4 != b.4;
+                let disjoint = a.2 < b.0 || b.2 < a.0 || a.3 < b.1 || b.3 < a.1 || a.4 != b.4;
                 if !disjoint {
                     overlaps += 1;
                 }
@@ -411,7 +410,10 @@ pub(crate) fn grid_ring_order(w: usize, h: usize) -> Vec<(usize, usize)> {
         }
         order
     } else if w.is_multiple_of(2) {
-        grid_ring_order(h, w).into_iter().map(|(y, x)| (x, y)).collect()
+        grid_ring_order(h, w)
+            .into_iter()
+            .map(|(y, x)| (x, y))
+            .collect()
     } else {
         // Both odd: no Hamiltonian cycle exists on the grid graph; use a
         // boustrophedon path (the wrap hop is multi-stride).

@@ -38,10 +38,7 @@ fn render_with(
     label: impl Fn(&MappingPlan, wsc_topology::DeviceId) -> String,
 ) -> String {
     let dims = plan.dims();
-    let width = (plan.num_groups().max(plan.ftds().len()))
-        .to_string()
-        .len()
-        + 1;
+    let width = (plan.num_groups().max(plan.ftds().len())).to_string().len() + 1;
     let mut out = String::new();
     for wy in 0..dims.wafers_y {
         for wx in 0..dims.wafers_x {

@@ -95,8 +95,10 @@ pub fn decompose_route(
     for &l in route.links() {
         let link = topo.link(l);
         let (src_dev, dst_dev) = (
-            topo.node_device(link.src).expect("mesh link endpoints are devices"),
-            topo.node_device(link.dst).expect("mesh link endpoints are devices"),
+            topo.node_device(link.src)
+                .expect("mesh link endpoints are devices"),
+            topo.node_device(link.dst)
+                .expect("mesh link endpoints are devices"),
         );
         let phase = if layout.ftd_of_device(src_dev) == layout.ftd_of_device(dst_dev) {
             MigrationPhase::Local

@@ -162,7 +162,10 @@ impl ExpertPlacement {
     /// Fails if `d` already hosts `e` or has no free slot.
     pub fn add_replica(&mut self, e: ExpertId, d: DeviceId) -> Result<(), PlacementError> {
         if self.hosts(d, e) {
-            return Err(PlacementError::AlreadyHosted { expert: e, device: d });
+            return Err(PlacementError::AlreadyHosted {
+                expert: e,
+                device: d,
+            });
         }
         if !self.has_free_slot(d) {
             return Err(PlacementError::NoFreeSlot { device: d });
@@ -180,8 +183,7 @@ impl ExpertPlacement {
             return false;
         };
         self.shadow[d.index()].remove(pos);
-        let rpos = self
-            .replicas[e]
+        let rpos = self.replicas[e]
             .iter()
             .position(|&x| x == d)
             .expect("replica list consistent with shadow list");
@@ -237,7 +239,12 @@ mod tests {
         let mut p = ExpertPlacement::balanced(8, 2, 1);
         p.add_replica(4, DeviceId(0)).unwrap();
         let err = p.add_replica(5, DeviceId(0)).unwrap_err();
-        assert_eq!(err, PlacementError::NoFreeSlot { device: DeviceId(0) });
+        assert_eq!(
+            err,
+            PlacementError::NoFreeSlot {
+                device: DeviceId(0)
+            }
+        );
     }
 
     #[test]

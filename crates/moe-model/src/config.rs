@@ -39,6 +39,28 @@ pub struct ModelConfig {
 }
 
 impl ModelConfig {
+    /// A scaled-down 1B/16-expert configuration for tests and smoke
+    /// sweeps: serving and routing dynamics are model-size independent,
+    /// and this shape prices hundreds of engine iterations in
+    /// milliseconds. The golden-trace suites pin their snapshots against
+    /// exactly these values — changing them invalidates every golden.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            name: "tiny".into(),
+            total_params_b: 1.0,
+            num_layers: 4,
+            num_sparse_layers: 4,
+            hidden_size: 1024,
+            moe_intermediate_size: 512,
+            num_experts: 16,
+            experts_per_token: 2,
+            num_shared_experts: 0,
+            num_attention_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 128,
+        }
+    }
+
     /// DeepSeek-V3 / R1: 671B, 256 experts, 8 active, 42 MiB/expert.
     pub fn deepseek_v3() -> Self {
         ModelConfig {
@@ -300,7 +322,10 @@ mod tests {
         // 4 KV heads × 128 dim × 2 (K+V) × 2 bytes × 94 layers per token.
         let per_token = q.kv_bytes_per_token_all_layers(Precision::Fp16);
         assert_eq!(per_token, 4.0 * 128.0 * 2.0 * 2.0 * 94.0);
-        assert_eq!(q.kv_token_capacity(per_token * 1000.0, Precision::Fp16), 1000);
+        assert_eq!(
+            q.kv_token_capacity(per_token * 1000.0, Precision::Fp16),
+            1000
+        );
         // Fractional tokens round down; degenerate budgets hold nothing.
         assert_eq!(q.kv_token_capacity(per_token * 2.5, Precision::Fp16), 2);
         assert_eq!(q.kv_token_capacity(0.0, Precision::Fp16), 0);

@@ -164,8 +164,7 @@ impl CostModel {
         tokens: f64,
         activated_experts: f64,
     ) -> TimeBreakdown {
-        let act_bytes = 2.0 * tokens
-            * config.token_bytes(self.attention_precision)
+        let act_bytes = 2.0 * tokens * config.token_bytes(self.attention_precision)
             + tokens * config.moe_intermediate_size as f64 * self.attention_precision.bytes();
         TimeBreakdown {
             compute_time: tokens * config.expert_flops_per_token()

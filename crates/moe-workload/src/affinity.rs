@@ -185,11 +185,7 @@ mod tests {
         let m = AffinityModel::new(1, 128, 5);
         let uniform = 1.0 / 128.0;
         for s in Scenario::all() {
-            let max = m
-                .distribution(0, s)
-                .iter()
-                .copied()
-                .fold(0.0, f64::max);
+            let max = m.distribution(0, s).iter().copied().fold(0.0, f64::max);
             assert!(max > 4.0 * uniform, "{s}: max {max}");
         }
     }

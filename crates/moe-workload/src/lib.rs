@@ -44,6 +44,7 @@
 pub mod affinity;
 pub mod gating;
 pub mod requests;
+pub mod router;
 pub mod scenario;
 pub mod scheduler;
 pub mod serving;
@@ -52,7 +53,8 @@ pub mod trace;
 pub use affinity::AffinityModel;
 pub use gating::sample_gating_counts;
 pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator, RequestId};
+pub use router::{max_mean_imbalance, ReplicaSnapshot, Router, RouterPolicy};
 pub use scenario::Scenario;
-pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode};
+pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode, MAX_ARRIVALS_PER_PULL};
 pub use serving::{RequestRecord, ServingQueue, TokenAccounting};
 pub use trace::{IterationTrace, LayerGating, TraceGenerator, WorkloadMix};

@@ -11,9 +11,7 @@ use crate::scenario::Scenario;
 /// Ids are opaque labels: the serving layer's batch composition is invariant
 /// under relabeling (see the serving property tests), they exist so that
 /// per-request token attribution and latency records can be joined.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
 
 impl std::fmt::Display for RequestId {
@@ -103,7 +101,10 @@ impl ArrivalProcess {
     pub fn new(base_rate: f64, amplitude: f64, period: f64, seed: u64) -> Self {
         assert!(base_rate > 0.0, "rate must be positive");
         assert!(period > 0.0, "period must be positive");
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0,1)"
+        );
         ArrivalProcess {
             base_rate,
             amplitude,
@@ -151,7 +152,11 @@ impl RequestGenerator {
     /// # Panics
     ///
     /// Panics if `scenario_weights` is empty or sums to zero.
-    pub fn new(arrivals: ArrivalProcess, scenario_weights: Vec<(Scenario, f64)>, seed: u64) -> Self {
+    pub fn new(
+        arrivals: ArrivalProcess,
+        scenario_weights: Vec<(Scenario, f64)>,
+        seed: u64,
+    ) -> Self {
         let total: f64 = scenario_weights.iter().map(|(_, w)| w).sum();
         assert!(
             !scenario_weights.is_empty() && total > 0.0,

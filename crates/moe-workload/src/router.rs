@@ -1,0 +1,460 @@
+//! Front-end request router for multi-replica (fleet) serving.
+//!
+//! A fleet deployment puts N independent serving replicas — each a full
+//! wafer (or multi-wafer pod) running its own continuous-batching engine —
+//! behind one front end that owns the global arrival stream. The [`Router`]
+//! decides, per request, which replica's serving queue admits it, using one
+//! of four pluggable [`RouterPolicy`] disciplines:
+//!
+//! * [`RouterPolicy::RoundRobin`] — cyclic assignment, state-free with
+//!   respect to replica load; the baseline every other policy is judged
+//!   against.
+//! * [`RouterPolicy::LeastQueueDepth`] — route to the replica with the
+//!   fewest waiting-plus-resident requests (join-the-shortest-queue).
+//! * [`RouterPolicy::LeastKvPressure`] — route to the replica whose KV
+//!   cache would be least full after admitting the request, never choosing
+//!   a replica that would have to *permanently reject* it (footprint over
+//!   the whole budget) while another replica could admit it.
+//! * [`RouterPolicy::PowerOfTwoChoices`] — sample two distinct replicas
+//!   from a seeded stream and keep the less loaded one; the classic
+//!   load-balancing result that two choices capture most of the benefit of
+//!   full load awareness at O(1) state inspection.
+//!
+//! Routing is deterministic: every policy is a pure function of the request
+//! sequence, the observed [`ReplicaSnapshot`]s, and (for power-of-two) the
+//! seed. Ties always break toward the lowest replica index, so a fleet run
+//! is reproducible byte-for-byte regardless of how replica stepping is
+//! scheduled between synchronization points.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::requests::Request;
+use crate::scheduler::SchedulingMode;
+
+/// Max/mean ratio of per-replica load counts — the fleet's balance metric
+/// (1.0 when perfectly balanced or when nothing has been counted yet).
+/// Shared by [`Router::routing_imbalance`] and the fleet summary's
+/// completion-imbalance so the two ratios can never drift apart in
+/// definition.
+pub fn max_mean_imbalance(counts: impl IntoIterator<Item = f64>) -> f64 {
+    let counts: Vec<f64> = counts.into_iter().collect();
+    let total: f64 = counts.iter().sum();
+    if counts.is_empty() || total <= 0.0 {
+        return 1.0;
+    }
+    let mean = total / counts.len() as f64;
+    counts.into_iter().fold(0.0, f64::max) / mean
+}
+
+/// One replica's load as observed by the router at a synchronization point.
+///
+/// The engine layer produces these from each replica's serving queue
+/// (`InferenceEngine::replica_snapshot` in `moentwine-core`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ReplicaSnapshot {
+    /// Requests arrived but not yet admitted.
+    pub queue_depth: usize,
+    /// Requests admitted and not yet complete.
+    pub active: usize,
+    /// KV tokens currently reserved by resident requests.
+    pub kv_tokens_in_use: u64,
+    /// The replica's total KV-token capacity budget.
+    pub kv_budget_tokens: u64,
+    /// The replica's serving discipline (determines a request's KV
+    /// footprint: the prefill tier only ever holds the prompt's KV).
+    pub mode: SchedulingMode,
+}
+
+impl ReplicaSnapshot {
+    /// KV tokens `request` would reserve on this replica at admission —
+    /// [`SchedulingMode::kv_need`], the same rule the serving queue
+    /// reserves by.
+    pub fn kv_need(&self, request: &Request) -> u64 {
+        self.mode.kv_need(request)
+    }
+
+    /// Whether this replica would have to *permanently reject* `request`:
+    /// its KV footprint exceeds the whole budget, so it could never be
+    /// admitted even on an empty replica.
+    pub fn must_reject(&self, request: &Request) -> bool {
+        self.kv_need(request) > self.kv_budget_tokens
+    }
+
+    /// Requests in flight (waiting + resident) — the queue-join cost.
+    pub fn total_load(&self) -> usize {
+        self.queue_depth + self.active
+    }
+
+    /// KV occupancy after admitting `request`, as a fraction of the budget
+    /// (may exceed 1 when the request cannot currently fit).
+    pub fn kv_pressure_with(&self, request: &Request) -> f64 {
+        if self.kv_budget_tokens == 0 {
+            return f64::INFINITY;
+        }
+        (self.kv_tokens_in_use as f64 + self.kv_need(request) as f64) / self.kv_budget_tokens as f64
+    }
+}
+
+/// Dispatch discipline of a [`Router`]. See the [module docs](self).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Cyclic assignment.
+    RoundRobin,
+    /// Join the replica with the fewest waiting + resident requests.
+    LeastQueueDepth,
+    /// Join the replica with the lowest post-admission KV occupancy,
+    /// excluding replicas that must permanently reject the request when an
+    /// admitting replica exists.
+    LeastKvPressure,
+    /// Seeded power-of-two-choices: sample two distinct replicas, keep the
+    /// less loaded.
+    PowerOfTwoChoices,
+}
+
+impl RouterPolicy {
+    /// Stable lowercase name (`"round-robin"` / `"least-queue-depth"` /
+    /// `"least-kv-pressure"` / `"power-of-two"`), matching the `FromStr`
+    /// spelling and the fleet-sweep manifest.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::LeastQueueDepth => "least-queue-depth",
+            RouterPolicy::LeastKvPressure => "least-kv-pressure",
+            RouterPolicy::PowerOfTwoChoices => "power-of-two",
+        }
+    }
+
+    /// Every policy, for sweep-style experiments.
+    pub fn all() -> [RouterPolicy; 4] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastQueueDepth,
+            RouterPolicy::LeastKvPressure,
+            RouterPolicy::PowerOfTwoChoices,
+        ]
+    }
+}
+
+impl std::str::FromStr for RouterPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "rr" => Ok(RouterPolicy::RoundRobin),
+            "least-queue-depth" | "least-queue" | "jsq" => Ok(RouterPolicy::LeastQueueDepth),
+            "least-kv-pressure" | "least-kv" => Ok(RouterPolicy::LeastKvPressure),
+            "power-of-two" | "p2c" => Ok(RouterPolicy::PowerOfTwoChoices),
+            other => Err(format!(
+                "unknown router policy {other:?} (expected \"round-robin\", \
+                 \"least-queue-depth\", \"least-kv-pressure\", or \"power-of-two\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The front-end dispatcher. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    replicas: usize,
+    /// Next replica for round-robin.
+    cursor: usize,
+    /// Seeded sampling stream for power-of-two-choices. Only that policy
+    /// draws from it, so the other policies stay RNG-free and the
+    /// power-of-two stream is a pure function of `(seed, routed count)`.
+    rng: rand::rngs::StdRng,
+    /// Requests routed to each replica so far.
+    routed: Vec<u64>,
+}
+
+impl Router {
+    /// Creates a router over `replicas` replicas. `seed` feeds only the
+    /// [`RouterPolicy::PowerOfTwoChoices`] sampling stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(policy: RouterPolicy, replicas: usize, seed: u64) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        Router {
+            policy,
+            replicas,
+            cursor: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x00F1_EE7B_A11A_D000),
+            routed: vec![0; replicas],
+        }
+    }
+
+    /// The dispatch policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Number of replicas routed over.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Requests routed to each replica so far.
+    pub fn routed(&self) -> &[u64] {
+        &self.routed
+    }
+
+    /// Max/mean ratio of per-replica routed-request counts (1.0 when
+    /// perfectly balanced or nothing routed yet).
+    pub fn routing_imbalance(&self) -> f64 {
+        max_mean_imbalance(self.routed.iter().map(|&r| r as f64))
+    }
+
+    /// Picks the replica `request` is dispatched to, given one snapshot per
+    /// replica (in replica order), and records the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots.len()` differs from the configured replica
+    /// count.
+    pub fn route(&mut self, request: &Request, snapshots: &[ReplicaSnapshot]) -> usize {
+        assert_eq!(
+            snapshots.len(),
+            self.replicas,
+            "snapshot count must match replica count"
+        );
+        let choice = match self.policy {
+            RouterPolicy::RoundRobin => {
+                let c = self.cursor;
+                self.cursor = (self.cursor + 1) % self.replicas;
+                c
+            }
+            RouterPolicy::LeastQueueDepth => {
+                Self::argmin_by(snapshots, |s| (s.total_load() as u64, s.kv_tokens_in_use))
+            }
+            RouterPolicy::LeastKvPressure => {
+                // Prefer replicas that can eventually admit the request;
+                // only when *every* replica must reject it does the choice
+                // degenerate (the request is lost wherever it lands).
+                let admitting = Self::argmin_by_filtered(
+                    snapshots,
+                    |s| !s.must_reject(request),
+                    |s| (s.kv_pressure_with(request), s.total_load()),
+                );
+                admitting.unwrap_or_else(|| {
+                    Self::argmin_by(snapshots, |s| (s.kv_pressure_with(request), s.total_load()))
+                })
+            }
+            RouterPolicy::PowerOfTwoChoices => {
+                let n = self.replicas;
+                if n == 1 {
+                    0
+                } else {
+                    // Two distinct seeded samples; keep the less loaded
+                    // (queue join cost, then KV, then lower index).
+                    let a = self.rng.gen_range(0..n);
+                    let mut b = self.rng.gen_range(0..n - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let key = |i: usize| (snapshots[i].total_load(), snapshots[i].kv_tokens_in_use);
+                    if key(hi) < key(lo) {
+                        hi
+                    } else {
+                        lo
+                    }
+                }
+            }
+        };
+        self.routed[choice] += 1;
+        choice
+    }
+
+    /// Index of the snapshot minimizing `key` (ties to the lowest index).
+    fn argmin_by<K: PartialOrd>(
+        snapshots: &[ReplicaSnapshot],
+        key: impl Fn(&ReplicaSnapshot) -> K,
+    ) -> usize {
+        Self::argmin_by_filtered(snapshots, |_| true, key).expect("non-empty snapshot list")
+    }
+
+    /// Index of the minimizing snapshot among those passing `keep`.
+    fn argmin_by_filtered<K: PartialOrd>(
+        snapshots: &[ReplicaSnapshot],
+        keep: impl Fn(&ReplicaSnapshot) -> bool,
+        key: impl Fn(&ReplicaSnapshot) -> K,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, K)> = None;
+        for (i, s) in snapshots.iter().enumerate() {
+            if !keep(s) {
+                continue;
+            }
+            let k = key(s);
+            // Strict `<` keeps the first (lowest-index) minimum on ties;
+            // incomparable keys (NaN pressure) never displace a holder.
+            let wins = best
+                .as_ref()
+                .is_none_or(|(_, bk)| matches!(k.partial_cmp(bk), Some(std::cmp::Ordering::Less)));
+            if wins {
+                best = Some((i, k));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::requests::RequestId;
+    use crate::scenario::Scenario;
+
+    fn req(id: u64, input: u32, output: u32) -> Request {
+        Request {
+            id: RequestId(id),
+            scenario: Scenario::Chat,
+            input_len: input,
+            output_len: output,
+            arrival: id as f64,
+        }
+    }
+
+    fn snap(queue: usize, active: usize, kv_used: u64, kv_budget: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queue_depth: queue,
+            active,
+            kv_tokens_in_use: kv_used,
+            kv_budget_tokens: kv_budget,
+            mode: SchedulingMode::Hybrid,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let snaps = vec![snap(9, 9, 0, 100); 3];
+        let mut r = Router::new(RouterPolicy::RoundRobin, 3, 0);
+        let picks: Vec<usize> = (0..7).map(|i| r.route(&req(i, 1, 1), &snaps)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(r.routed(), &[3, 2, 2]);
+    }
+
+    #[test]
+    fn least_queue_depth_joins_shortest() {
+        let snaps = vec![snap(5, 2, 0, 100), snap(1, 3, 0, 100), snap(2, 2, 0, 100)];
+        let mut r = Router::new(RouterPolicy::LeastQueueDepth, 3, 0);
+        assert_eq!(r.route(&req(0, 1, 1), &snaps), 1);
+        // Equal total load breaks on KV occupancy, then the lowest index.
+        let kv_tied = vec![snap(2, 2, 7, 100), snap(1, 3, 4, 100), snap(3, 1, 9, 100)];
+        assert_eq!(r.route(&req(1, 1, 1), &kv_tied), 1);
+        let fully_tied = vec![snap(2, 2, 7, 100); 3];
+        assert_eq!(r.route(&req(2, 1, 1), &fully_tied), 0);
+    }
+
+    #[test]
+    fn least_kv_pressure_prefers_emptiest_cache() {
+        let snaps = vec![
+            snap(0, 0, 80, 100),
+            snap(0, 0, 20, 100),
+            snap(0, 0, 50, 100),
+        ];
+        let mut r = Router::new(RouterPolicy::LeastKvPressure, 3, 0);
+        assert_eq!(r.route(&req(0, 5, 5), &snaps), 1);
+    }
+
+    /// The satellite property: `LeastKvPressure` never routes to a replica
+    /// that must permanently reject the request while another can admit it.
+    #[test]
+    fn least_kv_pressure_avoids_must_reject_replicas() {
+        // Replica 0 has the lowest occupancy but a tiny budget that can
+        // never hold the request; replica 1 can.
+        let snaps = vec![snap(0, 0, 0, 10), snap(0, 0, 900, 1000)];
+        let mut r = Router::new(RouterPolicy::LeastKvPressure, 2, 0);
+        let big = req(0, 50, 50); // needs 100 KV tokens
+        assert!(snaps[0].must_reject(&big));
+        assert!(!snaps[1].must_reject(&big));
+        assert_eq!(r.route(&big, &snaps), 1);
+        // A small request goes back to the emptier replica.
+        assert_eq!(r.route(&req(1, 2, 2), &snaps), 0);
+        // When every replica must reject, the choice degenerates to the
+        // least-pressured one instead of panicking.
+        let hopeless = vec![snap(0, 0, 5, 10), snap(0, 0, 2, 10)];
+        assert_eq!(r.route(&big, &hopeless), 1);
+    }
+
+    #[test]
+    fn prefill_only_mode_counts_prompt_footprint() {
+        let s = ReplicaSnapshot {
+            mode: SchedulingMode::PrefillOnly,
+            ..snap(0, 0, 0, 64)
+        };
+        let r = req(0, 60, 1000);
+        assert_eq!(s.kv_need(&r), 60);
+        assert!(!s.must_reject(&r));
+    }
+
+    #[test]
+    fn power_of_two_is_deterministic_at_fixed_seed() {
+        let snaps: Vec<ReplicaSnapshot> = (0..8)
+            .map(|i| snap(i as usize % 3, i as usize, 0, 100))
+            .collect();
+        let run = |seed: u64| {
+            let mut r = Router::new(RouterPolicy::PowerOfTwoChoices, 8, seed);
+            (0..100)
+                .map(|i| r.route(&req(i, 1, 1), &snaps))
+                .collect::<Vec<usize>>()
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce the sequence");
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn power_of_two_prefers_less_loaded_sample() {
+        // One overloaded replica: with two choices it is only picked when
+        // both samples land on it, which the load comparison forbids unless
+        // it *is* the less loaded — so it should receive far under 1/2 of
+        // the traffic that naive random assignment would give it.
+        let snaps = vec![snap(50, 50, 0, 100), snap(0, 0, 0, 100)];
+        let mut r = Router::new(RouterPolicy::PowerOfTwoChoices, 2, 3);
+        for i in 0..200 {
+            r.route(&req(i, 1, 1), &snaps);
+        }
+        assert_eq!(r.routed()[0], 0, "overloaded replica must never win a pair");
+        assert_eq!(r.routed()[1], 200);
+    }
+
+    #[test]
+    fn routing_imbalance_ratio() {
+        let mut r = Router::new(RouterPolicy::RoundRobin, 2, 0);
+        assert_eq!(r.routing_imbalance(), 1.0);
+        let snaps = vec![snap(0, 0, 0, 100); 2];
+        for i in 0..4 {
+            r.route(&req(i, 1, 1), &snaps);
+        }
+        assert_eq!(r.routing_imbalance(), 1.0);
+        // Force skew through round-robin with an odd count: 3 vs 2.
+        let _ = r.route(&req(5, 1, 1), &snaps);
+        assert!((r.routing_imbalance() - 3.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_names_parse_and_print() {
+        for p in RouterPolicy::all() {
+            assert_eq!(p.name().parse::<RouterPolicy>(), Ok(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!("p2c".parse(), Ok(RouterPolicy::PowerOfTwoChoices));
+        assert_eq!("jsq".parse(), Ok(RouterPolicy::LeastQueueDepth));
+        assert!("random".parse::<RouterPolicy>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot count")]
+    fn snapshot_count_mismatch_panics() {
+        let mut r = Router::new(RouterPolicy::RoundRobin, 3, 0);
+        r.route(&req(0, 1, 1), &[snap(0, 0, 0, 1)]);
+    }
+}

@@ -26,6 +26,22 @@ pub enum SchedulingMode {
     Hybrid,
 }
 
+impl SchedulingMode {
+    /// KV tokens `request` must reserve against a serving queue's budget
+    /// under this discipline — the single definition of the admission
+    /// footprint, shared by [`ServingQueue`](crate::serving::ServingQueue)
+    /// admission and router-side reject prediction
+    /// ([`ReplicaSnapshot`](crate::router::ReplicaSnapshot)). The prefill
+    /// tier hands the sequence off at first token, so it only ever holds
+    /// the prompt's KV.
+    pub fn kv_need(self, request: &Request) -> u64 {
+        match self {
+            SchedulingMode::PrefillOnly => request.input_len as u64,
+            _ => request.input_len as u64 + request.output_len as u64,
+        }
+    }
+}
+
 impl std::fmt::Display for SchedulingMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -36,6 +52,12 @@ impl std::fmt::Display for SchedulingMode {
         f.write_str(s)
     }
 }
+
+/// Most arrivals one scheduling step will pull into a queue (or one fleet
+/// synchronization round will route): bounds the work a burst — or an
+/// extreme configured rate — can do before the simulation advances, while
+/// the overflow stays in the generator and drains over subsequent steps.
+pub const MAX_ARRIVALS_PER_PULL: usize = 10_000;
 
 /// Per-request token attribution inside one scheduled iteration: which
 /// request the tokens belong to, and how many of each kind it received.
@@ -90,7 +112,10 @@ impl BatchSpec {
 #[derive(Clone, Debug)]
 pub struct BatchScheduler {
     queue: ServingQueue,
-    generator: RequestGenerator,
+    /// Arrival source. `None` for externally-fed schedulers (fleet
+    /// replicas), whose arrivals are [`BatchScheduler::offer`]ed by a
+    /// router instead of pulled from a generator.
+    generator: Option<RequestGenerator>,
     /// First generated request not yet released to the queue (its arrival
     /// is beyond the clock).
     lookahead: Option<Request>,
@@ -120,11 +145,35 @@ impl BatchScheduler {
         assert!(iteration_period > 0.0, "period must be positive");
         BatchScheduler {
             queue: ServingQueue::new(mode, max_batch_tokens, max_active, u64::MAX),
-            generator,
+            generator: Some(generator),
             lookahead: None,
             clock: 0.0,
             iteration_period,
         }
+    }
+
+    /// Creates an externally-fed scheduler (no arrival generator): requests
+    /// enter only through [`BatchScheduler::offer`]. This is the fleet
+    /// deployment shape, where a front-end router owns the global arrival
+    /// stream and dispatches requests to replica schedulers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget is zero.
+    pub fn external(mode: SchedulingMode, max_batch_tokens: u32, max_active: usize) -> Self {
+        BatchScheduler {
+            queue: ServingQueue::new(mode, max_batch_tokens, max_active, u64::MAX),
+            generator: None,
+            lookahead: None,
+            clock: 0.0,
+            iteration_period: 1.0,
+        }
+    }
+
+    /// Feeds one routed arrival to the queue. Requests must be offered in
+    /// non-decreasing arrival order (see [`ServingQueue::offer`]).
+    pub fn offer(&mut self, request: Request) {
+        self.queue.offer(request);
     }
 
     /// Bounds the KV-token budget gating admission (builder style). See
@@ -187,7 +236,11 @@ impl BatchScheduler {
     }
 
     /// Pulls generated arrivals with `arrival <= now` into the queue.
+    /// A no-op for externally-fed schedulers.
     fn pull_arrivals(&mut self, now: f64) {
+        let Some(generator) = self.generator.as_mut() else {
+            return;
+        };
         if let Some(r) = self.lookahead.take() {
             if r.arrival <= now {
                 self.queue.offer(r);
@@ -197,8 +250,8 @@ impl BatchScheduler {
             }
         }
         // Bound the pull so a burst cannot stall the simulation.
-        for _ in 0..10_000 {
-            let r = self.generator.next_request();
+        for _ in 0..MAX_ARRIVALS_PER_PULL {
+            let r = generator.next_request();
             if r.arrival > now {
                 self.lookahead = Some(r);
                 break;
@@ -299,13 +352,8 @@ mod tests {
 
     #[test]
     fn hybrid_mixes_both() {
-        let mut s = BatchScheduler::new(
-            SchedulingMode::Hybrid,
-            2048,
-            64,
-            0.05,
-            generator(300.0, 4),
-        );
+        let mut s =
+            BatchScheduler::new(SchedulingMode::Hybrid, 2048, 64, 0.05, generator(300.0, 4));
         let mut saw_both = false;
         for _ in 0..100 {
             let b = s.next_batch();
@@ -338,19 +386,13 @@ mod tests {
 
     #[test]
     fn entries_sum_to_totals_and_requests_complete() {
-        let mut s = BatchScheduler::new(
-            SchedulingMode::Hybrid,
-            2048,
-            64,
-            0.05,
-            generator(200.0, 6),
-        );
+        let mut s =
+            BatchScheduler::new(SchedulingMode::Hybrid, 2048, 64, 0.05, generator(200.0, 6));
         for _ in 0..400 {
             let b = s.next_batch();
-            let (p, d) = b
-                .requests
-                .iter()
-                .fold((0u32, 0u32), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
+            let (p, d) = b.requests.iter().fold((0u32, 0u32), |(p, d), e| {
+                (p + e.prefill_tokens, d + e.decode_tokens)
+            });
             assert_eq!((p, d), (b.prefill_tokens, b.decode_tokens));
         }
         let records = s.drain_completed();

@@ -127,8 +127,7 @@ impl ActiveRequest {
         match mode {
             SchedulingMode::PrefillOnly => self.prefilled >= self.request.input_len,
             _ => {
-                self.prefilled >= self.request.input_len
-                    && self.decoded >= self.request.output_len
+                self.prefilled >= self.request.input_len && self.decoded >= self.request.output_len
             }
         }
     }
@@ -286,12 +285,7 @@ impl ServingQueue {
 
     /// KV tokens `request` must reserve to be admitted.
     fn kv_need(&self, request: &Request) -> u64 {
-        match self.mode {
-            // The prefill tier hands the sequence off at first token; it
-            // only ever holds the prompt's KV.
-            SchedulingMode::PrefillOnly => request.input_len as u64,
-            _ => request.input_len as u64 + request.output_len as u64,
-        }
+        self.mode.kv_need(request)
     }
 
     /// FCFS admission at time `now`: admit from the head of the arrival
@@ -326,7 +320,11 @@ impl ServingQueue {
                 self.accounting.admitted_decode += request.output_len as u64;
             }
             self.active.push(ActiveRequest {
-                prefilled: if external_prefill { request.input_len } else { 0 },
+                prefilled: if external_prefill {
+                    request.input_len
+                } else {
+                    0
+                },
                 decoded: 0,
                 kv_reserved: need,
                 admitted: now,
@@ -595,10 +593,9 @@ mod tests {
         let mut now = 0.0;
         for _ in 0..20 {
             let b = q.next_batch(now);
-            let (ep, ed) = b
-                .requests
-                .iter()
-                .fold((0, 0), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
+            let (ep, ed) = b.requests.iter().fold((0, 0), |(p, d), e| {
+                (p + e.prefill_tokens, d + e.decode_tokens)
+            });
             assert_eq!(ep, b.prefill_tokens, "entry/total prefill mismatch");
             assert_eq!(ed, b.decode_tokens, "entry/total decode mismatch");
             seen_prefill += ep;

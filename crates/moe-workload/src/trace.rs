@@ -48,8 +48,7 @@ impl WorkloadMix {
                     .iter()
                     .enumerate()
                     .map(|(i, &scenario)| {
-                        let theta =
-                            2.0 * std::f64::consts::PI * (phase - i as f64 / s);
+                        let theta = 2.0 * std::f64::consts::PI * (phase - i as f64 / s);
                         // Raised-cosine bump: smooth, periodic, non-negative.
                         let w = (0.5 + 0.5 * theta.cos()).powi(2);
                         (scenario, w)
@@ -290,8 +289,9 @@ mod tests {
 
     #[test]
     fn uniform_gating_balances_expectation() {
-        let mut gen = TraceGenerator::new(&config(), WorkloadMix::Fixed(Scenario::Math), 4, 256, 11)
-            .with_uniform_gating();
+        let mut gen =
+            TraceGenerator::new(&config(), WorkloadMix::Fixed(Scenario::Math), 4, 256, 11)
+                .with_uniform_gating();
         let totals = gen.next_iteration().layers[0].expert_totals();
         let mean = totals.iter().sum::<u64>() as f64 / totals.len() as f64;
         for &t in &totals {

@@ -63,10 +63,7 @@ pub fn staggered_all_reduce_time(
     parities: usize,
 ) -> f64 {
     let n_f = n as f64;
-    parities as f64
-        * 2.0
-        * (n_f - 1.0)
-        * (bytes / (2.0 * n_f * bandwidth) + hops as f64 * latency)
+    parities as f64 * 2.0 * (n_f - 1.0) * (bytes / (2.0 * n_f * bandwidth) + hops as f64 * latency)
 }
 
 /// Lower bound for an all-to-all where every device sends `bytes_per_pair`
@@ -122,9 +119,15 @@ mod tests {
         let sched = all_to_all_concurrent(&topo, &uniform_all_to_all_matrix(&topo, 1.0e6));
         let analytic = CongestionBackend::Analytic.build(&topo);
         let des = CongestionBackend::FlowSim.build(&topo);
-        assert_eq!(backend_disagreement(analytic.as_ref(), analytic.as_ref(), &sched), 0.0);
+        assert_eq!(
+            backend_disagreement(analytic.as_ref(), analytic.as_ref(), &sched),
+            0.0
+        );
         let gap = backend_disagreement(analytic.as_ref(), des.as_ref(), &sched);
-        assert!(gap < 1.0, "analytic vs DES diverged by {gap:.2} on uniform a2a");
+        assert!(
+            gap < 1.0,
+            "analytic vs DES diverged by {gap:.2} on uniform a2a"
+        );
     }
 
     #[test]

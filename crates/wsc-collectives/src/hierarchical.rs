@@ -64,7 +64,9 @@ pub fn hierarchical_all_reduce(
     if local > 1 {
         let stages: Vec<FlowSchedule> = nodes
             .iter()
-            .map(|(_, members)| ring_reduce_scatter(topo, &Ring::new(members.clone()), bytes_per_device))
+            .map(|(_, members)| {
+                ring_reduce_scatter(topo, &Ring::new(members.clone()), bytes_per_device)
+            })
             .collect();
         append(&mut schedule, FlowSchedule::merge_lockstep(stages.iter()));
     }
@@ -84,7 +86,9 @@ pub fn hierarchical_all_reduce(
     if local > 1 {
         let stages: Vec<FlowSchedule> = nodes
             .iter()
-            .map(|(_, members)| ring_all_gather(topo, &Ring::new(members.clone()), bytes_per_device))
+            .map(|(_, members)| {
+                ring_all_gather(topo, &Ring::new(members.clone()), bytes_per_device)
+            })
             .collect();
         append(&mut schedule, FlowSchedule::merge_lockstep(stages.iter()));
     }

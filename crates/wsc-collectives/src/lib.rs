@@ -46,9 +46,7 @@ pub mod hierarchical;
 pub mod ring;
 pub mod stagger;
 
-pub use alltoall::{
-    all_to_all_concurrent, all_to_all_phased, uniform_all_to_all_matrix, Transfer,
-};
+pub use alltoall::{all_to_all_concurrent, all_to_all_phased, uniform_all_to_all_matrix, Transfer};
 pub use hierarchical::hierarchical_all_reduce;
 pub use ring::{ring_all_gather, ring_all_reduce, ring_reduce_scatter, Ring};
 pub use stagger::{staggered_ring_all_reduce, staggered_ring_reduce_scatter, StaggeredRings};

@@ -252,7 +252,9 @@ mod tests {
         let ring = hamiltonian_ring(&topo, 4);
         let sched = ring_all_reduce(&topo, &ring, 8.0e6);
         let des = sched.run(&topo).total_time;
-        let est = AnalyticModel::new(&topo).estimate_schedule(&sched).total_time;
+        let est = AnalyticModel::new(&topo)
+            .estimate_schedule(&sched)
+            .total_time;
         assert!((des - est).abs() / des < 1e-6, "{des} vs {est}");
     }
 

@@ -131,7 +131,12 @@ impl std::fmt::Display for CongestionBackend {
 /// estimate's `total_time` is the quantity of record; the decomposition into
 /// `serialization_time` + `latency_time` is exact for the analytic backend
 /// and derived (total minus longest route latency) for simulation backends.
-pub trait CongestionModel {
+///
+/// `Send` is a supertrait so that an engine owning a backend can be moved
+/// across threads: the fleet layer steps independent replica engines from a
+/// worker pool (see `moentwine_core::fleet`). Backends need no `Sync` —
+/// each engine owns its own instance.
+pub trait CongestionModel: Send {
     /// Stable backend name for reports (`"analytic"`, `"flow-sim"`,
     /// `"flow-sim-cached"`).
     fn name(&self) -> &'static str;
@@ -335,9 +340,7 @@ enum ShapeRepr {
 impl ScheduleShape {
     /// Canonicalizes phases of `(route links, bytes)` flows into the flat
     /// CSR representation, sorting each phase's flows.
-    fn of_phase_iter<'r>(
-        phases: impl Iterator<Item = &'r [FlowSpec]>,
-    ) -> Self {
+    fn of_phase_iter<'r>(phases: impl Iterator<Item = &'r [FlowSpec]>) -> Self {
         let mut phase_offsets: Vec<u32> = vec![0];
         let mut flow_offsets: Vec<u32> = vec![0];
         let mut links: Vec<u32> = Vec::new();
@@ -382,9 +385,7 @@ impl ScheduleShape {
         let mut triples: Vec<(u64, u64)> = pairs
             .iter()
             .filter(|&&(_, _, bytes)| bytes > 0.0)
-            .map(|&(src, dst, bytes)| {
-                (((src.0 as u64) << 32) | dst.0 as u64, bytes.to_bits())
-            })
+            .map(|&(src, dst, bytes)| (((src.0 as u64) << 32) | dst.0 as u64, bytes.to_bits()))
             .collect();
         triples.sort_unstable();
         ScheduleShape(ShapeRepr::Pairs(triples.into_boxed_slice()))
@@ -738,8 +739,7 @@ mod tests {
         let topo = mesh(4);
         let a = topo.device_at_xy(0, 0).unwrap();
         let b = topo.device_at_xy(1, 0).unwrap();
-        let cached =
-            CachedBackend::with_capacity_limit(Box::new(FlowSimBackend::new(&topo)), 3);
+        let cached = CachedBackend::with_capacity_limit(Box::new(FlowSimBackend::new(&topo)), 3);
         // Never-repeating shapes: entries stay bounded by the limit.
         for i in 1..=10 {
             cached.price_flows(&[FlowSpec::new(topo.route(a, b), i as f64 * 1.0e6)]);

@@ -273,9 +273,8 @@ impl IncrementalMaxMin {
             );
         }
         self.route_links.extend_from_slice(links);
-        self.route_offsets.push(
-            u32::try_from(self.route_links.len()).expect("route store exceeds u32 offsets"),
-        );
+        self.route_offsets
+            .push(u32::try_from(self.route_links.len()).expect("route store exceeds u32 offsets"));
         self.active.push(false);
         self.enlisted.push(false);
         self.rates.push(f64::INFINITY);

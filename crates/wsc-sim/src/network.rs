@@ -189,8 +189,8 @@ impl<'a> NetworkSim<'a> {
             for &f in &active {
                 horizon = horizon.min(finish[f as usize]);
             }
-            let next_act = (next_pending < pending.len())
-                .then(|| activations[pending[next_pending] as usize]);
+            let next_act =
+                (next_pending < pending.len()).then(|| activations[pending[next_pending] as usize]);
             now = match next_act {
                 Some(a) => horizon.min(a),
                 None if horizon.is_finite() => horizon,

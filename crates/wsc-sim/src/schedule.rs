@@ -108,7 +108,9 @@ impl FlowSchedule {
         for sched in schedules {
             for (i, phase) in sched.phases.iter().enumerate() {
                 if merged.phases.len() <= i {
-                    merged.phases.push(Phase::new(phase.label.clone(), Vec::new()));
+                    merged
+                        .phases
+                        .push(Phase::new(phase.label.clone(), Vec::new()));
                 }
                 merged.phases[i].flows.extend(phase.flows.iter().cloned());
             }

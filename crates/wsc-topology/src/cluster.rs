@@ -137,10 +137,8 @@ impl FlatSwitch {
 
     /// Finalizes the topology.
     pub fn build(&self) -> Topology {
-        let mut b = TopologyBuilder::with_strategy(
-            format!("NVL{}", self.k),
-            RouteStrategy::FlatSwitch,
-        );
+        let mut b =
+            TopologyBuilder::with_strategy(format!("NVL{}", self.k), RouteStrategy::FlatSwitch);
         for rank in 0..self.k {
             b.add_device(Location::Cluster { node: 0, rank });
         }
@@ -186,7 +184,10 @@ mod tests {
             .count();
         assert_eq!(ib, 2);
         // The bottleneck is the IB uplink.
-        assert_eq!(t.route_bandwidth(&r), PlatformParams::dgx_b200().infiniband_bw);
+        assert_eq!(
+            t.route_bandwidth(&r),
+            PlatformParams::dgx_b200().infiniband_bw
+        );
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl Location {
     /// Wafer grid coordinate, if this is a mesh placement.
     pub fn wafer(&self) -> Option<(u16, u16)> {
         match *self {
-            Location::Mesh { wafer_x, wafer_y, .. } => Some((wafer_x, wafer_y)),
+            Location::Mesh {
+                wafer_x, wafer_y, ..
+            } => Some((wafer_x, wafer_y)),
             Location::Cluster { .. } => None,
         }
     }

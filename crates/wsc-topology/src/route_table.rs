@@ -53,8 +53,7 @@ impl RouteTable {
         for src in topo.devices() {
             for dst in topo.devices() {
                 links.extend_from_slice(topo.route(src, dst).links());
-                let end = u32::try_from(links.len())
-                    .expect("route table exceeds u32 CSR offsets");
+                let end = u32::try_from(links.len()).expect("route table exceeds u32 CSR offsets");
                 offsets.push(end);
             }
         }

@@ -349,8 +349,7 @@ impl Topology {
         from: (u16, u16),
         to: (u16, u16),
     ) {
-        let node =
-            |x: u16, y: u16| NodeId(self.device_at(wafer.0, wafer.1, x, y).expect("die").0);
+        let node = |x: u16, y: u16| NodeId(self.device_at(wafer.0, wafer.1, x, y).expect("die").0);
         let (mut x, mut y) = from;
         while x != to.0 {
             let nx = if to.0 > x { x + 1 } else { x - 1 };
@@ -367,8 +366,20 @@ impl Topology {
 
     fn mesh_route(&self, dims: MeshDims, src: DeviceId, dst: DeviceId) -> Route {
         let (a, b) = (self.location(src), self.location(dst));
-        let (Location::Mesh { wafer_x: mut wx, wafer_y: mut wy, x, y },
-             Location::Mesh { wafer_x: twx, wafer_y: twy, x: tx, y: ty }) = (a, b)
+        let (
+            Location::Mesh {
+                wafer_x: mut wx,
+                wafer_y: mut wy,
+                x,
+                y,
+            },
+            Location::Mesh {
+                wafer_x: twx,
+                wafer_y: twy,
+                x: tx,
+                y: ty,
+            },
+        ) = (a, b)
         else {
             unreachable!("mesh topology has only mesh locations")
         };
@@ -412,8 +423,7 @@ impl Topology {
         dst: DeviceId,
     ) -> Route {
         let node_of = |d: DeviceId| (d.0 / devices_per_node as u32) as u16;
-        let node_switch =
-            |n: u16| NodeId(self.locations.len() as u32 + n as u32);
+        let node_switch = |n: u16| NodeId(self.locations.len() as u32 + n as u32);
         let core_switch = NodeId(self.locations.len() as u32 + num_nodes as u32);
         let (sn, dn) = (node_of(src), node_of(dst));
         let mut links = Vec::new();

@@ -53,7 +53,10 @@ fn main() {
 
         let measure = |plan: &MappingPlan| {
             let ar_bytes = 256.0 * token_bytes;
-            let ar = plan.all_reduce_schedule(&topo, ar_bytes).run(&topo).total_time;
+            let ar = plan
+                .all_reduce_schedule(&topo, ar_bytes)
+                .run(&topo)
+                .total_time;
             let placement =
                 ExpertPlacement::balanced(model.num_experts as usize, topo.num_devices(), 1);
             let gating = balanced_gating(
@@ -62,7 +65,8 @@ fn main() {
                 256,
                 model.experts_per_token,
             );
-            let est = A2aModel::new(&topo, &table, plan).estimate(&gating, &placement, token_bytes, 256);
+            let est =
+                A2aModel::new(&topo, &table, plan).estimate(&gating, &placement, token_bytes, 256);
             (ar, est.total_time())
         };
         let (ar_b, a2a_b) = measure(&base);

@@ -16,7 +16,9 @@ fn run_case(
     label: &str,
 ) {
     let model = ModelConfig::deepseek_v3();
-    let mut config = EngineConfig::new(model).with_balancer(balancer).with_seed(9);
+    let mut config = EngineConfig::new(model)
+        .with_balancer(balancer)
+        .with_seed(9);
     config.comm_layer_stride = 8;
     let mut engine = InferenceEngine::new(topo, table, plan, config);
     let s = engine.run(10);
@@ -39,8 +41,14 @@ fn main() {
     let dims = single.mesh_dims().unwrap();
     println!("-- single {} --", single.name());
     for (label, plan) in [
-        ("baseline mapping", BaselineMapping::with_tp_degree(dims, 8).unwrap().plan()),
-        ("ER-Mapping", ErMapping::with_tp_degree(dims, 8).unwrap().plan()),
+        (
+            "baseline mapping",
+            BaselineMapping::with_tp_degree(dims, 8).unwrap().plan(),
+        ),
+        (
+            "ER-Mapping",
+            ErMapping::with_tp_degree(dims, 8).unwrap().plan(),
+        ),
     ] {
         run_case(&single, &single_table, &plan, BalancerKind::None, label);
     }
@@ -51,13 +59,26 @@ fn main() {
     let mdims = multi.mesh_dims().unwrap();
     println!("\n-- multi-wafer {} --", multi.name());
     for (label, plan) in [
-        ("baseline mapping", BaselineMapping::with_tp_degree(mdims, 8).unwrap().plan()),
-        ("pure ER-Mapping", ErMapping::with_tp_degree(mdims, 8).unwrap().plan()),
-        ("HER-Mapping", HierarchicalErMapping::with_tp_degree(mdims, 8).unwrap().plan()),
+        (
+            "baseline mapping",
+            BaselineMapping::with_tp_degree(mdims, 8).unwrap().plan(),
+        ),
+        (
+            "pure ER-Mapping",
+            ErMapping::with_tp_degree(mdims, 8).unwrap().plan(),
+        ),
+        (
+            "HER-Mapping",
+            HierarchicalErMapping::with_tp_degree(mdims, 8)
+                .unwrap()
+                .plan(),
+        ),
     ] {
         run_case(&multi, &multi_table, &plan, BalancerKind::None, label);
     }
-    let her = HierarchicalErMapping::with_tp_degree(mdims, 8).unwrap().plan();
+    let her = HierarchicalErMapping::with_tp_degree(mdims, 8)
+        .unwrap()
+        .plan();
     run_case(
         &multi,
         &multi_table,

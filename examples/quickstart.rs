@@ -40,10 +40,22 @@ fn main() {
     let summary = engine.run(20);
 
     println!("\nafter 20 iterations:");
-    println!("  mean iteration time : {:.3} ms", summary.mean_iteration_time * 1e3);
-    println!("  all-to-all per iter : {:.3} ms", summary.mean_all_to_all * 1e3);
-    println!("  MoE compute per iter: {:.3} ms", summary.mean_moe_compute * 1e3);
-    println!("  migration stall     : {:.3} ms (non-invasive: always 0)", summary.mean_migration_stall * 1e3);
+    println!(
+        "  mean iteration time : {:.3} ms",
+        summary.mean_iteration_time * 1e3
+    );
+    println!(
+        "  all-to-all per iter : {:.3} ms",
+        summary.mean_all_to_all * 1e3
+    );
+    println!(
+        "  MoE compute per iter: {:.3} ms",
+        summary.mean_moe_compute * 1e3
+    );
+    println!(
+        "  migration stall     : {:.3} ms (non-invasive: always 0)",
+        summary.mean_migration_stall * 1e3
+    );
     println!("  load ratio (max/avg): {:.2}", summary.mean_load_ratio);
     println!("  migrations completed: {}", summary.migrations_completed);
 }

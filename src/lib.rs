@@ -50,9 +50,9 @@
 //! assert_eq!(cached.price_schedule(&sched), full); // cache hit: no re-simulation
 //! ```
 
-pub use moentwine_core as core;
 pub use moe_model as model;
 pub use moe_workload as workload;
+pub use moentwine_core as core;
 pub use wsc_collectives as collectives;
 pub use wsc_sim as sim;
 pub use wsc_topology as topology;
@@ -61,24 +61,27 @@ pub use wsc_topology as topology;
 pub mod prelude {
     pub use moe_model::{DeviceSpec, ModelConfig, Precision};
     pub use moe_workload::{
-        BatchScheduler, Request, RequestId, RequestRecord, Scenario, SchedulingMode,
-        ServingQueue, TraceGenerator, WorkloadMix,
+        BatchScheduler, ReplicaSnapshot, Request, RequestId, RequestRecord, Router, RouterPolicy,
+        Scenario, SchedulingMode, ServingQueue, TraceGenerator, WorkloadMix,
     };
+    pub use moentwine_core::balancer::{
+        BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,
+    };
+    pub use moentwine_core::comm::{A2aModel, ClusterLayout, ParallelLayout};
     pub use moentwine_core::engine::{
         BatchMode, EngineConfig, InferenceEngine, RunSummary, ServingSummary,
     };
-    pub use moentwine_core::comm::{A2aModel, ClusterLayout, ParallelLayout};
+    pub use moentwine_core::fleet::{
+        Fleet, FleetConfig, FleetSummary, ReplicaPool, SerialReplicaPool,
+    };
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,
-    };
-    pub use wsc_topology::RouteTable;
-    pub use moentwine_core::balancer::{
-        BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,
     };
     pub use wsc_sim::{
         AnalyticModel, CachedBackend, CongestionBackend, CongestionModel, FlowSchedule,
         FlowSimBackend, NetworkSim,
     };
+    pub use wsc_topology::RouteTable;
     pub use wsc_topology::{
         DeviceId, DgxCluster, FlatSwitch, Mesh, MeshDims, MultiWafer, PlatformParams, Topology,
     };

@@ -26,8 +26,13 @@ fn ring_all_reduce_exact_agreement() {
     for bytes in [1.0e3, 1.0e6, 64.0e6] {
         let sched = ring_all_reduce(&topo, &ring, bytes);
         let des = sched.run(&topo).total_time;
-        let est = AnalyticModel::new(&topo).estimate_schedule(&sched).total_time;
-        assert!((des - est).abs() / des < 1e-9, "bytes={bytes}: {des} vs {est}");
+        let est = AnalyticModel::new(&topo)
+            .estimate_schedule(&sched)
+            .total_time;
+        assert!(
+            (des - est).abs() / des < 1e-9,
+            "bytes={bytes}: {des} vs {est}"
+        );
     }
 }
 
@@ -40,7 +45,9 @@ fn mapping_all_reduce_agreement() {
             .plan();
         let sched = plan.all_reduce_schedule(&topo, 2.0e6);
         let des = sched.run(&topo).total_time;
-        let est = AnalyticModel::new(&topo).estimate_schedule(&sched).total_time;
+        let est = AnalyticModel::new(&topo)
+            .estimate_schedule(&sched)
+            .total_time;
         let err = (des - est).abs() / des;
         assert!(err < 0.01, "n={n} tp={tp}: DES {des} vs analytic {est}");
     }
@@ -71,7 +78,9 @@ fn dispatch_a2a_within_bounded_factor() {
         .into_iter()
         .map(|(s, d, b)| Transfer::new(s, d, b))
         .collect();
-    let des = all_to_all_concurrent(&topo, &transfers).run(&topo).total_time;
+    let des = all_to_all_concurrent(&topo, &transfers)
+        .run(&topo)
+        .total_time;
     let ratio = des / est.dispatch.total_time;
     assert!(
         (0.5..=2.0).contains(&ratio),
@@ -150,7 +159,9 @@ fn engine_scope_backends_within_bounded_factor() {
         head_dim: 128,
     };
     let run = |backend: CongestionBackend| {
-        let config = EngineConfig::new(model.clone()).with_seed(12).with_backend(backend);
+        let config = EngineConfig::new(model.clone())
+            .with_seed(12)
+            .with_backend(backend);
         InferenceEngine::new(&topo, &table, &plan, config).run(5)
     };
     let analytic = run(CongestionBackend::Analytic);
@@ -190,7 +201,9 @@ fn analytic_is_conservative_on_uniform_mesh_a2a() {
     let topo = mesh(4);
     let transfers: Vec<Transfer> =
         moentwine::collectives::alltoall::uniform_all_to_all_matrix(&topo, 1.0e6);
-    let des = all_to_all_concurrent(&topo, &transfers).run(&topo).total_time;
+    let des = all_to_all_concurrent(&topo, &transfers)
+        .run(&topo)
+        .total_time;
     let est = AnalyticModel::new(&topo).estimate_flows(
         &transfers
             .iter()

@@ -33,7 +33,9 @@ fn er_reduces_end_to_end_a2a_versus_baseline() {
         let config = EngineConfig::new(small_model()).with_seed(3);
         InferenceEngine::new(&topo, &table, plan, config).run(10)
     };
-    let base = run(&BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan());
+    let base = run(&BaselineMapping::new(dims, TpShape::new(2, 2))
+        .unwrap()
+        .plan());
     let er = run(&ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan());
     assert!(
         er.mean_all_to_all < base.mean_all_to_all,
@@ -54,7 +56,9 @@ fn her_beats_pure_er_on_multi_wafer() {
         InferenceEngine::new(&topo, &table, plan, config).run(6)
     };
     let er = run(&ErMapping::with_tp_degree(dims, 4).unwrap().plan());
-    let her = run(&HierarchicalErMapping::with_tp_degree(dims, 4).unwrap().plan());
+    let her = run(&HierarchicalErMapping::with_tp_degree(dims, 4)
+        .unwrap()
+        .plan());
     let er_comm = er.mean_all_to_all + er.mean_all_reduce;
     let her_comm = her.mean_all_to_all + her.mean_all_reduce;
     assert!(
@@ -119,7 +123,11 @@ fn non_invasive_balancer_is_zero_overhead_and_converges() {
     assert!(engine.history.iter().all(|m| m.migration_stall == 0.0));
     // Load ratio in the last third is better than the first three
     // iterations (convergence).
-    let early: f64 = engine.history[..3].iter().map(|m| m.load_ratio).sum::<f64>() / 3.0;
+    let early: f64 = engine.history[..3]
+        .iter()
+        .map(|m| m.load_ratio)
+        .sum::<f64>()
+        / 3.0;
     let late_window = &engine.history[35..];
     let late: f64 =
         late_window.iter().map(|m| m.load_ratio).sum::<f64>() / late_window.len() as f64;

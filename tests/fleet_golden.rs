@@ -1,0 +1,148 @@
+//! Fleet golden-trace regression suite: a pinned 2-replica scenario runs
+//! once per [`RouterPolicy`], and the resulting [`FleetSummary`] must match
+//! the snapshot checked in under `tests/golden/fleet_<policy>.json` to 1e-9
+//! relative tolerance — the fleet-layer companion of `golden_trace.rs`.
+//!
+//! A drifting metric fails with a per-field diff naming every divergent
+//! value. To regenerate the snapshots after an *intentional* behavior
+//! change:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test --test fleet_golden
+//! ```
+//!
+//! then commit the rewritten `tests/golden/fleet_*.json` and call out the
+//! metric shift in the PR.
+
+use std::path::PathBuf;
+
+use moentwine::prelude::*;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The pinned scenario: two 4×4-wafer replicas serving a bursty privacy
+/// stream through every router policy — routing, per-replica admission,
+/// the shared fleet clock, and the aggregate summary are all on the trace.
+fn run_scenario(policy: RouterPolicy) -> FleetSummary {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let mut engine = EngineConfig::new(ModelConfig::tiny())
+        .with_seed(4242)
+        .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+        .with_batch(BatchMode::External {
+            mode: SchedulingMode::Hybrid,
+            max_batch_tokens: 2048,
+            max_active: 128,
+        });
+    engine.kv_hbm_fraction = 1.0e-3;
+    // High enough that the 400-round horizon sees queueing pressure, not
+    // just a trickle: load-aware policies must actually differentiate.
+    let config = FleetConfig::new(2, policy, 1.2e5, engine);
+    let mut fleet = Fleet::new(&topo, &table, &plan, config);
+    fleet.run(400);
+    fleet.summary()
+}
+
+/// Flattens a fleet summary into an ordered `name → value` object:
+/// routing, aggregate percentiles, and the per-replica signals most likely
+/// to catch a policy regression.
+fn snapshot(s: &FleetSummary) -> Vec<(String, f64)> {
+    let mut fields = vec![
+        ("fleet.replicas".into(), s.replicas as f64),
+        ("fleet.rounds".into(), s.rounds as f64),
+        ("fleet.sim_seconds".into(), s.sim_seconds),
+        ("fleet.routing_imbalance".into(), s.routing_imbalance),
+        ("fleet.completion_imbalance".into(), s.completion_imbalance),
+    ];
+    for (i, routed) in s.routed.iter().enumerate() {
+        fields.push((format!("fleet.routed[{i}]"), *routed as f64));
+    }
+    let agg = &s.aggregate;
+    fields.extend([
+        ("aggregate.completed".into(), agg.completed as f64),
+        (
+            "aggregate.admission_rejects".into(),
+            agg.admission_rejects as f64,
+        ),
+        ("aggregate.goodput_rps".into(), agg.goodput_rps),
+        (
+            "aggregate.goodput_tokens_per_s".into(),
+            agg.goodput_tokens_per_s,
+        ),
+        ("aggregate.ttft_p50".into(), agg.ttft_p50),
+        ("aggregate.ttft_p95".into(), agg.ttft_p95),
+        ("aggregate.ttft_p99".into(), agg.ttft_p99),
+        ("aggregate.tpot_p50".into(), agg.tpot_p50),
+        ("aggregate.tpot_p99".into(), agg.tpot_p99),
+        ("aggregate.e2e_p50".into(), agg.e2e_p50),
+        ("aggregate.e2e_p99".into(), agg.e2e_p99),
+        ("aggregate.queueing_p50".into(), agg.queueing_p50),
+        ("aggregate.mean_queue_depth".into(), agg.mean_queue_depth),
+        (
+            "aggregate.mean_active_requests".into(),
+            agg.mean_active_requests,
+        ),
+        ("aggregate.peak_kv_tokens".into(), agg.peak_kv_tokens as f64),
+    ]);
+    for (i, r) in s.per_replica.iter().enumerate() {
+        fields.push((format!("replica{i}.completed"), r.completed as f64));
+        fields.push((format!("replica{i}.sim_seconds"), r.sim_seconds));
+        fields.push((format!("replica{i}.ttft_p50"), r.ttft_p50));
+        fields.push((format!("replica{i}.e2e_p99"), r.e2e_p99));
+        fields.push((
+            format!("replica{i}.mean_active_requests"),
+            r.mean_active_requests,
+        ));
+        fields.push((
+            format!("replica{i}.peak_kv_tokens"),
+            r.peak_kv_tokens as f64,
+        ));
+    }
+    fields
+}
+
+fn check_golden(policy: RouterPolicy) {
+    moentwine_bench::golden::check_or_bless(
+        &golden_dir().join(format!("fleet_{}.json", policy.name())),
+        &snapshot(&run_scenario(policy)),
+        &format!("policy {}", policy.name()),
+        "GOLDEN_BLESS=1 cargo test --test fleet_golden",
+    );
+}
+
+#[test]
+fn fleet_golden_round_robin() {
+    check_golden(RouterPolicy::RoundRobin);
+}
+
+#[test]
+fn fleet_golden_least_queue_depth() {
+    check_golden(RouterPolicy::LeastQueueDepth);
+}
+
+#[test]
+fn fleet_golden_least_kv_pressure() {
+    check_golden(RouterPolicy::LeastKvPressure);
+}
+
+#[test]
+fn fleet_golden_power_of_two() {
+    check_golden(RouterPolicy::PowerOfTwoChoices);
+}
+
+/// The scenario itself is deterministic: two in-process runs at the same
+/// seed produce identical snapshots bit for bit.
+#[test]
+fn fleet_golden_scenario_is_deterministic_in_process() {
+    let a = snapshot(&run_scenario(RouterPolicy::LeastQueueDepth));
+    let b = snapshot(&run_scenario(RouterPolicy::LeastQueueDepth));
+    assert_eq!(
+        moentwine_bench::golden::fields_to_json(&a).pretty(),
+        moentwine_bench::golden::fields_to_json(&b).pretty()
+    );
+}

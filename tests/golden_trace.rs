@@ -15,36 +15,16 @@
 //! shift in the PR. CI runs this suite in both debug and `--release` to
 //! catch float-path divergence between the two profiles.
 
-use std::fs;
 use std::path::PathBuf;
 
 use moentwine::prelude::*;
-use moentwine_bench::json::Value;
-
-/// Relative drift tolerance: metrics are deterministic f64 chains, so any
-/// real change lands far above this; the margin only absorbs libm-level
-/// differences across toolchains.
-const TOLERANCE: f64 = 1e-9;
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
 
 fn small_model() -> ModelConfig {
-    ModelConfig {
-        name: "tiny".into(),
-        total_params_b: 1.0,
-        num_layers: 4,
-        num_sparse_layers: 4,
-        hidden_size: 1024,
-        moe_intermediate_size: 512,
-        num_experts: 16,
-        experts_per_token: 2,
-        num_shared_experts: 0,
-        num_attention_heads: 8,
-        num_kv_heads: 2,
-        head_dim: 128,
-    }
+    ModelConfig::tiny()
 }
 
 /// The pinned scenario: a 4×4 wafer serving a bursty mixed workload in
@@ -80,18 +60,27 @@ fn snapshot(run: &RunSummary, serving: &ServingSummary) -> Vec<(String, f64)> {
     vec![
         ("run.iterations".into(), run.iterations as f64),
         ("run.mean_iteration_time".into(), run.mean_iteration_time),
-        ("run.mean_attention_compute".into(), run.mean_attention_compute),
+        (
+            "run.mean_attention_compute".into(),
+            run.mean_attention_compute,
+        ),
         ("run.mean_all_reduce".into(), run.mean_all_reduce),
         ("run.mean_all_to_all".into(), run.mean_all_to_all),
         ("run.mean_moe_compute".into(), run.mean_moe_compute),
         ("run.mean_migration_stall".into(), run.mean_migration_stall),
         ("run.mean_load_ratio".into(), run.mean_load_ratio),
-        ("run.migrations_started".into(), run.migrations_started as f64),
+        (
+            "run.migrations_started".into(),
+            run.migrations_started as f64,
+        ),
         (
             "run.migrations_completed".into(),
             run.migrations_completed as f64,
         ),
-        ("run.mean_tokens_per_group".into(), run.mean_tokens_per_group),
+        (
+            "run.mean_tokens_per_group".into(),
+            run.mean_tokens_per_group,
+        ),
         (
             "run.tokens_per_second_per_device".into(),
             run.tokens_per_second_per_device,
@@ -126,75 +115,20 @@ fn snapshot(run: &RunSummary, serving: &ServingSummary) -> Vec<(String, f64)> {
             "serving.mean_active_requests".into(),
             serving.mean_active_requests,
         ),
-        ("serving.peak_kv_tokens".into(), serving.peak_kv_tokens as f64),
+        (
+            "serving.peak_kv_tokens".into(),
+            serving.peak_kv_tokens as f64,
+        ),
     ]
-}
-
-fn to_json(fields: &[(String, f64)]) -> Value {
-    Value::Obj(
-        fields
-            .iter()
-            .map(|(k, v)| (k.clone(), Value::Num(*v)))
-            .collect(),
-    )
 }
 
 fn check_golden(backend: CongestionBackend) {
     let (run, serving) = run_scenario(backend);
-    let got = snapshot(&run, &serving);
-    let path = golden_dir().join(format!("{}.json", backend.name()));
-
-    if std::env::var_os("GOLDEN_BLESS").is_some() {
-        fs::create_dir_all(golden_dir()).expect("create tests/golden");
-        fs::write(&path, to_json(&got).pretty()).expect("write golden snapshot");
-        eprintln!("blessed {}", path.display());
-        return;
-    }
-
-    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {}: {e}\n\
-             regenerate with `GOLDEN_BLESS=1 cargo test --test golden_trace`",
-            path.display()
-        )
-    });
-    let expect = Value::parse(&text)
-        .unwrap_or_else(|e| panic!("malformed golden snapshot {}: {e}", path.display()));
-
-    // Readable diff: collect every divergent field before failing.
-    let mut diffs: Vec<String> = Vec::new();
-    for (name, actual) in &got {
-        match expect.get(name).and_then(Value::as_f64) {
-            None => diffs.push(format!("  {name}: missing from snapshot (now {actual})")),
-            Some(want) => {
-                let scale = want.abs().max(actual.abs()).max(1e-30);
-                if (want - actual).abs() > TOLERANCE * scale {
-                    diffs.push(format!(
-                        "  {name}: golden {want} vs current {actual} \
-                         (rel drift {:.3e})",
-                        (want - actual).abs() / scale
-                    ));
-                }
-            }
-        }
-    }
-    if let Value::Obj(members) = &expect {
-        for (name, _) in members {
-            if !got.iter().any(|(k, _)| k == name) {
-                diffs.push(format!("  {name}: in snapshot but no longer emitted"));
-            }
-        }
-    }
-    assert!(
-        diffs.is_empty(),
-        "golden trace drifted for backend {} ({} field(s)):\n{}\n\
-         if the change is intentional, re-bless with \
-         `GOLDEN_BLESS=1 cargo test --test golden_trace` and commit \
-         tests/golden/{}.json",
-        backend.name(),
-        diffs.len(),
-        diffs.join("\n"),
-        backend.name(),
+    moentwine_bench::golden::check_or_bless(
+        &golden_dir().join(format!("{}.json", backend.name())),
+        &snapshot(&run, &serving),
+        &format!("backend {}", backend.name()),
+        "GOLDEN_BLESS=1 cargo test --test golden_trace",
     );
 }
 
@@ -220,5 +154,8 @@ fn golden_trace_flow_sim_cached() {
 fn golden_scenario_is_deterministic_in_process() {
     let (r1, s1) = run_scenario(CongestionBackend::Analytic);
     let (r2, s2) = run_scenario(CongestionBackend::Analytic);
-    assert_eq!(to_json(&snapshot(&r1, &s1)).pretty(), to_json(&snapshot(&r2, &s2)).pretty());
+    assert_eq!(
+        moentwine_bench::golden::fields_to_json(&snapshot(&r1, &s1)).pretty(),
+        moentwine_bench::golden::fields_to_json(&snapshot(&r2, &s2)).pretty()
+    );
 }

@@ -15,7 +15,9 @@ fn fig8_ftd_hop_counts() {
     // 2×2-area FTDs average 1.3 hops.
     let topo = mesh(4);
     let dims = topo.mesh_dims().unwrap();
-    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
+    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2))
+        .unwrap()
+        .plan();
     let er = ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
     assert!((baseline.average_ftd_hops(&topo) - 8.0 / 3.0).abs() < 1e-9);
     assert!((er.average_ftd_hops(&topo) - 4.0 / 3.0).abs() < 1e-9);
@@ -25,7 +27,9 @@ fn fig8_ftd_hop_counts() {
 fn fig8_ftd_intersections_eliminated() {
     let topo = mesh(4);
     let dims = topo.mesh_dims().unwrap();
-    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
+    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2))
+        .unwrap()
+        .plan();
     let er = ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
     assert!(baseline.ftd_intersections(&topo) > 0);
     assert_eq!(er.ftd_intersections(&topo), 0);
@@ -71,7 +75,9 @@ fn fig11_complementarity_improves_under_er() {
     let table = RouteTable::build(&topo);
     let dims = topo.mesh_dims().unwrap();
     let er = ErMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
-    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2)).unwrap().plan();
+    let baseline = BaselineMapping::new(dims, TpShape::new(2, 2))
+        .unwrap()
+        .plan();
     let hm_er = phase_heatmaps(&topo, &table, &er, 256, 8, 8192.0, 64);
     let hm_base = phase_heatmaps(&topo, &table, &baseline, 256, 8, 8192.0, 64);
     assert!(hm_er.complementarity() > 0.5);

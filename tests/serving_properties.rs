@@ -52,11 +52,13 @@ fn drive(queue: &mut Queue, requests: &[Request], kv_budget: u64) -> Vec<BatchSp
             "KV over budget: {} > {kv_budget}",
             queue.kv_tokens_in_use()
         );
-        let (ep, ed) = batch
-            .requests
-            .iter()
-            .fold((0u32, 0u32), |(p, d), e| (p + e.prefill_tokens, d + e.decode_tokens));
-        assert_eq!(ep, batch.prefill_tokens, "entries must attribute all prefill");
+        let (ep, ed) = batch.requests.iter().fold((0u32, 0u32), |(p, d), e| {
+            (p + e.prefill_tokens, d + e.decode_tokens)
+        });
+        assert_eq!(
+            ep, batch.prefill_tokens,
+            "entries must attribute all prefill"
+        );
         assert_eq!(ed, batch.decode_tokens, "entries must attribute all decode");
         now += 0.25;
         queue.finish_iteration(now);
