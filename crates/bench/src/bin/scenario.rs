@@ -1,0 +1,92 @@
+//! Runs declarative scenario files (schema `moentwine/scenario/v1`).
+//!
+//! ```sh
+//! cargo run --release -p moentwine-bench --bin scenario -- \
+//!     examples/scenarios/fleet_p2c.json [more.json ...] [--quick] [--threads N]
+//! ```
+//!
+//! Each file is parsed, sweep-expanded, and executed; the run manifest
+//! (schema `moentwine/scenario_run/v1`, byte-identical across runs and
+//! `--threads` settings) lands in `target/figs/scenario/<name>.json`.
+//! Exits non-zero on the first unreadable file, invalid spec, failed run,
+//! or schema-invalid manifest.
+
+use std::path::PathBuf;
+
+use moentwine_bench::{quick_from_args, scenario_run, threads_from_args};
+
+fn main() {
+    let quick = quick_from_args();
+    let threads = threads_from_args();
+    let files: Vec<PathBuf> = std::env::args()
+        .skip(1)
+        .scan(false, |skip_next, arg| {
+            if *skip_next {
+                *skip_next = false;
+                return Some(None);
+            }
+            if arg == "--threads" {
+                *skip_next = true;
+                return Some(None);
+            }
+            if arg == "--quick" || arg.starts_with("--threads=") {
+                return Some(None);
+            }
+            Some(Some(PathBuf::from(arg)))
+        })
+        .flatten()
+        .collect();
+    if files.is_empty() {
+        eprintln!(
+            "usage: scenario <spec.json> [more.json ...] [--quick] [--threads N]\n\
+             example specs live under examples/scenarios/"
+        );
+        std::process::exit(2);
+    }
+
+    // Manifest paths derive from scenario names (sanitized); two files
+    // whose names collide would silently overwrite each other's output.
+    // Detect that up front — before burning any run — by parsing every
+    // file once (parse failures are reported by run_file below).
+    let mut stems: std::collections::HashMap<std::path::PathBuf, &PathBuf> =
+        std::collections::HashMap::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let Ok(spec) = moentwine_spec::ScenarioSpec::from_json_text(&text) else {
+            continue;
+        };
+        let manifest = scenario_run::manifest_path(&spec.name);
+        if let Some(previous) = stems.insert(manifest.clone(), file) {
+            eprintln!(
+                "error: {} and {} would both write {} (scenario names collide \
+                 after sanitizing); rename one scenario",
+                previous.display(),
+                file.display(),
+                manifest.display()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut failed = false;
+    for file in &files {
+        match scenario_run::run_file(file, quick, threads) {
+            Ok((report, path)) => {
+                report.print();
+                if let Err(e) = report.save("results") {
+                    eprintln!("warning: could not save report: {e}");
+                }
+                println!("wrote {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

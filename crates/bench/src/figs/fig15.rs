@@ -4,7 +4,8 @@
 use moe_model::{InferencePhase, ModelConfig};
 use moe_workload::WorkloadMix;
 use moentwine_core::balancer::BalancerKind;
-use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine};
+use moentwine_core::engine::InferenceEngine;
+use moentwine_spec::{BatchSpec, EngineSpec, ModelSpec};
 
 use crate::platforms::{wsc_plan, Platform, WscMapping};
 use crate::Report;
@@ -26,20 +27,22 @@ pub struct TraceStats {
 /// Runs one strategy and returns its trace stats plus the per-iteration
 /// (max, avg) device-token series.
 pub fn run_strategy(kind: BalancerKind, iters: usize, seed: u64) -> (TraceStats, Vec<(f64, f64)>) {
-    let model = ModelConfig::qwen3_235b();
+    let model: ModelConfig = ModelSpec::preset("qwen3-235b").resolve().expect("preset");
     let platform = Platform::wsc(4);
     let plan = wsc_plan(&platform, 4, WscMapping::Er);
-    let mut config = EngineConfig::new(model)
-        .with_batch(BatchMode::Fixed {
+    let config = EngineSpec::default()
+        .with_batch(BatchSpec::Fixed {
             tokens_per_group: 768,
             avg_context: 4096.0,
             phase: InferencePhase::Decode,
         })
         .with_workload(WorkloadMix::mixed(60.0))
         .with_balancer(kind)
-        .with_seed(seed);
-    config.comm_layer_stride = 8;
-    config.slots_per_device = 2;
+        .with_seed(seed)
+        .with_comm_layer_stride(8)
+        .with_slots_per_device(2)
+        .engine_config(model)
+        .expect("valid fig15 spec");
     let mut engine = InferenceEngine::new(&platform.topo, &platform.table, &plan, config);
     let summary = engine.run(iters);
     let warmup = iters / 5;

@@ -4,7 +4,8 @@
 use moe_model::ModelConfig;
 use moe_workload::{Scenario, SchedulingMode, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
-use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine};
+use moentwine_core::engine::InferenceEngine;
+use moentwine_spec::{BatchSpec, EngineSpec, ServingSpec};
 
 use crate::platforms::{wsc_plan, Platform, WscMapping};
 use crate::Report;
@@ -26,10 +27,10 @@ fn run_cell(
     kind: BalancerKind,
     iters: usize,
 ) -> Cell {
-    let mut config = EngineConfig::new(model.clone())
+    let config = EngineSpec::default()
         .with_workload(workload)
         .with_balancer(kind)
-        .with_batch(BatchMode::Scheduled {
+        .with_batch(BatchSpec::Serving(ServingSpec {
             mode: sched,
             max_batch_tokens: match sched {
                 SchedulingMode::PrefillOnly => 2048,
@@ -38,10 +39,12 @@ fn run_cell(
             max_active: 256,
             request_rate: 600.0,
             iteration_period: 0.02,
-        })
-        .with_seed(29);
-    config.comm_layer_stride = 8;
-    config.slots_per_device = 2;
+        }))
+        .with_seed(29)
+        .with_comm_layer_stride(8)
+        .with_slots_per_device(2)
+        .engine_config(model.clone())
+        .expect("valid fig16 spec");
     let mut engine = InferenceEngine::new(&platform.topo, &platform.table, plan, config);
     let s = engine.run(iters);
     Cell {
@@ -173,17 +176,19 @@ mod tests {
     fn run_fixed(kind: BalancerKind) -> moentwine_core::engine::RunSummary {
         let platform = Platform::wsc(4);
         let plan = wsc_plan(&platform, 4, WscMapping::Er);
-        let mut config = EngineConfig::new(compute_bound_model())
+        let config = EngineSpec::default()
             .with_workload(WorkloadMix::Fixed(Scenario::Math))
             .with_balancer(kind)
-            .with_batch(BatchMode::Fixed {
+            .with_batch(BatchSpec::Fixed {
                 tokens_per_group: 1024,
                 avg_context: 2048.0,
                 phase: moe_model::InferencePhase::Decode,
             })
-            .with_seed(29);
-        config.comm_layer_stride = 4;
-        config.slots_per_device = 2;
+            .with_seed(29)
+            .with_comm_layer_stride(4)
+            .with_slots_per_device(2)
+            .engine_config(compute_bound_model())
+            .expect("valid test spec");
         let mut engine = InferenceEngine::new(&platform.topo, &platform.table, &plan, config);
         engine.run(40)
     }

@@ -1,10 +1,11 @@
 //! Fig. 17: the full system ablation — multi-WSC vs the NVL72 supernode.
 
-use moe_model::{InferencePhase, ModelConfig};
+use moe_model::ModelConfig;
 use moe_workload::WorkloadMix;
 use moentwine_core::balancer::BalancerKind;
 use moentwine_core::comm::{ClusterLayout, ParallelLayout};
-use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine, RunSummary};
+use moentwine_core::engine::{InferenceEngine, RunSummary};
+use moentwine_spec::{BatchSpec, EngineSpec};
 
 use crate::platforms::{wsc_plan, Platform, WscMapping};
 use crate::Report;
@@ -22,22 +23,21 @@ fn run_system(
     slots: usize,
     iters: usize,
 ) -> RunSummary {
-    let mut config = EngineConfig::new(model.clone())
-        .with_batch(BatchMode::Fixed {
-            tokens_per_group: 256,
-            avg_context: 4096.0,
-            phase: InferencePhase::Decode,
-        })
+    let config = EngineSpec::default()
+        .with_batch(BatchSpec::fixed_decode(256))
         .with_workload(WorkloadMix::mixed(300.0))
         .with_balancer(kind)
-        .with_seed(5);
-    config.comm_layer_stride = 8;
-    // WSC at E/D ≤ 1 has abundant spare HBM for shadow replicas (a 42 MiB
-    // expert against 180 GB); NVL72 at E/D ≈ 2–3.6 is memory-constrained,
-    // which is exactly the paper's point about its limited balancing gains.
-    config.slots_per_device = slots;
-    config.max_actions_per_layer = 2 * slots;
-    config.cold_bandwidth = cold_bw;
+        .with_seed(5)
+        .with_comm_layer_stride(8)
+        // WSC at E/D ≤ 1 has abundant spare HBM for shadow replicas (a 42
+        // MiB expert against 180 GB); NVL72 at E/D ≈ 2–3.6 is
+        // memory-constrained, which is exactly the paper's point about its
+        // limited balancing gains.
+        .with_slots_per_device(slots)
+        .with_max_actions_per_layer(2 * slots)
+        .with_cold_bandwidth(cold_bw)
+        .engine_config(model.clone())
+        .expect("valid fig17 spec");
     let mut engine = InferenceEngine::new(&platform.topo, &platform.table, layout, config);
     engine.run(iters)
 }

@@ -20,8 +20,9 @@ use std::fs;
 
 use moe_model::ModelConfig;
 use moe_workload::{RouterPolicy, Scenario, SchedulingMode, WorkloadMix};
-use moentwine_core::engine::{BatchMode, EngineConfig};
-use moentwine_core::fleet::{Fleet, FleetConfig, FleetSummary};
+use moentwine_core::engine::EngineConfig;
+use moentwine_core::fleet::{Fleet, FleetSummary};
+use moentwine_spec::{BatchSpec, EngineSpec, FleetSpec, ModelSpec, ServingSpec};
 
 use crate::json::Value;
 use crate::platforms::Platform;
@@ -39,9 +40,13 @@ const SEED: u64 = 131;
 
 /// The per-replica engine template: hybrid continuous batching with a thin
 /// KV share, mirroring the single-engine `serve_sweep` so fleet and
-/// single-replica curves are comparable.
+/// single-replica curves are comparable. Constructed through the
+/// declarative spec layer (the fleet converts the serving batch to
+/// `BatchMode::External` per replica; the spec's request rate is unused —
+/// the fleet owns arrivals).
 fn engine_template() -> EngineConfig {
-    let mut config = EngineConfig::new(ModelConfig::tiny())
+    let model: ModelConfig = ModelSpec::preset("tiny").resolve().expect("tiny preset");
+    EngineSpec::default()
         .with_seed(SEED)
         .with_workload(WorkloadMix::Blend(vec![
             (Scenario::Chat, 4.0),
@@ -49,16 +54,19 @@ fn engine_template() -> EngineConfig {
             (Scenario::Math, 1.0),
             (Scenario::Privacy, 4.0),
         ]))
-        .with_batch(BatchMode::External {
+        .with_batch(BatchSpec::Serving(ServingSpec {
             mode: SchedulingMode::Hybrid,
             max_batch_tokens: 2048,
             max_active: 256,
-        });
-    config.kv_hbm_fraction = 1.0e-3;
-    config
+            request_rate: 0.0,
+            iteration_period: 0.02,
+        }))
+        .with_kv_hbm_fraction(1.0e-3)
+        .engine_config(model)
+        .expect("valid fleet template")
 }
 
-/// Runs one sweep point.
+/// Runs one sweep point (the fleet shape comes in as a [`FleetSpec`]).
 fn run_point(
     platform: &Platform,
     plan: &moentwine_core::MappingPlan,
@@ -67,7 +75,7 @@ fn run_point(
     rate: f64,
     rounds: usize,
 ) -> FleetSummary {
-    let config = FleetConfig::new(replicas, policy, rate, engine_template());
+    let config = FleetSpec::new(replicas, policy, rate).fleet_config(engine_template());
     let mut fleet = Fleet::new(&platform.topo, &platform.table, plan, config);
     fleet.run(rounds);
     fleet.summary()

@@ -14,8 +14,9 @@
 use std::fs;
 
 use moe_model::ModelConfig;
-use moe_workload::{Scenario, SchedulingMode, WorkloadMix};
-use moentwine_core::engine::{BatchMode, EngineConfig, InferenceEngine, ServingSummary};
+use moe_workload::{Scenario, WorkloadMix};
+use moentwine_core::engine::{InferenceEngine, ServingSummary};
+use moentwine_spec::{BatchSpec, EngineSpec, ModelSpec, ServingSpec};
 use wsc_sim::CongestionBackend;
 
 use crate::json::Value;
@@ -34,9 +35,10 @@ const SEED: u64 = 97;
 
 /// A scaled-down model so the sweep prices hundreds of serving iterations
 /// per point quickly; serving dynamics (admission, chunked prefill,
-/// continuous batching) are model-size independent.
+/// continuous batching) are model-size independent. Resolved through the
+/// spec layer's preset registry, like every scenario file.
 fn sweep_model() -> ModelConfig {
-    ModelConfig::tiny()
+    ModelSpec::preset("tiny").resolve().expect("tiny preset")
 }
 
 /// The swept scenario mixes: `(name, gating + request-length blend)`.
@@ -69,7 +71,9 @@ fn mixes() -> Vec<(&'static str, WorkloadMix)> {
     ]
 }
 
-/// Runs one sweep point and returns its serving summary.
+/// Runs one sweep point and returns its serving summary. The engine
+/// config is constructed through the declarative spec layer, so every
+/// point is exactly what a scenario file with these knobs would run.
 fn run_point(
     platform: &Platform,
     plan: &moentwine_core::MappingPlan,
@@ -78,20 +82,15 @@ fn run_point(
     backend: CongestionBackend,
     iterations: usize,
 ) -> ServingSummary {
-    let mut config = EngineConfig::new(sweep_model())
+    let spec = EngineSpec::default()
         .with_seed(SEED)
         .with_backend(backend)
         .with_workload(mix.clone())
-        .with_batch(BatchMode::Scheduled {
-            mode: SchedulingMode::Hybrid,
-            max_batch_tokens: 2048,
-            max_active: 256,
-            request_rate: rate,
-            iteration_period: 0.02,
-        });
-    // A thin KV share (~700k tokens on this platform) so the admission
-    // budget — not just the concurrency cap — shapes the queueing curve.
-    config.kv_hbm_fraction = 1.0e-3;
+        .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 256, rate)))
+        // A thin KV share (~700k tokens on this platform) so the admission
+        // budget — not just the concurrency cap — shapes the queueing curve.
+        .with_kv_hbm_fraction(1.0e-3);
+    let config = spec.engine_config(sweep_model()).expect("valid sweep spec");
     let mut engine = InferenceEngine::new(&platform.topo, &platform.table, plan, config);
     engine.run(iterations);
     engine.serving_summary()

@@ -12,10 +12,15 @@
 
 pub mod figs;
 pub mod golden;
-pub mod json;
 pub mod perf;
 pub mod platforms;
 pub mod report;
+pub mod scenario_run;
+
+/// The hand-rolled JSON layer, hoisted into the `moentwine-json` leaf
+/// crate so the spec layer and core can use it too; re-exported here
+/// unchanged (`moentwine_bench::json::Value` keeps working).
+pub use moentwine_json as json;
 
 pub use report::Report;
 

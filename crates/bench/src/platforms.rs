@@ -4,15 +4,16 @@
 use moe_model::{ModelConfig, Precision};
 use moe_workload::LayerGating;
 use moentwine_core::comm::{A2aModel, ParallelLayout};
-use moentwine_core::mapping::{BaselineMapping, ErMapping, HierarchicalErMapping, MappingPlan};
+use moentwine_core::mapping::MappingPlan;
 use moentwine_core::placement::ExpertPlacement;
+use moentwine_spec::{MappingSpec, PlatformSpec};
 use wsc_collectives::{all_to_all_concurrent, Transfer};
 use wsc_sim::AnalyticModel;
-use wsc_topology::{
-    DgxCluster, FlatSwitch, Mesh, MultiWafer, PlatformParams, RouteTable, Topology,
-};
+use wsc_topology::{RouteTable, Topology};
 
-/// A topology plus its precomputed route table.
+/// A topology plus its precomputed route table. All constructors go
+/// through the declarative [`PlatformSpec`] layer, so every figure uses
+/// exactly the platforms a scenario file can name.
 pub struct Platform {
     /// The interconnect.
     pub topo: Topology,
@@ -21,34 +22,40 @@ pub struct Platform {
 }
 
 impl Platform {
-    fn of(topo: Topology) -> Self {
-        let table = RouteTable::build(&topo);
+    /// Materializes a [`PlatformSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate spec (zero extents) — a programming error in
+    /// a figure.
+    pub fn from_spec(spec: &PlatformSpec) -> Self {
+        let (topo, table) = spec.materialize().expect("valid platform spec");
         Platform { topo, table }
     }
 
     /// Single wafer `n × n`.
     pub fn wsc(n: u16) -> Self {
-        Self::of(Mesh::new(n, PlatformParams::dojo_like()).build())
+        Self::from_spec(&PlatformSpec::wsc(n))
     }
 
     /// Multi-wafer grid.
     pub fn multi_wsc(wafers_x: u16, wafers_y: u16, n: u16) -> Self {
-        Self::of(MultiWafer::grid(wafers_x, wafers_y, n, PlatformParams::dojo_like()).build())
+        Self::from_spec(&PlatformSpec::multi_wsc(wafers_x, wafers_y, n))
     }
 
     /// DGX cluster of `nodes` 8-GPU boxes.
     pub fn dgx(nodes: u16) -> Self {
-        Self::of(DgxCluster::new(nodes, PlatformParams::dgx_b200()).build())
+        Self::from_spec(&PlatformSpec::dgx(nodes))
     }
 
     /// NVL72 supernode.
     pub fn nvl72() -> Self {
-        Self::of(FlatSwitch::nvl72(PlatformParams::nvl72()).build())
+        Self::from_spec(&PlatformSpec::Nvl72)
     }
 
     /// Flat supernode of `k` devices.
     pub fn flat(k: u16) -> Self {
-        Self::of(FlatSwitch::new(k, PlatformParams::nvl72()).build())
+        Self::from_spec(&PlatformSpec::Flat { devices: k })
     }
 }
 
@@ -63,23 +70,21 @@ pub enum WscMapping {
     Her,
 }
 
-/// Builds a mapping plan for a WSC platform with total TP degree `tp`.
+/// Builds a mapping plan for a WSC platform with total TP degree `tp`,
+/// through the declarative [`MappingSpec`] layer.
 ///
 /// # Panics
 ///
 /// Panics if the TP degree does not tile the platform.
 pub fn wsc_plan(platform: &Platform, tp: usize, mapping: WscMapping) -> MappingPlan {
-    let dims = platform.topo.mesh_dims().expect("WSC platform");
-    match mapping {
-        WscMapping::Baseline => BaselineMapping::with_tp_degree(dims, tp)
-            .expect("TP tiles platform")
-            .plan(),
-        WscMapping::Er => ErMapping::with_tp_degree(dims, tp)
-            .expect("TP tiles platform")
-            .plan(),
-        WscMapping::Her => HierarchicalErMapping::with_tp_degree(dims, tp)
-            .expect("TP tiles wafer")
-            .plan(),
+    let spec = match mapping {
+        WscMapping::Baseline => MappingSpec::Baseline { tp },
+        WscMapping::Er => MappingSpec::Er { tp },
+        WscMapping::Her => MappingSpec::Her { tp },
+    };
+    match spec.layout(&platform.topo).expect("TP tiles platform") {
+        moentwine_spec::Layout::Plan(plan) => plan,
+        moentwine_spec::Layout::Cluster(_) => unreachable!("WSC mappings produce plans"),
     }
 }
 

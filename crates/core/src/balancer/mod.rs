@@ -93,15 +93,40 @@ pub enum BalancerKind {
     NonInvasive,
 }
 
-impl std::fmt::Display for BalancerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl BalancerKind {
+    /// Stable lowercase name (`"no-balance"` / `"greedy"` /
+    /// `"topology-aware"` / `"non-invasive"`), matching the `FromStr`
+    /// spelling and the scenario-spec JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
             BalancerKind::None => "no-balance",
             BalancerKind::Greedy => "greedy",
             BalancerKind::TopologyAware => "topology-aware",
             BalancerKind::NonInvasive => "non-invasive",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for BalancerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BalancerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "no-balance" | "none" => Ok(BalancerKind::None),
+            "greedy" => Ok(BalancerKind::Greedy),
+            "topology-aware" => Ok(BalancerKind::TopologyAware),
+            "non-invasive" | "ni" => Ok(BalancerKind::NonInvasive),
+            other => Err(format!(
+                "unknown balancer kind {other:?} (expected \"no-balance\", \
+                 \"greedy\", \"topology-aware\", or \"non-invasive\")"
+            )),
+        }
     }
 }
 

@@ -1,0 +1,166 @@
+//! Typed configuration validation: the single [`ConfigError`] enum.
+//!
+//! Every constructor in the stack that used to die in a bare `assert!` deep
+//! inside [`InferenceEngine::new`](crate::engine::InferenceEngine::new) or
+//! [`Fleet::new`](crate::fleet::Fleet::new) now reports through this enum:
+//! [`EngineConfig::validate`](crate::engine::EngineConfig::validate) checks
+//! the engine knobs, [`InferenceEngine::try_new`] /
+//! [`Fleet::try_new`](crate::fleet::Fleet::try_new) surface the same checks
+//! as `Result`s, and the declarative scenario layer (`moentwine-spec`)
+//! reuses the enum for spec-level failures (unknown presets, malformed
+//! JSON, schema mismatches), so a scenario file fails with one typed error
+//! wherever in the tree the inconsistency lives.
+//!
+//! The old panicking constructors survive as thin wrappers that format the
+//! [`ConfigError`], so existing call sites and `should_panic` contracts are
+//! unchanged.
+//!
+//! [`InferenceEngine::try_new`]: crate::engine::InferenceEngine::try_new
+
+use crate::mapping::MappingError;
+
+/// Why a configuration (an [`EngineConfig`](crate::engine::EngineConfig), a
+/// [`FleetConfig`](crate::fleet::FleetConfig), or a `moentwine-spec`
+/// scenario tree) cannot be materialized.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConfigError {
+    /// `comm_layer_stride` must be ≥ 1 (1 = estimate every layer).
+    CommLayerStrideZero,
+    /// `pipeline_microbatches` must be ≥ 1 (the overlap model divides by it).
+    PipelineMicrobatchesZero,
+    /// `kv_hbm_fraction` must be in `(0, 1]`: the serving admission budget
+    /// is a positive share of aggregate HBM.
+    KvHbmFractionOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `load_ema` must be in `(0, 1]` (EMA factor of historical loads).
+    LoadEmaOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `cache_entries` must be ≥ 1: the memoizing backend needs at least
+    /// one schedule slot.
+    CacheEntriesZero,
+    /// A fleet needs at least one replica.
+    ReplicasZero,
+    /// Fleet replicas need a serving batch mode
+    /// ([`BatchMode::Scheduled`](crate::engine::BatchMode::Scheduled) or
+    /// [`BatchMode::External`](crate::engine::BatchMode::External)), not
+    /// [`BatchMode::Fixed`](crate::engine::BatchMode::Fixed).
+    FleetNeedsServingBatch,
+    /// A mapping could not be constructed for the requested platform
+    /// (TP degree does not tile, no mesh dimensions, ...).
+    Mapping(MappingError),
+    /// A spec-level failure: `context` names the field or section, and
+    /// `message` says what is wrong with it.
+    Spec {
+        /// The offending field or section (e.g. `"platform.kind"`).
+        context: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The document is not valid JSON.
+    Json(moentwine_json::ParseError),
+    /// The document carries the wrong (or no) schema tag.
+    SchemaMismatch {
+        /// The tag found in the document, or an empty string when missing.
+        found: String,
+        /// The tag that was required.
+        expected: String,
+    },
+}
+
+impl ConfigError {
+    /// Shorthand for a [`ConfigError::Spec`] failure.
+    pub fn spec(context: impl Into<String>, message: impl Into<String>) -> Self {
+        ConfigError::Spec {
+            context: context.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::CommLayerStrideZero => {
+                write!(f, "comm_layer_stride must be ≥ 1 (stride must be ≥ 1)")
+            }
+            ConfigError::PipelineMicrobatchesZero => {
+                write!(
+                    f,
+                    "pipeline_microbatches must be ≥ 1 (need ≥ 1 micro-batch)"
+                )
+            }
+            ConfigError::KvHbmFractionOutOfRange { value } => {
+                write!(f, "kv_hbm_fraction must be in (0, 1], got {value}")
+            }
+            ConfigError::LoadEmaOutOfRange { value } => {
+                write!(f, "EMA factor must be in (0, 1], got {value}")
+            }
+            ConfigError::CacheEntriesZero => {
+                write!(f, "cache_entries must be ≥ 1")
+            }
+            ConfigError::ReplicasZero => write!(f, "need at least one replica"),
+            ConfigError::FleetNeedsServingBatch => {
+                write!(
+                    f,
+                    "fleet replicas need a serving batch mode, not BatchMode::Fixed"
+                )
+            }
+            ConfigError::Mapping(e) => write!(f, "mapping: {e}"),
+            ConfigError::Spec { context, message } => write!(f, "{context}: {message}"),
+            ConfigError::Json(e) => write!(f, "{e}"),
+            ConfigError::SchemaMismatch { found, expected } => {
+                if found.is_empty() {
+                    write!(f, "missing schema tag (expected {expected:?})")
+                } else {
+                    write!(f, "schema {found:?}, expected {expected:?}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<MappingError> for ConfigError {
+    fn from(e: MappingError) -> Self {
+        ConfigError::Mapping(e)
+    }
+}
+
+impl From<moentwine_json::ParseError> for ConfigError {
+    fn from(e: moentwine_json::ParseError) -> Self {
+        ConfigError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        // The panicking wrappers surface these texts; the fleet one is
+        // pinned by a `should_panic(expected = "serving batch mode")` test.
+        assert!(ConfigError::FleetNeedsServingBatch
+            .to_string()
+            .contains("serving batch mode"));
+        assert!(ConfigError::CommLayerStrideZero
+            .to_string()
+            .contains("stride must be ≥ 1"));
+        assert!(ConfigError::LoadEmaOutOfRange { value: 2.0 }
+            .to_string()
+            .contains("(0, 1]"));
+    }
+
+    #[test]
+    fn json_and_mapping_errors_convert() {
+        let parse = moentwine_json::Value::parse("{").unwrap_err();
+        assert!(matches!(ConfigError::from(parse), ConfigError::Json(_)));
+        let spec = ConfigError::spec("platform.kind", "unknown kind \"torus\"");
+        assert_eq!(spec.to_string(), "platform.kind: unknown kind \"torus\"");
+    }
+}

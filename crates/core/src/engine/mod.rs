@@ -37,6 +37,7 @@ use crate::balancer::{
     TopologyAwareBalancer, Trigger,
 };
 use crate::comm::{A2aModel, ParallelLayout};
+use crate::config::ConfigError;
 use crate::migration::{enqueue_replications, invasive_stall, MigrationEngine, MigrationPhase};
 use crate::placement::ExpertPlacement;
 
@@ -206,6 +207,39 @@ impl EngineConfig {
         self.cache_entries = cache_entries;
         self
     }
+
+    /// Checks the configuration's internal consistency: stride and
+    /// micro-batch counts ≥ 1, `load_ema` and `kv_hbm_fraction` in
+    /// `(0, 1]`, and at least one schedule-cache entry. This is the single
+    /// validation gate behind [`InferenceEngine::try_new`],
+    /// [`Fleet::try_new`](crate::fleet::Fleet::try_new), and the
+    /// `moentwine-spec` scenario layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`] variant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.comm_layer_stride < 1 {
+            return Err(ConfigError::CommLayerStrideZero);
+        }
+        if self.pipeline_microbatches < 1 {
+            return Err(ConfigError::PipelineMicrobatchesZero);
+        }
+        if !(self.load_ema > 0.0 && self.load_ema <= 1.0) {
+            return Err(ConfigError::LoadEmaOutOfRange {
+                value: self.load_ema,
+            });
+        }
+        if !(self.kv_hbm_fraction > 0.0 && self.kv_hbm_fraction <= 1.0) {
+            return Err(ConfigError::KvHbmFractionOutOfRange {
+                value: self.kv_hbm_fraction,
+            });
+        }
+        if self.cache_entries < 1 {
+            return Err(ConfigError::CacheEntriesZero);
+        }
+        Ok(())
+    }
 }
 
 /// The end-to-end inference simulator. See the [module docs](self).
@@ -241,22 +275,39 @@ pub struct InferenceEngine<'a> {
 impl<'a> InferenceEngine<'a> {
     /// Builds an engine over a topology, its route table, and a layout.
     ///
+    /// This is a thin wrapper over [`InferenceEngine::try_new`] for call
+    /// sites that treat an inconsistent config as a programming error.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (zero stride or
-    /// micro-batches, EMA out of range).
+    /// micro-batches, EMA or KV fraction out of range) — the panic message
+    /// is the [`ConfigError`]'s display text.
     pub fn new(
         topo: &'a Topology,
         table: &'a RouteTable,
         layout: &'a dyn ParallelLayout,
         config: EngineConfig,
     ) -> Self {
-        assert!(config.comm_layer_stride >= 1, "stride must be ≥ 1");
-        assert!(config.pipeline_microbatches >= 1, "need ≥ 1 micro-batch");
-        assert!(
-            config.load_ema > 0.0 && config.load_ema <= 1.0,
-            "EMA factor must be in (0, 1]"
-        );
+        Self::try_new(topo, table, layout, config)
+            .unwrap_or_else(|e| panic!("invalid engine config: {e}"))
+    }
+
+    /// Builds an engine over a topology, its route table, and a layout,
+    /// reporting configuration inconsistencies as typed errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by
+    /// [`EngineConfig::validate`].
+    pub fn try_new(
+        topo: &'a Topology,
+        table: &'a RouteTable,
+        layout: &'a dyn ParallelLayout,
+        config: EngineConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let num_layers = config.model.num_sparse_layers as usize;
         let num_experts = config.model.num_experts as usize;
         let num_groups = layout.num_groups();
@@ -277,12 +328,9 @@ impl<'a> InferenceEngine<'a> {
         };
 
         // Admission budget for the serving modes: the KV tokens that fit in
-        // the HBM share set aside for cache, across the whole platform.
+        // the HBM share set aside for cache, across the whole platform
+        // (`validate` has already pinned the fraction to (0, 1]).
         let kv_budget = || {
-            assert!(
-                (0.0..=1.0).contains(&config.kv_hbm_fraction),
-                "kv_hbm_fraction must be in [0, 1]"
-            );
             let kv_bytes =
                 config.kv_hbm_fraction * config.cost.device().hbm_bytes * topo.num_devices() as f64;
             config
@@ -382,7 +430,7 @@ impl<'a> InferenceEngine<'a> {
         let est = backend.price_schedule(&unit);
         let a2a = A2aModel::new(topo, table, layout);
 
-        InferenceEngine {
+        Ok(InferenceEngine {
             topo,
             table,
             layout,
@@ -403,7 +451,7 @@ impl<'a> InferenceEngine<'a> {
             ar_latency: est.latency_time,
             history: Vec::new(),
             config,
-        }
+        })
     }
 
     /// The engine configuration.
@@ -965,6 +1013,67 @@ mod tests {
             s.mean_queue_depth > 0.0,
             "starved budget should leave requests queued"
         );
+    }
+
+    #[test]
+    fn validate_reports_exact_variants() {
+        use crate::config::ConfigError;
+        let base = || EngineConfig::new(small_model());
+        assert_eq!(base().validate(), Ok(()));
+
+        let mut c = base();
+        c.comm_layer_stride = 0;
+        assert_eq!(c.validate(), Err(ConfigError::CommLayerStrideZero));
+
+        let mut c = base();
+        c.pipeline_microbatches = 0;
+        assert_eq!(c.validate(), Err(ConfigError::PipelineMicrobatchesZero));
+
+        let mut c = base();
+        c.kv_hbm_fraction = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::KvHbmFractionOutOfRange { value: 0.0 })
+        );
+        c.kv_hbm_fraction = 1.5;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::KvHbmFractionOutOfRange { value: 1.5 })
+        );
+
+        let mut c = base();
+        c.load_ema = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::LoadEmaOutOfRange { value: 0.0 })
+        );
+        c.load_ema = 1.25;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::LoadEmaOutOfRange { value: 1.25 })
+        );
+
+        let c = base().with_cache_entries(0);
+        assert_eq!(c.validate(), Err(ConfigError::CacheEntriesZero));
+    }
+
+    #[test]
+    fn try_new_surfaces_validation_and_new_panics() {
+        use crate::config::ConfigError;
+        let (topo, table, plan) = fixture();
+        let mut config = EngineConfig::new(small_model());
+        config.comm_layer_stride = 0;
+        let err = InferenceEngine::try_new(&topo, &table, &plan, config).err();
+        assert_eq!(err, Some(ConfigError::CommLayerStrideZero));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be ≥ 1")]
+    fn new_panics_on_zero_stride() {
+        let (topo, table, plan) = fixture();
+        let mut config = EngineConfig::new(small_model());
+        config.comm_layer_stride = 0;
+        let _ = InferenceEngine::new(&topo, &table, &plan, config);
     }
 
     #[test]

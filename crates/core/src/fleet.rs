@@ -166,17 +166,45 @@ impl<'a> Fleet<'a> {
     /// `topo`/`table`/`layout` and gets its own engine with a seed-split
     /// RNG stream (and backend override, if configured).
     ///
+    /// This is a thin wrapper over [`Fleet::try_new`] for call sites that
+    /// treat an inconsistent config as a programming error.
+    ///
     /// # Panics
     ///
-    /// Panics if `config.replicas` is zero or the engine template's batch
-    /// mode is [`BatchMode::Fixed`] (no request lifecycle to route).
+    /// Panics if `config.replicas` is zero, the engine template's batch
+    /// mode is [`BatchMode::Fixed`] (no request lifecycle to route), or the
+    /// template fails [`EngineConfig::validate`] — the panic message is the
+    /// [`ConfigError`](crate::config::ConfigError)'s display text.
     pub fn new(
         topo: &'a Topology,
         table: &'a RouteTable,
         layout: &'a dyn ParallelLayout,
         config: FleetConfig,
     ) -> Self {
-        assert!(config.replicas > 0, "need at least one replica");
+        Self::try_new(topo, table, layout, config)
+            .unwrap_or_else(|e| panic!("invalid fleet config: {e}"))
+    }
+
+    /// Builds a homogeneous fleet, reporting configuration inconsistencies
+    /// as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ReplicasZero`](crate::config::ConfigError)
+    /// for an empty fleet,
+    /// [`ConfigError::FleetNeedsServingBatch`](crate::config::ConfigError)
+    /// for a [`BatchMode::Fixed`] template, or whatever
+    /// [`EngineConfig::validate`] rejects about the replica template.
+    pub fn try_new(
+        topo: &'a Topology,
+        table: &'a RouteTable,
+        layout: &'a dyn ParallelLayout,
+        config: FleetConfig,
+    ) -> Result<Self, crate::config::ConfigError> {
+        if config.replicas == 0 {
+            return Err(crate::config::ConfigError::ReplicasZero);
+        }
+        config.engine.validate()?;
         let (mode, max_batch_tokens, max_active) = match config.engine.batch {
             BatchMode::Scheduled {
                 mode,
@@ -190,7 +218,7 @@ impl<'a> Fleet<'a> {
                 max_active,
             } => (mode, max_batch_tokens, max_active),
             BatchMode::Fixed { .. } => {
-                panic!("fleet replicas need a serving batch mode, not BatchMode::Fixed")
+                return Err(crate::config::ConfigError::FleetNeedsServingBatch)
             }
         };
         let master = config.engine.seed;
@@ -228,14 +256,14 @@ impl<'a> Fleet<'a> {
             config.replicas,
             split_seed(master, 0x0A5E_11A3),
         );
-        Fleet {
+        Ok(Fleet {
             engines,
             router,
             generator,
             lookahead: None,
             clock: 0.0,
             rounds: 0,
-        }
+        })
     }
 
     /// The replica engines, in replica order.
@@ -543,6 +571,36 @@ mod tests {
         assert_eq!(fleet.engines()[1].backend().name(), "flow-sim-cached");
         fleet.run(40);
         assert!(fleet.sim_time() > 0.0);
+    }
+
+    #[test]
+    fn try_new_reports_exact_variants() {
+        use crate::config::ConfigError;
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+
+        let config = FleetConfig::new(0, RouterPolicy::RoundRobin, 1.0e3, engine_template(3));
+        let err = Fleet::try_new(&topo, &table, &plan, config).err();
+        assert_eq!(err, Some(ConfigError::ReplicasZero));
+
+        let config = FleetConfig::new(
+            2,
+            RouterPolicy::RoundRobin,
+            1.0e3,
+            EngineConfig::new(ModelConfig::tiny()),
+        );
+        let err = Fleet::try_new(&topo, &table, &plan, config).err();
+        assert_eq!(err, Some(ConfigError::FleetNeedsServingBatch));
+
+        // Template validation runs before replica construction.
+        let mut template = engine_template(3);
+        template.load_ema = 0.0;
+        let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 1.0e3, template);
+        let err = Fleet::try_new(&topo, &table, &plan, config).err();
+        assert_eq!(err, Some(ConfigError::LoadEmaOutOfRange { value: 0.0 }));
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   multi-wafer systems).
 //! * [`comm`] — compiles a mapping plus a gating outcome into attention
 //!   all-reduce schedules and MoE dispatch/combine transfer sets.
+//! * [`config`] — typed configuration validation: the [`ConfigError`] enum
+//!   behind `EngineConfig::validate` / `InferenceEngine::try_new` /
+//!   `Fleet::try_new` and the `moentwine-spec` scenario layer.
 //! * [`placement`] — per-layer expert placement with shadow slots.
 //! * [`balancer`] — the load-balancing strategies of §V: the invasive
 //!   greedy baseline (EPLB-like), the **topology-aware** Algorithm 1, and
@@ -42,6 +45,7 @@
 
 pub mod balancer;
 pub mod comm;
+pub mod config;
 pub mod engine;
 pub mod esp;
 pub mod fleet;
@@ -50,6 +54,7 @@ pub mod mapping;
 pub mod migration;
 pub mod placement;
 
+pub use config::ConfigError;
 pub use fleet::{Fleet, FleetConfig, FleetSummary, ReplicaPool, SerialReplicaPool};
 pub use mapping::{
     BaselineMapping, ErMapping, HierarchicalErMapping, MappingError, MappingKind, MappingPlan,

@@ -1,11 +1,16 @@
 //! Minimal JSON tree, pretty-printer, and parser.
 //!
-//! The workspace builds offline against a no-op `serde` shim, so reports and
-//! the `repro_all` summary serialize through this hand-rolled layer instead
-//! of `serde_json`. Only the subset the harness needs is implemented:
-//! objects preserve insertion order, numbers are `f64`, and the parser
-//! accepts exactly what the printer emits (standard JSON with `\uXXXX`
-//! escapes on input).
+//! The workspace builds offline against a no-op `serde` shim, so scenario
+//! specs (`moentwine-spec`), bench reports, and the `repro_all` summary
+//! serialize through this hand-rolled layer instead of `serde_json`. It is
+//! a leaf crate so both the spec layer and core can parse/emit JSON without
+//! depending on the bench harness. Only the subset the workspace needs is
+//! implemented: objects preserve insertion order, numbers are `f64`, and
+//! the parser accepts exactly what the printer emits (standard JSON with
+//! `\uXXXX` escapes on input).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 

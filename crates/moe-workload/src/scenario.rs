@@ -53,6 +53,38 @@ impl fmt::Display for Scenario {
     }
 }
 
+impl Scenario {
+    /// Stable lowercase name (`"chat"` / `"coding"` / `"math"` /
+    /// `"privacy"`), matching the `FromStr` spelling and the scenario-spec
+    /// JSON encoding (the capitalized [`Display`](fmt::Display) form is for
+    /// human-readable reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Chat => "chat",
+            Scenario::Coding => "coding",
+            Scenario::Math => "math",
+            Scenario::Privacy => "privacy",
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "chat" => Ok(Scenario::Chat),
+            "coding" => Ok(Scenario::Coding),
+            "math" => Ok(Scenario::Math),
+            "privacy" => Ok(Scenario::Privacy),
+            other => Err(format!(
+                "unknown scenario {other:?} (expected \"chat\", \"coding\", \
+                 \"math\", or \"privacy\")"
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,36 @@ impl std::fmt::Display for SchedulingMode {
     }
 }
 
+impl SchedulingMode {
+    /// Stable lowercase name (`"prefill"` / `"decode"` / `"hybrid"`),
+    /// matching the `FromStr` spelling and the scenario-spec JSON encoding
+    /// (the capitalized [`Display`](std::fmt::Display) form is for
+    /// human-readable reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulingMode::PrefillOnly => "prefill",
+            SchedulingMode::DecodeOnly => "decode",
+            SchedulingMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulingMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "prefill" | "prefill-only" => Ok(SchedulingMode::PrefillOnly),
+            "decode" | "decode-only" => Ok(SchedulingMode::DecodeOnly),
+            "hybrid" => Ok(SchedulingMode::Hybrid),
+            other => Err(format!(
+                "unknown scheduling mode {other:?} (expected \"prefill\", \
+                 \"decode\", or \"hybrid\")"
+            )),
+        }
+    }
+}
+
 /// Most arrivals one scheduling step will pull into a queue (or one fleet
 /// synchronization round will route): bounds the work a burst — or an
 /// extreme configured rate — can do before the simulation advances, while

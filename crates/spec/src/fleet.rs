@@ -1,0 +1,49 @@
+//! Fleet specifications: replicas behind a front-end router.
+
+use moe_workload::RouterPolicy;
+use moentwine_core::engine::EngineConfig;
+use moentwine_core::fleet::FleetConfig;
+use wsc_sim::CongestionBackend;
+
+/// Scale-out shape: N replica engines dispatched by a router policy under
+/// a global arrival stream (the spec mirror of [`FleetConfig`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetSpec {
+    /// Number of replica engines.
+    pub replicas: usize,
+    /// Front-end dispatch policy.
+    pub policy: RouterPolicy,
+    /// Global arrival rate (requests/second across the whole fleet).
+    pub request_rate: f64,
+    /// Per-replica congestion-backend overrides (empty uses the engine
+    /// template's backend everywhere; otherwise replica `i` gets
+    /// `overrides[i % len]`).
+    pub backend_overrides: Vec<CongestionBackend>,
+}
+
+impl FleetSpec {
+    /// A fleet of `replicas` engines dispatched by `policy` at
+    /// `request_rate` requests/second.
+    pub fn new(replicas: usize, policy: RouterPolicy, request_rate: f64) -> Self {
+        FleetSpec {
+            replicas,
+            policy,
+            request_rate,
+            backend_overrides: Vec::new(),
+        }
+    }
+
+    /// Sets per-replica backend overrides (builder style).
+    pub fn with_backend_overrides(mut self, overrides: Vec<CongestionBackend>) -> Self {
+        self.backend_overrides = overrides;
+        self
+    }
+
+    /// Combines the fleet shape with a replica engine template into the
+    /// core [`FleetConfig`] (validation happens in
+    /// [`Fleet::try_new`](moentwine_core::fleet::Fleet::try_new)).
+    pub fn fleet_config(&self, engine: EngineConfig) -> FleetConfig {
+        FleetConfig::new(self.replicas, self.policy, self.request_rate, engine)
+            .with_backend_overrides(self.backend_overrides.clone())
+    }
+}

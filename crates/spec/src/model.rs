@@ -1,0 +1,90 @@
+//! Model specifications: Table I presets or fully custom architectures.
+
+use moe_model::ModelConfig;
+use moentwine_core::ConfigError;
+
+/// Which MoE model a scenario serves.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ModelSpec {
+    /// A named preset from the registry: the paper's Table I models plus
+    /// the `"tiny"` test fixture. See [`ModelSpec::preset_names`].
+    Preset(String),
+    /// A fully custom architecture, spelled out field by field.
+    Custom(ModelConfig),
+}
+
+impl ModelSpec {
+    /// Preset shorthand (`ModelSpec::preset("tiny")`).
+    pub fn preset(name: impl Into<String>) -> Self {
+        ModelSpec::Preset(name.into())
+    }
+
+    /// The registry of preset names, in Table I order (plus the test
+    /// fixture first).
+    pub fn preset_names() -> [&'static str; 6] {
+        [
+            "tiny",
+            "deepseek-v3",
+            "qwen3-235b",
+            "deepseek-v2",
+            "dbrx",
+            "mixtral-8x22b",
+        ]
+    }
+
+    /// Resolves the spec into a concrete [`ModelConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error naming the registry when a preset is unknown.
+    pub fn resolve(&self) -> Result<ModelConfig, ConfigError> {
+        match self {
+            ModelSpec::Custom(config) => Ok(config.clone()),
+            ModelSpec::Preset(name) => match name.as_str() {
+                "tiny" => Ok(ModelConfig::tiny()),
+                "deepseek-v3" => Ok(ModelConfig::deepseek_v3()),
+                "qwen3-235b" => Ok(ModelConfig::qwen3_235b()),
+                "deepseek-v2" => Ok(ModelConfig::deepseek_v2()),
+                "dbrx" => Ok(ModelConfig::dbrx()),
+                "mixtral-8x22b" => Ok(ModelConfig::mixtral_8x22b()),
+                other => Err(ConfigError::spec(
+                    "model.preset",
+                    format!(
+                        "unknown preset {other:?} (expected one of {:?})",
+                        Self::preset_names()
+                    ),
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_resolves() {
+        for name in ModelSpec::preset_names() {
+            let model = ModelSpec::preset(name).resolve().unwrap();
+            assert!(model.num_experts > 0, "{name}");
+        }
+        assert_eq!(
+            ModelSpec::preset("tiny").resolve().unwrap(),
+            ModelConfig::tiny()
+        );
+    }
+
+    #[test]
+    fn unknown_preset_is_a_typed_error() {
+        let err = ModelSpec::preset("gpt-5").resolve().unwrap_err();
+        assert!(matches!(err, ConfigError::Spec { .. }));
+        assert!(err.to_string().contains("gpt-5"));
+    }
+
+    #[test]
+    fn custom_passes_through() {
+        let custom = ModelConfig::tiny();
+        assert_eq!(ModelSpec::Custom(custom.clone()).resolve().unwrap(), custom);
+    }
+}

@@ -1,0 +1,535 @@
+//! The scenario root: the typed spec tree and its materialized runner.
+
+use moe_model::ModelConfig;
+use moentwine_core::comm::{ClusterLayout, ParallelLayout};
+use moentwine_core::engine::{EngineConfig, InferenceEngine, RunSummary, ServingSummary};
+use moentwine_core::fleet::{Fleet, FleetSummary};
+use moentwine_core::mapping::MappingPlan;
+use moentwine_core::ConfigError;
+use wsc_topology::{RouteTable, Topology};
+
+use crate::engine::{BatchSpec, EngineSpec};
+use crate::fleet::FleetSpec;
+use crate::model::ModelSpec;
+use crate::platform::{MappingSpec, PlatformSpec};
+use crate::sweep::SweepSpec;
+
+/// The typed root of the declarative scenario tree. See the
+/// [crate docs](crate) for the JSON encoding and the
+/// [`Scenario`] runner for materialization.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioSpec {
+    /// Scenario name (used for manifests and file stems).
+    pub name: String,
+    /// Which interconnect to build.
+    pub platform: PlatformSpec,
+    /// How TP groups tile the platform.
+    pub mapping: MappingSpec,
+    /// Which model to serve.
+    pub model: ModelSpec,
+    /// Every engine knob.
+    pub engine: EngineSpec,
+    /// Scale-out shape; `None` runs a single engine.
+    pub fleet: Option<FleetSpec>,
+    /// Axes to expand into a scenario grid; `None`/empty runs one point.
+    pub sweep: Option<SweepSpec>,
+    /// Engine iterations (or fleet synchronization rounds).
+    pub iterations: usize,
+}
+
+impl ScenarioSpec {
+    /// A scenario named `name` on `platform`, with ER mapping at TP=4, the
+    /// tiny model, default engine knobs, and 100 iterations — override
+    /// everything builder-style.
+    pub fn new(name: impl Into<String>, platform: PlatformSpec) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            platform,
+            mapping: MappingSpec::er(4),
+            model: ModelSpec::preset("tiny"),
+            engine: EngineSpec::default(),
+            fleet: None,
+            sweep: None,
+            iterations: 100,
+        }
+    }
+
+    /// Sets the mapping (builder style).
+    pub fn with_mapping(mut self, mapping: MappingSpec) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the model (builder style).
+    pub fn with_model(mut self, model: ModelSpec) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the engine spec (builder style).
+    pub fn with_engine(mut self, engine: EngineSpec) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the fleet shape (builder style).
+    pub fn with_fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Sets the sweep axes (builder style).
+    pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+
+    /// Sets the iteration (or fleet round) count (builder style).
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Expands the sweep axes into concrete single-point scenarios
+    /// `(label, spec)`, in row-major axis order (rate slowest, replicas
+    /// fastest). Without a sweep the base scenario is the single point
+    /// (labelled by its name). Expanded specs have `sweep: None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error when the `policies` or `replicas` axis is
+    /// populated on a scenario with no fleet (those axes would otherwise
+    /// be silent no-ops producing identical points under distinct labels).
+    pub fn expand_sweep(&self) -> Result<Vec<(String, ScenarioSpec)>, ConfigError> {
+        let sweep = match &self.sweep {
+            Some(s) if !s.is_empty() => s.clone(),
+            _ => {
+                let mut base = self.clone();
+                base.sweep = None;
+                return Ok(vec![(self.name.clone(), base)]);
+            }
+        };
+        if self.fleet.is_none() {
+            if !sweep.policies.is_empty() {
+                return Err(ConfigError::spec(
+                    "sweep.policies",
+                    "a policy axis needs a fleet section (router policies \
+                     apply to fleet dispatch)",
+                ));
+            }
+            if !sweep.replicas.is_empty() {
+                return Err(ConfigError::spec(
+                    "sweep.replicas",
+                    "a replica axis needs a fleet section",
+                ));
+            }
+            if !sweep.rates.is_empty() && matches!(self.engine.batch, BatchSpec::Fixed { .. }) {
+                return Err(ConfigError::spec(
+                    "sweep.rates",
+                    "a rate axis needs an arrival stream: a serving batch \
+                     spec or a fleet section (fixed batches have no \
+                     request rate)",
+                ));
+            }
+        }
+        if let Some(fleet) = &self.fleet {
+            if !sweep.backends.is_empty() && !fleet.backend_overrides.is_empty() {
+                return Err(ConfigError::spec(
+                    "sweep.backends",
+                    "fleet.backend_overrides would shadow the swept \
+                     template backend on every replica; drop one of the two",
+                ));
+            }
+        }
+        // Empty axes contribute one "inherit the base" point each.
+        let rates: Vec<Option<f64>> = opt_axis(&sweep.rates);
+        let backends = opt_axis(&sweep.backends);
+        let policies = opt_axis(&sweep.policies);
+        let replicas = opt_axis(&sweep.replicas);
+        let mut points = Vec::with_capacity(sweep.num_points());
+        for &rate in &rates {
+            for &backend in &backends {
+                for &policy in &policies {
+                    for &n in &replicas {
+                        let mut spec = self.clone();
+                        spec.sweep = None;
+                        let mut label = self.name.clone();
+                        if let Some(rate) = rate {
+                            label.push_str(&format!("/rate={rate}"));
+                            spec.set_rate(rate);
+                        }
+                        if let Some(backend) = backend {
+                            label.push_str(&format!("/backend={}", backend.name()));
+                            spec.engine.backend = backend;
+                        }
+                        if let Some(policy) = policy {
+                            label.push_str(&format!("/policy={}", policy.name()));
+                            if let Some(fleet) = &mut spec.fleet {
+                                fleet.policy = policy;
+                            }
+                        }
+                        if let Some(n) = n {
+                            label.push_str(&format!("/replicas={n}"));
+                            if let Some(fleet) = &mut spec.fleet {
+                                fleet.replicas = n;
+                            }
+                        }
+                        spec.name = label.clone();
+                        points.push((label, spec));
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+
+    /// Applies a swept arrival rate to whichever layer owns arrivals.
+    fn set_rate(&mut self, rate: f64) {
+        if let Some(fleet) = &mut self.fleet {
+            fleet.request_rate = rate;
+        } else if let BatchSpec::Serving(serving) = &mut self.engine.batch {
+            serving.request_rate = rate;
+        }
+    }
+
+    /// Materializes the platform, route table, layout, and model into a
+    /// runnable [`Scenario`]. Cheap spec-level validation (unknown preset,
+    /// mapping mismatch, engine knobs, fleet shape) all happens here, so
+    /// [`Scenario::run`] can only fail on the engine/fleet constructors
+    /// re-checking the same invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found anywhere in the tree. A
+    /// populated sweep section is rejected here: a [`Scenario`] is one
+    /// point — call [`ScenarioSpec::expand_sweep`] and build each expanded
+    /// spec (the `scenario` bench bin does this automatically).
+    pub fn build(&self) -> Result<Scenario, ConfigError> {
+        if self.sweep.as_ref().is_some_and(|s| !s.is_empty()) {
+            return Err(ConfigError::spec(
+                "sweep",
+                "sweep axes present: expand_sweep() and build each point \
+                 (the `scenario` bin does this automatically)",
+            ));
+        }
+        let (topo, table) = self.platform.materialize()?;
+        let layout = self.mapping.layout(&topo)?;
+        let model = self.model.resolve()?;
+        // Validate the engine knobs (and the fleet shape) up front.
+        self.engine.engine_config(model.clone())?;
+        if let Some(fleet) = &self.fleet {
+            if fleet.replicas == 0 {
+                return Err(ConfigError::ReplicasZero);
+            }
+            if matches!(self.engine.batch, BatchSpec::Fixed { .. }) {
+                return Err(ConfigError::FleetNeedsServingBatch);
+            }
+        }
+        Ok(Scenario {
+            spec: self.clone(),
+            model,
+            topo,
+            table,
+            layout,
+        })
+    }
+}
+
+fn opt_axis<T: Copy>(axis: &[T]) -> Vec<Option<T>> {
+    if axis.is_empty() {
+        vec![None]
+    } else {
+        axis.iter().copied().map(Some).collect()
+    }
+}
+
+/// A materialized layout: a WSC mapping plan or a switch-cluster layout.
+#[derive(Clone, Debug)]
+pub enum Layout {
+    /// A mesh mapping plan (baseline / ER / HER).
+    Plan(MappingPlan),
+    /// Contiguous TP groups on a switch platform.
+    Cluster(ClusterLayout),
+}
+
+impl Layout {
+    /// The layout as the engine's [`ParallelLayout`] trait object.
+    pub fn as_parallel(&self) -> &dyn ParallelLayout {
+        match self {
+            Layout::Plan(plan) => plan,
+            Layout::Cluster(cluster) => cluster,
+        }
+    }
+
+    /// The mapping plan, when this is a mesh layout.
+    pub fn as_plan(&self) -> Option<&MappingPlan> {
+        match self {
+            Layout::Plan(plan) => Some(plan),
+            Layout::Cluster(_) => None,
+        }
+    }
+}
+
+/// What a scenario run produced: the engine's own summary types,
+/// unchanged.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ScenarioOutcome {
+    /// A single-engine run.
+    Engine {
+        /// Per-iteration aggregate.
+        run: RunSummary,
+        /// Request-level serving statistics (zeroed in fixed-batch mode).
+        serving: ServingSummary,
+    },
+    /// A fleet run.
+    Fleet(FleetSummary),
+}
+
+impl ScenarioOutcome {
+    /// The engine summaries, when this was a single-engine run.
+    pub fn as_engine(&self) -> Option<(&RunSummary, &ServingSummary)> {
+        match self {
+            ScenarioOutcome::Engine { run, serving } => Some((run, serving)),
+            ScenarioOutcome::Fleet(_) => None,
+        }
+    }
+
+    /// The fleet summary, when this was a fleet run.
+    pub fn as_fleet(&self) -> Option<&FleetSummary> {
+        match self {
+            ScenarioOutcome::Fleet(summary) => Some(summary),
+            ScenarioOutcome::Engine { .. } => None,
+        }
+    }
+}
+
+/// A materialized scenario: the topology, route table, layout, and model
+/// built once from a [`ScenarioSpec`], ready to run (possibly repeatedly —
+/// every [`Scenario::run`] starts from a fresh engine/fleet, so runs are
+/// independent and deterministic).
+#[derive(Debug)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+    model: ModelConfig,
+    topo: Topology,
+    table: RouteTable,
+    layout: Layout,
+}
+
+impl Scenario {
+    /// The spec this scenario was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The resolved model.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The materialized topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The materialized route table.
+    pub fn route_table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// The materialized layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The validated engine config the run will use (the fleet path uses
+    /// it as the replica template).
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever [`EngineConfig::validate`] rejects.
+    pub fn engine_config(&self) -> Result<EngineConfig, ConfigError> {
+        self.spec.engine.engine_config(self.model.clone())
+    }
+
+    /// Runs the scenario: `iterations` engine steps, or `iterations` fleet
+    /// synchronization rounds when a [`FleetSpec`] is present. Returns the
+    /// engine's existing summary types.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] of the engine/fleet constructor (the
+    /// same checks [`ScenarioSpec::build`] already ran).
+    pub fn run(&self) -> Result<ScenarioOutcome, ConfigError> {
+        let config = self.engine_config()?;
+        match &self.spec.fleet {
+            None => {
+                let mut engine = InferenceEngine::try_new(
+                    &self.topo,
+                    &self.table,
+                    self.layout.as_parallel(),
+                    config,
+                )?;
+                let run = engine.run(self.spec.iterations);
+                let serving = engine.serving_summary();
+                Ok(ScenarioOutcome::Engine { run, serving })
+            }
+            Some(fleet_spec) => {
+                let mut fleet = Fleet::try_new(
+                    &self.topo,
+                    &self.table,
+                    self.layout.as_parallel(),
+                    fleet_spec.fleet_config(config),
+                )?;
+                fleet.run(self.spec.iterations);
+                Ok(ScenarioOutcome::Fleet(fleet.summary()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServingSpec;
+    use moe_workload::RouterPolicy;
+    use wsc_sim::CongestionBackend;
+
+    fn serving_spec() -> ScenarioSpec {
+        let engine = EngineSpec::default()
+            .with_seed(11)
+            .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 4.0e3)))
+            .with_kv_hbm_fraction(1.0e-3);
+        ScenarioSpec::new("unit", PlatformSpec::wsc(4))
+            .with_engine(engine)
+            .with_iterations(30)
+    }
+
+    #[test]
+    fn engine_scenario_runs() {
+        let outcome = serving_spec().build().unwrap().run().unwrap();
+        let (run, serving) = outcome.as_engine().unwrap();
+        assert_eq!(run.iterations, 30);
+        assert!(serving.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn fleet_scenario_runs_and_fixed_batch_fleet_is_rejected() {
+        let spec = serving_spec()
+            .with_fleet(FleetSpec::new(2, RouterPolicy::RoundRobin, 4.0e3))
+            .with_iterations(20);
+        let outcome = spec.build().unwrap().run().unwrap();
+        let summary = outcome.as_fleet().unwrap();
+        assert_eq!(summary.replicas, 2);
+        assert_eq!(summary.rounds, 20);
+
+        let bad = ScenarioSpec::new("bad", PlatformSpec::wsc(4)).with_fleet(FleetSpec::new(
+            2,
+            RouterPolicy::RoundRobin,
+            4.0e3,
+        ));
+        assert_eq!(
+            bad.build().unwrap_err(),
+            ConfigError::FleetNeedsServingBatch
+        );
+    }
+
+    #[test]
+    fn sweep_expansion_is_row_major_and_rewrites_axes() {
+        let spec = serving_spec()
+            .with_fleet(FleetSpec::new(1, RouterPolicy::RoundRobin, 1.0e3))
+            .with_sweep(
+                SweepSpec::default()
+                    .with_rates(vec![1.0e3, 2.0e3])
+                    .with_policies(vec![
+                        RouterPolicy::RoundRobin,
+                        RouterPolicy::PowerOfTwoChoices,
+                    ])
+                    .with_replicas(vec![1, 2]),
+            );
+        let points = spec.expand_sweep().unwrap();
+        assert_eq!(points.len(), 8);
+        // Replicas vary fastest, rate slowest.
+        assert_eq!(points[0].1.fleet.as_ref().unwrap().replicas, 1);
+        assert_eq!(points[1].1.fleet.as_ref().unwrap().replicas, 2);
+        assert_eq!(points[0].1.fleet.as_ref().unwrap().request_rate, 1.0e3);
+        assert_eq!(points[7].1.fleet.as_ref().unwrap().request_rate, 2.0e3);
+        assert_eq!(
+            points[7].1.fleet.as_ref().unwrap().policy,
+            RouterPolicy::PowerOfTwoChoices
+        );
+        assert!(points.iter().all(|(_, s)| s.sweep.is_none()));
+        assert_eq!(points[3].0, "unit/rate=1000/policy=power-of-two/replicas=2");
+
+        // Engine-only sweeps rewrite the serving rate instead.
+        let engine_sweep = serving_spec().with_sweep(
+            SweepSpec::default()
+                .with_rates(vec![9.0e3])
+                .with_backends(vec![CongestionBackend::FlowSimCached]),
+        );
+        let points = engine_sweep.expand_sweep().unwrap();
+        assert_eq!(points.len(), 1);
+        let BatchSpec::Serving(s) = &points[0].1.engine.batch else {
+            panic!("serving batch expected")
+        };
+        assert_eq!(s.request_rate, 9.0e3);
+        assert_eq!(points[0].1.engine.backend, CongestionBackend::FlowSimCached);
+
+        // No sweep: the base scenario is the single point.
+        assert_eq!(serving_spec().expand_sweep().unwrap().len(), 1);
+
+        // Fleet-only axes on an engine-only scenario are typed errors, not
+        // silent no-ops.
+        let bad = serving_spec()
+            .with_sweep(SweepSpec::default().with_policies(vec![RouterPolicy::RoundRobin]));
+        assert!(matches!(
+            bad.expand_sweep().unwrap_err(),
+            ConfigError::Spec { .. }
+        ));
+        let bad = serving_spec().with_sweep(SweepSpec::default().with_replicas(vec![2]));
+        assert!(bad.expand_sweep().is_err());
+        // A rate axis needs an arrival stream somewhere.
+        let bad = ScenarioSpec::new("fixed", PlatformSpec::wsc(4))
+            .with_sweep(SweepSpec::default().with_rates(vec![1.0e3]));
+        assert!(matches!(
+            bad.expand_sweep().unwrap_err(),
+            ConfigError::Spec { .. }
+        ));
+        // A backends axis is shadowed by fleet backend_overrides.
+        let bad = serving_spec()
+            .with_fleet(
+                FleetSpec::new(2, RouterPolicy::RoundRobin, 1.0e3)
+                    .with_backend_overrides(vec![CongestionBackend::Analytic]),
+            )
+            .with_sweep(SweepSpec::default().with_backends(vec![CongestionBackend::FlowSim]));
+        assert!(matches!(
+            bad.expand_sweep().unwrap_err(),
+            ConfigError::Spec { .. }
+        ));
+
+        // And a populated sweep cannot be built directly: a Scenario is
+        // one point.
+        let swept = serving_spec().with_sweep(SweepSpec::default().with_rates(vec![1.0e3]));
+        assert!(matches!(
+            swept.build().unwrap_err(),
+            ConfigError::Spec { .. }
+        ));
+    }
+
+    #[test]
+    fn spec_runs_match_hand_construction_exactly() {
+        // The same scenario, spec-driven and hand-wired: identical
+        // summaries (the equivalence the golden suite pins platform-wide).
+        let spec = serving_spec();
+        let outcome = spec.build().unwrap().run().unwrap();
+        let (spec_run, spec_serving) = outcome.as_engine().unwrap();
+
+        let (topo, table) = PlatformSpec::wsc(4).materialize().unwrap();
+        let layout = MappingSpec::er(4).layout(&topo).unwrap();
+        let config = spec.engine.engine_config(ModelConfig::tiny()).unwrap();
+        let mut engine = InferenceEngine::new(&topo, &table, layout.as_parallel(), config);
+        let run = engine.run(30);
+        assert_eq!(*spec_run, run);
+        assert_eq!(*spec_serving, engine.serving_summary());
+    }
+}

@@ -1,0 +1,71 @@
+//! Sweep specifications: axes that expand one scenario into a grid.
+
+use moe_workload::RouterPolicy;
+use wsc_sim::CongestionBackend;
+
+/// Axes to sweep over a base scenario. Every non-empty axis replaces the
+/// corresponding base field; the cartesian product of all non-empty axes
+/// becomes the expanded scenario list (see
+/// [`ScenarioSpec::expand_sweep`](crate::ScenarioSpec::expand_sweep)).
+/// An empty (default) sweep leaves the base scenario as the single point.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SweepSpec {
+    /// Arrival rates (requests/second). Applies to the serving batch spec,
+    /// or to the fleet's global rate in fleet scenarios.
+    pub rates: Vec<f64>,
+    /// Communication-pricing backends for the engine (template). A fleet
+    /// scenario with non-empty `FleetSpec::backend_overrides` rejects this
+    /// axis (the overrides would shadow the swept template on every
+    /// replica, making the axis a silent no-op).
+    pub backends: Vec<CongestionBackend>,
+    /// Router policies (fleet scenarios only; an engine-only scenario
+    /// with this axis populated fails `expand_sweep`).
+    pub policies: Vec<RouterPolicy>,
+    /// Replica counts (fleet scenarios only; an engine-only scenario
+    /// with this axis populated fails `expand_sweep`).
+    pub replicas: Vec<usize>,
+}
+
+impl SweepSpec {
+    /// Sweeps arrival rates (builder style).
+    pub fn with_rates(mut self, rates: Vec<f64>) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sweeps pricing backends (builder style).
+    pub fn with_backends(mut self, backends: Vec<CongestionBackend>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Sweeps router policies (builder style).
+    pub fn with_policies(mut self, policies: Vec<RouterPolicy>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Sweeps replica counts (builder style).
+    pub fn with_replicas(mut self, replicas: Vec<usize>) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// True when no axis is populated (the base scenario is the only
+    /// point).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+            && self.backends.is_empty()
+            && self.policies.is_empty()
+            && self.replicas.is_empty()
+    }
+
+    /// Number of grid points the sweep expands to (1 when empty).
+    pub fn num_points(&self) -> usize {
+        let axis = |n: usize| n.max(1);
+        axis(self.rates.len())
+            * axis(self.backends.len())
+            * axis(self.policies.len())
+            * axis(self.replicas.len())
+    }
+}

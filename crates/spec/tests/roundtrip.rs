@@ -1,0 +1,174 @@
+//! Property test: spec → JSON → spec is an identity across the whole knob
+//! space (the lossless-round-trip contract of `moentwine/scenario/v1`).
+
+use moe_workload::{RouterPolicy, Scenario as WorkloadScenario, SchedulingMode, WorkloadMix};
+use moentwine_core::balancer::BalancerKind;
+use moentwine_spec::{
+    BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioSpec,
+    ServingSpec, SweepSpec,
+};
+use proptest::proptest;
+use wsc_sim::CongestionBackend;
+
+fn backend_of(tag: u8) -> CongestionBackend {
+    CongestionBackend::all()[tag as usize % 3]
+}
+
+fn policy_of(tag: u8) -> RouterPolicy {
+    RouterPolicy::all()[tag as usize % 4]
+}
+
+fn scenario_of(tag: u8) -> WorkloadScenario {
+    WorkloadScenario::all()[tag as usize % 4]
+}
+
+fn platform_of(tag: u8, n: u16) -> PlatformSpec {
+    match tag % 5 {
+        0 => PlatformSpec::Wsc { n },
+        1 => PlatformSpec::MultiWsc {
+            wafers_x: 1 + (n % 3),
+            wafers_y: 1 + (n % 2),
+            n,
+        },
+        2 => PlatformSpec::Dgx { nodes: 1 + n },
+        3 => PlatformSpec::Nvl72,
+        _ => PlatformSpec::Flat { devices: 8 + n },
+    }
+}
+
+fn mapping_of(tag: u8, tp: usize) -> MappingSpec {
+    match tag % 4 {
+        0 => MappingSpec::Baseline { tp },
+        1 => MappingSpec::Er { tp },
+        2 => MappingSpec::Her { tp },
+        _ => MappingSpec::Cluster { tp },
+    }
+}
+
+fn workload_of(tag: u8, period: f64, weight: f64) -> WorkloadMix {
+    match tag % 3 {
+        0 => WorkloadMix::Fixed(scenario_of(tag)),
+        1 => WorkloadMix::Cycling {
+            period,
+            scenarios: vec![scenario_of(tag), scenario_of(tag.wrapping_add(1))],
+        },
+        _ => WorkloadMix::Blend(vec![
+            (scenario_of(tag), weight),
+            (scenario_of(tag.wrapping_add(2)), 1.0),
+        ]),
+    }
+}
+
+fn batch_of(tag: u8, tokens: u32, rate: f64) -> BatchSpec {
+    match tag % 3 {
+        0 => BatchSpec::Fixed {
+            tokens_per_group: tokens,
+            avg_context: 128.0 + rate,
+            phase: if tag.is_multiple_of(2) {
+                moe_model::InferencePhase::Decode
+            } else {
+                moe_model::InferencePhase::Prefill
+            },
+        },
+        1 => BatchSpec::Serving(ServingSpec::hybrid(tokens, 1 + tag as usize, rate)),
+        _ => BatchSpec::Serving(ServingSpec {
+            mode: match tag % 2 {
+                0 => SchedulingMode::PrefillOnly,
+                _ => SchedulingMode::DecodeOnly,
+            },
+            max_batch_tokens: tokens,
+            max_active: 1 + tag as usize,
+            request_rate: rate,
+            iteration_period: 0.005 + rate / 1.0e9,
+        }),
+    }
+}
+
+fn balancer_of(tag: u8) -> BalancerKind {
+    match tag % 4 {
+        0 => BalancerKind::None,
+        1 => BalancerKind::Greedy,
+        2 => BalancerKind::TopologyAware,
+        _ => BalancerKind::NonInvasive,
+    }
+}
+
+proptest! {
+    /// The identity `from_json(to_json(spec)) == spec` over randomized
+    /// platform shapes, mappings, workloads, batch modes, engine knobs,
+    /// fleet shapes, and sweep axes — including seeds above 2^53, which
+    /// the codec carries as decimal strings to stay lossless.
+    #[test]
+    fn spec_json_roundtrip_is_identity(
+        seed in 0u64..u64::MAX,
+        n in 2u16..6,
+        tp in 1usize..4,
+        platform_tag in 0u8..5,
+        mapping_tag in 0u8..4,
+        workload_tag in 0u8..3,
+        batch_tag in 0u8..3,
+        backend_tag in 0u8..3,
+        balancer_tag in 0u8..4,
+        policy_tag in 0u8..4,
+        tokens in 1u32..4096,
+        rate in 1.0f64..50_000.0,
+        ema in 0.01f64..1.0,
+        kv in 0.0001f64..1.0,
+        stride in 1usize..8,
+        microbatches in 1usize..8,
+        replicas in 1usize..6,
+        iterations in 1usize..5000,
+        fleet_on in 0u8..2,
+        sweep_on in 0u8..2,
+        preset_tag in 0u8..7,
+    ) {
+        let model = if preset_tag == 6 {
+            ModelSpec::Custom(moe_model::ModelConfig::tiny())
+        } else {
+            ModelSpec::preset(ModelSpec::preset_names()[preset_tag as usize])
+        };
+        let mut engine = EngineSpec::default()
+            .with_seed(seed)
+            .with_backend(backend_of(backend_tag))
+            .with_balancer(balancer_of(balancer_tag))
+            .with_workload(workload_of(workload_tag, 10.0 + rate, 0.5 + ema))
+            .with_batch(batch_of(batch_tag, tokens, rate))
+            .with_comm_layer_stride(stride)
+            .with_kv_hbm_fraction(kv);
+        engine.pipeline_microbatches = microbatches;
+        engine.load_ema = ema;
+        engine.trigger_beta = seed % 100;
+        engine.uniform_gating = seed % 2 == 0;
+
+        let mut spec = ScenarioSpec::new(
+            format!("prop-{seed}"),
+            platform_of(platform_tag, n),
+        )
+        .with_mapping(mapping_of(mapping_tag, tp))
+        .with_model(model)
+        .with_engine(engine)
+        .with_iterations(iterations);
+        if fleet_on == 1 {
+            spec = spec.with_fleet(
+                FleetSpec::new(replicas, policy_of(policy_tag), rate)
+                    .with_backend_overrides(vec![backend_of(backend_tag)]),
+            );
+        }
+        if sweep_on == 1 {
+            spec = spec.with_sweep(
+                SweepSpec::default()
+                    .with_rates(vec![rate, rate * 2.0])
+                    .with_policies(vec![policy_of(policy_tag)])
+                    .with_replicas(vec![replicas]),
+            );
+        }
+
+        // The identity, through the tree and through the text layer.
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("parse emitted tree");
+        assert_eq!(back, spec);
+        let text = spec.to_json_text();
+        let back = ScenarioSpec::from_json_text(&text).expect("parse emitted text");
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,111 @@
+//! Regenerates the canonical scenario files under `examples/scenarios/`.
+//!
+//! ```sh
+//! cargo run --example gen_scenarios
+//! ```
+//!
+//! Each file is the exact `ScenarioSpec::to_json_text` form, so
+//! `tests/spec_scenarios.rs` can pin that the checked-in files parse back
+//! to these specs (and stay in canonical formatting). Run this after
+//! changing the specs below or the JSON codec, then commit the diff.
+
+use moentwine::spec::{
+    BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioSpec,
+    ServingSpec, SweepSpec,
+};
+use moentwine::workload::{RouterPolicy, Scenario, WorkloadMix};
+use moentwine_core::balancer::BalancerKind;
+
+/// The canonical example scenarios, in README order.
+/// `tests/spec_scenarios.rs` pins the *files* this generator writes
+/// (canonical byte form, buildable, required names) — after adding a
+/// scenario here, run the generator and add its name to that test's
+/// required list so the new file stays covered.
+pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
+    // Exactly the golden-trace scenario (tests/golden_trace.rs), so the
+    // spec-driven run is pinned bit-for-bit against tests/golden/*.json.
+    let single_wafer = ScenarioSpec::new("single_wafer_serving", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(4242)
+                .with_balancer(BalancerKind::NonInvasive)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 8.0e3)))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_iterations(400);
+
+    // Short-output traffic (chat + privacy) so even the quick-capped run
+    // completes requests on the two-wafer pod.
+    let multi_wafer = ScenarioSpec::new("multi_wafer", PlatformSpec::multi_wsc(2, 1, 4))
+        .with_mapping(MappingSpec::her(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(7)
+                .with_workload(WorkloadMix::Blend(vec![
+                    (Scenario::Chat, 1.0),
+                    (Scenario::Privacy, 1.0),
+                ]))
+                .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 6.0e3)))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_iterations(400);
+
+    let dgx_baseline = ScenarioSpec::new("dgx_baseline", PlatformSpec::dgx(2))
+        .with_mapping(MappingSpec::cluster(8))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(11)
+                .with_batch(BatchSpec::fixed_decode(256)),
+        )
+        .with_iterations(60);
+
+    let fleet_p2c = ScenarioSpec::new("fleet_p2c", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(23)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 0.0)))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_fleet(FleetSpec::new(2, RouterPolicy::PowerOfTwoChoices, 6.0e3))
+        .with_iterations(200);
+
+    let rate_sweep = ScenarioSpec::new("rate_sweep", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(97)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 256, 0.0)))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_sweep(SweepSpec::default().with_rates(vec![4.0e3, 12.0e3]))
+        .with_iterations(300);
+
+    vec![
+        single_wafer,
+        multi_wafer,
+        dgx_baseline,
+        fleet_p2c,
+        rate_sweep,
+    ]
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    std::fs::create_dir_all(&dir)?;
+    for spec in canonical_scenarios() {
+        let path = dir.join(format!("{}.json", spec.name));
+        std::fs::write(&path, spec.to_json_text())?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

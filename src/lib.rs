@@ -53,6 +53,7 @@
 pub use moe_model as model;
 pub use moe_workload as workload;
 pub use moentwine_core as core;
+pub use moentwine_spec as spec;
 pub use wsc_collectives as collectives;
 pub use wsc_sim as sim;
 pub use wsc_topology as topology;
@@ -76,6 +77,15 @@ pub mod prelude {
     };
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,
+    };
+    pub use moentwine_core::ConfigError;
+    // The declarative scenario layer (DESIGN.md §9). The materialized
+    // runner `moentwine_spec::Scenario` is deliberately not re-exported
+    // here: `Scenario` already names the workload enum in this prelude —
+    // reach it as `moentwine::spec::Scenario`.
+    pub use moentwine_spec::{
+        BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioOutcome,
+        ScenarioSpec, ServingSpec, SweepSpec,
     };
     pub use wsc_sim::{
         AnalyticModel, CachedBackend, CongestionBackend, CongestionModel, FlowSchedule,

@@ -147,6 +147,39 @@ fn golden_trace_flow_sim_cached() {
     check_golden(CongestionBackend::FlowSimCached);
 }
 
+/// The declarative spec layer reproduces the hand-constructed golden
+/// scenario **bit for bit**: `examples/scenarios/single_wafer_serving.json`
+/// encodes exactly the pinned scenario above, and its spec-driven run is
+/// checked against the same `tests/golden/analytic.json` snapshot — plus an
+/// exact in-process equality against the hand-wired run (stronger than the
+/// file's 1e-9 tolerance).
+#[test]
+fn golden_scenario_via_spec_file_matches_hand_construction() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios/single_wafer_serving.json");
+    let text = std::fs::read_to_string(&path).expect("read example spec");
+    let spec = moentwine::spec::ScenarioSpec::from_json_text(&text).expect("parse example spec");
+    let outcome = spec.build().expect("build").run().expect("run");
+    let (run, serving) = outcome.as_engine().expect("engine scenario");
+
+    let (hand_run, hand_serving) = run_scenario(CongestionBackend::Analytic);
+    assert_eq!(
+        *run, hand_run,
+        "spec-driven RunSummary must match hand-built"
+    );
+    assert_eq!(
+        *serving, hand_serving,
+        "spec-driven ServingSummary must match hand-built"
+    );
+
+    moentwine_bench::golden::check_or_bless(
+        &golden_dir().join("analytic.json"),
+        &snapshot(run, serving),
+        "spec-driven analytic scenario",
+        "GOLDEN_BLESS=1 cargo test --test golden_trace",
+    );
+}
+
 /// The scenario itself is deterministic: two in-process runs at the same
 /// seed produce identical snapshots bit for bit (stronger than the 1e-9
 /// cross-toolchain tolerance used against the files).
