@@ -4,7 +4,7 @@
 use moe_model::ModelConfig;
 use moe_workload::{Scenario, SchedulingMode, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
-use moentwine_core::engine::InferenceEngine;
+use moentwine_core::engine::{InferenceEngine, SummaryMode};
 use moentwine_spec::{BatchSpec, EngineSpec, ServingSpec};
 
 use crate::platforms::{wsc_plan, Platform, WscMapping};
@@ -39,6 +39,7 @@ fn run_cell(
             max_active: 256,
             request_rate: 600.0,
             iteration_period: 0.02,
+            summary: SummaryMode::Exact,
         }))
         .with_seed(29)
         .with_comm_layer_stride(8)

@@ -20,7 +20,7 @@ use std::fs;
 
 use moe_model::ModelConfig;
 use moe_workload::{RouterPolicy, Scenario, SchedulingMode, WorkloadMix};
-use moentwine_core::engine::EngineConfig;
+use moentwine_core::engine::{EngineConfig, SummaryMode};
 use moentwine_core::fleet::{Fleet, FleetSummary};
 use moentwine_spec::{BatchSpec, EngineSpec, FleetSpec, ModelSpec, ServingSpec};
 
@@ -60,6 +60,7 @@ fn engine_template() -> EngineConfig {
             max_active: 256,
             request_rate: 0.0,
             iteration_period: 0.02,
+            summary: SummaryMode::Exact,
         }))
         .with_kv_hbm_fraction(1.0e-3)
         .engine_config(model)

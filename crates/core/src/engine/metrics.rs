@@ -137,15 +137,27 @@ impl RunSummary {
 }
 
 /// Nearest-rank percentile of an **ascending-sorted** slice: the smallest
-/// element with at least `p`% of the samples at or below it. Returns 0 for
-/// an empty slice.
+/// element with at least `p`% of the samples at or below it.
+///
+/// # Empty input
+///
+/// Returns `0.0` for an empty slice — the documented "no samples" value
+/// every summary field defaults to (a percentile of zero observations has
+/// no order statistic to report, and serving latencies are strictly
+/// positive, so `0.0` is unambiguous). Callers that must distinguish
+/// "no samples" from a true zero should check `is_empty()` first.
 ///
 /// # Panics
 ///
-/// Panics if `p` is outside `[0, 100]`.
+/// Panics if `p` is outside `[0, 100]`. Debug builds additionally assert
+/// (with a message naming the contract) that the input is sorted.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     if sorted.is_empty() {
+        debug_assert!(
+            sorted.is_empty(),
+            "percentile of an empty slice is defined as 0.0 (no samples)"
+        );
         return 0.0;
     }
     debug_assert!(
@@ -154,6 +166,18 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     );
     let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
     sorted[rank.max(1) - 1]
+}
+
+/// Sorts `samples` and reads the (p50, p95, p99) nearest-rank ladder in
+/// one pass — the triple every serving metric reports. Percentiles a
+/// metric does not surface (e.g. e2e p95) are simply unused by the caller.
+fn sort_and_ladder(mut samples: Vec<f64>) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    (
+        percentile(&samples, 50.0),
+        percentile(&samples, 95.0),
+        percentile(&samples, 99.0),
+    )
 }
 
 /// Request-level serving statistics over a run: SLO percentiles (TTFT,
@@ -243,24 +267,14 @@ impl ServingSummary {
         if records.is_empty() {
             return s;
         }
-        let sorted = |mut v: Vec<f64>| {
-            v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-            v
-        };
-        let ttft = sorted(records.iter().map(RequestRecord::ttft).collect());
-        let tpot = sorted(records.iter().filter_map(RequestRecord::tpot).collect());
-        let e2e = sorted(records.iter().map(RequestRecord::e2e_latency).collect());
-        let queueing = sorted(records.iter().map(RequestRecord::queueing_delay).collect());
-        s.ttft_p50 = percentile(&ttft, 50.0);
-        s.ttft_p95 = percentile(&ttft, 95.0);
-        s.ttft_p99 = percentile(&ttft, 99.0);
-        s.tpot_p50 = percentile(&tpot, 50.0);
-        s.tpot_p95 = percentile(&tpot, 95.0);
-        s.tpot_p99 = percentile(&tpot, 99.0);
-        s.e2e_p50 = percentile(&e2e, 50.0);
-        s.e2e_p99 = percentile(&e2e, 99.0);
-        s.queueing_p50 = percentile(&queueing, 50.0);
-        s.queueing_p99 = percentile(&queueing, 99.0);
+        (s.ttft_p50, s.ttft_p95, s.ttft_p99) =
+            sort_and_ladder(records.iter().map(RequestRecord::ttft).collect());
+        (s.tpot_p50, s.tpot_p95, s.tpot_p99) =
+            sort_and_ladder(records.iter().filter_map(RequestRecord::tpot).collect());
+        (s.e2e_p50, _, s.e2e_p99) =
+            sort_and_ladder(records.iter().map(RequestRecord::e2e_latency).collect());
+        (s.queueing_p50, _, s.queueing_p99) =
+            sort_and_ladder(records.iter().map(RequestRecord::queueing_delay).collect());
         if sim_seconds > 0.0 {
             s.goodput_rps = records.len() as f64 / sim_seconds;
             let tokens: f64 = records
@@ -327,6 +341,40 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    /// The documented empty-input contract: every percentile of zero
+    /// samples is 0.0, at both endpoints and in between.
+    #[test]
+    fn percentile_of_empty_slice_is_zero_everywhere() {
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[], p), 0.0);
+        }
+        assert_eq!(sort_and_ladder(Vec::new()), (0.0, 0.0, 0.0));
+    }
+
+    /// A single sample is every percentile of itself (nearest rank clamps
+    /// to the only element).
+    #[test]
+    fn percentile_of_singleton_is_the_element() {
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[3.5], p), 3.5);
+        }
+        assert_eq!(sort_and_ladder(vec![3.5]), (3.5, 3.5, 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_rejects_out_of_range_p() {
+        percentile(&[1.0], 101.0);
+    }
+
+    /// The hoisted helper sorts its input itself and matches direct
+    /// nearest-rank reads on the sorted data.
+    #[test]
+    fn sort_and_ladder_matches_percentile_on_unsorted_input() {
+        let samples: Vec<f64> = (1..=100).rev().map(f64::from).collect();
+        assert_eq!(sort_and_ladder(samples), (50.0, 95.0, 99.0));
     }
 
     fn record(id: u64, arrival: f64, ttft: f64, e2e: f64, out: u32) -> RequestRecord {

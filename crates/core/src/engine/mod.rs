@@ -20,8 +20,10 @@
 //! `tests/analytic_vs_des.rs` for the cross-validation contract).
 
 mod metrics;
+mod sketch;
 
 pub use metrics::{percentile, IterationMetrics, RunSummary, ServingSummary};
+pub use sketch::{P2Quantile, StreamingSummary, SummaryMode};
 
 use moe_model::{CostModel, InferencePhase, ModelConfig, Precision};
 use moe_workload::{
@@ -139,6 +141,12 @@ pub struct EngineConfig {
     /// [`CongestionBackend::FlowSimCached`] (ignored by the stateless
     /// tiers). Defaults to [`wsc_sim::DEFAULT_CACHE_ENTRIES`].
     pub cache_entries: usize,
+    /// How serving summaries are maintained: [`SummaryMode::Exact`] retains
+    /// every completion record and the full iteration history (the golden
+    /// oracle); [`SummaryMode::Streaming`] folds completions into P²
+    /// sketches and keeps only the latest history entry — O(1) memory in
+    /// request count, for million-request fleet runs.
+    pub summary: SummaryMode,
 }
 
 impl EngineConfig {
@@ -167,8 +175,15 @@ impl EngineConfig {
             load_ema: 0.3,
             kv_hbm_fraction: 0.3,
             cache_entries: wsc_sim::DEFAULT_CACHE_ENTRIES,
+            summary: SummaryMode::Exact,
             model,
         }
+    }
+
+    /// Sets the summary maintenance mode (builder style).
+    pub fn with_summary(mut self, summary: SummaryMode) -> Self {
+        self.summary = summary;
+        self
     }
 
     /// Sets the balancer kind (builder style).
@@ -263,8 +278,16 @@ pub struct InferenceEngine<'a> {
     iteration: u64,
     /// Simulated wall-clock time: the sum of priced iteration durations.
     clock: f64,
-    /// Lifecycle records of completed requests (scheduled mode only).
+    /// Lifecycle records of completed requests (serving modes under
+    /// [`SummaryMode::Exact`]; empty under [`SummaryMode::Streaming`]).
     completed: Vec<RequestRecord>,
+    /// Streaming accumulator ([`SummaryMode::Streaming`] only).
+    streaming: Option<StreamingSummary>,
+    /// Completions since the last [`Self::take_fresh_completions`] drain —
+    /// populated only in streaming [`BatchMode::External`], where the fleet
+    /// folds them into its own aggregate sketch every round. Bounded by the
+    /// drain cadence, not by total request count.
+    fresh: Vec<RequestRecord>,
     /// All-reduce cost decomposition: `time = ser_per_byte × bytes + lat`.
     ar_ser_per_byte: f64,
     ar_latency: f64,
@@ -447,6 +470,11 @@ impl<'a> InferenceEngine<'a> {
             iteration: 0,
             clock: 0.0,
             completed: Vec::new(),
+            streaming: match config.summary {
+                SummaryMode::Exact => None,
+                SummaryMode::Streaming => Some(StreamingSummary::new()),
+            },
+            fresh: Vec::new(),
             ar_ser_per_byte: est.serialization_time,
             ar_latency: est.latency_time,
             history: Vec::new(),
@@ -706,7 +734,26 @@ impl<'a> InferenceEngine<'a> {
             scheduler.finish_iteration(self.clock);
             let mut done = scheduler.drain_completed();
             metrics.requests_completed = done.len() as u64;
-            self.completed.append(&mut done);
+            match self.streaming.as_mut() {
+                Some(streaming) => {
+                    for record in &done {
+                        streaming.observe_record(record);
+                    }
+                    // In a fleet the router owns the aggregate sketch too:
+                    // stage the records for its per-round drain (sketches
+                    // don't merge). Standalone streaming engines drop them.
+                    if matches!(self.config.batch, BatchMode::External { .. }) {
+                        self.fresh.append(&mut done);
+                    }
+                }
+                None => self.completed.append(&mut done),
+            }
+        }
+        if let Some(streaming) = self.streaming.as_mut() {
+            streaming.observe_iteration(metrics.queue_depth, metrics.active_requests);
+            // O(1) history: keep only the latest entry (its `sim_time` is
+            // the covered span; occupancy means live in the sketch).
+            self.history.clear();
         }
 
         self.iteration += 1;
@@ -717,6 +764,16 @@ impl<'a> InferenceEngine<'a> {
     /// Simulated wall-clock time elapsed so far, seconds.
     pub fn sim_time(&self) -> f64 {
         self.clock
+    }
+
+    /// Jumps the simulated clock forward to `t` (no-op if `t` is in the
+    /// past) without pricing an iteration. Used by the fleet's event-heap
+    /// scheduler to park an idle replica and resume it at the next arrival:
+    /// the serving scheduler re-synchronizes on the next
+    /// `next_batch_at(clock)` call, so no phantom idle iterations are
+    /// priced or recorded.
+    pub fn fast_forward(&mut self, t: f64) {
+        self.clock = self.clock.max(t);
     }
 
     /// Feeds one routed request to this replica's serving queue
@@ -750,19 +807,40 @@ impl<'a> InferenceEngine<'a> {
     }
 
     /// Lifecycle records of every request completed so far (empty in
-    /// [`BatchMode::Fixed`]).
+    /// [`BatchMode::Fixed`] and in [`SummaryMode::Streaming`], which folds
+    /// records into sketches instead of retaining them).
     pub fn completed_requests(&self) -> &[RequestRecord] {
         &self.completed
+    }
+
+    /// Drains the completions staged since the last drain (streaming
+    /// [`BatchMode::External`] only; empty otherwise). The fleet calls this
+    /// every round to feed its own aggregate [`StreamingSummary`].
+    pub fn take_fresh_completions(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// Memory proxy: records and iteration-history entries currently
+    /// retained. O(completed requests) under [`SummaryMode::Exact`];
+    /// bounded (last history entry + undrained fresh completions) under
+    /// [`SummaryMode::Streaming`].
+    pub fn retained_records(&self) -> usize {
+        self.completed.len() + self.fresh.len() + self.history.len()
     }
 
     /// Request-level serving statistics over the run so far: SLO
     /// percentiles, goodput, queue occupancy, and admission rejects.
     /// Zeroed in [`BatchMode::Fixed`], which has no request lifecycle.
+    /// Under [`SummaryMode::Streaming`] the percentiles are the sketch
+    /// estimates (exact for runs of ≤ [`P2Quantile::WARMUP`] completions).
     pub fn serving_summary(&self) -> ServingSummary {
         let (rejects, peak_kv) = self.scheduler.as_ref().map_or((0, 0), |s| {
             (s.queue().rejected(), s.queue().peak_kv_tokens())
         });
-        ServingSummary::from_records(&self.completed, &self.history, rejects, peak_kv)
+        match self.streaming.as_ref() {
+            Some(streaming) => streaming.summary(rejects, peak_kv, self.clock),
+            None => ServingSummary::from_records(&self.completed, &self.history, rejects, peak_kv),
+        }
     }
 }
 
@@ -977,6 +1055,84 @@ mod tests {
         // Fixed-batch mode has no request lifecycle.
         let fixed = InferenceEngine::new(&topo, &table, &plan, EngineConfig::new(small_model()));
         assert_eq!(fixed.serving_summary().completed, 0);
+    }
+
+    #[test]
+    fn streaming_summary_is_exact_within_warmup_and_retains_nothing() {
+        let (topo, table, plan) = fixture();
+        let base = EngineConfig::new(small_model())
+            .with_seed(23)
+            .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+            .with_batch(BatchMode::Scheduled {
+                mode: SchedulingMode::Hybrid,
+                max_batch_tokens: 2048,
+                max_active: 128,
+                request_rate: 2.0e4,
+                iteration_period: 0.02,
+            });
+        let mut exact = InferenceEngine::new(&topo, &table, &plan, base.clone());
+        let mut streaming = InferenceEngine::new(
+            &topo,
+            &table,
+            &plan,
+            base.with_summary(SummaryMode::Streaming),
+        );
+        exact.run(600);
+        streaming.run(600);
+        let e = exact.serving_summary();
+        let s = streaming.serving_summary();
+        assert!(e.completed > 0, "scenario produced no completions");
+        assert!(
+            e.completed <= P2Quantile::WARMUP,
+            "scenario outgrew the warm-up window ({}); lower the rate",
+            e.completed
+        );
+        // Within the warm-up window every percentile is bit-identical.
+        assert_eq!(s.completed, e.completed);
+        assert_eq!(s.ttft_p50, e.ttft_p50);
+        assert_eq!(s.ttft_p95, e.ttft_p95);
+        assert_eq!(s.ttft_p99, e.ttft_p99);
+        assert_eq!(s.tpot_p50, e.tpot_p50);
+        assert_eq!(s.tpot_p99, e.tpot_p99);
+        assert_eq!(s.e2e_p50, e.e2e_p50);
+        assert_eq!(s.e2e_p99, e.e2e_p99);
+        assert_eq!(s.queueing_p50, e.queueing_p50);
+        assert_eq!(s.queueing_p99, e.queueing_p99);
+        assert_eq!(s.sim_seconds, e.sim_seconds);
+        assert_eq!(s.goodput_rps, e.goodput_rps);
+        assert_eq!(s.goodput_tokens_per_s, e.goodput_tokens_per_s);
+        assert_eq!(s.max_queue_depth, e.max_queue_depth);
+        assert_eq!(s.peak_kv_tokens, e.peak_kv_tokens);
+        // Occupancy means differ only in summation order.
+        assert!((s.mean_queue_depth - e.mean_queue_depth).abs() < 1e-9);
+        assert!((s.mean_active_requests - e.mean_active_requests).abs() < 1e-9);
+        // And the streaming engine held on to nothing but the last entry.
+        assert!(streaming.completed_requests().is_empty());
+        assert_eq!(streaming.retained_records(), 1);
+        assert!(exact.retained_records() > e.completed);
+    }
+
+    #[test]
+    fn fast_forward_parks_the_clock_monotonically() {
+        let (topo, table, plan) = fixture();
+        let config = EngineConfig::new(small_model())
+            .with_seed(5)
+            .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+            .with_batch(BatchMode::External {
+                mode: SchedulingMode::Hybrid,
+                max_batch_tokens: 2048,
+                max_active: 128,
+            });
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.step();
+        let t = engine.sim_time();
+        engine.fast_forward(t - 1.0); // past: no-op
+        assert_eq!(engine.sim_time(), t);
+        engine.fast_forward(t + 5.0);
+        assert_eq!(engine.sim_time(), t + 5.0);
+        // The next priced iteration starts from the jumped clock.
+        let m = engine.step().sim_time;
+        assert!(m > t + 5.0);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! * **The router** ([`moe_workload::Router`]) dispatches every arrival to
 //!   a replica's serving queue under a pluggable
 //!   [`RouterPolicy`](moe_workload::RouterPolicy).
-//! * **The clock** advances in lock-step rounds: at each synchronization
-//!   point the fleet routes all arrivals up to the fleet clock (the
+//! * **The clock** advances either in lock-step rounds or on an event
+//!   heap, selected by [`FleetScheduler`]. Round-driven stepping
+//!   ([`Fleet::run`]) routes all arrivals up to the fleet clock (the
 //!   *minimum* of the replicas' simulated times, so no replica is ever fed
 //!   an arrival from its own future), then every replica executes exactly
 //!   one iteration. Between synchronization points replicas share no
@@ -24,11 +25,23 @@
 //!   [`Fleet::step_round_with`] takes any [`ReplicaPool`] — and the result
 //!   is byte-identical to serial stepping by construction: routing is
 //!   serial at the barrier, and each engine's iteration is a pure function
-//!   of its own state.
+//!   of its own state. Under [`FleetScheduler::EventHeap`] the round is
+//!   executed as a heap-ordered wave — replicas step in
+//!   `(sim_time, replica index)` order — which, by the same independence
+//!   argument, is byte-identical to lock-step rounds; the goldens pin this.
+//! * **Time-horizon runs** ([`Fleet::run_until`]) are where the schedulers
+//!   diverge in cost: lock-step loops whole rounds until the fleet clock
+//!   reaches the horizon, pricing an idle iteration on every drained
+//!   replica every round, while the event heap advances each replica only
+//!   when it has work — idle replicas *park* (no phantom iterations) and
+//!   are woken by the next routed arrival. See DESIGN.md §10 for the heap
+//!   invariants and the determinism / tie-break contract.
 //!
 //! [`Fleet::summary`] reports per-replica and aggregate
 //! [`ServingSummary`]s plus the load-imbalance ratios a capacity planner
 //! reads ("how many wafers for this arrival rate at p99 TTFT ≤ X?").
+
+use std::collections::BinaryHeap;
 
 use moe_workload::{
     ArrivalProcess, ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy,
@@ -37,7 +50,9 @@ use wsc_sim::CongestionBackend;
 use wsc_topology::{RouteTable, Topology};
 
 use crate::comm::ParallelLayout;
-use crate::engine::{BatchMode, EngineConfig, InferenceEngine, ServingSummary};
+use crate::engine::{
+    BatchMode, EngineConfig, InferenceEngine, ServingSummary, StreamingSummary, SummaryMode,
+};
 
 /// Executes a batch of independent replica-step jobs. The contract is
 /// *completion*, not order: when [`ReplicaPool::run`] returns, every job
@@ -73,6 +88,53 @@ fn split_seed(master: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How the fleet advances its replicas through simulated time.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FleetScheduler {
+    /// Barrier every round: route, then step every replica exactly once.
+    /// The retained reference semantics — [`FleetScheduler::EventHeap`]
+    /// must match it bit for bit in round-driven runs.
+    Lockstep,
+    /// Replicas advance in next-event-time order. Round-driven runs
+    /// execute each round as a heap-ordered wave (byte-identical to
+    /// lock-step); time-horizon runs ([`Fleet::run_until`]) park idle
+    /// replicas and wake them on arrival, skipping the idle iterations
+    /// lock-step prices at every barrier.
+    #[default]
+    EventHeap,
+}
+
+impl FleetScheduler {
+    /// Stable lowercase name (`"lockstep"` / `"event-heap"`), matching the
+    /// `FromStr` spelling and the scenario-spec JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetScheduler::Lockstep => "lockstep",
+            FleetScheduler::EventHeap => "event-heap",
+        }
+    }
+}
+
+impl std::fmt::Display for FleetScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for FleetScheduler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lockstep" => Ok(FleetScheduler::Lockstep),
+            "event-heap" => Ok(FleetScheduler::EventHeap),
+            other => Err(format!(
+                "unknown fleet scheduler {other:?} (expected \"lockstep\" or \"event-heap\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of a [`Fleet`].
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -91,6 +153,8 @@ pub struct FleetConfig {
     /// backend everywhere; otherwise replica `i` gets `overrides[i % len]`
     /// (so a two-entry list alternates fidelity tiers across the fleet).
     pub backend_overrides: Vec<CongestionBackend>,
+    /// Replica advancement strategy (see [`FleetScheduler`]).
+    pub scheduler: FleetScheduler,
 }
 
 impl FleetConfig {
@@ -108,12 +172,19 @@ impl FleetConfig {
             request_rate,
             engine,
             backend_overrides: Vec::new(),
+            scheduler: FleetScheduler::default(),
         }
     }
 
     /// Sets per-replica backend overrides (builder style).
     pub fn with_backend_overrides(mut self, overrides: Vec<CongestionBackend>) -> Self {
         self.backend_overrides = overrides;
+        self
+    }
+
+    /// Sets the replica advancement strategy (builder style).
+    pub fn with_scheduler(mut self, scheduler: FleetScheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -156,9 +227,51 @@ pub struct Fleet<'a> {
     generator: RequestGenerator,
     /// First generated arrival beyond the fleet clock.
     lookahead: Option<Request>,
-    /// Fleet clock: min over replica clocks at the last synchronization.
+    /// Fleet clock: min over replica clocks at the last synchronization
+    /// (round-driven), or the covered horizon (event-driven `run_until`).
     clock: f64,
+    /// Synchronization rounds in round-driven runs; priced step events in
+    /// event-driven `run_until` runs (there are no barriers to count).
     rounds: u64,
+    scheduler: FleetScheduler,
+    /// Fleet-wide streaming aggregate ([`SummaryMode::Streaming`] replicas
+    /// only): P² sketches don't merge, so the fleet folds every replica's
+    /// fresh completions into its own accumulator as they drain.
+    streaming: Option<StreamingSummary>,
+}
+
+/// A pending replica step in the event heap, ordered so that
+/// `BinaryHeap::pop` yields the *earliest* event: time ascending
+/// (`f64::total_cmp`), then replica index ascending — the deterministic
+/// tie-break contract (DESIGN.md §10).
+#[derive(Copy, Clone, Debug)]
+struct StepEvent {
+    time: f64,
+    replica: usize,
+}
+
+impl PartialEq for StepEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for StepEvent {}
+
+impl Ord for StepEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min element.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.replica.cmp(&self.replica))
+    }
+}
+
+impl PartialOrd for StepEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl<'a> Fleet<'a> {
@@ -263,6 +376,11 @@ impl<'a> Fleet<'a> {
             lookahead: None,
             clock: 0.0,
             rounds: 0,
+            scheduler: config.scheduler,
+            streaming: match config.engine.summary {
+                SummaryMode::Exact => None,
+                SummaryMode::Streaming => Some(StreamingSummary::new()),
+            },
         })
     }
 
@@ -325,18 +443,36 @@ impl<'a> Fleet<'a> {
     /// One synchronization round: route arrivals up to the fleet clock,
     /// advance every replica by one iteration on `pool`, then resynchronize
     /// the fleet clock. Output is identical for every [`ReplicaPool`].
+    ///
+    /// Under [`FleetScheduler::EventHeap`] the jobs are submitted as a
+    /// heap-ordered wave — `(sim_time, replica index)` order — instead of
+    /// replica order. Replicas are independent within a round, so the wave
+    /// is byte-identical to lock-step for any pool; the fleet goldens pin
+    /// this equivalence.
     pub fn step_round_with(&mut self, pool: &dyn ReplicaPool) {
         self.route_arrivals();
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = self
-            .engines
-            .iter_mut()
-            .map(|engine| {
+        let mut order: Vec<usize> = (0..self.engines.len()).collect();
+        if self.scheduler == FleetScheduler::EventHeap {
+            order.sort_by(|&a, &b| {
+                self.engines[a]
+                    .sim_time()
+                    .total_cmp(&self.engines[b].sim_time())
+                    .then(a.cmp(&b))
+            });
+        }
+        let mut slots: Vec<Option<&mut InferenceEngine<'a>>> =
+            self.engines.iter_mut().map(Some).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = order
+            .into_iter()
+            .map(|i| {
+                let engine = slots[i].take().expect("each replica steps once");
                 Box::new(move || {
                     engine.step();
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
         pool.run(jobs);
+        self.drain_fresh_completions();
         self.clock = self
             .engines
             .iter()
@@ -357,6 +493,159 @@ impl<'a> Fleet<'a> {
         }
     }
 
+    /// Folds every replica's freshly-staged completions into the fleet's
+    /// aggregate streaming summary (no-op under [`SummaryMode::Exact`]).
+    /// Always in replica order, so the aggregate sketch is deterministic
+    /// for any [`ReplicaPool`].
+    fn drain_fresh_completions(&mut self) {
+        if let Some(streaming) = self.streaming.as_mut() {
+            for engine in &mut self.engines {
+                for record in engine.take_fresh_completions() {
+                    streaming.observe_record(&record);
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time to `horizon` seconds (no-op if already
+    /// past). This is where the two [`FleetScheduler`]s genuinely diverge:
+    ///
+    /// * **Lock-step** loops whole synchronization rounds until the fleet
+    ///   clock reaches the horizon — every replica prices an iteration
+    ///   every round, including drained replicas whose idle iterations
+    ///   advance their clocks by microseconds. The honest reference cost.
+    /// * **Event-heap** runs a causal discrete-event loop: a binary heap
+    ///   keyed on each replica's next-event time, interleaved with the
+    ///   single outstanding arrival event. Replicas with no queued or
+    ///   resident work *park* — they leave the heap, price nothing, and
+    ///   are woken (`fast_forward` to the arrival time) when the router
+    ///   next offers them a request. Arrivals at time *t* are routed
+    ///   before any step at *t*; step ties break by replica index. The
+    ///   loop stops at the first event at or beyond the horizon, and the
+    ///   fleet clock lands exactly on `horizon` (every routing decision up
+    ///   to it has been made).
+    ///
+    /// Under [`SummaryMode::Streaming`] both paths keep memory O(1) in
+    /// request count. `rounds()` advances by whole rounds (lock-step) or
+    /// by priced step events (event-heap).
+    pub fn run_until(&mut self, horizon: f64) {
+        match self.scheduler {
+            FleetScheduler::Lockstep => {
+                while self.clock < horizon {
+                    self.step_round();
+                }
+            }
+            FleetScheduler::EventHeap => self.run_until_event_driven(horizon),
+        }
+    }
+
+    /// The event-heap core of [`Fleet::run_until`].
+    fn run_until_event_driven(&mut self, horizon: f64) {
+        let mut snapshots: Vec<ReplicaSnapshot> = self
+            .engines
+            .iter()
+            .map(|e| e.replica_snapshot().expect("replicas run a serving mode"))
+            .collect();
+        // Rebuild the step heap from scratch: any replica with work pending
+        // steps next at its own clock; the rest are parked. `scheduled[i]`
+        // mirrors heap membership so a replica is never enqueued twice.
+        let mut heap: BinaryHeap<StepEvent> = BinaryHeap::new();
+        let mut scheduled = vec![false; self.engines.len()];
+        for (i, snap) in snapshots.iter().enumerate() {
+            if snap.queue_depth > 0 || snap.active > 0 {
+                heap.push(StepEvent {
+                    time: self.engines[i].sim_time(),
+                    replica: i,
+                });
+                scheduled[i] = true;
+            }
+        }
+        loop {
+            // One arrival is outstanding at a time (the lookahead), so the
+            // next event is min(lookahead, heap top) — arrival first on
+            // time ties, the router-before-replica contract.
+            let arrival_time = match &self.lookahead {
+                Some(r) => r.arrival,
+                None => {
+                    let r = self.generator.next_request();
+                    let t = r.arrival;
+                    self.lookahead = Some(r);
+                    t
+                }
+            };
+            let step = heap.peek().copied();
+            let arrival_next = step.is_none_or(|s| arrival_time <= s.time);
+            let event_time = if arrival_next {
+                arrival_time
+            } else {
+                step.expect("not arrival ⇒ step exists").time
+            };
+            if event_time >= horizon {
+                break;
+            }
+            if arrival_next {
+                let request = self.lookahead.take().expect("peeked above");
+                let choice = self.router.route(&request, &snapshots);
+                self.engines[choice].offer_request(request);
+                if !scheduled[choice] {
+                    // Wake a parked replica at the arrival instant: no
+                    // phantom idle iterations were priced while it slept.
+                    self.engines[choice].fast_forward(event_time);
+                    heap.push(StepEvent {
+                        time: self.engines[choice].sim_time(),
+                        replica: choice,
+                    });
+                    scheduled[choice] = true;
+                }
+                snapshots[choice] = self.engines[choice]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
+            } else {
+                let StepEvent { replica, .. } = heap.pop().expect("peeked above");
+                self.engines[replica].step();
+                self.rounds += 1;
+                let snap = self.engines[replica]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
+                if snap.queue_depth > 0 || snap.active > 0 {
+                    heap.push(StepEvent {
+                        time: self.engines[replica].sim_time(),
+                        replica,
+                    });
+                } else {
+                    scheduled[replica] = false;
+                }
+                snapshots[replica] = snap;
+                self.drain_fresh_completions_for(replica);
+            }
+        }
+        // Every arrival and step strictly before the horizon has been
+        // processed: the covered span is exactly the horizon.
+        self.clock = self.clock.max(horizon);
+    }
+
+    /// Per-replica variant of [`Fleet::drain_fresh_completions`] for the
+    /// event loop (only the stepped replica can have staged completions).
+    fn drain_fresh_completions_for(&mut self, replica: usize) {
+        if let Some(streaming) = self.streaming.as_mut() {
+            for record in self.engines[replica].take_fresh_completions() {
+                streaming.observe_record(&record);
+            }
+        }
+    }
+
+    /// Memory proxy: request records and iteration-history entries
+    /// currently retained across all replicas. O(total completions) under
+    /// [`SummaryMode::Exact`]; bounded by the replica count under
+    /// [`SummaryMode::Streaming`] (one history entry per replica, staged
+    /// completions drained every round / step event).
+    pub fn retained_records(&self) -> usize {
+        self.engines
+            .iter()
+            .map(InferenceEngine::retained_records)
+            .sum()
+    }
+
     /// Fleet-level serving statistics over the run so far.
     pub fn summary(&self) -> FleetSummary {
         let per_replica: Vec<ServingSummary> = self
@@ -365,23 +654,33 @@ impl<'a> Fleet<'a> {
             .map(InferenceEngine::serving_summary)
             .collect();
 
-        // Aggregate percentiles over the union of completed requests.
-        let all_records: Vec<moe_workload::RequestRecord> = self
-            .engines
-            .iter()
-            .flat_map(|e| e.completed_requests().iter().cloned())
-            .collect();
         let total_rejects: u64 = per_replica.iter().map(|s| s.admission_rejects).sum();
-        let mut aggregate = ServingSummary::from_records(&all_records, &[], total_rejects, 0);
-        aggregate.sim_seconds = self.clock;
-        if self.clock > 0.0 {
-            aggregate.goodput_rps = all_records.len() as f64 / self.clock;
-            aggregate.goodput_tokens_per_s = all_records
-                .iter()
-                .map(|r| r.input_len as f64 + r.output_len as f64)
-                .sum::<f64>()
-                / self.clock;
-        }
+        let mut aggregate = match self.streaming.as_ref() {
+            // Streaming: the fleet's own sketch over the union of
+            // completions (P² sketches don't merge, so it was fed as the
+            // replicas drained). Goodput is against the fleet clock.
+            Some(streaming) => streaming.summary(total_rejects, 0, self.clock),
+            // Exact: percentiles over the union of retained records.
+            None => {
+                let all_records: Vec<moe_workload::RequestRecord> = self
+                    .engines
+                    .iter()
+                    .flat_map(|e| e.completed_requests().iter().cloned())
+                    .collect();
+                let mut aggregate =
+                    ServingSummary::from_records(&all_records, &[], total_rejects, 0);
+                aggregate.sim_seconds = self.clock;
+                if self.clock > 0.0 {
+                    aggregate.goodput_rps = all_records.len() as f64 / self.clock;
+                    aggregate.goodput_tokens_per_s = all_records
+                        .iter()
+                        .map(|r| r.input_len as f64 + r.output_len as f64)
+                        .sum::<f64>()
+                        / self.clock;
+                }
+                aggregate
+            }
+        };
         // Occupancy aggregates are fleet-wide sums (max over replicas for
         // the depth high-water mark).
         for s in &per_replica {
@@ -601,6 +900,140 @@ mod tests {
         let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 1.0e3, template);
         let err = Fleet::try_new(&topo, &table, &plan, config).err();
         assert_eq!(err, Some(ConfigError::LoadEmaOutOfRange { value: 0.0 }));
+    }
+
+    #[test]
+    fn schedulers_agree_bit_for_bit_on_round_driven_runs() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |scheduler: FleetScheduler| {
+            let config =
+                FleetConfig::new(3, RouterPolicy::LeastQueueDepth, 8.0e3, engine_template(29))
+                    .with_scheduler(scheduler);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(150);
+            fleet.summary()
+        };
+        assert_eq!(
+            run(FleetScheduler::Lockstep),
+            run(FleetScheduler::EventHeap)
+        );
+    }
+
+    #[test]
+    fn run_until_event_heap_skips_idle_iterations() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        // A deliberately underutilized fleet: a trickle of arrivals across
+        // 4 replicas, so lock-step burns idle iterations on every round.
+        let horizon = 2.0e-3;
+        let run = |scheduler: FleetScheduler| {
+            let config = FleetConfig::new(4, RouterPolicy::RoundRobin, 2.0e3, engine_template(41))
+                .with_scheduler(scheduler);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run_until(horizon);
+            fleet
+        };
+        let lockstep = run(FleetScheduler::Lockstep);
+        let event = run(FleetScheduler::EventHeap);
+        assert!(lockstep.sim_time() >= horizon);
+        assert_eq!(event.sim_time(), horizon);
+        // Lock-step prices replicas × rounds iterations; the event heap
+        // prices only busy steps.
+        let lockstep_steps: u64 = lockstep.rounds() * lockstep.engines().len() as u64;
+        assert!(
+            event.rounds() * 2 < lockstep_steps,
+            "event heap priced {} steps vs lock-step {lockstep_steps}",
+            event.rounds()
+        );
+        // Both serve the same arrival stream to completion-or-queue: the
+        // same requests were routed (the router consumed the same prefix).
+        let routed_l: u64 = lockstep.summary().routed.iter().sum();
+        let routed_e: u64 = event.summary().routed.iter().sum();
+        // Lock-step may route a hair more: its final round can overshoot
+        // the horizon, pulling arrivals in (horizon, clock].
+        assert!(routed_e <= routed_l);
+        assert!(routed_e > 0, "no arrivals routed before the horizon");
+    }
+
+    #[test]
+    fn streaming_fleet_bounds_memory_and_tracks_exact() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |summary: SummaryMode| {
+            let config = FleetConfig::new(
+                2,
+                RouterPolicy::PowerOfTwoChoices,
+                1.2e5,
+                engine_template(47).with_summary(summary),
+            );
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(400);
+            let retained = fleet.retained_records();
+            (fleet.summary(), retained)
+        };
+        let (exact, exact_retained) = run(SummaryMode::Exact);
+        let (streaming, streaming_retained) = run(SummaryMode::Streaming);
+        assert!(exact.aggregate.completed > 0);
+        // Identical trajectory, different bookkeeping.
+        assert_eq!(streaming.aggregate.completed, exact.aggregate.completed);
+        assert_eq!(streaming.routed, exact.routed);
+        assert_eq!(streaming.sim_seconds, exact.sim_seconds);
+        assert_eq!(streaming.aggregate.goodput_rps, exact.aggregate.goodput_rps);
+        assert_eq!(
+            streaming.aggregate.max_queue_depth,
+            exact.aggregate.max_queue_depth
+        );
+        // Streaming retains one history entry per replica; exact retains
+        // every record and every iteration.
+        assert_eq!(streaming_retained, 2);
+        assert!(exact_retained > exact.aggregate.completed + 700);
+        // Percentile estimates stay within the exact run's value range.
+        assert!(streaming.aggregate.ttft_p50 > 0.0);
+        assert!(streaming.aggregate.ttft_p50 <= streaming.aggregate.ttft_p99);
+        assert!(streaming.aggregate.e2e_p50 <= streaming.aggregate.e2e_p99);
+    }
+
+    #[test]
+    fn run_until_streaming_event_fleet_stays_bounded() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(
+            3,
+            RouterPolicy::LeastQueueDepth,
+            6.0e4,
+            engine_template(53).with_summary(SummaryMode::Streaming),
+        );
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run_until(3.0e-3);
+        let summary = fleet.summary();
+        assert!(summary.aggregate.completed > 0, "no completions");
+        // Bounded memory: at most one history entry per replica (a replica
+        // that never woke retains nothing).
+        assert!(fleet.retained_records() <= 3);
+        assert_eq!(summary.sim_seconds, 3.0e-3);
+        assert!(summary.aggregate.goodput_rps > 0.0);
+    }
+
+    #[test]
+    fn fleet_scheduler_names_round_trip() {
+        for s in [FleetScheduler::Lockstep, FleetScheduler::EventHeap] {
+            assert_eq!(s.name().parse::<FleetScheduler>().unwrap(), s);
+        }
+        assert!("event_heap".parse::<FleetScheduler>().is_err());
+        assert_eq!(FleetScheduler::default(), FleetScheduler::EventHeap);
     }
 
     #[test]

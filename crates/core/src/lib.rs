@@ -55,7 +55,7 @@ pub mod migration;
 pub mod placement;
 
 pub use config::ConfigError;
-pub use fleet::{Fleet, FleetConfig, FleetSummary, ReplicaPool, SerialReplicaPool};
+pub use fleet::{Fleet, FleetConfig, FleetScheduler, FleetSummary, ReplicaPool, SerialReplicaPool};
 pub use mapping::{
     BaselineMapping, ErMapping, HierarchicalErMapping, MappingError, MappingKind, MappingPlan,
     TpShape,

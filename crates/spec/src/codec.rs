@@ -30,6 +30,8 @@ use crate::platform::{MappingSpec, PlatformSpec};
 use crate::scenario::ScenarioSpec;
 use crate::sweep::SweepSpec;
 use crate::SCHEMA;
+use moentwine_core::engine::SummaryMode;
+use moentwine_core::fleet::FleetScheduler;
 
 // ---------------------------------------------------------------------------
 // Small field accessors (all failures become typed `ConfigError::Spec`s).
@@ -425,6 +427,7 @@ fn batch_to_json(batch: &BatchSpec) -> Value {
             ("max_active", num(s.max_active as f64)),
             ("request_rate", num(s.request_rate)),
             ("iteration_period", num(s.iteration_period)),
+            ("summary", Value::Str(s.summary.name().into())),
         ]),
     }
 }
@@ -437,13 +440,41 @@ fn batch_from_json(value: &Value) -> Result<BatchSpec, ConfigError> {
             avg_context: get_f64(value, ctx, "avg_context")?,
             phase: phase_from(get_str(value, ctx, "phase")?, "engine.batch.phase")?,
         },
-        "serving" => BatchSpec::Serving(ServingSpec {
-            mode: parse_tag(get_str(value, ctx, "mode")?, "engine.batch.mode")?,
-            max_batch_tokens: get_u32(value, ctx, "max_batch_tokens")?,
-            max_active: get_usize(value, ctx, "max_active")?,
-            request_rate: get_f64(value, ctx, "request_rate")?,
-            iteration_period: get_f64(value, ctx, "iteration_period")?,
-        }),
+        "serving" => {
+            // `summary` is optional (older specs predate it), so a typo
+            // would silently fall back to exact mode; reject unknown
+            // members.
+            reject_unknown(
+                value,
+                ctx,
+                &[
+                    "kind",
+                    "mode",
+                    "max_batch_tokens",
+                    "max_active",
+                    "request_rate",
+                    "iteration_period",
+                    "summary",
+                ],
+            )?;
+            let summary = match value.get("summary") {
+                None => SummaryMode::Exact,
+                Some(v) => {
+                    let text = v.as_str().ok_or_else(|| {
+                        ConfigError::spec("engine.batch.summary", "expected a string")
+                    })?;
+                    parse_tag::<SummaryMode>(text, "engine.batch.summary")?
+                }
+            };
+            BatchSpec::Serving(ServingSpec {
+                mode: parse_tag(get_str(value, ctx, "mode")?, "engine.batch.mode")?,
+                max_batch_tokens: get_u32(value, ctx, "max_batch_tokens")?,
+                max_active: get_usize(value, ctx, "max_active")?,
+                request_rate: get_f64(value, ctx, "request_rate")?,
+                iteration_period: get_f64(value, ctx, "iteration_period")?,
+                summary,
+            })
+        }
         other => {
             return Err(ConfigError::spec(
                 "engine.batch.kind",
@@ -517,17 +548,24 @@ impl FleetSpec {
                 "backend_overrides",
                 Value::strings(self.backend_overrides.iter().map(|b| b.name())),
             ),
+            ("scheduler", Value::Str(self.scheduler.name().into())),
         ])
     }
 
     fn from_json_value(value: &Value) -> Result<Self, ConfigError> {
         let ctx = "fleet";
-        // `backend_overrides` is optional, so a typo would silently drop
-        // the overrides; reject unknown members.
+        // `backend_overrides` and `scheduler` are optional, so a typo
+        // would silently drop them; reject unknown members.
         reject_unknown(
             value,
             ctx,
-            &["replicas", "policy", "request_rate", "backend_overrides"],
+            &[
+                "replicas",
+                "policy",
+                "request_rate",
+                "backend_overrides",
+                "scheduler",
+            ],
         )?;
         let overrides = match value.get("backend_overrides") {
             None => Vec::new(),
@@ -545,11 +583,21 @@ impl FleetSpec {
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let scheduler = match value.get("scheduler") {
+            None => FleetScheduler::default(),
+            Some(v) => {
+                let text = v
+                    .as_str()
+                    .ok_or_else(|| ConfigError::spec("fleet.scheduler", "expected a string"))?;
+                parse_tag::<FleetScheduler>(text, "fleet.scheduler")?
+            }
+        };
         Ok(FleetSpec {
             replicas: get_usize(value, ctx, "replicas")?,
             policy: parse_tag(get_str(value, ctx, "policy")?, "fleet.policy")?,
             request_rate: get_f64(value, ctx, "request_rate")?,
             backend_overrides: overrides,
+            scheduler,
         })
     }
 }
@@ -842,6 +890,77 @@ mod tests {
         }
         let err = ScenarioSpec::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("backend_override"), "{err}");
+    }
+
+    /// Mutates a nested object field along `path`, applying `f` to the
+    /// object holding the final key.
+    fn with_member(json: &mut Value, path: &[&str], f: impl FnOnce(&mut Vec<(String, Value)>)) {
+        let mut cursor = json;
+        for key in &path[..path.len() - 1] {
+            let Value::Obj(members) = cursor else {
+                panic!("expected an object at {key}");
+            };
+            cursor = &mut members
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .1;
+        }
+        let Value::Obj(members) = cursor else {
+            panic!("expected an object");
+        };
+        f(members);
+    }
+
+    #[test]
+    fn invalid_summary_and_scheduler_spellings_are_rejected() {
+        // "exactly" is not a summary mode; the error must name the field.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["engine", "batch", "summary"], |members| {
+            members
+                .iter_mut()
+                .find(|(k, _)| k == "summary")
+                .expect("serving batch emits summary")
+                .1 = Value::Str("exactly".into());
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("engine.batch.summary"), "{err}");
+
+        // "event_heap" (underscore) is not a scheduler spelling.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["fleet", "scheduler"], |members| {
+            members
+                .iter_mut()
+                .find(|(k, _)| k == "scheduler")
+                .expect("fleet emits scheduler")
+                .1 = Value::Str("event_heap".into());
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("fleet.scheduler"), "{err}");
+    }
+
+    #[test]
+    fn summary_and_scheduler_are_optional_with_stable_defaults() {
+        // Older documents predate both keys; absence means exact summaries
+        // and the event-heap scheduler.
+        let spec = full_spec();
+        let mut json = spec.to_json();
+        with_member(&mut json, &["engine", "batch", "summary"], |members| {
+            members.retain(|(k, _)| k != "summary");
+        });
+        with_member(&mut json, &["fleet", "scheduler"], |members| {
+            members.retain(|(k, _)| k != "scheduler");
+        });
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        match &back.engine.batch {
+            BatchSpec::Serving(s) => assert_eq!(s.summary, SummaryMode::Exact),
+            other => panic!("expected serving batch, got {other:?}"),
+        }
+        assert_eq!(
+            back.fleet.as_ref().unwrap().scheduler,
+            FleetScheduler::EventHeap
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use moe_model::{InferencePhase, ModelConfig};
 use moe_workload::{SchedulingMode, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
-use moentwine_core::engine::{BatchMode, EngineConfig};
+use moentwine_core::engine::{BatchMode, EngineConfig, SummaryMode};
 use moentwine_core::ConfigError;
 use wsc_sim::CongestionBackend;
 
@@ -24,11 +24,14 @@ pub struct ServingSpec {
     pub request_rate: f64,
     /// Wall-clock estimate of one iteration (drives arrival admission).
     pub iteration_period: f64,
+    /// How serving summaries are maintained: exact record retention (the
+    /// golden oracle, default) or streaming P² sketches in O(1) memory.
+    pub summary: SummaryMode,
 }
 
 impl ServingSpec {
     /// Hybrid continuous batching at `request_rate`, with the workspace's
-    /// conventional 0.02 s iteration period.
+    /// conventional 0.02 s iteration period and exact summaries.
     pub fn hybrid(max_batch_tokens: u32, max_active: usize, request_rate: f64) -> Self {
         ServingSpec {
             mode: SchedulingMode::Hybrid,
@@ -36,6 +39,7 @@ impl ServingSpec {
             max_active,
             request_rate,
             iteration_period: 0.02,
+            summary: SummaryMode::Exact,
         }
     }
 
@@ -48,6 +52,12 @@ impl ServingSpec {
     /// Sets the arrival rate (builder style).
     pub fn with_request_rate(mut self, request_rate: f64) -> Self {
         self.request_rate = request_rate;
+        self
+    }
+
+    /// Sets the summary maintenance mode (builder style).
+    pub fn with_summary(mut self, summary: SummaryMode) -> Self {
+        self.summary = summary;
         self
     }
 }
@@ -251,6 +261,9 @@ impl EngineSpec {
             .with_workload(self.workload.clone())
             .with_batch(self.batch.to_batch_mode())
             .with_cache_entries(self.cache_entries);
+        if let BatchSpec::Serving(serving) = &self.batch {
+            config.summary = serving.summary;
+        }
         config.trigger_alpha_per_layer = self.trigger_alpha_per_layer;
         config.trigger_beta = self.trigger_beta;
         config.slots_per_device = self.slots_per_device;
@@ -304,6 +317,7 @@ mod tests {
         assert_eq!(from_spec.load_ema, by_hand.load_ema);
         assert_eq!(from_spec.kv_hbm_fraction, by_hand.kv_hbm_fraction);
         assert_eq!(from_spec.cache_entries, by_hand.cache_entries);
+        assert_eq!(from_spec.summary, by_hand.summary);
         assert!(matches!(
             (from_spec.batch, by_hand.batch),
             (

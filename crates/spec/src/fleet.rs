@@ -2,7 +2,7 @@
 
 use moe_workload::RouterPolicy;
 use moentwine_core::engine::EngineConfig;
-use moentwine_core::fleet::FleetConfig;
+use moentwine_core::fleet::{FleetConfig, FleetScheduler};
 use wsc_sim::CongestionBackend;
 
 /// Scale-out shape: N replica engines dispatched by a router policy under
@@ -19,6 +19,8 @@ pub struct FleetSpec {
     /// template's backend everywhere; otherwise replica `i` gets
     /// `overrides[i % len]`).
     pub backend_overrides: Vec<CongestionBackend>,
+    /// Replica stepping discipline: event-heap (default) or lock-step.
+    pub scheduler: FleetScheduler,
 }
 
 impl FleetSpec {
@@ -30,6 +32,7 @@ impl FleetSpec {
             policy,
             request_rate,
             backend_overrides: Vec::new(),
+            scheduler: FleetScheduler::default(),
         }
     }
 
@@ -39,11 +42,18 @@ impl FleetSpec {
         self
     }
 
+    /// Sets the replica stepping discipline (builder style).
+    pub fn with_scheduler(mut self, scheduler: FleetScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Combines the fleet shape with a replica engine template into the
     /// core [`FleetConfig`] (validation happens in
     /// [`Fleet::try_new`](moentwine_core::fleet::Fleet::try_new)).
     pub fn fleet_config(&self, engine: EngineConfig) -> FleetConfig {
         FleetConfig::new(self.replicas, self.policy, self.request_rate, engine)
             .with_backend_overrides(self.backend_overrides.clone())
+            .with_scheduler(self.scheduler)
     }
 }

@@ -3,6 +3,8 @@
 
 use moe_workload::{RouterPolicy, Scenario as WorkloadScenario, SchedulingMode, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
+use moentwine_core::engine::SummaryMode;
+use moentwine_core::fleet::FleetScheduler;
 use moentwine_spec::{
     BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioSpec,
     ServingSpec, SweepSpec,
@@ -80,6 +82,10 @@ fn batch_of(tag: u8, tokens: u32, rate: f64) -> BatchSpec {
             max_active: 1 + tag as usize,
             request_rate: rate,
             iteration_period: 0.005 + rate / 1.0e9,
+            summary: match tag % 2 {
+                0 => SummaryMode::Exact,
+                _ => SummaryMode::Streaming,
+            },
         }),
     }
 }
@@ -151,7 +157,11 @@ proptest! {
         if fleet_on == 1 {
             spec = spec.with_fleet(
                 FleetSpec::new(replicas, policy_of(policy_tag), rate)
-                    .with_backend_overrides(vec![backend_of(backend_tag)]),
+                    .with_backend_overrides(vec![backend_of(backend_tag)])
+                    .with_scheduler(match policy_tag % 2 {
+                        0 => FleetScheduler::Lockstep,
+                        _ => FleetScheduler::EventHeap,
+                    }),
             );
         }
         if sweep_on == 1 {

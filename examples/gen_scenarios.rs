@@ -15,6 +15,7 @@ use moentwine::spec::{
 };
 use moentwine::workload::{RouterPolicy, Scenario, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
+use moentwine_core::engine::SummaryMode;
 
 /// The canonical example scenarios, in README order.
 /// `tests/spec_scenarios.rs` pins the *files* this generator writes
@@ -90,12 +91,39 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         .with_sweep(SweepSpec::default().with_rates(vec![4.0e3, 12.0e3]))
         .with_iterations(300);
 
+    // The million-request scale scenario (README "10M-request scenario"):
+    // 64 replicas behind power-of-two-choices with streaming summaries, so
+    // the full run retains O(replicas) records instead of one per request.
+    // The arrival sweep is scaled so the largest point generates ≥10M
+    // arrivals over the full 300k-round run (~3.6 s of simulated time at
+    // ~12 µs/round × 4e6 req/s ≈ 14M requests), while staying under the
+    // fleet's ~4.8M req/s saturation capacity so pending queues stay
+    // shallow and memory bounded (measured: mean queue depth 0 at both
+    // rates). CI smokes it with `--quick` (rounds capped at 250); the
+    // full run is a minutes-scale batch job.
+    let mega_fleet = ScenarioSpec::new("mega_fleet", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(131)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(
+                    ServingSpec::hybrid(2048, 128, 0.0).with_summary(SummaryMode::Streaming),
+                ))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_fleet(FleetSpec::new(64, RouterPolicy::PowerOfTwoChoices, 2.0e6))
+        .with_sweep(SweepSpec::default().with_rates(vec![2.0e6, 4.0e6]))
+        .with_iterations(300_000);
+
     vec![
         single_wafer,
         multi_wafer,
         dgx_baseline,
         fleet_p2c,
         rate_sweep,
+        mega_fleet,
     ]
 }
 

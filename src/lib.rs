@@ -70,10 +70,11 @@ pub mod prelude {
     };
     pub use moentwine_core::comm::{A2aModel, ClusterLayout, ParallelLayout};
     pub use moentwine_core::engine::{
-        BatchMode, EngineConfig, InferenceEngine, RunSummary, ServingSummary,
+        BatchMode, EngineConfig, InferenceEngine, P2Quantile, RunSummary, ServingSummary,
+        StreamingSummary, SummaryMode,
     };
     pub use moentwine_core::fleet::{
-        Fleet, FleetConfig, FleetSummary, ReplicaPool, SerialReplicaPool,
+        Fleet, FleetConfig, FleetScheduler, FleetSummary, ReplicaPool, SerialReplicaPool,
     };
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,

@@ -63,12 +63,13 @@ fn example_specs_are_canonical_and_build() {
         );
     }
     // The acceptance set: single-wafer serving, multi-wafer, DGX baseline,
-    // and a multi-replica fleet.
+    // a multi-replica fleet, and the 10M-request streaming mega-fleet.
     for required in [
         "single_wafer_serving",
         "multi_wafer",
         "dgx_baseline",
         "fleet_p2c",
+        "mega_fleet",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}");
     }
