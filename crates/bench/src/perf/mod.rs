@@ -21,6 +21,7 @@
 //! speedup there comes from eliminating per-event route cloning, full
 //! drains, and per-round membership scans.
 
+pub mod availability;
 pub mod fleet;
 pub mod pool;
 

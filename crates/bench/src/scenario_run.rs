@@ -128,6 +128,14 @@ fn outcome_json(label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> 
                 "serving".into(),
                 Value::Obj(serving_fields(&summary.aggregate)),
             ));
+            // Only fleets with a timeline carry the section, so event-free
+            // scenario manifests stay byte-identical to earlier schemas.
+            if summary.availability.events_applied > 0 {
+                fields.push((
+                    "availability".into(),
+                    crate::perf::availability::availability_json(&summary.availability),
+                ));
+            }
         }
     }
     Value::Obj(fields)
@@ -213,6 +221,20 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
         let serving = point
             .get("serving")
             .ok_or_else(|| format!("point {i}: missing serving section"))?;
+        // The availability section is only emitted for fleets whose
+        // timeline actually fired; an all-zero section would mean the
+        // byte-stability contract for event-free specs was broken.
+        if let Some(avail) = point.get("availability") {
+            let applied = avail
+                .get("events_applied")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if applied < 1.0 {
+                return Err(format!(
+                    "point {i}: availability section present but no events applied"
+                ));
+            }
+        }
         // The serving section shares the sweep manifests' point skeleton,
         // so the same helper gates the ladders and throughput fields.
         v::check_point_common(
@@ -360,6 +382,42 @@ mod tests {
         let points = manifest.get("points").and_then(Value::as_array).unwrap();
         assert_eq!(points[0].get("kind").and_then(Value::as_str), Some("fleet"));
         assert!(points[0].get("fleet").is_some());
+        // Event-free fleets carry no availability section (byte-stability
+        // of pre-timeline manifests).
+        assert!(points[0].get("availability").is_none());
+    }
+
+    #[test]
+    fn chaos_fleet_points_carry_the_availability_section() {
+        use moentwine_core::fleet::{FleetEvent, FleetEventKind};
+        let spec = tiny_serving_spec()
+            .with_fleet(
+                FleetSpec::new(2, RouterPolicy::LeastQueueDepth, 2.0e5).with_events(vec![
+                    FleetEvent {
+                        time: 3.0e-4,
+                        kind: FleetEventKind::Crash { replica: 1 },
+                    },
+                    FleetEvent {
+                        time: 6.0e-4,
+                        kind: FleetEventKind::Recover { replica: 1 },
+                    },
+                ]),
+            )
+            .with_iterations(400);
+        let manifest = run_manifest(&spec, true, 1).unwrap();
+        validate(&manifest).expect("schema");
+        let points = manifest.get("points").and_then(Value::as_array).unwrap();
+        let avail = points[0]
+            .get("availability")
+            .expect("chaos fleet point has availability");
+        assert_eq!(
+            avail.get("events_applied").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert!(avail
+            .get("goodput_windows")
+            .and_then(Value::as_array)
+            .is_some());
     }
 
     #[test]

@@ -49,6 +49,34 @@ pub enum ConfigError {
     /// [`BatchMode::External`](crate::engine::BatchMode::External)), not
     /// [`BatchMode::Fixed`](crate::engine::BatchMode::Fixed).
     FleetNeedsServingBatch,
+    /// Fleet event times must be finite, non-negative, and non-decreasing;
+    /// `index` is the first event out of order.
+    FleetEventsUnsorted {
+        /// Position of the offending event in the timeline.
+        index: usize,
+    },
+    /// A fleet event names a replica outside the fleet as sized at that
+    /// point in the timeline (scale-ups extend the valid range).
+    FleetEventReplicaOutOfRange {
+        /// Position of the offending event in the timeline.
+        index: usize,
+        /// The out-of-range replica index.
+        replica: usize,
+        /// Fleet size at that point in the timeline.
+        replicas: usize,
+    },
+    /// A fleet event is a no-op or an invalid lifecycle transition
+    /// (draining a non-active replica, recovering a replica that never
+    /// failed, a zero-count scale-up, ...).
+    FleetEventNoOp {
+        /// Position of the offending event in the timeline.
+        index: usize,
+    },
+    /// A fleet event would leave no active replica to route arrivals to.
+    FleetEventLeavesNoReplicas {
+        /// Position of the offending event in the timeline.
+        index: usize,
+    },
     /// A mapping could not be constructed for the requested platform
     /// (TP degree does not tile, no mesh dimensions, ...).
     Mapping(MappingError),
@@ -109,6 +137,34 @@ impl std::fmt::Display for ConfigError {
                     "fleet replicas need a serving batch mode, not BatchMode::Fixed"
                 )
             }
+            ConfigError::FleetEventsUnsorted { index } => {
+                write!(
+                    f,
+                    "fleet event {index}: times must be finite, non-negative, and sorted"
+                )
+            }
+            ConfigError::FleetEventReplicaOutOfRange {
+                index,
+                replica,
+                replicas,
+            } => {
+                write!(
+                    f,
+                    "fleet event {index}: replica {replica} out of range (fleet has {replicas})"
+                )
+            }
+            ConfigError::FleetEventNoOp { index } => {
+                write!(
+                    f,
+                    "fleet event {index}: no-op or invalid lifecycle transition"
+                )
+            }
+            ConfigError::FleetEventLeavesNoReplicas { index } => {
+                write!(
+                    f,
+                    "fleet event {index}: leaves no active replica to route to"
+                )
+            }
             ConfigError::Mapping(e) => write!(f, "mapping: {e}"),
             ConfigError::Spec { context, message } => write!(f, "{context}: {message}"),
             ConfigError::Json(e) => write!(f, "{e}"),
@@ -154,6 +210,24 @@ mod tests {
         assert!(ConfigError::LoadEmaOutOfRange { value: 2.0 }
             .to_string()
             .contains("(0, 1]"));
+        assert!(ConfigError::FleetEventsUnsorted { index: 2 }
+            .to_string()
+            .contains("fleet event 2"));
+        assert_eq!(
+            ConfigError::FleetEventReplicaOutOfRange {
+                index: 0,
+                replica: 9,
+                replicas: 4,
+            }
+            .to_string(),
+            "fleet event 0: replica 9 out of range (fleet has 4)"
+        );
+        assert!(ConfigError::FleetEventNoOp { index: 1 }
+            .to_string()
+            .contains("no-op or invalid"));
+        assert!(ConfigError::FleetEventLeavesNoReplicas { index: 3 }
+            .to_string()
+            .contains("no active replica"));
     }
 
     #[test]

@@ -791,6 +791,34 @@ impl<'a> InferenceEngine<'a> {
             .offer(request);
     }
 
+    /// Removes and returns every not-yet-admitted request from this
+    /// replica's serving queue (fleet drain/crash re-routing; see
+    /// [`moe_workload::ServingQueue::evict_waiting`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`BatchMode::Fixed`], which has no request lifecycle.
+    pub fn evict_waiting_requests(&mut self) -> Vec<moe_workload::Request> {
+        self.scheduler
+            .as_mut()
+            .expect("eviction requires a serving batch mode")
+            .evict_waiting()
+    }
+
+    /// Removes and returns every resident request with its lost progress
+    /// (fleet crash re-queue; see
+    /// [`moe_workload::ServingQueue::evict_resident`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`BatchMode::Fixed`], which has no request lifecycle.
+    pub fn evict_resident_requests(&mut self) -> Vec<moe_workload::InterruptedRequest> {
+        self.scheduler
+            .as_mut()
+            .expect("eviction requires a serving batch mode")
+            .evict_resident()
+    }
+
     /// This replica's serving load as observed by a fleet router (`None`
     /// in [`BatchMode::Fixed`]).
     pub fn replica_snapshot(&self) -> Option<moe_workload::ReplicaSnapshot> {

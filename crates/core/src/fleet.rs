@@ -41,7 +41,7 @@
 //! [`ServingSummary`]s plus the load-imbalance ratios a capacity planner
 //! reads ("how many wafers for this arrival rate at p99 TTFT ≤ X?").
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use moe_workload::{
     ArrivalProcess, ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy,
@@ -50,6 +50,7 @@ use wsc_sim::CongestionBackend;
 use wsc_topology::{RouteTable, Topology};
 
 use crate::comm::ParallelLayout;
+use crate::config::ConfigError;
 use crate::engine::{
     BatchMode, EngineConfig, InferenceEngine, ServingSummary, StreamingSummary, SummaryMode,
 };
@@ -135,6 +136,188 @@ impl std::str::FromStr for FleetScheduler {
     }
 }
 
+/// What a [`FleetEvent`] does to the fleet when it fires.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum FleetEventKind {
+    /// Add `count` fresh replicas (fast-forwarded to the event time, seeded
+    /// from the next replica streams of the master seed).
+    ScaleUp {
+        /// Replicas to add (≥ 1).
+        count: usize,
+    },
+    /// Graceful drain: `replica` stops admitting, its waiting requests
+    /// re-route through the router, and its in-flight prefill/decode runs
+    /// to completion; the replica retires once empty.
+    Drain {
+        /// Replica to drain (must be active).
+        replica: usize,
+    },
+    /// Hard failure: `replica`'s waiting *and* resident requests re-route
+    /// fleet-wide; resident requests lose their progress and replay their
+    /// prefill on the re-admitting replica (counted as interruptions).
+    Crash {
+        /// Replica to crash (must be active or draining).
+        replica: usize,
+    },
+    /// Return a failed `replica` to service with an empty queue.
+    Recover {
+        /// Replica to recover (must be failed).
+        replica: usize,
+    },
+}
+
+impl FleetEventKind {
+    /// Stable lowercase name (`"scale-up"` / `"drain"` / `"crash"` /
+    /// `"recover"`), matching the scenario-spec JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetEventKind::ScaleUp { .. } => "scale-up",
+            FleetEventKind::Drain { .. } => "drain",
+            FleetEventKind::Crash { .. } => "crash",
+            FleetEventKind::Recover { .. } => "recover",
+        }
+    }
+}
+
+/// One entry of a fleet elasticity/failure timeline: `kind` fires at
+/// simulated time `time`. Round-driven runs apply an event at the first
+/// synchronization barrier whose fleet clock has reached it (identically
+/// under both [`FleetScheduler`]s, preserving bit-identity); event-driven
+/// [`Fleet::run_until`] applies it at exactly `time`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FleetEvent {
+    /// Simulated firing time, seconds (timeline must be sorted).
+    pub time: f64,
+    /// What happens.
+    pub kind: FleetEventKind,
+}
+
+/// Lifecycle state of one fleet replica (DESIGN.md §11):
+/// `Active → Draining → Retired` on drain, `Active → Failed → Active` on
+/// crash + recover.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReplicaState {
+    /// Serving and admitting new requests.
+    Active,
+    /// Finishing in-flight work; admits nothing new.
+    Draining,
+    /// Drained to empty; prices no further iterations.
+    Retired,
+    /// Crashed; prices no iterations until recovered.
+    Failed,
+}
+
+impl ReplicaState {
+    /// Whether the router may dispatch new work here.
+    pub fn admits(self) -> bool {
+        matches!(self, ReplicaState::Active)
+    }
+
+    /// Whether the replica still prices iterations.
+    pub fn steppable(self) -> bool {
+        matches!(self, ReplicaState::Active | ReplicaState::Draining)
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaState::Active => "active",
+            ReplicaState::Draining => "draining",
+            ReplicaState::Retired => "retired",
+            ReplicaState::Failed => "failed",
+        }
+    }
+}
+
+/// Validates a fleet event timeline against an initial replica count by
+/// simulating the projected lifecycle states: times must be finite,
+/// non-negative, and sorted; replica indices must be in range at their
+/// point in the timeline (scale-ups extend it); transitions must be legal
+/// and meaningful (no draining a drained replica, no zero scale-up); and
+/// at least one replica must remain active after every event, so the
+/// router always has somewhere to send arrivals.
+///
+/// Shared by [`Fleet::try_new`], the `moentwine-spec` scenario builder,
+/// and the spec codec, so a bad timeline fails with the same typed
+/// [`ConfigError`] wherever it enters the stack.
+///
+/// # Errors
+///
+/// The first violated
+/// [`ConfigError::FleetEventsUnsorted`] /
+/// [`ConfigError::FleetEventReplicaOutOfRange`] /
+/// [`ConfigError::FleetEventNoOp`] /
+/// [`ConfigError::FleetEventLeavesNoReplicas`] variant.
+pub fn validate_fleet_events(replicas: usize, events: &[FleetEvent]) -> Result<(), ConfigError> {
+    let mut states = vec![ReplicaState::Active; replicas];
+    let mut prev = 0.0_f64;
+    for (index, event) in events.iter().enumerate() {
+        // Rejecting everything but a finite `time >= prev` also rejects
+        // NaN and (via prev starting at 0) negative times.
+        if !(event.time >= prev && event.time.is_finite()) {
+            return Err(ConfigError::FleetEventsUnsorted { index });
+        }
+        prev = event.time;
+        match event.kind {
+            FleetEventKind::ScaleUp { count } => {
+                if count == 0 {
+                    return Err(ConfigError::FleetEventNoOp { index });
+                }
+                states.extend(std::iter::repeat_n(ReplicaState::Active, count));
+            }
+            FleetEventKind::Drain { replica } => match states.get(replica) {
+                None => {
+                    return Err(ConfigError::FleetEventReplicaOutOfRange {
+                        index,
+                        replica,
+                        replicas: states.len(),
+                    })
+                }
+                Some(ReplicaState::Active) => states[replica] = ReplicaState::Draining,
+                Some(_) => return Err(ConfigError::FleetEventNoOp { index }),
+            },
+            FleetEventKind::Crash { replica } => {
+                match states.get(replica) {
+                    None => {
+                        return Err(ConfigError::FleetEventReplicaOutOfRange {
+                            index,
+                            replica,
+                            replicas: states.len(),
+                        })
+                    }
+                    // A draining replica may still crash before it empties
+                    // (the runtime treats a crash on an already-retired
+                    // replica as a no-op).
+                    Some(ReplicaState::Active) | Some(ReplicaState::Draining) => {
+                        states[replica] = ReplicaState::Failed
+                    }
+                    Some(ReplicaState::Failed) => {
+                        return Err(ConfigError::FleetEventNoOp { index })
+                    }
+                    Some(ReplicaState::Retired) => {
+                        return Err(ConfigError::FleetEventNoOp { index })
+                    }
+                }
+            }
+            FleetEventKind::Recover { replica } => match states.get(replica) {
+                None => {
+                    return Err(ConfigError::FleetEventReplicaOutOfRange {
+                        index,
+                        replica,
+                        replicas: states.len(),
+                    })
+                }
+                Some(ReplicaState::Failed) => states[replica] = ReplicaState::Active,
+                Some(_) => return Err(ConfigError::FleetEventNoOp { index }),
+            },
+        }
+        if !states.iter().any(|s| s.admits()) {
+            return Err(ConfigError::FleetEventLeavesNoReplicas { index });
+        }
+    }
+    Ok(())
+}
+
 /// Configuration of a [`Fleet`].
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -155,6 +338,9 @@ pub struct FleetConfig {
     pub backend_overrides: Vec<CongestionBackend>,
     /// Replica advancement strategy (see [`FleetScheduler`]).
     pub scheduler: FleetScheduler,
+    /// Elasticity/failure timeline, sorted by time (empty = the immortal
+    /// fixed fleet). Validated by [`validate_fleet_events`].
+    pub events: Vec<FleetEvent>,
 }
 
 impl FleetConfig {
@@ -173,6 +359,7 @@ impl FleetConfig {
             engine,
             backend_overrides: Vec::new(),
             scheduler: FleetScheduler::default(),
+            events: Vec::new(),
         }
     }
 
@@ -186,6 +373,81 @@ impl FleetConfig {
     pub fn with_scheduler(mut self, scheduler: FleetScheduler) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Sets the elasticity/failure timeline (builder style).
+    pub fn with_events(mut self, events: Vec<FleetEvent>) -> Self {
+        self.events = events;
+        self
+    }
+}
+
+/// One goodput measurement window between fleet-event boundaries: how many
+/// requests completed fleet-wide in `[start, end)` and at what rate. The
+/// window sequence shows the SLO-under-failure shape — goodput dipping
+/// after a crash and recovering as re-queued work drains.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GoodputWindow {
+    /// What opened this window: `"start"`, or the event that fired, as
+    /// `"<kind>@<configured time>"` (e.g. `"crash@0.002"`).
+    pub after: String,
+    /// Window start, simulated seconds.
+    pub start: f64,
+    /// Window end, simulated seconds (the next event, or the clock).
+    pub end: f64,
+    /// Requests completed fleet-wide inside the window.
+    pub completed: u64,
+    /// `completed / (end − start)` (0 for a zero-length window).
+    pub goodput_rps: f64,
+}
+
+/// The availability section of a [`FleetSummary`]: interruption counts per
+/// failure class, re-queued token totals, the time-weighted available
+/// (actively admitting) replica fraction, and goodput-vs-time around each
+/// timeline event. For an event-free fleet the counters are zero, the
+/// fraction is 1.0, the windows are empty, and every replica is active
+/// (`Default` additionally leaves `replica_states` empty).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FleetAvailability {
+    /// Timeline events applied so far.
+    pub events_applied: u64,
+    /// In-flight (admitted) requests interrupted by crashes and re-queued
+    /// with their prefill replayed elsewhere.
+    pub crash_interruptions: u64,
+    /// Waiting (not yet admitted) requests re-routed by graceful drains.
+    pub drain_rerouted: u64,
+    /// Waiting requests re-routed by crashes.
+    pub crash_rerouted: u64,
+    /// Σ (input + output) tokens across every re-queued request.
+    pub requeued_tokens: u64,
+    /// Prompt tokens whose prefill work was lost to crashes and re-done on
+    /// the re-admitting replica (the KV re-admission cost, priced through
+    /// the congestion model when the new replica re-prefills).
+    pub replayed_prefill_tokens: u64,
+    /// Time-weighted fraction of replicas in the active state over the run
+    /// (1.0 for an event-free fleet).
+    pub available_fraction: f64,
+    /// Final lifecycle state of each replica, in replica order
+    /// ([`ReplicaState::name`] strings).
+    pub replica_states: Vec<&'static str>,
+    /// Goodput between consecutive event boundaries (empty for an
+    /// event-free fleet).
+    pub goodput_windows: Vec<GoodputWindow>,
+}
+
+impl Default for FleetAvailability {
+    fn default() -> Self {
+        FleetAvailability {
+            events_applied: 0,
+            crash_interruptions: 0,
+            drain_rerouted: 0,
+            crash_rerouted: 0,
+            requeued_tokens: 0,
+            replayed_prefill_tokens: 0,
+            available_fraction: 1.0,
+            replica_states: Vec::new(),
+            goodput_windows: Vec::new(),
+        }
     }
 }
 
@@ -217,18 +479,75 @@ pub struct FleetSummary {
     /// Max/mean ratio of per-replica completed-request counts (1.0 when
     /// balanced or empty).
     pub completion_imbalance: f64,
+    /// Failure/elasticity accounting (zero counters, fraction 1.0, and all
+    /// replicas active for an event-free fleet).
+    pub availability: FleetAvailability,
+}
+
+/// Failure/elasticity bookkeeping of a [`Fleet`] (see
+/// [`FleetAvailability`], its public readout).
+#[derive(Clone, Debug, Default)]
+struct ChaosTracker {
+    events_applied: u64,
+    crash_interruptions: u64,
+    drain_rerouted: u64,
+    crash_rerouted: u64,
+    requeued_tokens: u64,
+    replayed_prefill_tokens: u64,
+    /// ∫ (active replicas / replicas) dt accumulated up to `last_t`.
+    avail_integral: f64,
+    last_t: f64,
+    /// One mark per applied event: the goodput windows are the spans
+    /// between consecutive marks (plus start → first and last → clock).
+    marks: Vec<EventMark>,
+}
+
+#[derive(Clone, Debug)]
+struct EventMark {
+    /// `"<kind>@<configured time>"`.
+    label: String,
+    /// Application time (the barrier clock in round-driven runs; the exact
+    /// event time in event-driven `run_until`).
+    time: f64,
+    /// Fleet-wide completions when the event was applied.
+    completed: u64,
+}
+
+/// What applying one event changed, for the event-heap drive to patch its
+/// local snapshot/heap state.
+struct EventEffects {
+    /// Replicas that stopped being steppable (stale heap entries must be
+    /// discarded).
+    deactivated: Vec<usize>,
+    /// Replicas offered re-routed requests (parked ones need waking).
+    touched: Vec<usize>,
 }
 
 /// N replica engines behind a router on a shared simulated clock. See the
 /// [module docs](self).
 pub struct Fleet<'a> {
+    topo: &'a Topology,
+    table: &'a RouteTable,
+    layout: &'a dyn ParallelLayout,
+    /// Replica engine template, normalized to [`BatchMode::External`];
+    /// scale-ups clone it with the next seed stream.
+    template: EngineConfig,
+    backend_overrides: Vec<CongestionBackend>,
+    /// Master seed the per-replica streams are split from.
+    master: u64,
     engines: Vec<InferenceEngine<'a>>,
+    /// Lifecycle state per replica, in replica order.
+    states: Vec<ReplicaState>,
+    /// Unapplied timeline events, in time order.
+    pending_events: VecDeque<FleetEvent>,
+    chaos: ChaosTracker,
     router: Router,
     generator: RequestGenerator,
     /// First generated arrival beyond the fleet clock.
     lookahead: Option<Request>,
-    /// Fleet clock: min over replica clocks at the last synchronization
-    /// (round-driven), or the covered horizon (event-driven `run_until`).
+    /// Fleet clock: min over steppable replica clocks at the last
+    /// synchronization (round-driven), or the covered horizon (event-driven
+    /// `run_until`).
     clock: f64,
     /// Synchronization rounds in round-driven runs; priced step events in
     /// event-driven `run_until` runs (there are no barriers to count).
@@ -248,6 +567,10 @@ pub struct Fleet<'a> {
 struct StepEvent {
     time: f64,
     replica: usize,
+    /// Lifecycle epoch of the replica when enqueued: crashes and
+    /// retirements bump the replica's epoch, lazily invalidating any entry
+    /// still in the heap (epoch does not participate in ordering).
+    epoch: u64,
 }
 
 impl PartialEq for StepEvent {
@@ -306,8 +629,9 @@ impl<'a> Fleet<'a> {
     /// Returns [`ConfigError::ReplicasZero`](crate::config::ConfigError)
     /// for an empty fleet,
     /// [`ConfigError::FleetNeedsServingBatch`](crate::config::ConfigError)
-    /// for a [`BatchMode::Fixed`] template, or whatever
-    /// [`EngineConfig::validate`] rejects about the replica template.
+    /// for a [`BatchMode::Fixed`] template, whatever
+    /// [`EngineConfig::validate`] rejects about the replica template, or
+    /// whatever [`validate_fleet_events`] rejects about the timeline.
     pub fn try_new(
         topo: &'a Topology,
         table: &'a RouteTable,
@@ -318,6 +642,7 @@ impl<'a> Fleet<'a> {
             return Err(crate::config::ConfigError::ReplicasZero);
         }
         config.engine.validate()?;
+        validate_fleet_events(config.replicas, &config.events)?;
         let (mode, max_batch_tokens, max_active) = match config.engine.batch {
             BatchMode::Scheduled {
                 mode,
@@ -335,21 +660,12 @@ impl<'a> Fleet<'a> {
             }
         };
         let master = config.engine.seed;
-        let engines: Vec<InferenceEngine<'a>> = (0..config.replicas)
-            .map(|i| {
-                let mut cfg = config.engine.clone();
-                cfg.batch = BatchMode::External {
-                    mode,
-                    max_batch_tokens,
-                    max_active,
-                };
-                cfg.seed = split_seed(master, i as u64);
-                if !config.backend_overrides.is_empty() {
-                    cfg.backend = config.backend_overrides[i % config.backend_overrides.len()];
-                }
-                InferenceEngine::new(topo, table, layout, cfg)
-            })
-            .collect();
+        let mut template = config.engine.clone();
+        template.batch = BatchMode::External {
+            mode,
+            max_batch_tokens,
+            max_active,
+        };
         // The global arrival stream mirrors the single-engine scheduled
         // mode (diurnal Poisson, scenario blend from the workload mix) but
         // draws from fleet-level seed streams.
@@ -369,19 +685,48 @@ impl<'a> Fleet<'a> {
             config.replicas,
             split_seed(master, 0x0A5E_11A3),
         );
-        Ok(Fleet {
-            engines,
+        let streaming = match config.engine.summary {
+            SummaryMode::Exact => None,
+            SummaryMode::Streaming => Some(StreamingSummary::new()),
+        };
+        let mut fleet = Fleet {
+            topo,
+            table,
+            layout,
+            template,
+            backend_overrides: config.backend_overrides,
+            master,
+            engines: Vec::with_capacity(config.replicas),
+            states: vec![ReplicaState::Active; config.replicas],
+            pending_events: config.events.into(),
+            chaos: ChaosTracker::default(),
             router,
             generator,
             lookahead: None,
             clock: 0.0,
             rounds: 0,
             scheduler: config.scheduler,
-            streaming: match config.engine.summary {
-                SummaryMode::Exact => None,
-                SummaryMode::Streaming => Some(StreamingSummary::new()),
-            },
-        })
+            streaming,
+        };
+        for i in 0..config.replicas {
+            let engine = fleet.build_replica(i);
+            fleet.engines.push(engine);
+        }
+        Ok(fleet)
+    }
+
+    /// Builds the engine for replica index `i` from the stored template:
+    /// seed stream `i` of the master seed, backend override `i % len`.
+    /// Scale-up replicas get the next streams in sequence, so a fleet
+    /// born at size N+k and a fleet scaled from N to N+k use identical
+    /// per-replica RNG streams.
+    fn build_replica(&self, i: usize) -> InferenceEngine<'a> {
+        let mut cfg = self.template.clone();
+        cfg.seed = split_seed(self.master, i as u64);
+        if !self.backend_overrides.is_empty() {
+            cfg.backend = self.backend_overrides[i % self.backend_overrides.len()];
+        }
+        InferenceEngine::new(self.topo, self.table, self.layout, cfg)
     }
 
     /// The replica engines, in replica order.
@@ -405,11 +750,181 @@ impl<'a> Fleet<'a> {
         self.rounds
     }
 
+    /// Lifecycle state of each replica, in replica order.
+    pub fn states(&self) -> &[ReplicaState] {
+        &self.states
+    }
+
+    /// Timeline events not yet applied (in time order).
+    pub fn pending_events(&self) -> usize {
+        self.pending_events.len()
+    }
+
+    /// Fraction of replicas currently admitting (1.0 for an empty state
+    /// vector, which cannot occur post-construction).
+    fn active_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            return 1.0;
+        }
+        let active = self.states.iter().filter(|s| s.admits()).count();
+        active as f64 / self.states.len() as f64
+    }
+
+    /// Accrues the availability integral up to `now` at the current active
+    /// fraction. Called right before any state transition, so the integral
+    /// is piecewise-exact (the fraction only changes at timeline events).
+    fn accrue_availability(&mut self, now: f64) {
+        if now > self.chaos.last_t {
+            self.chaos.avail_integral += self.active_fraction() * (now - self.chaos.last_t);
+            self.chaos.last_t = now;
+        }
+    }
+
+    /// Fleet-wide completions so far: the streaming sketch's count, or the
+    /// retained-record count under [`SummaryMode::Exact`].
+    fn completions_so_far(&self) -> u64 {
+        match self.streaming.as_ref() {
+            Some(streaming) => streaming.completed(),
+            None => self
+                .engines
+                .iter()
+                .map(|e| e.completed_requests().len() as u64)
+                .sum(),
+        }
+    }
+
+    /// Applies every pending timeline event due at or before `now`,
+    /// merging the effects. `now` is the barrier clock in round-driven
+    /// runs; event-driven `run_until` applies each event at its exact
+    /// configured time instead (see [`Fleet::run_until_event_driven`]).
+    fn apply_due_events(&mut self, now: f64) -> EventEffects {
+        let mut effects = EventEffects {
+            deactivated: Vec::new(),
+            touched: Vec::new(),
+        };
+        while self.pending_events.front().is_some_and(|e| e.time <= now) {
+            let event = self.pending_events.pop_front().expect("peeked above");
+            let one = self.apply_event(event, now);
+            effects.deactivated.extend(one.deactivated);
+            effects.touched.extend(one.touched);
+        }
+        effects
+    }
+
+    /// Applies one timeline event at simulated time `now` (≥ the event's
+    /// configured time). Evictions happen at iteration boundaries only —
+    /// both drives guarantee no engine is mid-iteration here.
+    fn apply_event(&mut self, event: FleetEvent, now: f64) -> EventEffects {
+        self.accrue_availability(now);
+        self.chaos.marks.push(EventMark {
+            label: format!("{}@{}", event.kind.name(), event.time),
+            time: now,
+            completed: self.completions_so_far(),
+        });
+        self.chaos.events_applied += 1;
+        let mut effects = EventEffects {
+            deactivated: Vec::new(),
+            touched: Vec::new(),
+        };
+        match event.kind {
+            FleetEventKind::ScaleUp { count } => {
+                for _ in 0..count {
+                    let i = self.engines.len();
+                    let mut engine = self.build_replica(i);
+                    engine.fast_forward(now);
+                    self.engines.push(engine);
+                    self.states.push(ReplicaState::Active);
+                }
+                self.router.grow(count);
+            }
+            FleetEventKind::Drain { replica } => {
+                // Validated timelines only drain active replicas; treat
+                // anything else as a no-op for runtime robustness.
+                if self.states[replica] != ReplicaState::Active {
+                    return effects;
+                }
+                self.states[replica] = ReplicaState::Draining;
+                let waiting = self.engines[replica].evict_waiting_requests();
+                self.chaos.drain_rerouted += waiting.len() as u64;
+                self.reroute(waiting, now, &mut effects);
+                let snap = self.engines[replica]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
+                if snap.active == 0 && snap.queue_depth == 0 {
+                    // Nothing in flight: straight to retired.
+                    self.states[replica] = ReplicaState::Retired;
+                    effects.deactivated.push(replica);
+                }
+            }
+            FleetEventKind::Crash { replica } => {
+                if !self.states[replica].steppable() {
+                    return effects;
+                }
+                self.states[replica] = ReplicaState::Failed;
+                effects.deactivated.push(replica);
+                let waiting = self.engines[replica].evict_waiting_requests();
+                let resident = self.engines[replica].evict_resident_requests();
+                self.chaos.crash_rerouted += waiting.len() as u64;
+                self.chaos.crash_interruptions += resident.len() as u64;
+                // Interrupted requests lose their prefill progress: the
+                // re-admitting replica re-prefills those prompt tokens from
+                // scratch (priced through its congestion model like any
+                // admission), which is the KV re-admission cost.
+                self.chaos.replayed_prefill_tokens +=
+                    resident.iter().map(|r| u64::from(r.prefilled)).sum::<u64>();
+                self.reroute(waiting, now, &mut effects);
+                self.reroute(
+                    resident.into_iter().map(|r| r.request).collect(),
+                    now,
+                    &mut effects,
+                );
+            }
+            FleetEventKind::Recover { replica } => {
+                if self.states[replica] == ReplicaState::Failed {
+                    self.states[replica] = ReplicaState::Active;
+                    // The replica was dark while failed: no phantom idle
+                    // iterations, it simply rejoins at the current time.
+                    self.engines[replica].fast_forward(now);
+                }
+            }
+        }
+        effects
+    }
+
+    /// Re-routes evicted requests through the router into currently
+    /// admitting replicas, re-stamping each arrival at `now` — the
+    /// interruption instant; queueing-delay SLOs restart from the failure,
+    /// not the original arrival (which would otherwise violate the
+    /// per-queue arrival-order contract).
+    fn reroute(&mut self, requests: Vec<Request>, now: f64, effects: &mut EventEffects) {
+        if requests.is_empty() {
+            return;
+        }
+        let eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
+        let mut snapshots: Vec<ReplicaSnapshot> = self
+            .engines
+            .iter()
+            .map(|e| e.replica_snapshot().expect("replicas run a serving mode"))
+            .collect();
+        for mut request in requests {
+            self.chaos.requeued_tokens +=
+                u64::from(request.input_len) + u64::from(request.output_len);
+            request.arrival = now;
+            let choice = self.router.route_among(&request, &snapshots, &eligible);
+            self.engines[choice].offer_request(request);
+            snapshots[choice] = self.engines[choice]
+                .replica_snapshot()
+                .expect("replicas run a serving mode");
+            effects.touched.push(choice);
+        }
+    }
+
     /// Routes every arrival up to the fleet clock. Serial by design: the
     /// router observes each offer it makes (snapshots are refreshed per
     /// request), so load-aware policies see their own decisions within a
-    /// burst.
+    /// burst. Only admitting replicas are eligible.
     fn route_arrivals(&mut self) {
+        let eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
         let mut snapshots: Vec<ReplicaSnapshot> = self
             .engines
             .iter()
@@ -427,7 +942,7 @@ impl<'a> Fleet<'a> {
                 self.lookahead = Some(request);
                 break;
             }
-            let choice = self.router.route(&request, &snapshots);
+            let choice = self.router.route_among(&request, &snapshots, &eligible);
             self.engines[choice].offer_request(request);
             snapshots[choice] = self.engines[choice]
                 .replica_snapshot()
@@ -451,7 +966,16 @@ impl<'a> Fleet<'a> {
     /// this equivalence.
     pub fn step_round_with(&mut self, pool: &dyn ReplicaPool) {
         self.route_arrivals();
-        let mut order: Vec<usize> = (0..self.engines.len()).collect();
+        // Timeline events fire at the first barrier whose clock reached
+        // them — identically under both round-driven drives, preserving
+        // their bit-identity. Re-routed requests are offered after this
+        // round's arrivals (all ≤ the clock), keeping every per-replica
+        // offer stream in arrival order.
+        self.apply_due_events(self.clock);
+        let steppable: Vec<usize> = (0..self.engines.len())
+            .filter(|&i| self.states[i].steppable())
+            .collect();
+        let mut order = steppable;
         if self.scheduler == FleetScheduler::EventHeap {
             order.sort_by(|&a, &b| {
                 self.engines[a]
@@ -473,12 +997,35 @@ impl<'a> Fleet<'a> {
             .collect();
         pool.run(jobs);
         self.drain_fresh_completions();
-        self.clock = self
-            .engines
-            .iter()
-            .map(InferenceEngine::sim_time)
+        self.retire_empty_drainers();
+        // The clock ignores retired/failed replicas: their frozen engine
+        // clocks no longer gate routing. Timeline validation guarantees at
+        // least one active replica at all times, so the min is never empty.
+        self.clock = (0..self.engines.len())
+            .filter(|&i| self.states[i].steppable())
+            .map(|i| self.engines[i].sim_time())
             .fold(f64::INFINITY, f64::min);
         self.rounds += 1;
+    }
+
+    /// Retires draining replicas that have run dry: they price no further
+    /// iterations and leave the fleet-clock computation. Returns the
+    /// replicas retired by this call.
+    fn retire_empty_drainers(&mut self) -> Vec<usize> {
+        let mut retired = Vec::new();
+        for i in 0..self.engines.len() {
+            if self.states[i] != ReplicaState::Draining {
+                continue;
+            }
+            let snap = self.engines[i]
+                .replica_snapshot()
+                .expect("replicas run a serving mode");
+            if snap.queue_depth == 0 && snap.active == 0 {
+                self.states[i] = ReplicaState::Retired;
+                retired.push(i);
+            }
+        }
+        retired
     }
 
     /// Runs `rounds` synchronization rounds serially.
@@ -539,31 +1086,48 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// The event-heap core of [`Fleet::run_until`].
+    /// The event-heap core of [`Fleet::run_until`]. Timeline events join
+    /// the arrival stream and the step heap as a third event source and are
+    /// applied at exactly their configured time — before arrivals and
+    /// steps at the same instant. Crashes and retirements bump the
+    /// replica's epoch, lazily invalidating its heap entries; scale-ups
+    /// extend the loop-local mirrors in place.
     fn run_until_event_driven(&mut self, horizon: f64) {
         let mut snapshots: Vec<ReplicaSnapshot> = self
             .engines
             .iter()
             .map(|e| e.replica_snapshot().expect("replicas run a serving mode"))
             .collect();
-        // Rebuild the step heap from scratch: any replica with work pending
-        // steps next at its own clock; the rest are parked. `scheduled[i]`
-        // mirrors heap membership so a replica is never enqueued twice.
+        let mut eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
+        // Rebuild the step heap from scratch: any steppable replica with
+        // work pending steps next at its own clock; the rest are parked.
+        // `scheduled[i]` mirrors heap membership so a replica is never
+        // enqueued twice.
         let mut heap: BinaryHeap<StepEvent> = BinaryHeap::new();
         let mut scheduled = vec![false; self.engines.len()];
+        let mut epoch: Vec<u64> = vec![0; self.engines.len()];
         for (i, snap) in snapshots.iter().enumerate() {
-            if snap.queue_depth > 0 || snap.active > 0 {
+            if self.states[i].steppable() && (snap.queue_depth > 0 || snap.active > 0) {
                 heap.push(StepEvent {
                     time: self.engines[i].sim_time(),
                     replica: i,
+                    epoch: 0,
                 });
                 scheduled[i] = true;
             }
         }
         loop {
+            // Discard heap entries orphaned by a crash or retirement.
+            while heap
+                .peek()
+                .is_some_and(|top| top.epoch != epoch[top.replica])
+            {
+                heap.pop();
+            }
             // One arrival is outstanding at a time (the lookahead), so the
-            // next event is min(lookahead, heap top) — arrival first on
-            // time ties, the router-before-replica contract.
+            // next event is min(timeline, lookahead, heap top) — timeline
+            // first, then arrival, then step on time ties (the
+            // router-before-replica contract).
             let arrival_time = match &self.lookahead {
                 Some(r) => r.arrival,
                 None => {
@@ -574,18 +1138,57 @@ impl<'a> Fleet<'a> {
                 }
             };
             let step = heap.peek().copied();
-            let arrival_next = step.is_none_or(|s| arrival_time <= s.time);
-            let event_time = if arrival_next {
-                arrival_time
-            } else {
-                step.expect("not arrival ⇒ step exists").time
-            };
+            let step_time = step.map_or(f64::INFINITY, |s| s.time);
+            let timeline_time = self
+                .pending_events
+                .front()
+                .map_or(f64::INFINITY, |e| e.time);
+            let event_time = timeline_time.min(arrival_time).min(step_time);
             if event_time >= horizon {
                 break;
             }
-            if arrival_next {
+            if timeline_time <= event_time {
+                let event = self.pending_events.pop_front().expect("peeked above");
+                let effects = self.apply_event(event, event.time);
+                // Scale-up: extend the loop-local mirrors. New replicas are
+                // idle (parked) until the router first offers them work.
+                for i in snapshots.len()..self.engines.len() {
+                    snapshots.push(
+                        self.engines[i]
+                            .replica_snapshot()
+                            .expect("replicas run a serving mode"),
+                    );
+                    scheduled.push(false);
+                    epoch.push(0);
+                }
+                eligible.clear();
+                eligible.extend(self.states.iter().map(|s| s.admits()));
+                for &i in &effects.deactivated {
+                    epoch[i] += 1;
+                    scheduled[i] = false;
+                    snapshots[i] = self.engines[i]
+                        .replica_snapshot()
+                        .expect("replicas run a serving mode");
+                }
+                for &i in &effects.touched {
+                    snapshots[i] = self.engines[i]
+                        .replica_snapshot()
+                        .expect("replicas run a serving mode");
+                    if !scheduled[i] && self.states[i].steppable() {
+                        // Wake a parked replica that just received
+                        // re-routed work.
+                        self.engines[i].fast_forward(event.time);
+                        heap.push(StepEvent {
+                            time: self.engines[i].sim_time(),
+                            replica: i,
+                            epoch: epoch[i],
+                        });
+                        scheduled[i] = true;
+                    }
+                }
+            } else if arrival_time <= step_time {
                 let request = self.lookahead.take().expect("peeked above");
-                let choice = self.router.route(&request, &snapshots);
+                let choice = self.router.route_among(&request, &snapshots, &eligible);
                 self.engines[choice].offer_request(request);
                 if !scheduled[choice] {
                     // Wake a parked replica at the arrival instant: no
@@ -594,6 +1197,7 @@ impl<'a> Fleet<'a> {
                     heap.push(StepEvent {
                         time: self.engines[choice].sim_time(),
                         replica: choice,
+                        epoch: epoch[choice],
                     });
                     scheduled[choice] = true;
                 }
@@ -611,16 +1215,23 @@ impl<'a> Fleet<'a> {
                     heap.push(StepEvent {
                         time: self.engines[replica].sim_time(),
                         replica,
+                        epoch: epoch[replica],
                     });
                 } else {
                     scheduled[replica] = false;
+                    if self.states[replica] == ReplicaState::Draining {
+                        // A drainer running dry retires on the spot.
+                        self.states[replica] = ReplicaState::Retired;
+                        epoch[replica] += 1;
+                    }
                 }
                 snapshots[replica] = snap;
                 self.drain_fresh_completions_for(replica);
             }
         }
-        // Every arrival and step strictly before the horizon has been
-        // processed: the covered span is exactly the horizon.
+        // Every timeline event, arrival, and step strictly before the
+        // horizon has been processed: the covered span is exactly the
+        // horizon.
         self.clock = self.clock.max(horizon);
     }
 
@@ -701,6 +1312,66 @@ impl<'a> Fleet<'a> {
             completion_imbalance: moe_workload::max_mean_imbalance(completed),
             per_replica,
             aggregate,
+            availability: self.availability(),
+        }
+    }
+
+    /// The availability section of [`Fleet::summary`]: chaos counters, the
+    /// time-weighted active-replica fraction (accrued lazily to the current
+    /// clock — non-mutating), per-replica lifecycle states, and the
+    /// goodput windows between event boundaries.
+    fn availability(&self) -> FleetAvailability {
+        let chaos = &self.chaos;
+        let available_fraction = if self.clock > 0.0 {
+            let tail = self.active_fraction() * (self.clock - chaos.last_t).max(0.0);
+            ((chaos.avail_integral + tail) / self.clock).min(1.0)
+        } else {
+            1.0
+        };
+        let window = |after: String, start: f64, end: f64, completed: u64| GoodputWindow {
+            after,
+            start,
+            end,
+            completed,
+            goodput_rps: if end > start {
+                completed as f64 / (end - start)
+            } else {
+                0.0
+            },
+        };
+        let mut goodput_windows = Vec::new();
+        if !chaos.marks.is_empty() {
+            let mut prev_t = 0.0;
+            let mut prev_completed = 0;
+            let mut prev_label = String::from("start");
+            for mark in &chaos.marks {
+                goodput_windows.push(window(
+                    prev_label,
+                    prev_t,
+                    mark.time,
+                    mark.completed - prev_completed,
+                ));
+                prev_t = mark.time;
+                prev_completed = mark.completed;
+                prev_label = mark.label.clone();
+            }
+            goodput_windows.push(window(
+                prev_label,
+                prev_t,
+                self.clock,
+                self.completions_so_far() - prev_completed,
+            ));
+        }
+        FleetAvailability {
+            events_applied: chaos.events_applied,
+            crash_interruptions: chaos.crash_interruptions,
+            drain_rerouted: chaos.drain_rerouted,
+            crash_rerouted: chaos.crash_rerouted,
+            requeued_tokens: chaos.requeued_tokens,
+            replayed_prefill_tokens: chaos.replayed_prefill_tokens,
+            available_fraction,
+            replica_states: self.states.iter().map(|s| s.name()).collect(),
+            goodput_windows,
         }
     }
 }
@@ -1034,6 +1705,359 @@ mod tests {
         }
         assert!("event_heap".parse::<FleetScheduler>().is_err());
         assert_eq!(FleetScheduler::default(), FleetScheduler::EventHeap);
+    }
+
+    #[test]
+    fn event_timeline_validation_reports_exact_variants() {
+        use crate::config::ConfigError;
+        let drain = |time, replica| FleetEvent {
+            time,
+            kind: FleetEventKind::Drain { replica },
+        };
+        let crash = |time, replica| FleetEvent {
+            time,
+            kind: FleetEventKind::Crash { replica },
+        };
+        let recover = |time, replica| FleetEvent {
+            time,
+            kind: FleetEventKind::Recover { replica },
+        };
+        let scale = |time, count| FleetEvent {
+            time,
+            kind: FleetEventKind::ScaleUp { count },
+        };
+
+        assert_eq!(validate_fleet_events(3, &[]), Ok(()));
+        assert_eq!(
+            validate_fleet_events(3, &[crash(0.1, 1), recover(0.2, 1), drain(0.2, 0)]),
+            Ok(())
+        );
+        // Unsorted, NaN, infinite, and negative times.
+        assert_eq!(
+            validate_fleet_events(3, &[crash(0.2, 1), drain(0.1, 0)]),
+            Err(ConfigError::FleetEventsUnsorted { index: 1 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[crash(f64::NAN, 1)]),
+            Err(ConfigError::FleetEventsUnsorted { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[crash(f64::INFINITY, 1)]),
+            Err(ConfigError::FleetEventsUnsorted { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[crash(-0.1, 1)]),
+            Err(ConfigError::FleetEventsUnsorted { index: 0 })
+        );
+        // Replica indices checked against the projected fleet size:
+        // a scale-up extends the valid range mid-timeline.
+        assert_eq!(
+            validate_fleet_events(2, &[drain(0.1, 2)]),
+            Err(ConfigError::FleetEventReplicaOutOfRange {
+                index: 0,
+                replica: 2,
+                replicas: 2
+            })
+        );
+        assert_eq!(
+            validate_fleet_events(2, &[scale(0.1, 1), drain(0.2, 2)]),
+            Ok(())
+        );
+        // No-op transitions: double-drain, crash after retire-by-drain
+        // (projected), recover of a healthy replica, zero scale-up.
+        assert_eq!(
+            validate_fleet_events(3, &[drain(0.1, 0), drain(0.2, 0)]),
+            Err(ConfigError::FleetEventNoOp { index: 1 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[recover(0.1, 0)]),
+            Err(ConfigError::FleetEventNoOp { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[scale(0.1, 0)]),
+            Err(ConfigError::FleetEventNoOp { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events(3, &[crash(0.1, 0), crash(0.2, 0)]),
+            Err(ConfigError::FleetEventNoOp { index: 1 })
+        );
+        // A drained replica may crash before it empties (projected states
+        // treat it as still draining).
+        assert_eq!(
+            validate_fleet_events(3, &[drain(0.1, 0), crash(0.2, 0)]),
+            Ok(())
+        );
+        // The last active replica can neither drain nor crash.
+        assert_eq!(
+            validate_fleet_events(1, &[drain(0.1, 0)]),
+            Err(ConfigError::FleetEventLeavesNoReplicas { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events(2, &[crash(0.1, 0), drain(0.2, 1)]),
+            Err(ConfigError::FleetEventLeavesNoReplicas { index: 1 })
+        );
+        // try_new surfaces the same error.
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(1, RouterPolicy::RoundRobin, 1.0e3, engine_template(3))
+            .with_events(vec![drain(0.1, 0)]);
+        assert_eq!(
+            Fleet::try_new(&topo, &table, &plan, config).err(),
+            Some(ConfigError::FleetEventLeavesNoReplicas { index: 0 })
+        );
+    }
+
+    /// Shared chaos timeline for the lifecycle tests: crash replica 1,
+    /// drain replica 2, scale up by one, recover replica 1 — all early
+    /// enough to fire within a short run (the test fleets advance their
+    /// clocks by roughly 4 µs per round).
+    fn chaos_events() -> Vec<FleetEvent> {
+        vec![
+            FleetEvent {
+                time: 3.0e-4,
+                kind: FleetEventKind::Crash { replica: 1 },
+            },
+            FleetEvent {
+                time: 5.0e-4,
+                kind: FleetEventKind::Drain { replica: 2 },
+            },
+            FleetEvent {
+                time: 7.0e-4,
+                kind: FleetEventKind::ScaleUp { count: 1 },
+            },
+            FleetEvent {
+                time: 9.0e-4,
+                kind: FleetEventKind::Recover { replica: 1 },
+            },
+        ]
+    }
+
+    #[test]
+    fn chaos_timeline_runs_the_lifecycle_and_conserves_requests() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(3, RouterPolicy::LeastQueueDepth, 2.0e5, engine_template(11))
+            .with_events(chaos_events());
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(900);
+        assert_eq!(fleet.pending_events(), 0, "timeline never finished");
+        let summary = fleet.summary();
+        let avail = &summary.availability;
+        assert_eq!(avail.events_applied, 4);
+        assert_eq!(summary.replicas, 4, "scale-up did not add a replica");
+        // Replica 1 crashed and recovered; replica 2 drained to retired;
+        // replica 3 joined by scale-up.
+        assert_eq!(
+            avail.replica_states,
+            vec!["active", "active", "retired", "active"]
+        );
+        assert!(
+            avail.crash_interruptions > 0,
+            "crash interrupted no in-flight requests"
+        );
+        assert!(avail.requeued_tokens > 0);
+        assert!(avail.replayed_prefill_tokens > 0);
+        assert!(avail.available_fraction > 0.0 && avail.available_fraction < 1.0);
+        // Goodput windows: start + one per event, contiguous in time.
+        assert_eq!(avail.goodput_windows.len(), 5);
+        assert_eq!(avail.goodput_windows[0].after, "start");
+        assert_eq!(avail.goodput_windows[1].after, "crash@0.0003");
+        for pair in avail.goodput_windows.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(
+            avail.goodput_windows.last().unwrap().end,
+            summary.sim_seconds
+        );
+        // Conservation under chaos: every routing decision (first routes
+        // and re-routes alike) lands a request in exactly one of the
+        // per-replica dispositions, and each re-route was itself preceded
+        // by an eviction.
+        let routed: u64 = summary.routed.iter().sum();
+        let accounted: u64 = fleet
+            .engines()
+            .iter()
+            .zip(&summary.per_replica)
+            .map(|(e, s)| {
+                let snap = e.replica_snapshot().unwrap();
+                snap.queue_depth as u64
+                    + snap.active as u64
+                    + s.admission_rejects
+                    + s.completed as u64
+            })
+            .sum();
+        let rerouted = avail.drain_rerouted + avail.crash_rerouted + avail.crash_interruptions;
+        assert_eq!(routed, accounted + rerouted, "requests lost under chaos");
+        // The crashed-and-recovered replica serves again after recovery;
+        // the retired drainer holds nothing.
+        assert!(summary.routed[3] > 0, "scale-up replica never routed to");
+        let retired_snap = fleet.engines()[2].replica_snapshot().unwrap();
+        assert_eq!(retired_snap.queue_depth, 0);
+        assert_eq!(retired_snap.active, 0);
+    }
+
+    #[test]
+    fn chaos_round_driven_schedulers_agree_bit_for_bit() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |scheduler: FleetScheduler| {
+            let config = FleetConfig::new(
+                3,
+                RouterPolicy::PowerOfTwoChoices,
+                2.0e5,
+                engine_template(29),
+            )
+            .with_scheduler(scheduler)
+            .with_events(chaos_events());
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(400);
+            fleet.summary()
+        };
+        let lockstep = run(FleetScheduler::Lockstep);
+        let event = run(FleetScheduler::EventHeap);
+        assert!(lockstep.availability.events_applied == 4);
+        assert_eq!(lockstep, event);
+    }
+
+    #[test]
+    fn chaos_rounds_match_any_replica_pool() {
+        struct ReversedPool;
+        impl ReplicaPool for ReversedPool {
+            fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+                for job in jobs.into_iter().rev() {
+                    job();
+                }
+            }
+        }
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |pool: &dyn ReplicaPool| {
+            let config =
+                FleetConfig::new(3, RouterPolicy::LeastKvPressure, 2.0e5, engine_template(17))
+                    .with_events(chaos_events());
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run_with(400, pool);
+            fleet.summary()
+        };
+        assert_eq!(run(&SerialReplicaPool), run(&ReversedPool));
+    }
+
+    #[test]
+    fn chaos_event_driven_run_until_applies_the_timeline() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(
+            3,
+            RouterPolicy::LeastQueueDepth,
+            2.0e5,
+            engine_template(53).with_summary(SummaryMode::Streaming),
+        )
+        .with_events(chaos_events());
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run_until(2.0e-3);
+        assert_eq!(fleet.pending_events(), 0);
+        let summary = fleet.summary();
+        let avail = &summary.availability;
+        assert_eq!(avail.events_applied, 4);
+        assert_eq!(
+            avail.replica_states,
+            vec!["active", "active", "retired", "active"]
+        );
+        assert!(avail.crash_interruptions > 0);
+        // Event-driven marks sit at exactly the configured times.
+        assert_eq!(avail.goodput_windows[0].end, 3.0e-4);
+        assert_eq!(avail.goodput_windows[2].start, 5.0e-4);
+        assert!(summary.aggregate.completed > 0);
+        // Determinism: the same run twice is bit-identical.
+        let config2 = FleetConfig::new(
+            3,
+            RouterPolicy::LeastQueueDepth,
+            2.0e5,
+            engine_template(53).with_summary(SummaryMode::Streaming),
+        )
+        .with_events(chaos_events());
+        let mut fleet2 = Fleet::new(&topo, &table, &plan, config2);
+        fleet2.run_until(2.0e-3);
+        assert_eq!(fleet2.summary(), summary);
+    }
+
+    #[test]
+    fn event_free_summary_has_default_availability() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 4.0e3, engine_template(5));
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(50);
+        let avail = fleet.summary().availability;
+        assert_eq!(avail.events_applied, 0);
+        assert_eq!(avail.crash_interruptions, 0);
+        assert_eq!(avail.requeued_tokens, 0);
+        assert_eq!(avail.available_fraction, 1.0);
+        assert_eq!(avail.replica_states, vec!["active", "active"]);
+        assert!(avail.goodput_windows.is_empty());
+    }
+
+    #[test]
+    fn zero_completion_replicas_aggregate_cleanly() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        // An arrival rate so low that nothing arrives (let alone
+        // completes) in a short run: every replica has zero completions.
+        for summary_mode in [SummaryMode::Exact, SummaryMode::Streaming] {
+            let config = FleetConfig::new(
+                2,
+                RouterPolicy::RoundRobin,
+                1.0e-6,
+                engine_template(7).with_summary(summary_mode),
+            );
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(3);
+            let summary = fleet.summary();
+            assert_eq!(summary.aggregate.completed, 0);
+            assert_eq!(summary.aggregate.ttft_p99, 0.0);
+            assert_eq!(summary.aggregate.goodput_rps, 0.0);
+            assert_eq!(summary.completion_imbalance, 1.0);
+            assert_eq!(summary.availability.available_fraction, 1.0);
+        }
+        // A crash on an all-idle fleet interrupts nothing but still marks
+        // a goodput window (zero completed on both sides of the event).
+        let config = FleetConfig::new(2, RouterPolicy::RoundRobin, 1.0e-6, engine_template(7))
+            .with_events(vec![FleetEvent {
+                time: 1.0e-4,
+                kind: FleetEventKind::Crash { replica: 1 },
+            }]);
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(40);
+        let summary = fleet.summary();
+        let avail = &summary.availability;
+        assert_eq!(avail.events_applied, 1);
+        assert_eq!(avail.crash_interruptions, 0);
+        assert_eq!(avail.crash_rerouted, 0);
+        assert_eq!(avail.replica_states, vec!["active", "failed"]);
+        assert_eq!(avail.goodput_windows.len(), 2);
+        assert!(avail.goodput_windows.iter().all(|w| w.completed == 0));
+        assert!(avail.available_fraction < 1.0);
     }
 
     #[test]

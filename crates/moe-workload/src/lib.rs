@@ -56,5 +56,5 @@ pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator, Req
 pub use router::{max_mean_imbalance, ReplicaSnapshot, Router, RouterPolicy};
 pub use scenario::Scenario;
 pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode, MAX_ARRIVALS_PER_PULL};
-pub use serving::{RequestRecord, ServingQueue, TokenAccounting};
+pub use serving::{InterruptedRequest, RequestRecord, ServingQueue, TokenAccounting};
 pub use trace::{IterationTrace, LayerGating, TraceGenerator, WorkloadMix};

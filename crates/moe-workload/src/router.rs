@@ -213,6 +213,15 @@ impl Router {
         max_mean_imbalance(self.routed.iter().map(|&r| r as f64))
     }
 
+    /// Extends the fleet by `additional` replicas (scale-up): the new
+    /// replicas join the routable range with zero routed counts. The
+    /// round-robin cursor and the power-of-two sampling stream are
+    /// unchanged, so growth never perturbs decisions already made.
+    pub fn grow(&mut self, additional: usize) {
+        self.replicas += additional;
+        self.routed.resize(self.replicas, 0);
+    }
+
     /// Picks the replica `request` is dispatched to, given one snapshot per
     /// replica (in replica order), and records the assignment.
     ///
@@ -221,46 +230,100 @@ impl Router {
     /// Panics if `snapshots.len()` differs from the configured replica
     /// count.
     pub fn route(&mut self, request: &Request, snapshots: &[ReplicaSnapshot]) -> usize {
+        self.dispatch(request, snapshots, None)
+    }
+
+    /// Like [`Router::route`], restricted to replicas with `eligible[i]`
+    /// set — fleet membership under elasticity events, where draining,
+    /// failed, and retired replicas must never be routed to. With every
+    /// replica eligible this is byte-identical to [`Router::route`]
+    /// (identical power-of-two RNG stream included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree with the replica count or no
+    /// replica is eligible.
+    pub fn route_among(
+        &mut self,
+        request: &Request,
+        snapshots: &[ReplicaSnapshot],
+        eligible: &[bool],
+    ) -> usize {
+        self.dispatch(request, snapshots, Some(eligible))
+    }
+
+    fn dispatch(
+        &mut self,
+        request: &Request,
+        snapshots: &[ReplicaSnapshot],
+        eligible: Option<&[bool]>,
+    ) -> usize {
         assert_eq!(
             snapshots.len(),
             self.replicas,
             "snapshot count must match replica count"
         );
+        if let Some(mask) = eligible {
+            assert_eq!(
+                mask.len(),
+                self.replicas,
+                "eligibility mask must match replica count"
+            );
+            assert!(mask.iter().any(|&e| e), "no eligible replica to route to");
+        }
+        let ok = |i: usize| eligible.is_none_or(|mask| mask[i]);
         let choice = match self.policy {
             RouterPolicy::RoundRobin => {
-                let c = self.cursor;
-                self.cursor = (self.cursor + 1) % self.replicas;
+                // First eligible replica at or after the cursor (the cursor
+                // itself when nothing is masked, as before).
+                let n = self.replicas;
+                let mut c = self.cursor % n;
+                while !ok(c) {
+                    c = (c + 1) % n;
+                }
+                self.cursor = (c + 1) % n;
                 c
             }
-            RouterPolicy::LeastQueueDepth => {
-                Self::argmin_by(snapshots, |s| (s.total_load() as u64, s.kv_tokens_in_use))
-            }
+            RouterPolicy::LeastQueueDepth => Self::argmin_by_filtered(
+                snapshots,
+                |i, _| ok(i),
+                |s| (s.total_load() as u64, s.kv_tokens_in_use),
+            )
+            .expect("an eligible replica exists"),
             RouterPolicy::LeastKvPressure => {
                 // Prefer replicas that can eventually admit the request;
-                // only when *every* replica must reject it does the choice
-                // degenerate (the request is lost wherever it lands).
+                // only when *every* eligible replica must reject it does the
+                // choice degenerate (the request is lost wherever it lands).
                 let admitting = Self::argmin_by_filtered(
                     snapshots,
-                    |s| !s.must_reject(request),
+                    |i, s| ok(i) && !s.must_reject(request),
                     |s| (s.kv_pressure_with(request), s.total_load()),
                 );
                 admitting.unwrap_or_else(|| {
-                    Self::argmin_by(snapshots, |s| (s.kv_pressure_with(request), s.total_load()))
+                    Self::argmin_by_filtered(
+                        snapshots,
+                        |i, _| ok(i),
+                        |s| (s.kv_pressure_with(request), s.total_load()),
+                    )
+                    .expect("an eligible replica exists")
                 })
             }
             RouterPolicy::PowerOfTwoChoices => {
-                let n = self.replicas;
-                if n == 1 {
-                    0
+                let elig: Vec<usize> = (0..self.replicas).filter(|&i| ok(i)).collect();
+                let m = elig.len();
+                if m == 1 {
+                    elig[0]
                 } else {
-                    // Two distinct seeded samples; keep the less loaded
-                    // (queue join cost, then KV, then lower index).
-                    let a = self.rng.gen_range(0..n);
-                    let mut b = self.rng.gen_range(0..n - 1);
+                    // Two distinct seeded samples over the eligible set;
+                    // keep the less loaded (queue join cost, then KV, then
+                    // lower index). Over the full set the draws and the
+                    // choice reduce exactly to the unmasked policy.
+                    let a = self.rng.gen_range(0..m);
+                    let mut b = self.rng.gen_range(0..m - 1);
                     if b >= a {
                         b += 1;
                     }
-                    let (lo, hi) = (a.min(b), a.max(b));
+                    let (lo, hi) = (elig[a.min(b)], elig[a.max(b)]);
                     let key = |i: usize| (snapshots[i].total_load(), snapshots[i].kv_tokens_in_use);
                     if key(hi) < key(lo) {
                         hi
@@ -274,23 +337,16 @@ impl Router {
         choice
     }
 
-    /// Index of the snapshot minimizing `key` (ties to the lowest index).
-    fn argmin_by<K: PartialOrd>(
-        snapshots: &[ReplicaSnapshot],
-        key: impl Fn(&ReplicaSnapshot) -> K,
-    ) -> usize {
-        Self::argmin_by_filtered(snapshots, |_| true, key).expect("non-empty snapshot list")
-    }
-
-    /// Index of the minimizing snapshot among those passing `keep`.
+    /// Index of the minimizing snapshot among those passing `keep` (ties to
+    /// the lowest index).
     fn argmin_by_filtered<K: PartialOrd>(
         snapshots: &[ReplicaSnapshot],
-        keep: impl Fn(&ReplicaSnapshot) -> bool,
+        keep: impl Fn(usize, &ReplicaSnapshot) -> bool,
         key: impl Fn(&ReplicaSnapshot) -> K,
     ) -> Option<usize> {
         let mut best: Option<(usize, K)> = None;
         for (i, s) in snapshots.iter().enumerate() {
-            if !keep(s) {
+            if !keep(i, s) {
                 continue;
             }
             let k = key(s);
@@ -456,5 +512,75 @@ mod tests {
     fn snapshot_count_mismatch_panics() {
         let mut r = Router::new(RouterPolicy::RoundRobin, 3, 0);
         r.route(&req(0, 1, 1), &[snap(0, 0, 0, 1)]);
+    }
+
+    /// The tentpole membership property: a masked route never lands on an
+    /// ineligible (draining / failed / retired) replica, whatever the
+    /// policy, mask, or load pattern.
+    #[test]
+    fn route_among_never_picks_ineligible_replicas() {
+        let n = 6;
+        for policy in RouterPolicy::all() {
+            let mut r = Router::new(policy, n, 99);
+            for i in 0..300u64 {
+                // A rotating single-survivor-to-majority mask and skewed
+                // loads, exercising every argmin/tie path.
+                let mut eligible = vec![false; n];
+                for k in 0..(1 + (i as usize % n)) {
+                    eligible[(i as usize + k * 2) % n] = true;
+                }
+                let snaps: Vec<ReplicaSnapshot> = (0..n)
+                    .map(|j| snap(j * 3 % 5, (i as usize + j) % 4, (j as u64) * 7, 100))
+                    .collect();
+                let choice = r.route_among(&req(i, 2, 2), &snaps, &eligible);
+                assert!(
+                    eligible[choice],
+                    "{policy:?} routed to ineligible replica {choice} (mask {eligible:?})"
+                );
+            }
+        }
+    }
+
+    /// With a full mask, `route_among` is byte-identical to `route` —
+    /// including the power-of-two RNG stream.
+    #[test]
+    fn route_among_full_mask_matches_route() {
+        let n = 5;
+        let snaps: Vec<ReplicaSnapshot> = (0..n)
+            .map(|j| snap(j % 3, (j * 2) % 4, (j as u64) * 11, 100))
+            .collect();
+        for policy in RouterPolicy::all() {
+            let mut plain = Router::new(policy, n, 41);
+            let mut masked = Router::new(policy, n, 41);
+            let eligible = vec![true; n];
+            for i in 0..200u64 {
+                let a = plain.route(&req(i, 1, 1), &snaps);
+                let b = masked.route_among(&req(i, 1, 1), &snaps, &eligible);
+                assert_eq!(a, b, "{policy:?} diverged at request {i}");
+            }
+            assert_eq!(plain.routed(), masked.routed());
+        }
+    }
+
+    #[test]
+    fn grow_extends_the_routable_range() {
+        let mut r = Router::new(RouterPolicy::RoundRobin, 2, 0);
+        let snaps2 = vec![snap(0, 0, 0, 100); 2];
+        assert_eq!(r.route(&req(0, 1, 1), &snaps2), 0);
+        r.grow(1);
+        assert_eq!(r.num_replicas(), 3);
+        let snaps3 = vec![snap(0, 0, 0, 100); 3];
+        // Cursor survives growth: 1, 2, 0, ...
+        assert_eq!(r.route(&req(1, 1, 1), &snaps3), 1);
+        assert_eq!(r.route(&req(2, 1, 1), &snaps3), 2);
+        assert_eq!(r.routed(), &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no eligible replica")]
+    fn route_among_rejects_an_empty_mask() {
+        let mut r = Router::new(RouterPolicy::LeastQueueDepth, 2, 0);
+        let snaps = vec![snap(0, 0, 0, 100); 2];
+        r.route_among(&req(0, 1, 1), &snaps, &[false, false]);
     }
 }

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use moe_model::InferencePhase;
 
 use crate::requests::{Request, RequestGenerator, RequestId};
-use crate::serving::{RequestRecord, ServingQueue};
+use crate::serving::{InterruptedRequest, RequestRecord, ServingQueue};
 
 /// Serving discipline (paper §VI-C): disaggregated prefill, disaggregated
 /// decode, or Sarathi-style hybrid batches mixing a prefill chunk with
@@ -263,6 +263,18 @@ impl BatchScheduler {
     /// Removes and returns the completed-request records.
     pub fn drain_completed(&mut self) -> Vec<RequestRecord> {
         self.queue.drain_completed()
+    }
+
+    /// Removes and returns every not-yet-admitted request (drain/crash
+    /// re-routing; see [`ServingQueue::evict_waiting`]).
+    pub fn evict_waiting(&mut self) -> Vec<Request> {
+        self.queue.evict_waiting()
+    }
+
+    /// Removes and returns every resident request with its lost progress
+    /// (replica crash; see [`ServingQueue::evict_resident`]).
+    pub fn evict_resident(&mut self) -> Vec<InterruptedRequest> {
+        self.queue.evict_resident()
     }
 
     /// Pulls generated arrivals with `arrival <= now` into the queue.

@@ -94,6 +94,20 @@ impl RequestRecord {
     }
 }
 
+/// A request evicted mid-flight from a [`ServingQueue`] (replica crash):
+/// the request plus the progress it loses, so a fleet can re-admit it on
+/// another replica and account the prefill replay.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InterruptedRequest {
+    /// The evicted request.
+    pub request: Request,
+    /// Prompt tokens already processed on the evicting replica. Lost: the
+    /// re-admitting replica prefills from scratch (KV is not migrated).
+    pub prefilled: u32,
+    /// Output tokens already generated on the evicting replica. Lost.
+    pub decoded: u32,
+}
+
 /// A request resident in the queue (admitted, not yet complete).
 #[derive(Clone, Debug)]
 struct ActiveRequest {
@@ -468,6 +482,57 @@ impl ServingQueue {
         self.kv_in_use -= kv_released;
         self.completed.append(&mut finished);
     }
+
+    /// Removes and returns every not-yet-admitted request, in FCFS order
+    /// (graceful drain or crash: admission stops here and the waiters are
+    /// re-routed elsewhere). The evicted requests were never admitted, so
+    /// no KV or token accounting unwinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-iteration — evictions happen at iteration boundaries.
+    pub fn evict_waiting(&mut self) -> Vec<Request> {
+        assert!(
+            !self.in_iteration,
+            "evictions happen at iteration boundaries"
+        );
+        self.waiting.drain(..).collect()
+    }
+
+    /// Removes and returns every resident request with the progress it
+    /// loses (replica crash), in admission order. All KV reservations are
+    /// released, and the token-accounting debt the evicted requests still
+    /// owed is unwound (already-scheduled tokens stay counted on both
+    /// sides: that work really happened, it is just lost).
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-iteration — evictions happen at iteration boundaries.
+    pub fn evict_resident(&mut self) -> Vec<InterruptedRequest> {
+        assert!(
+            !self.in_iteration,
+            "evictions happen at iteration boundaries"
+        );
+        let decode_admitted = self.mode != SchedulingMode::PrefillOnly;
+        let mut evicted = Vec::with_capacity(self.active.len());
+        for r in self.active.drain(..) {
+            self.kv_in_use -= r.kv_reserved;
+            // In the decode-only tier `prefilled` starts at `input_len`,
+            // so the prefill remainder is zero there by construction.
+            self.accounting.admitted_prefill -=
+                r.request.input_len.saturating_sub(r.prefilled) as u64;
+            if decode_admitted {
+                self.accounting.admitted_decode -=
+                    r.request.output_len.saturating_sub(r.decoded) as u64;
+            }
+            evicted.push(InterruptedRequest {
+                prefilled: r.prefilled,
+                decoded: r.decoded,
+                request: r.request,
+            });
+        }
+        evicted
+    }
 }
 
 #[cfg(test)]
@@ -608,6 +673,50 @@ mod tests {
         let acc = q.accounting();
         assert_eq!(acc.scheduled_prefill, acc.admitted_prefill);
         assert_eq!(acc.scheduled_decode, acc.admitted_decode);
+    }
+
+    #[test]
+    fn evictions_release_kv_and_unwind_accounting() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 1, 1_000);
+        q.offer(req(0, 40, 4, 0.0)); // admits; prefill spans two iterations
+        q.offer(req(1, 10, 2, 0.0)); // blocked by max_active = 1
+        q.next_batch(0.0);
+        q.finish_iteration(1.0);
+        assert_eq!((q.num_active(), q.queue_depth()), (1, 1));
+        assert_eq!(q.kv_tokens_in_use(), 44);
+
+        let waiting = q.evict_waiting();
+        assert_eq!(waiting.len(), 1);
+        assert_eq!(waiting[0].id, RequestId(1));
+        assert_eq!(q.queue_depth(), 0);
+
+        let resident = q.evict_resident();
+        assert_eq!(resident.len(), 1);
+        assert_eq!(resident[0].request.id, RequestId(0));
+        assert_eq!(resident[0].prefilled, 32); // one 32-token chunk done
+        assert_eq!(resident[0].decoded, 0);
+        assert_eq!(q.num_active(), 0);
+        assert_eq!(q.kv_tokens_in_use(), 0);
+        // Peak is a high-water mark: eviction does not rewind it.
+        assert_eq!(q.peak_kv_tokens(), 44);
+        // Accounting converges: the admitted debt shrinks to exactly the
+        // tokens that were really scheduled before the eviction.
+        let acc = q.accounting();
+        assert_eq!(acc.admitted_prefill, acc.scheduled_prefill);
+        assert_eq!(acc.admitted_decode, acc.scheduled_decode);
+        // The queue keeps serving: a re-offered request admits cleanly.
+        q.offer(req(2, 10, 2, 2.0));
+        q.next_batch(2.0);
+        assert_eq!(q.num_active(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration boundaries")]
+    fn mid_iteration_eviction_panics() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 8, 1_000);
+        q.offer(req(0, 8, 2, 0.0));
+        q.next_batch(0.0); // iteration left open
+        let _ = q.evict_resident();
     }
 
     #[test]

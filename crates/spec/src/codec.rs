@@ -31,7 +31,7 @@ use crate::scenario::ScenarioSpec;
 use crate::sweep::SweepSpec;
 use crate::SCHEMA;
 use moentwine_core::engine::SummaryMode;
-use moentwine_core::fleet::FleetScheduler;
+use moentwine_core::fleet::{validate_fleet_events, FleetEvent, FleetEventKind, FleetScheduler};
 
 // ---------------------------------------------------------------------------
 // Small field accessors (all failures become typed `ConfigError::Spec`s).
@@ -538,9 +538,68 @@ impl EngineSpec {
 // ---------------------------------------------------------------------------
 // Fleet / sweep.
 
+/// One timeline event: `{"kind": ..., "time": ...}` plus the kind's own
+/// operand (`count` for scale-ups, `replica` otherwise).
+fn fleet_event_to_json(event: &FleetEvent) -> Value {
+    let mut fields = vec![
+        ("kind", Value::Str(event.kind.name().into())),
+        ("time", num(event.time)),
+    ];
+    match event.kind {
+        FleetEventKind::ScaleUp { count } => fields.push(("count", num(count as f64))),
+        FleetEventKind::Drain { replica }
+        | FleetEventKind::Crash { replica }
+        | FleetEventKind::Recover { replica } => fields.push(("replica", num(replica as f64))),
+    }
+    obj(fields)
+}
+
+fn fleet_event_from_json(value: &Value, index: usize) -> Result<FleetEvent, ConfigError> {
+    let ctx = format!("fleet.events[{index}]");
+    let kind = match get_str(value, &ctx, "kind")? {
+        "scale-up" => {
+            reject_unknown(value, &ctx, &["kind", "time", "count"])?;
+            FleetEventKind::ScaleUp {
+                count: get_usize(value, &ctx, "count")?,
+            }
+        }
+        "drain" => {
+            reject_unknown(value, &ctx, &["kind", "time", "replica"])?;
+            FleetEventKind::Drain {
+                replica: get_usize(value, &ctx, "replica")?,
+            }
+        }
+        "crash" => {
+            reject_unknown(value, &ctx, &["kind", "time", "replica"])?;
+            FleetEventKind::Crash {
+                replica: get_usize(value, &ctx, "replica")?,
+            }
+        }
+        "recover" => {
+            reject_unknown(value, &ctx, &["kind", "time", "replica"])?;
+            FleetEventKind::Recover {
+                replica: get_usize(value, &ctx, "replica")?,
+            }
+        }
+        other => {
+            return Err(ConfigError::spec(
+                format!("{ctx}.kind"),
+                format!(
+                    "unknown kind {other:?} (expected \"scale-up\", \"drain\", \
+                     \"crash\", or \"recover\")"
+                ),
+            ))
+        }
+    };
+    Ok(FleetEvent {
+        time: get_f64(value, &ctx, "time")?,
+        kind,
+    })
+}
+
 impl FleetSpec {
     fn to_json_value(&self) -> Value {
-        obj(vec![
+        let mut fields = vec![
             ("replicas", num(self.replicas as f64)),
             ("policy", Value::Str(self.policy.name().into())),
             ("request_rate", num(self.request_rate)),
@@ -549,13 +608,22 @@ impl FleetSpec {
                 Value::strings(self.backend_overrides.iter().map(|b| b.name())),
             ),
             ("scheduler", Value::Str(self.scheduler.name().into())),
-        ])
+        ];
+        // Only emitted when non-empty, so event-free documents stay
+        // byte-identical to the pre-timeline schema.
+        if !self.events.is_empty() {
+            fields.push((
+                "events",
+                Value::Arr(self.events.iter().map(fleet_event_to_json).collect()),
+            ));
+        }
+        obj(fields)
     }
 
     fn from_json_value(value: &Value) -> Result<Self, ConfigError> {
         let ctx = "fleet";
-        // `backend_overrides` and `scheduler` are optional, so a typo
-        // would silently drop them; reject unknown members.
+        // `backend_overrides`, `scheduler`, and `events` are optional, so
+        // a typo would silently drop them; reject unknown members.
         reject_unknown(
             value,
             ctx,
@@ -565,6 +633,7 @@ impl FleetSpec {
                 "request_rate",
                 "backend_overrides",
                 "scheduler",
+                "events",
             ],
         )?;
         let overrides = match value.get("backend_overrides") {
@@ -592,12 +661,28 @@ impl FleetSpec {
                 parse_tag::<FleetScheduler>(text, "fleet.scheduler")?
             }
         };
+        let events = match value.get("events") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ConfigError::spec("fleet.events", "expected an array of events"))?
+                .iter()
+                .enumerate()
+                .map(|(i, e)| fleet_event_from_json(e, i))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let replicas = get_usize(value, ctx, "replicas")?;
+        // Reject bad timelines (unsorted times, out-of-range replicas,
+        // no-op transitions) at parse time with the same typed errors the
+        // fleet constructor raises — not as a silent drop or a later panic.
+        validate_fleet_events(replicas, &events)?;
         Ok(FleetSpec {
-            replicas: get_usize(value, ctx, "replicas")?,
+            replicas,
             policy: parse_tag(get_str(value, ctx, "policy")?, "fleet.policy")?,
             request_rate: get_f64(value, ctx, "request_rate")?,
             backend_overrides: overrides,
             scheduler,
+            events,
         })
     }
 }
@@ -806,9 +891,29 @@ mod tests {
                     .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 5.0e3))),
             )
             .with_fleet(
-                FleetSpec::new(3, RouterPolicy::PowerOfTwoChoices, 9.0e3).with_backend_overrides(
-                    vec![CongestionBackend::Analytic, CongestionBackend::FlowSim],
-                ),
+                FleetSpec::new(3, RouterPolicy::PowerOfTwoChoices, 9.0e3)
+                    .with_backend_overrides(vec![
+                        CongestionBackend::Analytic,
+                        CongestionBackend::FlowSim,
+                    ])
+                    .with_events(vec![
+                        FleetEvent {
+                            time: 1.0e-3,
+                            kind: FleetEventKind::Crash { replica: 1 },
+                        },
+                        FleetEvent {
+                            time: 2.0e-3,
+                            kind: FleetEventKind::ScaleUp { count: 2 },
+                        },
+                        FleetEvent {
+                            time: 3.0e-3,
+                            kind: FleetEventKind::Recover { replica: 1 },
+                        },
+                        FleetEvent {
+                            time: 4.0e-3,
+                            kind: FleetEventKind::Drain { replica: 4 },
+                        },
+                    ]),
             )
             .with_sweep(
                 SweepSpec::default()
@@ -937,6 +1042,107 @@ mod tests {
         });
         let err = ScenarioSpec::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("fleet.scheduler"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fleet_event_spellings_are_rejected() {
+        // An unknown event kind is a typed error naming the entry, not a
+        // silently dropped event.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["fleet", "events"], |members| {
+            let (_, events) = members
+                .iter_mut()
+                .find(|(k, _)| k == "events")
+                .expect("fleet with a timeline emits events");
+            let Value::Arr(entries) = events else {
+                panic!("events is an array");
+            };
+            entries[0] = obj(vec![
+                ("kind", Value::Str("failover".into())),
+                ("time", num(1.0e-3)),
+                ("replica", num(1.0)),
+            ]);
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("fleet.events[0].kind"), "{err}");
+
+        // A kind-inappropriate operand (count on a drain) is rejected.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["fleet", "events"], |members| {
+            let (_, events) = members
+                .iter_mut()
+                .find(|(k, _)| k == "events")
+                .expect("fleet with a timeline emits events");
+            let Value::Arr(entries) = events else {
+                panic!("events is an array");
+            };
+            if let Value::Obj(fields) = &mut entries[3] {
+                fields.push(("count".into(), num(2.0)));
+            }
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("fleet.events[3].count"), "{err}");
+
+        // An unsorted timeline fails with the typed timeline error at
+        // parse time, not at fleet construction.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["fleet", "events"], |members| {
+            let (_, events) = members
+                .iter_mut()
+                .find(|(k, _)| k == "events")
+                .expect("fleet with a timeline emits events");
+            let Value::Arr(entries) = events else {
+                panic!("events is an array");
+            };
+            entries.swap(0, 1);
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::FleetEventsUnsorted { index: 1 }),
+            "{err}"
+        );
+
+        // An out-of-range replica index is equally a parse-time error.
+        let mut json = full_spec().to_json();
+        with_member(&mut json, &["fleet", "events"], |members| {
+            let (_, events) = members
+                .iter_mut()
+                .find(|(k, _)| k == "events")
+                .expect("fleet with a timeline emits events");
+            let Value::Arr(entries) = events else {
+                panic!("events is an array");
+            };
+            if let Value::Obj(fields) = &mut entries[0] {
+                for (k, v) in fields.iter_mut() {
+                    if k == "replica" {
+                        *v = num(7.0);
+                    }
+                }
+            }
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ConfigError::FleetEventReplicaOutOfRange {
+                    index: 0,
+                    replica: 7,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn events_are_optional_and_omitted_when_empty() {
+        // Event-free specs neither emit nor require the key, keeping old
+        // documents and their byte-exact encodings valid.
+        let mut spec = full_spec();
+        spec.fleet.as_mut().unwrap().events.clear();
+        let text = spec.to_json_text();
+        assert!(!text.contains("\"events\""), "{text}");
+        assert_eq!(ScenarioSpec::from_json_text(&text).unwrap(), spec);
     }
 
     #[test]

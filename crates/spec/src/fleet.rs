@@ -2,7 +2,7 @@
 
 use moe_workload::RouterPolicy;
 use moentwine_core::engine::EngineConfig;
-use moentwine_core::fleet::{FleetConfig, FleetScheduler};
+use moentwine_core::fleet::{FleetConfig, FleetEvent, FleetScheduler};
 use wsc_sim::CongestionBackend;
 
 /// Scale-out shape: N replica engines dispatched by a router policy under
@@ -21,6 +21,11 @@ pub struct FleetSpec {
     pub backend_overrides: Vec<CongestionBackend>,
     /// Replica stepping discipline: event-heap (default) or lock-step.
     pub scheduler: FleetScheduler,
+    /// Elasticity/failure timeline, sorted by time (empty = the immortal
+    /// fixed fleet). Validated against `replicas` by
+    /// [`validate_fleet_events`](moentwine_core::fleet::validate_fleet_events)
+    /// both at parse time and when the fleet is built.
+    pub events: Vec<FleetEvent>,
 }
 
 impl FleetSpec {
@@ -33,6 +38,7 @@ impl FleetSpec {
             request_rate,
             backend_overrides: Vec::new(),
             scheduler: FleetScheduler::default(),
+            events: Vec::new(),
         }
     }
 
@@ -48,6 +54,12 @@ impl FleetSpec {
         self
     }
 
+    /// Sets the elasticity/failure timeline (builder style).
+    pub fn with_events(mut self, events: Vec<FleetEvent>) -> Self {
+        self.events = events;
+        self
+    }
+
     /// Combines the fleet shape with a replica engine template into the
     /// core [`FleetConfig`] (validation happens in
     /// [`Fleet::try_new`](moentwine_core::fleet::Fleet::try_new)).
@@ -55,5 +67,6 @@ impl FleetSpec {
         FleetConfig::new(self.replicas, self.policy, self.request_rate, engine)
             .with_backend_overrides(self.backend_overrides.clone())
             .with_scheduler(self.scheduler)
+            .with_events(self.events.clone())
     }
 }

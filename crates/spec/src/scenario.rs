@@ -224,6 +224,9 @@ impl ScenarioSpec {
             if matches!(self.engine.batch, BatchSpec::Fixed { .. }) {
                 return Err(ConfigError::FleetNeedsServingBatch);
             }
+            // Re-check here because a sweep may have rewritten `replicas`
+            // after the codec validated the timeline at parse time.
+            moentwine_core::fleet::validate_fleet_events(fleet.replicas, &fleet.events)?;
         }
         Ok(Scenario {
             spec: self.clone(),
@@ -432,6 +435,42 @@ mod tests {
             bad.build().unwrap_err(),
             ConfigError::FleetNeedsServingBatch
         );
+    }
+
+    #[test]
+    fn chaos_fleet_scenario_runs_and_bad_timelines_fail_at_build() {
+        use moentwine_core::fleet::{FleetEvent, FleetEventKind};
+        let events = vec![
+            FleetEvent {
+                time: 3.0e-4,
+                kind: FleetEventKind::Crash { replica: 1 },
+            },
+            FleetEvent {
+                time: 6.0e-4,
+                kind: FleetEventKind::Recover { replica: 1 },
+            },
+        ];
+        let spec = serving_spec()
+            .with_fleet(
+                FleetSpec::new(2, RouterPolicy::LeastQueueDepth, 1.0e5).with_events(events.clone()),
+            )
+            .with_iterations(250);
+        let outcome = spec.build().unwrap().run().unwrap();
+        let summary = outcome.as_fleet().unwrap();
+        assert_eq!(summary.availability.events_applied, 2);
+        assert_eq!(summary.availability.replica_states, vec!["active"; 2]);
+        assert!(summary.availability.available_fraction < 1.0);
+
+        // A sweep shrinking the fleet below a timeline's replica indices
+        // fails at build time with the typed timeline error.
+        let swept = serving_spec()
+            .with_fleet(FleetSpec::new(2, RouterPolicy::RoundRobin, 1.0e3).with_events(events))
+            .with_sweep(SweepSpec::default().with_replicas(vec![1]));
+        let (_, point) = swept.expand_sweep().unwrap().pop().unwrap();
+        assert!(matches!(
+            point.build().unwrap_err(),
+            ConfigError::FleetEventReplicaOutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use moentwine::spec::{
 use moentwine::workload::{RouterPolicy, Scenario, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
 use moentwine_core::engine::SummaryMode;
+use moentwine_core::fleet::{FleetEvent, FleetEventKind};
 
 /// The canonical example scenarios, in README order.
 /// `tests/spec_scenarios.rs` pins the *files* this generator writes
@@ -117,6 +118,49 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         .with_sweep(SweepSpec::default().with_rates(vec![2.0e6, 4.0e6]))
         .with_iterations(300_000);
 
+    // The failure-injection scenario (README "chaos quickstart" /
+    // DESIGN.md §11): the mega-fleet shape under an elasticity timeline —
+    // crash one replica under load, gracefully drain another, scale up by
+    // two, then recover the crashed replica. Event times sit in the first
+    // millisecond of simulated time so the whole arc (including the
+    // in-flight interruptions and KV re-admission) fires even in the
+    // `--quick`-capped 250-round smoke run (~2 ms simulated); the run
+    // manifest then carries the `availability` section with the
+    // interruption counts and per-window goodput.
+    let chaos_fleet = ScenarioSpec::new("chaos_fleet", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(151)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(
+                    ServingSpec::hybrid(2048, 128, 0.0).with_summary(SummaryMode::Streaming),
+                ))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_fleet(
+            FleetSpec::new(64, RouterPolicy::PowerOfTwoChoices, 2.0e6).with_events(vec![
+                FleetEvent {
+                    time: 2.0e-4,
+                    kind: FleetEventKind::Crash { replica: 1 },
+                },
+                FleetEvent {
+                    time: 4.0e-4,
+                    kind: FleetEventKind::Drain { replica: 2 },
+                },
+                FleetEvent {
+                    time: 6.0e-4,
+                    kind: FleetEventKind::ScaleUp { count: 2 },
+                },
+                FleetEvent {
+                    time: 8.0e-4,
+                    kind: FleetEventKind::Recover { replica: 1 },
+                },
+            ]),
+        )
+        .with_iterations(2000);
+
     vec![
         single_wafer,
         multi_wafer,
@@ -124,6 +168,7 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         fleet_p2c,
         rate_sweep,
         mega_fleet,
+        chaos_fleet,
     ]
 }
 

@@ -74,7 +74,8 @@ pub mod prelude {
         StreamingSummary, SummaryMode,
     };
     pub use moentwine_core::fleet::{
-        Fleet, FleetConfig, FleetScheduler, FleetSummary, ReplicaPool, SerialReplicaPool,
+        validate_fleet_events, Fleet, FleetAvailability, FleetConfig, FleetEvent, FleetEventKind,
+        FleetScheduler, FleetSummary, ReplicaPool, ReplicaState, SerialReplicaPool,
     };
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,

@@ -63,13 +63,15 @@ fn example_specs_are_canonical_and_build() {
         );
     }
     // The acceptance set: single-wafer serving, multi-wafer, DGX baseline,
-    // a multi-replica fleet, and the 10M-request streaming mega-fleet.
+    // a multi-replica fleet, the 10M-request streaming mega-fleet, and the
+    // failure-injection chaos fleet.
     for required in [
         "single_wafer_serving",
         "multi_wafer",
         "dgx_baseline",
         "fleet_p2c",
         "mega_fleet",
+        "chaos_fleet",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}");
     }
