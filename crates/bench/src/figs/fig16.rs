@@ -40,6 +40,7 @@ fn run_cell(
             request_rate: 600.0,
             iteration_period: 0.02,
             summary: SummaryMode::Exact,
+            workload: None,
         }))
         .with_seed(29)
         .with_comm_layer_stride(8)

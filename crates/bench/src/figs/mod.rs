@@ -20,6 +20,7 @@ pub mod fleet_sweep;
 pub mod serve_sweep;
 pub mod table1;
 pub mod validate;
+pub mod workload_mix;
 
 use crate::Report;
 
@@ -51,5 +52,8 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         // arrival rate; emits target/figs/fleet_sweep.json).
         ("serve_sweep", serve_sweep::run),
         ("fleet_sweep", fleet_sweep::run),
+        // Multi-tenant SLO attainment under bursty traffic (emits
+        // target/figs/workload_mix.json).
+        ("workload_mix", workload_mix::run),
     ]
 }

@@ -138,6 +138,7 @@ fn engine_template() -> EngineConfig {
             request_rate: 0.0,
             iteration_period: 0.02,
             summary: SummaryMode::Streaming,
+            workload: None,
         }))
         .with_kv_hbm_fraction(1.0e-3)
         .engine_config(model)

@@ -85,6 +85,7 @@ fn engine_template(summary: SummaryMode) -> EngineConfig {
             request_rate: 0.0,
             iteration_period: 0.02,
             summary,
+            workload: None,
         }))
         .with_kv_hbm_fraction(1.0e-3)
         .engine_config(model)

@@ -47,7 +47,7 @@ fn outcome_json(label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> 
         ("iterations".into(), Value::Num(spec.iterations as f64)),
     ];
     let serving_fields = |s: &moentwine_core::engine::ServingSummary| {
-        vec![
+        let mut fields = vec![
             ("completed".to_string(), Value::Num(s.completed as f64)),
             (
                 "admission_rejects".to_string(),
@@ -71,7 +71,40 @@ fn outcome_json(label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> 
                 "mean_queue_depth".to_string(),
                 Value::Num(s.mean_queue_depth),
             ),
-        ]
+        ];
+        // Per-class SLO sections ride only on workload-profiled runs, so
+        // workload-free scenario manifests stay byte-identical to earlier
+        // schemas (same gating as the fleet availability section).
+        if !s.classes.is_empty() {
+            fields.push(("shed".to_string(), Value::Num(s.shed as f64)));
+            fields.push((
+                "classes".to_string(),
+                Value::Arr(
+                    s.classes
+                        .iter()
+                        .map(|c| {
+                            Value::Obj(vec![
+                                ("class".into(), Value::Str(c.class.name().into())),
+                                ("completed".into(), Value::Num(c.completed as f64)),
+                                ("rejected".into(), Value::Num(c.rejected as f64)),
+                                ("shed".into(), Value::Num(c.shed as f64)),
+                                ("ttft_p50".into(), Value::Num(c.ttft_p50)),
+                                ("ttft_p95".into(), Value::Num(c.ttft_p95)),
+                                ("ttft_p99".into(), Value::Num(c.ttft_p99)),
+                                ("tpot_p50".into(), Value::Num(c.tpot_p50)),
+                                ("tpot_p95".into(), Value::Num(c.tpot_p95)),
+                                ("tpot_p99".into(), Value::Num(c.tpot_p99)),
+                                ("ttft_slo".into(), Value::Num(c.ttft_slo)),
+                                ("tpot_slo".into(), Value::Num(c.tpot_slo)),
+                                ("ttft_attainment".into(), Value::Num(c.ttft_attainment)),
+                                ("tpot_attainment".into(), Value::Num(c.tpot_attainment)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        fields
     };
     match outcome {
         ScenarioOutcome::Engine { run, serving } => {
@@ -247,6 +280,45 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
                 "mean_queue_depth",
             ],
         )?;
+        // Per-class sections (workload-profiled runs only): attainments are
+        // fractions and every class names its SLO targets.
+        if let Some(classes) = serving.get("classes") {
+            let classes = classes
+                .as_array()
+                .ok_or_else(|| format!("point {i}: classes must be an array"))?;
+            if classes.is_empty() {
+                return Err(format!(
+                    "point {i}: classes section present but empty (workload-free \
+                     runs must omit it)"
+                ));
+            }
+            for class in classes {
+                let name = class
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("point {i}: class entry missing name"))?;
+                for key in ["ttft_attainment", "tpot_attainment"] {
+                    let a = class
+                        .get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("point {i}: class {name}: missing {key}"))?;
+                    if !(0.0..=1.0).contains(&a) {
+                        return Err(format!("point {i}: class {name}: {key} {a} outside [0, 1]"));
+                    }
+                }
+                for key in ["ttft_slo", "tpot_slo"] {
+                    let slo = class
+                        .get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("point {i}: class {name}: missing {key}"))?;
+                    if slo <= 0.0 {
+                        return Err(format!(
+                            "point {i}: class {name}: {key} {slo} must be positive"
+                        ));
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -418,6 +490,62 @@ mod tests {
             .get("goodput_windows")
             .and_then(Value::as_array)
             .is_some());
+    }
+
+    #[test]
+    fn workload_points_carry_gated_class_sections() {
+        use moe_workload::ClassSpec;
+        use moentwine_spec::{ArrivalSourceSpec, WorkloadSpec};
+        // Workload-free runs must omit the section entirely.
+        let plain = run_manifest(&tiny_serving_spec(), true, 1).unwrap();
+        let points = plain.get("points").and_then(Value::as_array).unwrap();
+        assert!(points[0].get("serving").unwrap().get("classes").is_none());
+        assert!(points[0].get("serving").unwrap().get("shed").is_none());
+
+        // A bursty two-tenant workload reports both classes, in priority
+        // order, with attainment fractions — identically across threads.
+        let workload = WorkloadSpec::new(ArrivalSourceSpec::Burst {
+            period: 0.002,
+            burst_duration: 0.001,
+            quiet_factor: 0.5,
+            burst_factor: 4.0,
+        })
+        .with_classes(vec![
+            ClassSpec::interactive()
+                .with_weight(3.0)
+                .with_shed_after(0.05),
+            ClassSpec::batch(),
+        ]);
+        let spec = ScenarioSpec::new("unit_workload", PlatformSpec::wsc(4))
+            .with_engine(
+                EngineSpec::default()
+                    .with_seed(17)
+                    .with_batch(BatchSpec::Serving(
+                        ServingSpec::hybrid(2048, 128, 6.0e3).with_workload(workload),
+                    ))
+                    .with_kv_hbm_fraction(1.0e-3),
+            )
+            .with_iterations(600);
+        let manifest = run_manifest(&spec, false, 1).unwrap();
+        validate(&manifest).expect("schema");
+        let points = manifest.get("points").and_then(Value::as_array).unwrap();
+        let classes = points[0]
+            .get("serving")
+            .unwrap()
+            .get("classes")
+            .and_then(Value::as_array)
+            .expect("workload point has classes");
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes[0].get("class").and_then(Value::as_str),
+            Some("interactive")
+        );
+        assert_eq!(
+            classes[1].get("class").and_then(Value::as_str),
+            Some("batch")
+        );
+        let parallel = run_manifest(&spec, false, 3).unwrap();
+        assert_eq!(manifest.pretty(), parallel.pretty());
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub enum ConfigError {
     /// A mapping could not be constructed for the requested platform
     /// (TP degree does not tile, no mesh dimensions, ...).
     Mapping(MappingError),
+    /// The workload profile (arrival shape, trace, or tenant classes) is
+    /// invalid.
+    Workload(moe_workload::WorkloadError),
     /// A spec-level failure: `context` names the field or section, and
     /// `message` says what is wrong with it.
     Spec {
@@ -166,6 +169,7 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::Mapping(e) => write!(f, "mapping: {e}"),
+            ConfigError::Workload(e) => write!(f, "workload: {e}"),
             ConfigError::Spec { context, message } => write!(f, "{context}: {message}"),
             ConfigError::Json(e) => write!(f, "{e}"),
             ConfigError::SchemaMismatch { found, expected } => {
@@ -184,6 +188,12 @@ impl std::error::Error for ConfigError {}
 impl From<MappingError> for ConfigError {
     fn from(e: MappingError) -> Self {
         ConfigError::Mapping(e)
+    }
+}
+
+impl From<moe_workload::WorkloadError> for ConfigError {
+    fn from(e: moe_workload::WorkloadError) -> Self {
+        ConfigError::Workload(e)
     }
 }
 
@@ -228,6 +238,11 @@ mod tests {
         assert!(ConfigError::FleetEventLeavesNoReplicas { index: 3 }
             .to_string()
             .contains("no active replica"));
+        assert_eq!(
+            ConfigError::Workload(moe_workload::WorkloadError::NonPositiveRate { value: 0.0 })
+                .to_string(),
+            "workload: rate must be positive, got 0"
+        );
     }
 
     #[test]

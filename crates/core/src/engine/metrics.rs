@@ -1,7 +1,7 @@
 //! Per-iteration metrics, run summaries, and request-level serving
 //! summaries (SLO percentiles).
 
-use moe_workload::RequestRecord;
+use moe_workload::{ClassSpec, RequestClass, RequestRecord};
 use serde::{Deserialize, Serialize};
 
 /// Timing and load measurements for one inference iteration (sums over all
@@ -232,6 +232,50 @@ pub struct ServingSummary {
     pub mean_active_requests: f64,
     /// High-water mark of reserved KV tokens.
     pub peak_kv_tokens: u64,
+    /// Requests shed past their class deadline while waiting (0 for
+    /// workload-free runs — no class ever sheds by default).
+    pub shed: u64,
+    /// Per-tenant-class breakdown, one entry per configured class in
+    /// configured order. Empty for workload-free runs, which keeps their
+    /// serialized summaries byte-identical to the pre-class format.
+    pub classes: Vec<ClassServingSummary>,
+}
+
+/// Per-tenant-class serving statistics: completion/reject/shed counts, the
+/// class's latency percentiles, and percentile *attainment* against its SLO
+/// targets (the fraction of completed requests meeting the target).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ClassServingSummary {
+    /// The tenant class.
+    pub class: RequestClass,
+    /// Requests of this class completed within the run.
+    pub completed: usize,
+    /// Requests of this class rejected at admission.
+    pub rejected: u64,
+    /// Requests of this class shed past their deadline.
+    pub shed: u64,
+    /// Median time-to-first-token, seconds.
+    pub ttft_p50: f64,
+    /// 95th-percentile time-to-first-token, seconds.
+    pub ttft_p95: f64,
+    /// 99th-percentile time-to-first-token, seconds.
+    pub ttft_p99: f64,
+    /// Median time-per-output-token, seconds.
+    pub tpot_p50: f64,
+    /// 95th-percentile time-per-output-token, seconds.
+    pub tpot_p95: f64,
+    /// 99th-percentile time-per-output-token, seconds.
+    pub tpot_p99: f64,
+    /// The class's TTFT SLO target, seconds.
+    pub ttft_slo: f64,
+    /// The class's TPOT SLO target, seconds.
+    pub tpot_slo: f64,
+    /// Fraction of completed requests with TTFT ≤ the target (0.0 with no
+    /// completions — the "no samples" convention).
+    pub ttft_attainment: f64,
+    /// Fraction of TPOT-defined completed requests with TPOT ≤ the target
+    /// (0.0 with none defined).
+    pub tpot_attainment: f64,
 }
 
 impl ServingSummary {
@@ -243,6 +287,72 @@ impl ServingSummary {
     ///   simulated span).
     /// * `admission_rejects` / `peak_kv_tokens` — queue counters.
     pub fn from_records(
+        records: &[RequestRecord],
+        history: &[IterationMetrics],
+        admission_rejects: u64,
+        peak_kv_tokens: u64,
+    ) -> Self {
+        Self::from_records_with_workload(
+            records,
+            history,
+            admission_rejects,
+            peak_kv_tokens,
+            [0, 0],
+            [0, 0],
+            &[],
+        )
+    }
+
+    /// Like [`ServingSummary::from_records`], with the per-class workload
+    /// counters and the configured class list: the summary gains a total
+    /// `shed` count and one [`ClassServingSummary`] per configured class
+    /// (in configured order). `shed_by_class` / `rejected_by_class` are
+    /// indexed by [`RequestClass::index`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_records_with_workload(
+        records: &[RequestRecord],
+        history: &[IterationMetrics],
+        admission_rejects: u64,
+        peak_kv_tokens: u64,
+        shed_by_class: [u64; 2],
+        rejected_by_class: [u64; 2],
+        classes: &[ClassSpec],
+    ) -> Self {
+        let mut s = Self::from_records_base(records, history, admission_rejects, peak_kv_tokens);
+        s.shed = shed_by_class.iter().sum();
+        for spec in classes {
+            let class_records: Vec<&RequestRecord> =
+                records.iter().filter(|r| r.class == spec.class).collect();
+            let mut c = ClassServingSummary {
+                class: spec.class,
+                completed: class_records.len(),
+                rejected: rejected_by_class[spec.class.index()],
+                shed: shed_by_class[spec.class.index()],
+                ttft_slo: spec.ttft_slo,
+                tpot_slo: spec.tpot_slo,
+                ..Default::default()
+            };
+            if !class_records.is_empty() {
+                (c.ttft_p50, c.ttft_p95, c.ttft_p99) =
+                    sort_and_ladder(class_records.iter().map(|r| r.ttft()).collect());
+                let within = class_records
+                    .iter()
+                    .filter(|r| r.ttft() <= spec.ttft_slo)
+                    .count();
+                c.ttft_attainment = within as f64 / class_records.len() as f64;
+            }
+            let tpots: Vec<f64> = class_records.iter().filter_map(|r| r.tpot()).collect();
+            if !tpots.is_empty() {
+                let within = tpots.iter().filter(|&&t| t <= spec.tpot_slo).count();
+                c.tpot_attainment = within as f64 / tpots.len() as f64;
+                (c.tpot_p50, c.tpot_p95, c.tpot_p99) = sort_and_ladder(tpots);
+            }
+            s.classes.push(c);
+        }
+        s
+    }
+
+    fn from_records_base(
         records: &[RequestRecord],
         history: &[IterationMetrics],
         admission_rejects: u64,
@@ -381,6 +491,7 @@ mod tests {
         RequestRecord {
             id: RequestId(id),
             scenario: Scenario::Chat,
+            class: RequestClass::Interactive,
             input_len: 10,
             output_len: out,
             arrival,
@@ -449,5 +560,79 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.goodput_rps, 0.0);
         assert_eq!(s.ttft_p99, 0.0);
+        assert_eq!(s.shed, 0);
+        assert!(s.classes.is_empty());
+    }
+
+    #[test]
+    fn per_class_summary_reports_attainment_against_slo() {
+        // Interactive TTFTs [1, 2, 3, 4] against a 2.5 s target: 2 of 4
+        // within. One batch record with TTFT 1 against 2.0: within.
+        let mut records: Vec<RequestRecord> = (0..4)
+            .map(|i| record(i, i as f64, 1.0 + i as f64, 3.0 + i as f64, 4))
+            .collect();
+        records.push(RequestRecord {
+            class: RequestClass::Batch,
+            ..record(4, 0.0, 1.0, 3.0, 4)
+        });
+        let history = vec![IterationMetrics {
+            sim_time: 10.0,
+            ..Default::default()
+        }];
+        let classes = vec![
+            ClassSpec::interactive().with_slo(2.5, 1.0),
+            ClassSpec::batch().with_slo(2.0, 0.1),
+        ];
+        let s = ServingSummary::from_records_with_workload(
+            &records,
+            &history,
+            1,
+            0,
+            [0, 3],
+            [1, 0],
+            &classes,
+        );
+        assert_eq!(s.shed, 3);
+        assert_eq!(s.classes.len(), 2);
+        let i = &s.classes[0];
+        assert_eq!(i.class, RequestClass::Interactive);
+        assert_eq!((i.completed, i.rejected, i.shed), (4, 1, 0));
+        assert_eq!(i.ttft_p50, 2.0);
+        assert_eq!(i.ttft_attainment, 0.5);
+        // Every interactive TPOT is 2/3 ≤ 1.0.
+        assert_eq!(i.tpot_attainment, 1.0);
+        let b = &s.classes[1];
+        assert_eq!(b.class, RequestClass::Batch);
+        assert_eq!((b.completed, b.rejected, b.shed), (1, 0, 3));
+        assert_eq!(b.ttft_attainment, 1.0);
+        // Batch TPOT 2/3 > 0.1: missed.
+        assert_eq!(b.tpot_attainment, 0.0);
+        assert_eq!((b.ttft_slo, b.tpot_slo), (2.0, 0.1));
+        // The class-free constructor stays class-free.
+        let plain = ServingSummary::from_records(&records, &history, 1, 0);
+        assert!(plain.classes.is_empty());
+        assert_eq!(plain.shed, 0);
+    }
+
+    /// A configured class with zero completions reports the "no samples"
+    /// zeros, not NaN.
+    #[test]
+    fn empty_class_attainment_is_zero() {
+        let classes = vec![ClassSpec::interactive(), ClassSpec::batch()];
+        let records = vec![record(0, 0.0, 1.0, 3.0, 4)];
+        let s = ServingSummary::from_records_with_workload(
+            &records,
+            &[],
+            0,
+            0,
+            [0, 0],
+            [0, 0],
+            &classes,
+        );
+        let b = &s.classes[1];
+        assert_eq!(b.completed, 0);
+        assert_eq!(b.ttft_attainment, 0.0);
+        assert_eq!(b.tpot_attainment, 0.0);
+        assert_eq!(b.ttft_p99, 0.0);
     }
 }

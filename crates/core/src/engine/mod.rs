@@ -22,13 +22,13 @@
 mod metrics;
 mod sketch;
 
-pub use metrics::{percentile, IterationMetrics, RunSummary, ServingSummary};
+pub use metrics::{percentile, ClassServingSummary, IterationMetrics, RunSummary, ServingSummary};
 pub use sketch::{P2Quantile, StreamingSummary, SummaryMode};
 
 use moe_model::{CostModel, InferencePhase, ModelConfig, Precision};
 use moe_workload::{
-    ArrivalProcess, BatchScheduler, RequestGenerator, RequestRecord, SchedulingMode,
-    TraceGenerator, WorkloadMix,
+    BatchScheduler, ClassPolicy, ClassSpec, RequestClass, RequestGenerator, RequestRecord,
+    SchedulingMode, TraceGenerator, WorkloadMix, WorkloadProfile,
 };
 use serde::{Deserialize, Serialize};
 use wsc_sim::{CongestionBackend, CongestionModel};
@@ -45,13 +45,16 @@ use crate::placement::ExpertPlacement;
 
 pub use crate::balancer::cumulative_imbalance as imbalance_statistic;
 
-/// Diurnal amplitude of the serving arrival process (engine `Scheduled`
-/// mode and the fleet's global stream draw from the same cycle, so fleet
-/// and single-replica sweep curves stay comparable).
-pub const ARRIVAL_DIURNAL_AMPLITUDE: f64 = 0.3;
+/// Diurnal amplitude of the default serving arrival process (engine
+/// `Scheduled` mode and the fleet's global stream draw from the same cycle,
+/// so fleet and single-replica sweep curves stay comparable). Alias of
+/// [`moe_workload::DEFAULT_DIURNAL_AMPLITUDE`], the default of
+/// [`WorkloadProfile`]'s diurnal arrival source.
+pub const ARRIVAL_DIURNAL_AMPLITUDE: f64 = moe_workload::DEFAULT_DIURNAL_AMPLITUDE;
 
-/// Diurnal cycle period of the serving arrival process, seconds.
-pub const ARRIVAL_DIURNAL_PERIOD_SECS: f64 = 600.0;
+/// Diurnal cycle period of the default serving arrival process, seconds.
+/// Alias of [`moe_workload::DEFAULT_DIURNAL_PERIOD_SECS`].
+pub const ARRIVAL_DIURNAL_PERIOD_SECS: f64 = moe_workload::DEFAULT_DIURNAL_PERIOD_SECS;
 
 /// How iteration batches are produced.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -102,6 +105,15 @@ pub struct EngineConfig {
     pub cost: CostModel,
     /// Scenario mixture driving expert selection.
     pub workload: WorkloadMix,
+    /// Serving workload shape: arrival source (diurnal Poisson, phase
+    /// schedule, or trace replay) and tenant request classes with SLO
+    /// targets. The default profile reproduces the legacy diurnal stream
+    /// bit-for-bit with a single class-free tenant, so workload-free
+    /// scenarios are byte-unchanged. Only consulted by the serving batch
+    /// modes ([`BatchMode::Scheduled`] generates from it;
+    /// [`BatchMode::External`] applies its class shed policy while the
+    /// fleet router owns the arrival stream).
+    pub workload_profile: WorkloadProfile,
     /// Batch production mode.
     pub batch: BatchMode,
     /// Communication-pricing fidelity: the fast analytic congestion model
@@ -156,6 +168,7 @@ impl EngineConfig {
         EngineConfig {
             cost: CostModel::new(moe_model::DeviceSpec::b200()),
             workload: WorkloadMix::mixed(500.0),
+            workload_profile: WorkloadProfile::default(),
             batch: BatchMode::Fixed {
                 tokens_per_group: 256,
                 avg_context: 4096.0,
@@ -201,6 +214,13 @@ impl EngineConfig {
     /// Sets the workload mix (builder style).
     pub fn with_workload(mut self, workload: WorkloadMix) -> Self {
         self.workload = workload;
+        self
+    }
+
+    /// Sets the serving workload profile (builder style): arrival source
+    /// and tenant classes.
+    pub fn with_workload_profile(mut self, profile: WorkloadProfile) -> Self {
+        self.workload_profile = profile;
         self
     }
 
@@ -253,6 +273,7 @@ impl EngineConfig {
         if self.cache_entries < 1 {
             return Err(ConfigError::CacheEntriesZero);
         }
+        self.workload_profile.validate()?;
         Ok(())
     }
 }
@@ -370,20 +391,21 @@ impl<'a> InferenceEngine<'a> {
                 request_rate,
                 iteration_period,
             } => {
-                let arrivals = ArrivalProcess::new(
+                // The workload profile owns the arrival source (diurnal
+                // Poisson by default, phase schedule, or trace replay) and
+                // the tenant-class mixture. Request scenarios follow the
+                // gating workload mix so length profiles and expert
+                // affinities stay coherent (time-varying mixes use their
+                // initial blend). The seed streams are unchanged from the
+                // legacy construction, so the default profile reproduces
+                // the pre-profile request stream bit-for-bit.
+                let generator = RequestGenerator::try_from_profile(
+                    &config.workload_profile,
                     *request_rate,
-                    ARRIVAL_DIURNAL_AMPLITUDE,
-                    ARRIVAL_DIURNAL_PERIOD_SECS,
-                    config.seed ^ 0x5EED,
-                );
-                // Request scenarios follow the gating workload mix so
-                // length profiles and expert affinities stay coherent
-                // (time-varying mixes use their initial blend).
-                let generator = RequestGenerator::new(
-                    arrivals,
                     config.workload.weights(0),
+                    config.seed ^ 0x5EED,
                     config.seed ^ 0xFEED,
-                );
+                )?;
                 Some(
                     BatchScheduler::new(
                         *mode,
@@ -392,7 +414,8 @@ impl<'a> InferenceEngine<'a> {
                         *iteration_period,
                         generator,
                     )
-                    .with_kv_budget(kv_budget()),
+                    .with_kv_budget(kv_budget())
+                    .with_class_policy(ClassPolicy::from_classes(&config.workload_profile.classes)),
                 )
             }
             BatchMode::External {
@@ -401,7 +424,8 @@ impl<'a> InferenceEngine<'a> {
                 max_active,
             } => Some(
                 BatchScheduler::external(*mode, *max_batch_tokens, *max_active)
-                    .with_kv_budget(kv_budget()),
+                    .with_kv_budget(kv_budget())
+                    .with_class_policy(ClassPolicy::from_classes(&config.workload_profile.classes)),
             ),
         };
 
@@ -472,7 +496,14 @@ impl<'a> InferenceEngine<'a> {
             completed: Vec::new(),
             streaming: match config.summary {
                 SummaryMode::Exact => None,
-                SummaryMode::Streaming => Some(StreamingSummary::new()),
+                // One P² sketch set per tenant class; the default profile
+                // keeps the class list empty so workload-free summaries are
+                // byte-identical to the pre-profile layout.
+                SummaryMode::Streaming => Some(if config.workload_profile.is_default() {
+                    StreamingSummary::new()
+                } else {
+                    StreamingSummary::with_classes(&config.workload_profile.classes)
+                }),
             },
             fresh: Vec::new(),
             ar_ser_per_byte: est.serialization_time,
@@ -865,10 +896,49 @@ impl<'a> InferenceEngine<'a> {
         let (rejects, peak_kv) = self.scheduler.as_ref().map_or((0, 0), |s| {
             (s.queue().rejected(), s.queue().peak_kv_tokens())
         });
+        let (shed_by_class, rejected_by_class) = self.class_counters();
+        let classes: &[ClassSpec] = if self.config.workload_profile.is_default() {
+            &[]
+        } else {
+            &self.config.workload_profile.classes
+        };
         match self.streaming.as_ref() {
-            Some(streaming) => streaming.summary(rejects, peak_kv, self.clock),
-            None => ServingSummary::from_records(&self.completed, &self.history, rejects, peak_kv),
+            Some(streaming) => streaming.summary_with_workload(
+                rejects,
+                peak_kv,
+                self.clock,
+                shed_by_class,
+                rejected_by_class,
+            ),
+            None => ServingSummary::from_records_with_workload(
+                &self.completed,
+                &self.history,
+                rejects,
+                peak_kv,
+                shed_by_class,
+                rejected_by_class,
+                classes,
+            ),
         }
+    }
+
+    /// Per-class `(shed, rejected)` admission counters of this replica's
+    /// serving queue, indexed by [`RequestClass::index`]. All zeros in
+    /// [`BatchMode::Fixed`]. The fleet sums these across replicas for its
+    /// aggregate per-class attainment report.
+    pub fn class_counters(&self) -> ([u64; 2], [u64; 2]) {
+        self.scheduler.as_ref().map_or(([0; 2], [0; 2]), |s| {
+            let q = s.queue();
+            let shed = [
+                q.shed_for(RequestClass::Interactive),
+                q.shed_for(RequestClass::Batch),
+            ];
+            let rejected = [
+                q.rejected_for(RequestClass::Interactive),
+                q.rejected_for(RequestClass::Batch),
+            ];
+            (shed, rejected)
+        })
     }
 }
 
@@ -1197,6 +1267,83 @@ mod tests {
             s.mean_queue_depth > 0.0,
             "starved budget should leave requests queued"
         );
+    }
+
+    #[test]
+    fn per_class_summary_gated_on_profile() {
+        let (topo, table, plan) = fixture();
+        let serving = |profile: WorkloadProfile| {
+            let config = EngineConfig::new(small_model())
+                .with_seed(23)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_workload_profile(profile)
+                .with_batch(BatchMode::Scheduled {
+                    mode: SchedulingMode::Hybrid,
+                    max_batch_tokens: 2048,
+                    max_active: 128,
+                    request_rate: 2000.0,
+                    iteration_period: 0.02,
+                });
+            let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+            engine.run(600);
+            engine.serving_summary()
+        };
+        // The default profile keeps summaries class-free (byte-stability of
+        // workload-free scenarios).
+        let default = serving(WorkloadProfile::default());
+        assert!(default.completed > 0, "scenario produced no completions");
+        assert!(default.classes.is_empty());
+        assert_eq!(default.shed, 0);
+        // A two-tenant profile reports one section per class, and the class
+        // sections partition the completions.
+        let profile = WorkloadProfile {
+            classes: vec![
+                moe_workload::ClassSpec::interactive().with_weight(3.0),
+                moe_workload::ClassSpec::batch(),
+            ],
+            ..Default::default()
+        };
+        let s = serving(profile);
+        assert_eq!(s.classes.len(), 2);
+        assert_eq!(s.classes[0].class, RequestClass::Interactive);
+        assert_eq!(s.classes[1].class, RequestClass::Batch);
+        let total: usize = s.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(total, s.completed);
+        assert!(s.classes[0].completed > 0, "interactive share never served");
+    }
+
+    #[test]
+    fn trace_replay_profile_drives_scheduled_mode() {
+        let (topo, table, plan) = fixture();
+        let rows: Vec<moe_workload::TraceRequest> = (0..20)
+            .map(|i| moe_workload::TraceRequest {
+                arrival: 1e-6 * i as f64,
+                scenario: Scenario::Privacy,
+                input_len: 64,
+                output_len: 8,
+                class: RequestClass::Interactive,
+            })
+            .collect();
+        let profile = WorkloadProfile {
+            arrivals: moe_workload::ArrivalSpec::Trace(rows),
+            ..Default::default()
+        };
+        let config = EngineConfig::new(small_model())
+            .with_seed(23)
+            .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+            .with_workload_profile(profile)
+            .with_batch(BatchMode::Scheduled {
+                mode: SchedulingMode::Hybrid,
+                max_batch_tokens: 2048,
+                max_active: 128,
+                request_rate: 2000.0, // ignored by replay sources
+                iteration_period: 0.02,
+            });
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(600);
+        let s = engine.serving_summary();
+        assert_eq!(s.completed, 20, "every trace row served exactly once");
+        assert_eq!(s.admission_rejects, 0);
     }
 
     #[test]

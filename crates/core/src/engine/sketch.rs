@@ -25,9 +25,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use moe_workload::RequestRecord;
+use moe_workload::{ClassSpec, RequestRecord};
 
-use super::metrics::{percentile, ServingSummary};
+use super::metrics::{percentile, ClassServingSummary, ServingSummary};
 
 /// How request-level serving summaries are maintained.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
@@ -273,6 +273,90 @@ pub struct StreamingSummary {
     queue_depth_sum: f64,
     active_sum: f64,
     max_queue_depth: u64,
+    /// Per-tenant-class sketch sets, one per configured class in configured
+    /// order (empty for workload-free runs).
+    classes: Vec<ClassSketch>,
+}
+
+/// One tenant class's streaming state: a TTFT/TPOT sketch ladder plus the
+/// exact attainment counters (attainment is a counting statistic, so both
+/// summary modes report it identically).
+#[derive(Clone, Debug)]
+struct ClassSketch {
+    spec: ClassSpec,
+    completed: u64,
+    ttft_within: u64,
+    tpot_defined: u64,
+    tpot_within: u64,
+    ttft_p50: P2Quantile,
+    ttft_p95: P2Quantile,
+    ttft_p99: P2Quantile,
+    tpot_p50: P2Quantile,
+    tpot_p95: P2Quantile,
+    tpot_p99: P2Quantile,
+}
+
+impl ClassSketch {
+    fn new(spec: ClassSpec) -> Self {
+        ClassSketch {
+            spec,
+            completed: 0,
+            ttft_within: 0,
+            tpot_defined: 0,
+            tpot_within: 0,
+            ttft_p50: P2Quantile::new(0.50),
+            ttft_p95: P2Quantile::new(0.95),
+            ttft_p99: P2Quantile::new(0.99),
+            tpot_p50: P2Quantile::new(0.50),
+            tpot_p95: P2Quantile::new(0.95),
+            tpot_p99: P2Quantile::new(0.99),
+        }
+    }
+
+    fn observe(&mut self, record: &RequestRecord) {
+        self.completed += 1;
+        let ttft = record.ttft();
+        if ttft <= self.spec.ttft_slo {
+            self.ttft_within += 1;
+        }
+        self.ttft_p50.observe(ttft);
+        self.ttft_p95.observe(ttft);
+        self.ttft_p99.observe(ttft);
+        if let Some(tpot) = record.tpot() {
+            self.tpot_defined += 1;
+            if tpot <= self.spec.tpot_slo {
+                self.tpot_within += 1;
+            }
+            self.tpot_p50.observe(tpot);
+            self.tpot_p95.observe(tpot);
+            self.tpot_p99.observe(tpot);
+        }
+    }
+
+    fn summary(&self, rejected: u64, shed: u64) -> ClassServingSummary {
+        let mut c = ClassServingSummary {
+            class: self.spec.class,
+            completed: self.completed as usize,
+            rejected,
+            shed,
+            ttft_slo: self.spec.ttft_slo,
+            tpot_slo: self.spec.tpot_slo,
+            ..Default::default()
+        };
+        if self.completed > 0 {
+            c.ttft_attainment = self.ttft_within as f64 / self.completed as f64;
+            c.ttft_p50 = self.ttft_p50.estimate();
+            c.ttft_p95 = self.ttft_p95.estimate().max(c.ttft_p50);
+            c.ttft_p99 = self.ttft_p99.estimate().max(c.ttft_p95);
+        }
+        if self.tpot_defined > 0 {
+            c.tpot_attainment = self.tpot_within as f64 / self.tpot_defined as f64;
+            c.tpot_p50 = self.tpot_p50.estimate();
+            c.tpot_p95 = self.tpot_p95.estimate().max(c.tpot_p50);
+            c.tpot_p99 = self.tpot_p99.estimate().max(c.tpot_p95);
+        }
+        c
+    }
 }
 
 impl StreamingSummary {
@@ -295,7 +379,16 @@ impl StreamingSummary {
             queue_depth_sum: 0.0,
             active_sum: 0.0,
             max_queue_depth: 0,
+            classes: Vec::new(),
         }
+    }
+
+    /// An empty accumulator that additionally tracks one sketch set (and
+    /// the exact attainment counters) per configured tenant class.
+    pub fn with_classes(classes: &[ClassSpec]) -> Self {
+        let mut s = Self::new();
+        s.classes = classes.iter().map(|c| ClassSketch::new(*c)).collect();
+        s
     }
 
     /// Folds one completed request into every latency sketch and the
@@ -319,6 +412,13 @@ impl StreamingSummary {
         let queueing = record.queueing_delay();
         self.queueing_p50.observe(queueing);
         self.queueing_p99.observe(queueing);
+        if let Some(class) = self
+            .classes
+            .iter_mut()
+            .find(|c| c.spec.class == record.class)
+        {
+            class.observe(record);
+        }
     }
 
     /// Folds one iteration's occupancy sample (the streaming analogue of
@@ -344,6 +444,29 @@ impl StreamingSummary {
         peak_kv_tokens: u64,
         sim_seconds: f64,
     ) -> ServingSummary {
+        self.summary_with_workload(
+            admission_rejects,
+            peak_kv_tokens,
+            sim_seconds,
+            [0, 0],
+            [0, 0],
+        )
+    }
+
+    /// Like [`StreamingSummary::summary`], additionally stamping the
+    /// per-class shed/reject counters (indexed by
+    /// [`RequestClass::index`](moe_workload::RequestClass::index), owned by
+    /// the caller's queues) into the per-class sections. The streaming
+    /// counterpart of
+    /// [`ServingSummary::from_records_with_workload`].
+    pub fn summary_with_workload(
+        &self,
+        admission_rejects: u64,
+        peak_kv_tokens: u64,
+        sim_seconds: f64,
+        shed_by_class: [u64; 2],
+        rejected_by_class: [u64; 2],
+    ) -> ServingSummary {
         let mut s = ServingSummary {
             completed: self.completed as usize,
             admission_rejects,
@@ -356,6 +479,12 @@ impl StreamingSummary {
             let n = self.iterations as f64;
             s.mean_queue_depth = self.queue_depth_sum / n;
             s.mean_active_requests = self.active_sum / n;
+        }
+        s.shed = shed_by_class.iter().sum();
+        for class in &self.classes {
+            let index = class.spec.class.index();
+            s.classes
+                .push(class.summary(rejected_by_class[index], shed_by_class[index]));
         }
         if self.completed == 0 {
             return s;
@@ -485,12 +614,16 @@ mod tests {
         assert_eq!(SummaryMode::default(), SummaryMode::Exact);
     }
 
-    #[test]
-    fn streaming_summary_matches_exact_on_small_runs() {
-        use moe_workload::{RequestId, Scenario};
-        let record = |id: u64, arrival: f64, ttft: f64, e2e: f64| RequestRecord {
+    fn test_record(id: u64, arrival: f64, ttft: f64, e2e: f64) -> RequestRecord {
+        use moe_workload::{RequestClass, RequestId, Scenario};
+        RequestRecord {
             id: RequestId(id),
             scenario: Scenario::Chat,
+            class: if id.is_multiple_of(3) {
+                RequestClass::Batch
+            } else {
+                RequestClass::Interactive
+            },
             input_len: 10,
             output_len: 4,
             arrival,
@@ -499,9 +632,13 @@ mod tests {
             finish: arrival + e2e,
             prefill_scheduled: 10,
             decode_scheduled: 4,
-        };
+        }
+    }
+
+    #[test]
+    fn streaming_summary_matches_exact_on_small_runs() {
         let records: Vec<RequestRecord> = (0..32)
-            .map(|i| record(i, i as f64, 1.0 + i as f64, 3.0 + 2.0 * i as f64))
+            .map(|i| test_record(i, i as f64, 1.0 + i as f64, 3.0 + 2.0 * i as f64))
             .collect();
         let mut streaming = StreamingSummary::new();
         for r in &records {
@@ -528,5 +665,38 @@ mod tests {
         let exact = ServingSummary::from_records(&records, &history, 7, 123);
         // ≤ WARMUP samples: every percentile is bit-identical to exact.
         assert_eq!(s, exact);
+    }
+
+    /// The per-class sections agree bit-for-bit between the two summary
+    /// modes on small runs: percentiles through the exact warm-up prefix,
+    /// attainment through exact counters in both paths.
+    #[test]
+    fn streaming_class_sections_match_exact_within_warmup() {
+        let classes = vec![
+            ClassSpec::interactive().with_slo(10.0, 0.8),
+            ClassSpec::batch().with_slo(30.0, 2.0),
+        ];
+        let records: Vec<RequestRecord> = (0..40)
+            .map(|i| test_record(i, i as f64, 1.0 + i as f64, 3.0 + 2.0 * i as f64))
+            .collect();
+        let mut streaming = StreamingSummary::with_classes(&classes);
+        for r in &records {
+            streaming.observe_record(r);
+        }
+        let history = vec![crate::engine::IterationMetrics {
+            sim_time: 50.0,
+            ..Default::default()
+        }];
+        streaming.observe_iteration(0, 0);
+        let shed = [2, 5];
+        let rejects = [1, 0];
+        let s = streaming.summary_with_workload(1, 0, 50.0, shed, rejects);
+        let exact = ServingSummary::from_records_with_workload(
+            &records, &history, 1, 0, shed, rejects, &classes,
+        );
+        assert_eq!(s, exact);
+        assert_eq!(s.shed, 7);
+        assert_eq!(s.classes.len(), 2);
+        assert!(s.classes[0].ttft_attainment > 0.0);
     }
 }

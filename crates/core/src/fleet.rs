@@ -43,9 +43,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use moe_workload::{
-    ArrivalProcess, ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy,
-};
+use moe_workload::{ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy};
 use wsc_sim::CongestionBackend;
 use wsc_topology::{RouteTable, Topology};
 
@@ -667,19 +665,18 @@ impl<'a> Fleet<'a> {
             max_active,
         };
         // The global arrival stream mirrors the single-engine scheduled
-        // mode (diurnal Poisson, scenario blend from the workload mix) but
-        // draws from fleet-level seed streams.
-        let arrivals = ArrivalProcess::new(
+        // mode (same workload profile: diurnal Poisson by default, phase
+        // schedule, or trace replay; scenario blend from the workload mix)
+        // but draws from fleet-level seed streams. One shared constructor
+        // — `RequestGenerator::try_from_profile` — replaces the diurnal
+        // construction previously copied from `engine/mod.rs`.
+        let generator = RequestGenerator::try_from_profile(
+            &config.engine.workload_profile,
             config.request_rate,
-            crate::engine::ARRIVAL_DIURNAL_AMPLITUDE,
-            crate::engine::ARRIVAL_DIURNAL_PERIOD_SECS,
-            split_seed(master, 0x0A5E_11A1),
-        );
-        let generator = RequestGenerator::new(
-            arrivals,
             config.engine.workload.weights(0),
+            split_seed(master, 0x0A5E_11A1),
             split_seed(master, 0x0A5E_11A2),
-        );
+        )?;
         let router = Router::new(
             config.policy,
             config.replicas,
@@ -687,7 +684,11 @@ impl<'a> Fleet<'a> {
         );
         let streaming = match config.engine.summary {
             SummaryMode::Exact => None,
-            SummaryMode::Streaming => Some(StreamingSummary::new()),
+            SummaryMode::Streaming => Some(if config.engine.workload_profile.is_default() {
+                StreamingSummary::new()
+            } else {
+                StreamingSummary::with_classes(&config.engine.workload_profile.classes)
+            }),
         };
         let mut fleet = Fleet {
             topo,
@@ -936,7 +937,12 @@ impl<'a> Fleet<'a> {
         for _ in 0..moe_workload::MAX_ARRIVALS_PER_PULL {
             let request = match self.lookahead.take() {
                 Some(r) => r,
-                None => self.generator.next_request(),
+                // A `None` means a finite source (trace replay) ran dry;
+                // there is nothing left to route, ever.
+                None => match self.generator.next_request() {
+                    Some(r) => r,
+                    None => break,
+                },
             };
             if request.arrival > self.clock {
                 self.lookahead = Some(request);
@@ -1130,12 +1136,16 @@ impl<'a> Fleet<'a> {
             // router-before-replica contract).
             let arrival_time = match &self.lookahead {
                 Some(r) => r.arrival,
-                None => {
-                    let r = self.generator.next_request();
-                    let t = r.arrival;
-                    self.lookahead = Some(r);
-                    t
-                }
+                // An exhausted finite source (trace replay) stops producing
+                // arrival events; steps and timeline events still fire.
+                None => match self.generator.next_request() {
+                    Some(r) => {
+                        let t = r.arrival;
+                        self.lookahead = Some(r);
+                        t
+                    }
+                    None => f64::INFINITY,
+                },
             };
             let step = heap.peek().copied();
             let step_time = step.map_or(f64::INFINITY, |s| s.time);
@@ -1266,11 +1276,34 @@ impl<'a> Fleet<'a> {
             .collect();
 
         let total_rejects: u64 = per_replica.iter().map(|s| s.admission_rejects).sum();
+        // Per-class admission counters are fleet-wide sums over the replica
+        // queues (shed and rejected happen at the replica barrier, not at
+        // the router).
+        let mut shed_by_class = [0u64; 2];
+        let mut rejected_by_class = [0u64; 2];
+        for e in &self.engines {
+            let (shed, rejected) = e.class_counters();
+            for c in 0..2 {
+                shed_by_class[c] += shed[c];
+                rejected_by_class[c] += rejected[c];
+            }
+        }
+        let classes: &[moe_workload::ClassSpec] = if self.template.workload_profile.is_default() {
+            &[]
+        } else {
+            &self.template.workload_profile.classes
+        };
         let mut aggregate = match self.streaming.as_ref() {
             // Streaming: the fleet's own sketch over the union of
             // completions (P² sketches don't merge, so it was fed as the
             // replicas drained). Goodput is against the fleet clock.
-            Some(streaming) => streaming.summary(total_rejects, 0, self.clock),
+            Some(streaming) => streaming.summary_with_workload(
+                total_rejects,
+                0,
+                self.clock,
+                shed_by_class,
+                rejected_by_class,
+            ),
             // Exact: percentiles over the union of retained records.
             None => {
                 let all_records: Vec<moe_workload::RequestRecord> = self
@@ -1278,8 +1311,15 @@ impl<'a> Fleet<'a> {
                     .iter()
                     .flat_map(|e| e.completed_requests().iter().cloned())
                     .collect();
-                let mut aggregate =
-                    ServingSummary::from_records(&all_records, &[], total_rejects, 0);
+                let mut aggregate = ServingSummary::from_records_with_workload(
+                    &all_records,
+                    &[],
+                    total_rejects,
+                    0,
+                    shed_by_class,
+                    rejected_by_class,
+                    classes,
+                );
                 aggregate.sim_seconds = self.clock;
                 if self.clock > 0.0 {
                     aggregate.goodput_rps = all_records.len() as f64 / self.clock;
@@ -1424,7 +1464,7 @@ mod tests {
         assert!(summary.sim_seconds > 0.0);
         assert!(summary.aggregate.completed > 0, "no request completed");
         // Conservation: every routed request is waiting, resident,
-        // rejected, or completed on exactly one replica.
+        // rejected, shed, or completed on exactly one replica.
         let routed: u64 = summary.routed.iter().sum();
         let accounted: u64 = fleet
             .engines()
@@ -1435,6 +1475,7 @@ mod tests {
                 snap.queue_depth as u64
                     + snap.active as u64
                     + s.admission_rejects
+                    + s.shed
                     + s.completed as u64
             })
             .sum();
@@ -1889,6 +1930,7 @@ mod tests {
                 snap.queue_depth as u64
                     + snap.active as u64
                     + s.admission_rejects
+                    + s.shed
                     + s.completed as u64
             })
             .sum();

@@ -43,6 +43,7 @@
 
 pub mod affinity;
 pub mod gating;
+pub mod profile;
 pub mod requests;
 pub mod router;
 pub mod scenario;
@@ -52,9 +53,13 @@ pub mod trace;
 
 pub use affinity::AffinityModel;
 pub use gating::sample_gating_counts;
+pub use profile::{
+    ArrivalSpec, ClassSpec, Phase, RequestClass, TraceRequest, WorkloadError, WorkloadProfile,
+    DEFAULT_DIURNAL_AMPLITUDE, DEFAULT_DIURNAL_PERIOD_SECS,
+};
 pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator, RequestId};
 pub use router::{max_mean_imbalance, ReplicaSnapshot, Router, RouterPolicy};
 pub use scenario::Scenario;
 pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode, MAX_ARRIVALS_PER_PULL};
-pub use serving::{InterruptedRequest, RequestRecord, ServingQueue, TokenAccounting};
+pub use serving::{ClassPolicy, InterruptedRequest, RequestRecord, ServingQueue, TokenAccounting};
 pub use trace::{IterationTrace, LayerGating, TraceGenerator, WorkloadMix};

@@ -373,6 +373,7 @@ mod tests {
         Request {
             id: RequestId(id),
             scenario: Scenario::Chat,
+            class: crate::profile::RequestClass::Interactive,
             input_len: input,
             output_len: output,
             arrival: id as f64,

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use moe_model::InferencePhase;
 
 use crate::requests::{Request, RequestGenerator, RequestId};
-use crate::serving::{InterruptedRequest, RequestRecord, ServingQueue};
+use crate::serving::{ClassPolicy, InterruptedRequest, RequestRecord, ServingQueue};
 
 /// Serving discipline (paper §VI-C): disaggregated prefill, disaggregated
 /// decode, or Sarathi-style hybrid batches mixing a prefill chunk with
@@ -227,7 +227,29 @@ impl BatchScheduler {
             self.max_batch_tokens(),
             self.max_active(),
         );
-        self.queue = ServingQueue::new(mode, tokens, active, kv_budget_tokens);
+        // The rebuild must carry the class policy, or a policy set before
+        // the KV budget would silently vanish.
+        let policy = self.queue.class_policy();
+        self.queue =
+            ServingQueue::new(mode, tokens, active, kv_budget_tokens).with_class_policy(policy);
+        self
+    }
+
+    /// Sets the per-class admission policy (builder style). See
+    /// [`ServingQueue::with_class_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheduling has already happened.
+    pub fn with_class_policy(mut self, policy: ClassPolicy) -> Self {
+        assert!(
+            self.clock == 0.0
+                && self.queue.num_active() == 0
+                && self.queue.queue_depth() == 0
+                && self.queue.completed().is_empty(),
+            "with_class_policy must be called before scheduling starts"
+        );
+        self.queue = self.queue.with_class_policy(policy);
         self
     }
 
@@ -293,7 +315,11 @@ impl BatchScheduler {
         }
         // Bound the pull so a burst cannot stall the simulation.
         for _ in 0..MAX_ARRIVALS_PER_PULL {
-            let r = generator.next_request();
+            // A replayed trace is finite: once exhausted, nothing more to
+            // pull, ever.
+            let Some(r) = generator.next_request() else {
+                break;
+            };
             if r.arrival > now {
                 self.lookahead = Some(r);
                 break;

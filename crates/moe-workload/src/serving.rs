@@ -36,8 +36,12 @@ use serde::{Deserialize, Serialize};
 
 use moe_model::InferencePhase;
 
+use crate::profile::{ClassSpec, RequestClass};
 use crate::requests::{Request, RequestId};
 use crate::scheduler::{BatchEntry, BatchSpec, SchedulingMode};
+
+/// Number of tenant classes (the length of [`RequestClass::all`]).
+const NUM_CLASSES: usize = 2;
 
 /// Lifecycle record of one finished request: every timestamp needed to
 /// compute the serving percentiles (TTFT / TPOT / e2e / queueing delay).
@@ -47,6 +51,8 @@ pub struct RequestRecord {
     pub id: RequestId,
     /// Scenario the request belonged to.
     pub scenario: crate::scenario::Scenario,
+    /// Tenant class the request was served under.
+    pub class: RequestClass,
     /// Prompt length, tokens.
     pub input_len: u32,
     /// Requested output length, tokens.
@@ -164,6 +170,31 @@ pub struct TokenAccounting {
     pub scheduled_decode: u64,
 }
 
+/// Per-class admission policy of a [`ServingQueue`]: the optional shed
+/// deadline of each tenant class. Class *priority* is fixed (interactive
+/// ahead of batch at the same admission barrier); the policy only controls
+/// whether — and after how long — a still-waiting request is shed.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct ClassPolicy {
+    /// Shed deadline per class, indexed by [`RequestClass::index`]: a
+    /// waiting request older than `arrival + shed_after` is dropped at the
+    /// next admission pass and counted as a typed shed (never a silent
+    /// loss). `None` waits forever.
+    pub shed_after: [Option<f64>; NUM_CLASSES],
+}
+
+impl ClassPolicy {
+    /// Collects the shed deadlines out of a class list (classes absent from
+    /// the list keep `None`).
+    pub fn from_classes(classes: &[ClassSpec]) -> Self {
+        let mut policy = ClassPolicy::default();
+        for c in classes {
+            policy.shed_after[c.class.index()] = c.shed_after;
+        }
+        policy
+    }
+}
+
 /// Continuous-batching serving queue. See the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct ServingQueue {
@@ -171,12 +202,17 @@ pub struct ServingQueue {
     max_batch_tokens: u32,
     max_active: usize,
     kv_budget: u64,
-    waiting: VecDeque<Request>,
+    policy: ClassPolicy,
+    /// Per-class FCFS arrival queues, indexed by [`RequestClass::index`].
+    waiting: [VecDeque<Request>; NUM_CLASSES],
     active: Vec<ActiveRequest>,
     completed: Vec<RequestRecord>,
     kv_in_use: u64,
     peak_kv_in_use: u64,
     rejected: u64,
+    offered_by_class: [u64; NUM_CLASSES],
+    rejected_by_class: [u64; NUM_CLASSES],
+    shed_by_class: [u64; NUM_CLASSES],
     accounting: TokenAccounting,
     in_iteration: bool,
 }
@@ -207,15 +243,31 @@ impl ServingQueue {
             max_batch_tokens,
             max_active,
             kv_budget: kv_budget_tokens,
-            waiting: VecDeque::new(),
+            policy: ClassPolicy::default(),
+            waiting: [VecDeque::new(), VecDeque::new()],
             active: Vec::new(),
             completed: Vec::new(),
             kv_in_use: 0,
             peak_kv_in_use: 0,
             rejected: 0,
+            offered_by_class: [0; NUM_CLASSES],
+            rejected_by_class: [0; NUM_CLASSES],
+            shed_by_class: [0; NUM_CLASSES],
             accounting: TokenAccounting::default(),
             in_iteration: false,
         }
+    }
+
+    /// Sets the per-class admission policy (builder style). The default
+    /// policy never sheds, which reproduces the pre-class queue exactly.
+    pub fn with_class_policy(mut self, policy: ClassPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The per-class admission policy.
+    pub fn class_policy(&self) -> ClassPolicy {
+        self.policy
     }
 
     /// The serving discipline.
@@ -248,9 +300,14 @@ impl ServingQueue {
         self.peak_kv_in_use
     }
 
-    /// Requests arrived but not yet admitted.
+    /// Requests arrived but not yet admitted, across all classes.
     pub fn queue_depth(&self) -> usize {
-        self.waiting.len()
+        self.waiting.iter().map(VecDeque::len).sum()
+    }
+
+    /// Requests of `class` arrived but not yet admitted.
+    pub fn queue_depth_for(&self, class: RequestClass) -> usize {
+        self.waiting[class.index()].len()
     }
 
     /// Requests admitted and not yet complete.
@@ -258,10 +315,38 @@ impl ServingQueue {
         self.active.len()
     }
 
+    /// Requests of `class` admitted and not yet complete.
+    pub fn num_active_for(&self, class: RequestClass) -> usize {
+        self.active
+            .iter()
+            .filter(|r| r.request.class == class)
+            .count()
+    }
+
+    /// Requests of `class` offered so far.
+    pub fn offered_for(&self, class: RequestClass) -> u64 {
+        self.offered_by_class[class.index()]
+    }
+
     /// Requests rejected at admission (their footprint exceeds the whole
     /// KV budget, so they could never be served).
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Requests of `class` rejected at admission.
+    pub fn rejected_for(&self, class: RequestClass) -> u64 {
+        self.rejected_by_class[class.index()]
+    }
+
+    /// Requests shed past their class deadline, across all classes.
+    pub fn shed(&self) -> u64 {
+        self.shed_by_class.iter().sum()
+    }
+
+    /// Requests of `class` shed past their deadline.
+    pub fn shed_for(&self, class: RequestClass) -> u64 {
+        self.shed_by_class[class.index()]
     }
 
     /// Aggregate token-accounting counters.
@@ -286,15 +371,25 @@ impl ServingQueue {
     ///
     /// Panics if `request.arrival` precedes the previously offered arrival.
     pub fn offer(&mut self, request: Request) {
-        if let Some(back) = self.waiting.back() {
-            assert!(
-                request.arrival >= back.arrival,
-                "arrivals must be offered in order: {} after {}",
-                request.arrival,
-                back.arrival
-            );
-        }
-        self.waiting.push_back(request);
+        // The latest arrival still waiting, across both class deques (each
+        // deque is arrival-ordered, so its back is its latest). Like the
+        // single-deque queue, a drained queue accepts older arrivals again —
+        // the fleet's crash re-route path re-offers evicted requests with
+        // their original arrival stamps.
+        let latest_waiting = self
+            .waiting
+            .iter()
+            .filter_map(|q| q.back())
+            .map(|r| r.arrival)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            request.arrival >= latest_waiting,
+            "arrivals must be offered in order: {} after {}",
+            request.arrival,
+            latest_waiting
+        );
+        self.offered_by_class[request.class.index()] += 1;
+        self.waiting[request.class.index()].push_back(request);
     }
 
     /// KV tokens `request` must reserve to be admitted.
@@ -302,20 +397,49 @@ impl ServingQueue {
         self.mode.kv_need(request)
     }
 
-    /// FCFS admission at time `now`: admit from the head of the arrival
-    /// queue while a concurrency slot and KV reservation are available.
-    /// Head-of-line blocking is deliberate — skipping ahead would starve
-    /// large requests forever under load.
-    fn admit(&mut self, now: f64) {
-        while let Some(front) = self.waiting.front() {
-            if front.arrival > now {
-                break;
+    /// Sheds waiting requests past their class deadline at time `now`.
+    ///
+    /// Only heads need checking: each class deque is arrival-ordered and
+    /// shares one `shed_after`, so once a head is within its deadline every
+    /// request behind it (which has waited strictly less) is too.
+    fn shed_expired(&mut self, now: f64) {
+        for class in RequestClass::all() {
+            let Some(deadline) = self.policy.shed_after[class.index()] else {
+                continue;
+            };
+            while let Some(front) = self.waiting[class.index()].front() {
+                if now - front.arrival <= deadline {
+                    break;
+                }
+                self.waiting[class.index()].pop_front();
+                self.shed_by_class[class.index()] += 1;
             }
+        }
+    }
+
+    /// Class-priority FCFS admission at time `now`: first shed expired
+    /// waiters, then admit from the class heads — interactive strictly
+    /// ahead of batch at the same barrier — while a concurrency slot and KV
+    /// reservation are available. Within a class, head-of-line blocking is
+    /// deliberate — skipping ahead would starve large requests forever
+    /// under load; across classes, a blocked interactive head also blocks
+    /// batch (strict priority, not work conservation).
+    fn admit(&mut self, now: f64) {
+        self.shed_expired(now);
+        // Each pass admits (or rejects) the head of the highest-priority
+        // class whose head has already arrived, until none qualifies.
+        while let Some(class) = RequestClass::all().into_iter().find(|c| {
+            self.waiting[c.index()]
+                .front()
+                .is_some_and(|front| front.arrival <= now)
+        }) {
+            let front = self.waiting[class.index()].front().expect("checked front");
             let need = self.kv_need(front);
             if need > self.kv_budget {
                 // Could never fit, even on an empty system: reject.
                 self.rejected += 1;
-                self.waiting.pop_front();
+                self.rejected_by_class[class.index()] += 1;
+                self.waiting[class.index()].pop_front();
                 continue;
             }
             if self.active.len() >= self.max_active
@@ -323,7 +447,9 @@ impl ServingQueue {
             {
                 break;
             }
-            let request = self.waiting.pop_front().expect("checked front");
+            let request = self.waiting[class.index()]
+                .pop_front()
+                .expect("checked front");
             self.kv_in_use += need;
             self.peak_kv_in_use = self.peak_kv_in_use.max(self.kv_in_use);
             let external_prefill = self.mode == SchedulingMode::DecodeOnly;
@@ -466,6 +592,7 @@ impl ServingQueue {
             finished.push(RequestRecord {
                 id: r.request.id,
                 scenario: r.request.scenario,
+                class: r.request.class,
                 input_len: r.request.input_len,
                 output_len: r.request.output_len,
                 arrival: r.request.arrival,
@@ -483,10 +610,11 @@ impl ServingQueue {
         self.completed.append(&mut finished);
     }
 
-    /// Removes and returns every not-yet-admitted request, in FCFS order
-    /// (graceful drain or crash: admission stops here and the waiters are
-    /// re-routed elsewhere). The evicted requests were never admitted, so
-    /// no KV or token accounting unwinds.
+    /// Removes and returns every not-yet-admitted request, merged back into
+    /// global arrival order across the class deques (graceful drain or
+    /// crash: admission stops here and the waiters are re-routed elsewhere,
+    /// and the re-offer path requires arrival order). The evicted requests
+    /// were never admitted, so no KV or token accounting unwinds.
     ///
     /// # Panics
     ///
@@ -496,7 +624,25 @@ impl ServingQueue {
             !self.in_iteration,
             "evictions happen at iteration boundaries"
         );
-        self.waiting.drain(..).collect()
+        let [mut interactive, mut batch] = std::mem::take(&mut self.waiting);
+        let mut merged = Vec::with_capacity(interactive.len() + batch.len());
+        // Two-way merge of arrival-ordered deques; interactive wins ties
+        // (deterministic, and the identity when one deque is empty).
+        loop {
+            match (interactive.front(), batch.front()) {
+                (Some(i), Some(b)) => {
+                    if i.arrival <= b.arrival {
+                        merged.push(interactive.pop_front().expect("checked front"));
+                    } else {
+                        merged.push(batch.pop_front().expect("checked front"));
+                    }
+                }
+                (Some(_), None) => merged.extend(interactive.drain(..)),
+                (None, Some(_)) => merged.extend(batch.drain(..)),
+                (None, None) => break,
+            }
+        }
+        merged
     }
 
     /// Removes and returns every resident request with the progress it
@@ -544,9 +690,17 @@ mod tests {
         Request {
             id: RequestId(id),
             scenario: Scenario::Chat,
+            class: RequestClass::Interactive,
             input_len: input,
             output_len: output,
             arrival,
+        }
+    }
+
+    fn batch_req(id: u64, input: u32, output: u32, arrival: f64) -> Request {
+        Request {
+            class: RequestClass::Batch,
+            ..req(id, input, output, arrival)
         }
     }
 
@@ -708,6 +862,72 @@ mod tests {
         q.offer(req(2, 10, 2, 2.0));
         q.next_batch(2.0);
         assert_eq!(q.num_active(), 1);
+    }
+
+    #[test]
+    fn interactive_admits_ahead_of_batch_at_the_same_barrier() {
+        // One concurrency slot: the earlier-arrived batch request still
+        // yields to the interactive one at the admission barrier.
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 1, u64::MAX);
+        q.offer(batch_req(0, 8, 2, 0.0));
+        q.offer(req(1, 8, 2, 0.5));
+        q.next_batch(1.0);
+        assert_eq!(q.num_active(), 1);
+        assert_eq!(q.num_active_for(RequestClass::Interactive), 1);
+        assert_eq!(q.num_active_for(RequestClass::Batch), 0);
+        assert_eq!(q.queue_depth_for(RequestClass::Batch), 1);
+        // Drain the interactive request; batch then admits.
+        let mut now = 1.0;
+        while q.completed().is_empty() {
+            now += 1.0;
+            q.next_batch(now);
+            q.finish_iteration(now + 0.5);
+        }
+        q.next_batch(now + 1.0);
+        assert_eq!(q.num_active_for(RequestClass::Batch), 1);
+        let records = q.drain_completed();
+        assert_eq!(records[0].class, RequestClass::Interactive);
+    }
+
+    #[test]
+    fn expired_waiters_are_shed_and_counted() {
+        let policy = ClassPolicy {
+            shed_after: [None, Some(1.0)],
+        };
+        let mut q =
+            ServingQueue::new(SchedulingMode::Hybrid, 64, 1, u64::MAX).with_class_policy(policy);
+        q.offer(req(0, 800, 2, 0.0)); // hogs the single slot for a while
+        q.offer(batch_req(1, 8, 2, 0.1));
+        q.offer(batch_req(2, 8, 2, 0.2));
+        q.next_batch(0.5); // admits the interactive hog; batch waits
+        q.finish_iteration(1.0);
+        assert_eq!(q.shed(), 0);
+        q.next_batch(2.0); // both batch waiters are now past 1 s
+        assert_eq!(q.shed(), 2);
+        assert_eq!(q.shed_for(RequestClass::Batch), 2);
+        assert_eq!(q.shed_for(RequestClass::Interactive), 0);
+        assert_eq!(q.queue_depth(), 0);
+        // Shed is not an admission reject.
+        assert_eq!(q.rejected(), 0);
+        // Conservation per class: offered == active + completed + shed.
+        assert_eq!(q.offered_for(RequestClass::Batch), 2);
+        assert_eq!(q.offered_for(RequestClass::Interactive), 1);
+    }
+
+    #[test]
+    fn eviction_merge_restores_arrival_order() {
+        let mut q = ServingQueue::new(SchedulingMode::Hybrid, 64, 1, u64::MAX);
+        q.offer(req(0, 8, 2, 0.0)); // takes the slot
+        q.offer(batch_req(1, 8, 2, 1.0));
+        q.offer(req(2, 8, 2, 2.0));
+        q.offer(batch_req(3, 8, 2, 3.0));
+        q.offer(req(4, 8, 2, 4.0));
+        q.next_batch(5.0);
+        q.finish_iteration(5.5);
+        let evicted = q.evict_waiting();
+        let ids: Vec<u64> = evicted.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        assert!(evicted.windows(2).all(|w| w[0].arrival <= w[1].arrival));
     }
 
     #[test]

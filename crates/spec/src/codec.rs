@@ -29,7 +29,9 @@ use crate::model::ModelSpec;
 use crate::platform::{MappingSpec, PlatformSpec};
 use crate::scenario::ScenarioSpec;
 use crate::sweep::SweepSpec;
+use crate::workload::{ArrivalSourceSpec, WorkloadSpec};
 use crate::SCHEMA;
+use moe_workload::{ClassSpec, Phase, RequestClass};
 use moentwine_core::engine::SummaryMode;
 use moentwine_core::fleet::{validate_fleet_events, FleetEvent, FleetEventKind, FleetScheduler};
 
@@ -390,6 +392,245 @@ fn workload_from_json(value: &Value) -> Result<WorkloadMix, ConfigError> {
     })
 }
 
+fn arrivals_to_json(arrivals: &ArrivalSourceSpec) -> Value {
+    match arrivals {
+        ArrivalSourceSpec::Diurnal { amplitude, period } => obj(vec![
+            ("kind", Value::Str("diurnal".into())),
+            ("amplitude", num(*amplitude)),
+            ("period", num(*period)),
+        ]),
+        ArrivalSourceSpec::Burst {
+            period,
+            burst_duration,
+            quiet_factor,
+            burst_factor,
+        } => obj(vec![
+            ("kind", Value::Str("burst".into())),
+            ("period", num(*period)),
+            ("burst_duration", num(*burst_duration)),
+            ("quiet_factor", num(*quiet_factor)),
+            ("burst_factor", num(*burst_factor)),
+        ]),
+        ArrivalSourceSpec::Spike {
+            quiet_duration,
+            spike_duration,
+            spike_factor,
+        } => obj(vec![
+            ("kind", Value::Str("spike".into())),
+            ("quiet_duration", num(*quiet_duration)),
+            ("spike_duration", num(*spike_duration)),
+            ("spike_factor", num(*spike_factor)),
+        ]),
+        ArrivalSourceSpec::Ramp {
+            steps,
+            step_duration,
+            start_factor,
+            end_factor,
+        } => obj(vec![
+            ("kind", Value::Str("ramp".into())),
+            ("steps", num(*steps as f64)),
+            ("step_duration", num(*step_duration)),
+            ("start_factor", num(*start_factor)),
+            ("end_factor", num(*end_factor)),
+        ]),
+        ArrivalSourceSpec::Phases(phases) => obj(vec![
+            ("kind", Value::Str("phases".into())),
+            (
+                "phases",
+                Value::Arr(
+                    phases
+                        .iter()
+                        .map(|p| Value::Arr(vec![num(p.duration), num(p.rate_factor)]))
+                        .collect(),
+                ),
+            ),
+        ]),
+        ArrivalSourceSpec::Trace { path } => obj(vec![
+            ("kind", Value::Str("trace".into())),
+            ("path", Value::Str(path.clone())),
+        ]),
+    }
+}
+
+fn arrivals_from_json(value: &Value) -> Result<ArrivalSourceSpec, ConfigError> {
+    let ctx = "engine.batch.workload.arrivals";
+    let arrivals = match get_str(value, ctx, "kind")? {
+        "diurnal" => {
+            reject_unknown(value, ctx, &["kind", "amplitude", "period"])?;
+            ArrivalSourceSpec::Diurnal {
+                amplitude: get_f64(value, ctx, "amplitude")?,
+                period: get_f64(value, ctx, "period")?,
+            }
+        }
+        "burst" => {
+            reject_unknown(
+                value,
+                ctx,
+                &[
+                    "kind",
+                    "period",
+                    "burst_duration",
+                    "quiet_factor",
+                    "burst_factor",
+                ],
+            )?;
+            ArrivalSourceSpec::Burst {
+                period: get_f64(value, ctx, "period")?,
+                burst_duration: get_f64(value, ctx, "burst_duration")?,
+                quiet_factor: get_f64(value, ctx, "quiet_factor")?,
+                burst_factor: get_f64(value, ctx, "burst_factor")?,
+            }
+        }
+        "spike" => {
+            reject_unknown(
+                value,
+                ctx,
+                &["kind", "quiet_duration", "spike_duration", "spike_factor"],
+            )?;
+            ArrivalSourceSpec::Spike {
+                quiet_duration: get_f64(value, ctx, "quiet_duration")?,
+                spike_duration: get_f64(value, ctx, "spike_duration")?,
+                spike_factor: get_f64(value, ctx, "spike_factor")?,
+            }
+        }
+        "ramp" => {
+            reject_unknown(
+                value,
+                ctx,
+                &[
+                    "kind",
+                    "steps",
+                    "step_duration",
+                    "start_factor",
+                    "end_factor",
+                ],
+            )?;
+            ArrivalSourceSpec::Ramp {
+                steps: get_usize(value, ctx, "steps")?,
+                step_duration: get_f64(value, ctx, "step_duration")?,
+                start_factor: get_f64(value, ctx, "start_factor")?,
+                end_factor: get_f64(value, ctx, "end_factor")?,
+            }
+        }
+        "phases" => {
+            reject_unknown(value, ctx, &["kind", "phases"])?;
+            let phases = get(value, ctx, "phases")?
+                .as_array()
+                .ok_or_else(|| ConfigError::spec(format!("{ctx}.phases"), "expected an array"))?
+                .iter()
+                .map(|pair| {
+                    let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        ConfigError::spec(
+                            format!("{ctx}.phases"),
+                            "expected [duration, rate_factor] pairs",
+                        )
+                    })?;
+                    let field = |v: &Value, what: &str| {
+                        v.as_f64().ok_or_else(|| {
+                            ConfigError::spec(
+                                format!("{ctx}.phases"),
+                                format!("{what} must be a number"),
+                            )
+                        })
+                    };
+                    Ok(Phase {
+                        duration: field(&items[0], "duration")?,
+                        rate_factor: field(&items[1], "rate_factor")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ConfigError>>()?;
+            ArrivalSourceSpec::Phases(phases)
+        }
+        "trace" => {
+            reject_unknown(value, ctx, &["kind", "path"])?;
+            ArrivalSourceSpec::Trace {
+                path: get_str(value, ctx, "path")?.to_string(),
+            }
+        }
+        other => {
+            return Err(ConfigError::spec(
+                format!("{ctx}.kind"),
+                format!(
+                    "unknown kind {other:?} (expected \"diurnal\", \"burst\", \"spike\", \
+                     \"ramp\", \"phases\", or \"trace\")"
+                ),
+            ))
+        }
+    };
+    Ok(arrivals)
+}
+
+fn class_to_json(c: &ClassSpec) -> Value {
+    let mut fields = vec![
+        ("class", Value::Str(c.class.name().into())),
+        ("weight", num(c.weight)),
+        ("ttft_slo", num(c.ttft_slo)),
+        ("tpot_slo", num(c.tpot_slo)),
+    ];
+    // Omitted when unset so class lists stay byte-stable.
+    if let Some(deadline) = c.shed_after {
+        fields.push(("shed_after", num(deadline)));
+    }
+    obj(fields)
+}
+
+fn class_from_json(value: &Value) -> Result<ClassSpec, ConfigError> {
+    let ctx = "engine.batch.workload.classes";
+    reject_unknown(
+        value,
+        ctx,
+        &["class", "weight", "ttft_slo", "tpot_slo", "shed_after"],
+    )?;
+    let class = parse_tag::<RequestClass>(get_str(value, ctx, "class")?, ctx)?;
+    let shed_after =
+        match value.get("shed_after") {
+            None => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| {
+                ConfigError::spec(format!("{ctx}.shed_after"), "expected a number")
+            })?),
+        };
+    Ok(ClassSpec {
+        class,
+        weight: get_f64(value, ctx, "weight")?,
+        ttft_slo: get_f64(value, ctx, "ttft_slo")?,
+        tpot_slo: get_f64(value, ctx, "tpot_slo")?,
+        shed_after,
+    })
+}
+
+fn workload_spec_to_json(workload: &WorkloadSpec) -> Value {
+    let mut fields = vec![("arrivals", arrivals_to_json(&workload.arrivals))];
+    if !workload.classes.is_empty() {
+        fields.push((
+            "classes",
+            Value::Arr(workload.classes.iter().map(class_to_json).collect()),
+        ));
+    }
+    obj(fields)
+}
+
+fn workload_spec_from_json(value: &Value) -> Result<WorkloadSpec, ConfigError> {
+    let ctx = "engine.batch.workload";
+    reject_unknown(value, ctx, &["arrivals", "classes"])?;
+    let classes = match value.get("classes") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| ConfigError::spec(format!("{ctx}.classes"), "expected an array"))?
+            .iter()
+            .map(class_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let workload = WorkloadSpec {
+        arrivals: arrivals_from_json(get(value, ctx, "arrivals")?)?,
+        classes,
+    };
+    // Numeric validation only — trace files are read when the scenario
+    // builds, never at parse time.
+    workload.validate()?;
+    Ok(workload)
+}
+
 fn phase_name(phase: InferencePhase) -> &'static str {
     match phase {
         InferencePhase::Prefill => "prefill",
@@ -420,15 +661,23 @@ fn batch_to_json(batch: &BatchSpec) -> Value {
             ("avg_context", num(*avg_context)),
             ("phase", Value::Str(phase_name(*phase).into())),
         ]),
-        BatchSpec::Serving(s) => obj(vec![
-            ("kind", Value::Str("serving".into())),
-            ("mode", Value::Str(s.mode.name().into())),
-            ("max_batch_tokens", num(s.max_batch_tokens as f64)),
-            ("max_active", num(s.max_active as f64)),
-            ("request_rate", num(s.request_rate)),
-            ("iteration_period", num(s.iteration_period)),
-            ("summary", Value::Str(s.summary.name().into())),
-        ]),
+        BatchSpec::Serving(s) => {
+            let mut fields = vec![
+                ("kind", Value::Str("serving".into())),
+                ("mode", Value::Str(s.mode.name().into())),
+                ("max_batch_tokens", num(s.max_batch_tokens as f64)),
+                ("max_active", num(s.max_active as f64)),
+                ("request_rate", num(s.request_rate)),
+                ("iteration_period", num(s.iteration_period)),
+                ("summary", Value::Str(s.summary.name().into())),
+            ];
+            // Omitted when absent so workload-free scenario documents stay
+            // byte-identical to their pre-workload encodings.
+            if let Some(workload) = &s.workload {
+                fields.push(("workload", workload_spec_to_json(workload)));
+            }
+            obj(fields)
+        }
     }
 }
 
@@ -455,6 +704,7 @@ fn batch_from_json(value: &Value) -> Result<BatchSpec, ConfigError> {
                     "request_rate",
                     "iteration_period",
                     "summary",
+                    "workload",
                 ],
             )?;
             let summary = match value.get("summary") {
@@ -466,6 +716,10 @@ fn batch_from_json(value: &Value) -> Result<BatchSpec, ConfigError> {
                     parse_tag::<SummaryMode>(text, "engine.batch.summary")?
                 }
             };
+            let workload = match value.get("workload") {
+                None => None,
+                Some(v) => Some(workload_spec_from_json(v)?),
+            };
             BatchSpec::Serving(ServingSpec {
                 mode: parse_tag(get_str(value, ctx, "mode")?, "engine.batch.mode")?,
                 max_batch_tokens: get_u32(value, ctx, "max_batch_tokens")?,
@@ -473,6 +727,7 @@ fn batch_from_json(value: &Value) -> Result<BatchSpec, ConfigError> {
                 request_rate: get_f64(value, ctx, "request_rate")?,
                 iteration_period: get_f64(value, ctx, "iteration_period")?,
                 summary,
+                workload,
             })
         }
         other => {
@@ -957,6 +1212,51 @@ mod tests {
                 assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
             }
         }
+    }
+
+    #[test]
+    fn workload_members_roundtrip_and_reject_typos() {
+        let workload = WorkloadSpec::new(ArrivalSourceSpec::Burst {
+            period: 60.0,
+            burst_duration: 5.0,
+            quiet_factor: 0.2,
+            burst_factor: 4.0,
+        })
+        .with_classes(vec![
+            ClassSpec::interactive()
+                .with_weight(3.0)
+                .with_shed_after(0.4),
+            ClassSpec::batch(),
+        ]);
+        let spec = ScenarioSpec::new("workload", PlatformSpec::wsc(4)).with_engine(
+            EngineSpec::default().with_batch(BatchSpec::Serving(
+                ServingSpec::hybrid(1024, 64, 2.0e3).with_workload(workload),
+            )),
+        );
+        let text = spec.to_json_text();
+        assert_eq!(ScenarioSpec::from_json_text(&text).unwrap(), spec);
+        // `shed_after` is omitted when unset (byte-stability of class lists).
+        assert_eq!(text.matches("shed_after").count(), 1, "{text}");
+
+        // A typo'd arrival knob is a typed error, not a silent default.
+        let mut json = spec.to_json();
+        let arrivals = ["engine", "batch", "workload", "arrivals", "kind"];
+        with_member(&mut json, &arrivals, |m| {
+            m.push(("burst_factr".into(), num(9.0)));
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("burst_factr"), "{err}");
+
+        // Out-of-range knobs are caught at parse time, before any build.
+        let mut json = spec.to_json();
+        with_member(&mut json, &arrivals, |m| {
+            for (k, v) in m.iter_mut() {
+                if k == "burst_duration" {
+                    *v = num(600.0); // longer than the period
+                }
+            }
+        });
+        assert!(ScenarioSpec::from_json(&json).is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Engine knob specifications: batch production, serving parameters, and
 //! every [`EngineConfig`] field expressible as data.
 
+use crate::workload::WorkloadSpec;
 use moe_model::{InferencePhase, ModelConfig};
 use moe_workload::{SchedulingMode, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
@@ -27,6 +28,10 @@ pub struct ServingSpec {
     /// How serving summaries are maintained: exact record retention (the
     /// golden oracle, default) or streaming P² sketches in O(1) memory.
     pub summary: SummaryMode,
+    /// Arrival source and tenant classes. `None` (the default) keeps the
+    /// legacy hard-coded diurnal stream with a single anonymous tenant —
+    /// and its exact RNG stream, so existing scenarios stay byte-identical.
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl ServingSpec {
@@ -40,6 +45,7 @@ impl ServingSpec {
             request_rate,
             iteration_period: 0.02,
             summary: SummaryMode::Exact,
+            workload: None,
         }
     }
 
@@ -58,6 +64,12 @@ impl ServingSpec {
     /// Sets the summary maintenance mode (builder style).
     pub fn with_summary(mut self, summary: SummaryMode) -> Self {
         self.summary = summary;
+        self
+    }
+
+    /// Sets the workload realism spec (builder style).
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
         self
     }
 }
@@ -263,6 +275,9 @@ impl EngineSpec {
             .with_cache_entries(self.cache_entries);
         if let BatchSpec::Serving(serving) = &self.batch {
             config.summary = serving.summary;
+            if let Some(workload) = &serving.workload {
+                config.workload_profile = workload.to_profile()?;
+            }
         }
         config.trigger_alpha_per_layer = self.trigger_alpha_per_layer;
         config.trigger_beta = self.trigger_beta;

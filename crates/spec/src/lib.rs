@@ -57,6 +57,7 @@ mod model;
 mod platform;
 mod scenario;
 mod sweep;
+mod workload;
 
 pub use engine::{BatchSpec, EngineSpec, ServingSpec};
 pub use fleet::FleetSpec;
@@ -65,6 +66,9 @@ pub use moentwine_core::ConfigError;
 pub use platform::{MappingSpec, PlatformSpec};
 pub use scenario::{Layout, Scenario, ScenarioOutcome, ScenarioSpec};
 pub use sweep::SweepSpec;
+pub use workload::{
+    load_trace, parse_trace, trace_to_json, ArrivalSourceSpec, WorkloadSpec, TRACE_SCHEMA,
+};
 
 /// Schema identifier embedded in (and required of) every serialized
 /// [`ScenarioSpec`].

@@ -132,6 +132,20 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if !sweep.rates.is_empty() {
+            if let BatchSpec::Serving(serving) = &self.engine.batch {
+                if serving.workload.as_ref().is_some_and(|w| {
+                    matches!(w.arrivals, crate::workload::ArrivalSourceSpec::Trace { .. })
+                }) {
+                    return Err(ConfigError::spec(
+                        "sweep.rates",
+                        "a rate axis cannot sweep a trace-replay workload: \
+                         the trace owns every arrival instant and ignores \
+                         the request rate",
+                    ));
+                }
+            }
+        }
         if let Some(fleet) = &self.fleet {
             if !sweep.backends.is_empty() && !fleet.backend_overrides.is_empty() {
                 return Err(ConfigError::spec(

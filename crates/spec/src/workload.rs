@@ -1,0 +1,558 @@
+//! Workload realism specifications: arrival sources (diurnal, shaped
+//! bursts, trace replay) and multi-tenant SLO classes.
+//!
+//! [`WorkloadSpec`] is the spec mirror of
+//! [`moe_workload::WorkloadProfile`]: it rides as the optional
+//! `"workload"` member of a serving batch spec
+//! ([`ServingSpec`](crate::ServingSpec)) and materializes through
+//! [`WorkloadSpec::to_profile`]. The shape generators (`burst` / `spike` /
+//! `ramp`) are spec-level sugar: they expand to the engine's validated
+//! piecewise-constant [`Phase`] schedules, so the engine layer only knows
+//! three arrival sources (diurnal, phases, trace).
+//!
+//! Trace replay reads checked-in timestamped request files (schema
+//! [`TRACE_SCHEMA`], `moentwine/trace/v1`; see `examples/traces/`); the
+//! path is resolved relative to the working directory, which is the repo
+//! root for every bench bin and CI job. Numeric validation happens at
+//! codec parse time; the file itself is only read when the profile is
+//! materialized, so parsing a scenario document never touches the
+//! filesystem.
+
+use moe_workload::profile::{validate_classes, validate_phases};
+use moe_workload::{ArrivalSpec, ClassSpec, Phase, RequestClass, TraceRequest, WorkloadProfile};
+use moentwine_core::ConfigError;
+use moentwine_json::Value;
+
+/// Schema identifier embedded in (and required of) every trace-replay
+/// request file.
+pub const TRACE_SCHEMA: &str = "moentwine/trace/v1";
+
+/// Where arrivals come from — the spec mirror (plus sugar) of
+/// [`ArrivalSpec`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum ArrivalSourceSpec {
+    /// Time-varying Poisson `rate × (1 + amplitude·sin(2πt/period))` —
+    /// the parameterised form of the legacy hard-coded diurnal stream.
+    Diurnal {
+        /// Diurnal amplitude in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle period, seconds.
+        period: f64,
+    },
+    /// A repeating quiet/burst cycle: `period - burst_duration` seconds at
+    /// `quiet_factor × rate`, then `burst_duration` seconds at
+    /// `burst_factor × rate`.
+    Burst {
+        /// Full cycle length, seconds.
+        period: f64,
+        /// Burst length within each cycle, seconds.
+        burst_duration: f64,
+        /// Rate multiplier outside the burst.
+        quiet_factor: f64,
+        /// Rate multiplier inside the burst.
+        burst_factor: f64,
+    },
+    /// A base-rate stream interrupted by periodic spikes:
+    /// `quiet_duration` seconds at the base rate, then `spike_duration`
+    /// seconds at `spike_factor × rate`.
+    Spike {
+        /// Seconds at the base rate before each spike.
+        quiet_duration: f64,
+        /// Spike length, seconds.
+        spike_duration: f64,
+        /// Rate multiplier inside the spike.
+        spike_factor: f64,
+    },
+    /// A staircase from `start_factor × rate` to `end_factor × rate` over
+    /// `steps` equal steps of `step_duration` seconds (then the cycle
+    /// repeats).
+    Ramp {
+        /// Number of staircase steps (≥ 1).
+        steps: usize,
+        /// Seconds per step.
+        step_duration: f64,
+        /// Rate multiplier of the first step.
+        start_factor: f64,
+        /// Rate multiplier of the last step.
+        end_factor: f64,
+    },
+    /// An explicit piecewise-constant phase schedule (what the shape sugar
+    /// expands to).
+    Phases(Vec<Phase>),
+    /// Replay of a checked-in timestamped request file (schema
+    /// [`TRACE_SCHEMA`]). The configured request rate is ignored — the
+    /// trace owns every arrival instant.
+    Trace {
+        /// Path of the trace file, relative to the working directory.
+        path: String,
+    },
+}
+
+impl ArrivalSourceSpec {
+    /// The default diurnal source (the legacy hard-coded cycle).
+    pub fn diurnal_default() -> Self {
+        ArrivalSourceSpec::Diurnal {
+            amplitude: moe_workload::DEFAULT_DIURNAL_AMPLITUDE,
+            period: moe_workload::DEFAULT_DIURNAL_PERIOD_SECS,
+        }
+    }
+
+    /// Expands a shape generator to its phase list (`None` for the
+    /// diurnal and trace sources, which do not go through phases).
+    fn to_phases(&self) -> Option<Vec<Phase>> {
+        match *self {
+            ArrivalSourceSpec::Diurnal { .. } | ArrivalSourceSpec::Trace { .. } => None,
+            ArrivalSourceSpec::Burst {
+                period,
+                burst_duration,
+                quiet_factor,
+                burst_factor,
+            } => Some(vec![
+                Phase {
+                    duration: period - burst_duration,
+                    rate_factor: quiet_factor,
+                },
+                Phase {
+                    duration: burst_duration,
+                    rate_factor: burst_factor,
+                },
+            ]),
+            ArrivalSourceSpec::Spike {
+                quiet_duration,
+                spike_duration,
+                spike_factor,
+            } => Some(vec![
+                Phase {
+                    duration: quiet_duration,
+                    rate_factor: 1.0,
+                },
+                Phase {
+                    duration: spike_duration,
+                    rate_factor: spike_factor,
+                },
+            ]),
+            ArrivalSourceSpec::Ramp {
+                steps,
+                step_duration,
+                start_factor,
+                end_factor,
+            } => {
+                let n = steps.max(1);
+                Some(
+                    (0..n)
+                        .map(|i| {
+                            let t = if n == 1 {
+                                0.0
+                            } else {
+                                i as f64 / (n - 1) as f64
+                            };
+                            Phase {
+                                duration: step_duration,
+                                rate_factor: start_factor + t * (end_factor - start_factor),
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            ArrivalSourceSpec::Phases(ref phases) => Some(phases.clone()),
+        }
+    }
+
+    /// Numeric validation (no file I/O): the checks the codec runs at
+    /// parse time so a malformed document fails before anything is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns the profile layer's typed [`ConfigError::Workload`]
+    /// variants.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            ArrivalSourceSpec::Diurnal { amplitude, period } => ArrivalSpec::Diurnal {
+                amplitude: *amplitude,
+                period: *period,
+            }
+            .validate()?,
+            ArrivalSourceSpec::Trace { path } => {
+                if path.is_empty() {
+                    return Err(ConfigError::spec(
+                        "workload.arrivals.path",
+                        "trace path must be non-empty",
+                    ));
+                }
+            }
+            ArrivalSourceSpec::Ramp { steps, .. } if *steps == 0 => {
+                return Err(ConfigError::spec(
+                    "workload.arrivals.steps",
+                    "a ramp needs at least one step",
+                ));
+            }
+            _ => validate_phases(&self.to_phases().expect("shape sources expand to phases"))?,
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArrivalSourceSpec {
+    fn default() -> Self {
+        Self::diurnal_default()
+    }
+}
+
+/// The serving workload shape as data: an arrival source plus per-tenant
+/// request classes with SLO targets. An empty class list means the
+/// profile's default single interactive tenant.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct WorkloadSpec {
+    /// Where arrivals come from.
+    pub arrivals: ArrivalSourceSpec,
+    /// Tenant classes (traffic shares, SLO targets, shed deadlines);
+    /// empty means the default single interactive tenant.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl WorkloadSpec {
+    /// A workload over `arrivals` with the default single tenant.
+    pub fn new(arrivals: ArrivalSourceSpec) -> Self {
+        WorkloadSpec {
+            arrivals,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Sets the tenant classes (builder style).
+    pub fn with_classes(mut self, classes: Vec<ClassSpec>) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Numeric validation (no file I/O) — what the codec runs at parse
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] for any out-of-range knob.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.arrivals.validate()?;
+        if !self.classes.is_empty() {
+            validate_classes(&self.classes)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the profile the engine consumes, reading the trace
+    /// file for [`ArrivalSourceSpec::Trace`] sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] for out-of-range knobs, an
+    /// unreadable or malformed trace file, or an invalid trace.
+    pub fn to_profile(&self) -> Result<WorkloadProfile, ConfigError> {
+        self.validate()?;
+        let arrivals = match &self.arrivals {
+            ArrivalSourceSpec::Diurnal { amplitude, period } => ArrivalSpec::Diurnal {
+                amplitude: *amplitude,
+                period: *period,
+            },
+            ArrivalSourceSpec::Trace { path } => ArrivalSpec::Trace(load_trace(path)?),
+            shaped => ArrivalSpec::Phases(shaped.to_phases().expect("shape sources expand")),
+        };
+        let classes = if self.classes.is_empty() {
+            WorkloadProfile::default().classes
+        } else {
+            self.classes.clone()
+        };
+        let profile = WorkloadProfile { arrivals, classes };
+        profile.validate()?;
+        Ok(profile)
+    }
+}
+
+/// Parses a trace-replay request file (schema [`TRACE_SCHEMA`]): a
+/// `"requests"` array of `[arrival, scenario, input_len, output_len,
+/// class]` rows in non-decreasing arrival order.
+///
+/// # Errors
+///
+/// Returns a typed [`ConfigError`] for a wrong schema tag or any
+/// malformed row; ordering and length violations surface as the profile
+/// layer's [`ConfigError::Workload`] variants when the profile validates.
+pub fn parse_trace(value: &Value) -> Result<Vec<TraceRequest>, ConfigError> {
+    let found = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+    if found != TRACE_SCHEMA {
+        return Err(ConfigError::SchemaMismatch {
+            found: found.to_string(),
+            expected: TRACE_SCHEMA.to_string(),
+        });
+    }
+    let rows = value
+        .get("requests")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ConfigError::spec("trace.requests", "expected an array of rows"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let ctx = format!("trace.requests[{i}]");
+            let items = row.as_array().filter(|a| a.len() == 5).ok_or_else(|| {
+                ConfigError::spec(
+                    ctx.clone(),
+                    "expected [arrival, scenario, input_len, output_len, class] rows",
+                )
+            })?;
+            let arrival = items[0]
+                .as_f64()
+                .ok_or_else(|| ConfigError::spec(ctx.clone(), "arrival must be a number"))?;
+            let scenario = items[1]
+                .as_str()
+                .ok_or_else(|| ConfigError::spec(ctx.clone(), "scenario must be a string"))?
+                .parse::<moe_workload::Scenario>()
+                .map_err(|e| ConfigError::spec(ctx.clone(), e))?;
+            let len = |v: &Value, what: &str| {
+                v.as_f64()
+                    .filter(|n| *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64)
+                    .map(|n| n as u32)
+                    .ok_or_else(|| {
+                        ConfigError::spec(ctx.clone(), format!("{what} must be a token count"))
+                    })
+            };
+            let input_len = len(&items[2], "input_len")?;
+            let output_len = len(&items[3], "output_len")?;
+            let class = items[4]
+                .as_str()
+                .ok_or_else(|| ConfigError::spec(ctx.clone(), "class must be a string"))?
+                .parse::<RequestClass>()
+                .map_err(|e| ConfigError::spec(ctx.clone(), e))?;
+            Ok(TraceRequest {
+                arrival,
+                scenario,
+                input_len,
+                output_len,
+                class,
+            })
+        })
+        .collect()
+}
+
+/// Serializes trace rows to the [`TRACE_SCHEMA`] document (what
+/// `examples/gen_traces.rs` writes and [`parse_trace`] reads back).
+pub fn trace_to_json(name: &str, rows: &[TraceRequest]) -> Value {
+    Value::Obj(vec![
+        ("schema".into(), Value::Str(TRACE_SCHEMA.into())),
+        ("name".into(), Value::Str(name.into())),
+        (
+            "requests".into(),
+            Value::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Value::Arr(vec![
+                            Value::Num(r.arrival),
+                            Value::Str(r.scenario.name().into()),
+                            Value::Num(r.input_len as f64),
+                            Value::Num(r.output_len as f64),
+                            Value::Str(r.class.name().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Loads and parses a trace-replay request file from `path`.
+///
+/// # Errors
+///
+/// Returns a typed [`ConfigError`] naming the path for I/O failures and
+/// whatever [`parse_trace`] rejects about the document.
+pub fn load_trace(path: &str) -> Result<Vec<TraceRequest>, ConfigError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        ConfigError::spec(
+            "workload.arrivals.path",
+            format!("cannot read {path:?}: {e}"),
+        )
+    })?;
+    parse_trace(&Value::parse(&text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_workload::Scenario;
+
+    #[test]
+    fn shapes_expand_to_validated_phase_lists() {
+        let burst = ArrivalSourceSpec::Burst {
+            period: 60.0,
+            burst_duration: 10.0,
+            quiet_factor: 0.2,
+            burst_factor: 5.0,
+        };
+        burst.validate().unwrap();
+        let phases = burst.to_phases().unwrap();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].duration, 50.0);
+        assert_eq!(phases[1].rate_factor, 5.0);
+
+        let ramp = ArrivalSourceSpec::Ramp {
+            steps: 5,
+            step_duration: 10.0,
+            start_factor: 0.5,
+            end_factor: 2.5,
+        };
+        ramp.validate().unwrap();
+        let phases = ramp.to_phases().unwrap();
+        assert_eq!(phases.len(), 5);
+        assert_eq!(phases[0].rate_factor, 0.5);
+        assert_eq!(phases[4].rate_factor, 2.5);
+
+        let spike = ArrivalSourceSpec::Spike {
+            quiet_duration: 100.0,
+            spike_duration: 5.0,
+            spike_factor: 10.0,
+        };
+        assert_eq!(spike.to_phases().unwrap()[0].rate_factor, 1.0);
+    }
+
+    #[test]
+    fn invalid_shapes_are_typed_errors() {
+        // A burst longer than its period expands to a negative quiet phase.
+        let bad = ArrivalSourceSpec::Burst {
+            period: 5.0,
+            burst_duration: 10.0,
+            quiet_factor: 1.0,
+            burst_factor: 2.0,
+        };
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ConfigError::Workload(_)
+        ));
+        let bad = ArrivalSourceSpec::Ramp {
+            steps: 0,
+            step_duration: 1.0,
+            start_factor: 1.0,
+            end_factor: 2.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = ArrivalSourceSpec::Diurnal {
+            amplitude: 1.0,
+            period: 600.0,
+        };
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            ConfigError::Workload(moe_workload::WorkloadError::AmplitudeOutOfRange { .. })
+        ));
+        assert!(ArrivalSourceSpec::Trace {
+            path: String::new()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_workload_spec_materializes_the_default_profile() {
+        let profile = WorkloadSpec::default().to_profile().unwrap();
+        assert!(profile.is_default());
+    }
+
+    #[test]
+    fn trace_documents_roundtrip() {
+        let rows = vec![
+            TraceRequest {
+                arrival: 0.0,
+                scenario: Scenario::Chat,
+                input_len: 128,
+                output_len: 32,
+                class: RequestClass::Interactive,
+            },
+            TraceRequest {
+                arrival: 0.5,
+                scenario: Scenario::Math,
+                input_len: 512,
+                output_len: 256,
+                class: RequestClass::Batch,
+            },
+        ];
+        let json = trace_to_json("unit", &rows);
+        assert_eq!(parse_trace(&json).unwrap(), rows);
+        // Through the text layer and the file loader.
+        let path = std::env::temp_dir().join("moentwine_trace_unit.json");
+        std::fs::write(&path, json.pretty()).unwrap();
+        let spec = WorkloadSpec::new(ArrivalSourceSpec::Trace {
+            path: path.to_str().unwrap().to_string(),
+        });
+        let profile = spec.to_profile().unwrap();
+        assert_eq!(profile.arrivals, ArrivalSpec::Trace(rows));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_schema_and_rows_are_checked() {
+        let err = parse_trace(&Value::parse("{}").unwrap()).unwrap_err();
+        assert!(matches!(err, ConfigError::SchemaMismatch { .. }), "{err}");
+        let doc = format!(r#"{{"schema": "{TRACE_SCHEMA}", "requests": [[0.0, "chat", 128]]}}"#);
+        let err = parse_trace(&Value::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("trace.requests[0]"), "{err}");
+        let doc = format!(
+            r#"{{"schema": "{TRACE_SCHEMA}", "requests": [[0.0, "chat", 128, 32, "vip"]]}}"#
+        );
+        assert!(parse_trace(&Value::parse(&doc).unwrap()).is_err());
+        // An unsorted trace is caught when the profile validates.
+        let rows = vec![
+            TraceRequest {
+                arrival: 1.0,
+                scenario: Scenario::Chat,
+                input_len: 1,
+                output_len: 1,
+                class: RequestClass::Interactive,
+            },
+            TraceRequest {
+                arrival: 0.5,
+                scenario: Scenario::Chat,
+                input_len: 1,
+                output_len: 1,
+                class: RequestClass::Interactive,
+            },
+        ];
+        let path = std::env::temp_dir().join("moentwine_trace_unsorted.json");
+        std::fs::write(&path, trace_to_json("unsorted", &rows).pretty()).unwrap();
+        let spec = WorkloadSpec::new(ArrivalSourceSpec::Trace {
+            path: path.to_str().unwrap().to_string(),
+        });
+        assert!(matches!(
+            spec.to_profile().unwrap_err(),
+            ConfigError::Workload(moe_workload::WorkloadError::TraceUnsorted { index: 1 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_trace_file_names_the_path() {
+        let spec = WorkloadSpec::new(ArrivalSourceSpec::Trace {
+            path: "examples/traces/no_such_trace.json".into(),
+        });
+        let err = spec.to_profile().unwrap_err();
+        assert!(err.to_string().contains("no_such_trace"), "{err}");
+    }
+
+    #[test]
+    fn classes_thread_into_the_profile() {
+        let spec = WorkloadSpec::default().with_classes(vec![
+            ClassSpec::interactive()
+                .with_weight(3.0)
+                .with_shed_after(0.5),
+            ClassSpec::batch(),
+        ]);
+        let profile = spec.to_profile().unwrap();
+        assert!(!profile.is_default());
+        assert_eq!(profile.classes.len(), 2);
+        // Duplicate classes are typed errors.
+        let dup = WorkloadSpec::default()
+            .with_classes(vec![ClassSpec::interactive(), ClassSpec::interactive()]);
+        assert!(matches!(
+            dup.validate().unwrap_err(),
+            ConfigError::Workload(moe_workload::WorkloadError::DuplicateClass { .. })
+        ));
+    }
+}

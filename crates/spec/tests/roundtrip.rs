@@ -6,8 +6,8 @@ use moentwine_core::balancer::BalancerKind;
 use moentwine_core::engine::SummaryMode;
 use moentwine_core::fleet::FleetScheduler;
 use moentwine_spec::{
-    BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioSpec,
-    ServingSpec, SweepSpec,
+    ArrivalSourceSpec, BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec,
+    ScenarioSpec, ServingSpec, SweepSpec, WorkloadSpec,
 };
 use proptest::proptest;
 use wsc_sim::CongestionBackend;
@@ -61,7 +61,59 @@ fn workload_of(tag: u8, period: f64, weight: f64) -> WorkloadMix {
     }
 }
 
-fn batch_of(tag: u8, tokens: u32, rate: f64) -> BatchSpec {
+fn workload_spec_of(tag: u8, x: f64) -> Option<WorkloadSpec> {
+    use moe_workload::{ClassSpec, Phase};
+    let arrivals = match tag % 7 {
+        0 => return None,
+        1 => ArrivalSourceSpec::Diurnal {
+            amplitude: (x / 1.0e6).clamp(0.0, 0.99),
+            period: 60.0 + x / 100.0,
+        },
+        2 => ArrivalSourceSpec::Burst {
+            period: 120.0 + x / 100.0,
+            burst_duration: 10.0,
+            quiet_factor: 0.25,
+            burst_factor: 1.0 + x / 1.0e4,
+        },
+        3 => ArrivalSourceSpec::Spike {
+            quiet_duration: 30.0,
+            spike_duration: 1.0 + x / 1.0e4,
+            spike_factor: 8.0,
+        },
+        4 => ArrivalSourceSpec::Ramp {
+            steps: 1 + (x as usize % 7),
+            step_duration: 15.0,
+            start_factor: 0.5,
+            end_factor: 3.0,
+        },
+        5 => ArrivalSourceSpec::Phases(vec![
+            Phase {
+                duration: 5.0 + x / 1.0e4,
+                rate_factor: 0.5,
+            },
+            Phase {
+                duration: 20.0,
+                rate_factor: 2.0,
+            },
+        ]),
+        _ => ArrivalSourceSpec::Trace {
+            path: format!("examples/traces/prop_{}.json", tag),
+        },
+    };
+    let classes = if tag.is_multiple_of(2) {
+        vec![
+            ClassSpec::interactive()
+                .with_weight(1.0 + x / 1.0e4)
+                .with_shed_after(0.5),
+            ClassSpec::batch(),
+        ]
+    } else {
+        Vec::new()
+    };
+    Some(WorkloadSpec { arrivals, classes })
+}
+
+fn batch_of(tag: u8, wl_tag: u8, tokens: u32, rate: f64) -> BatchSpec {
     match tag % 3 {
         0 => BatchSpec::Fixed {
             tokens_per_group: tokens,
@@ -86,6 +138,7 @@ fn batch_of(tag: u8, tokens: u32, rate: f64) -> BatchSpec {
                 0 => SummaryMode::Exact,
                 _ => SummaryMode::Streaming,
             },
+            workload: workload_spec_of(wl_tag, rate),
         }),
     }
 }
@@ -113,6 +166,7 @@ proptest! {
         mapping_tag in 0u8..4,
         workload_tag in 0u8..3,
         batch_tag in 0u8..3,
+        wl_tag in 0u8..14,
         backend_tag in 0u8..3,
         balancer_tag in 0u8..4,
         policy_tag in 0u8..4,
@@ -138,7 +192,7 @@ proptest! {
             .with_backend(backend_of(backend_tag))
             .with_balancer(balancer_of(balancer_tag))
             .with_workload(workload_of(workload_tag, 10.0 + rate, 0.5 + ema))
-            .with_batch(batch_of(batch_tag, tokens, rate))
+            .with_batch(batch_of(batch_tag, wl_tag, tokens, rate))
             .with_comm_layer_stride(stride)
             .with_kv_hbm_fraction(kv);
         engine.pipeline_microbatches = microbatches;

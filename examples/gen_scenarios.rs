@@ -10,10 +10,10 @@
 //! changing the specs below or the JSON codec, then commit the diff.
 
 use moentwine::spec::{
-    BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec, ScenarioSpec,
-    ServingSpec, SweepSpec,
+    ArrivalSourceSpec, BatchSpec, EngineSpec, FleetSpec, MappingSpec, ModelSpec, PlatformSpec,
+    ScenarioSpec, ServingSpec, SweepSpec, WorkloadSpec,
 };
-use moentwine::workload::{RouterPolicy, Scenario, WorkloadMix};
+use moentwine::workload::{ClassSpec, RouterPolicy, Scenario, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
 use moentwine_core::engine::SummaryMode;
 use moentwine_core::fleet::{FleetEvent, FleetEventKind};
@@ -161,6 +161,71 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         )
         .with_iterations(2000);
 
+    // Trace replay (README "trace replay quickstart" / DESIGN.md §12):
+    // arrivals come from the checked-in `examples/traces/bursty_chat.json`
+    // file (regenerate with `cargo run --example gen_traces`) instead of a
+    // sampled process — the trace owns every arrival instant, scenario,
+    // length, and tenant class, so the run is reproducible down to the
+    // individual request. The serving spec's request rate is ignored. Both
+    // tenant classes are declared so the run manifest reports per-class
+    // TTFT/TPOT SLO attainment.
+    let trace_replay = ScenarioSpec::new("trace_replay", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(211)
+                .with_workload(WorkloadMix::Blend(vec![
+                    (Scenario::Chat, 2.0),
+                    (Scenario::Privacy, 1.0),
+                ]))
+                .with_batch(BatchSpec::Serving(
+                    ServingSpec::hybrid(2048, 128, 0.0).with_workload(
+                        WorkloadSpec::new(ArrivalSourceSpec::Trace {
+                            path: "examples/traces/bursty_chat.json".into(),
+                        })
+                        .with_classes(vec![ClassSpec::interactive(), ClassSpec::batch()]),
+                    ),
+                ))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_iterations(400);
+
+    // Bursty multi-tenant overload (README / DESIGN.md §12): 4× arrival
+    // bursts a quarter of each 200 µs cycle, an impatient interactive
+    // tenant (3:1 traffic share, 100 µs shed deadline) ahead of a patient
+    // batch tenant at every admission barrier. Timescales match the
+    // tiny-preset engine (~4 µs simulated per iteration) and the rate is
+    // pushed far past the 128-slot decode capacity, so even the
+    // quick-capped CI smoke run observes deadline sheds (the smoke step
+    // asserts shed ≥ 1) and distinct per-class attainment.
+    let bursty_tenants = ScenarioSpec::new("bursty_tenants", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(227)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(
+                    ServingSpec::hybrid(2048, 128, 2.0e6).with_workload(
+                        WorkloadSpec::new(ArrivalSourceSpec::Burst {
+                            period: 2.0e-4,
+                            burst_duration: 5.0e-5,
+                            quiet_factor: 0.5,
+                            burst_factor: 4.0,
+                        })
+                        .with_classes(vec![
+                            ClassSpec::interactive()
+                                .with_weight(3.0)
+                                .with_shed_after(1.0e-4),
+                            ClassSpec::batch(),
+                        ]),
+                    ),
+                ))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_iterations(400);
+
     vec![
         single_wafer,
         multi_wafer,
@@ -169,6 +234,8 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         rate_sweep,
         mega_fleet,
         chaos_fleet,
+        trace_replay,
+        bursty_tenants,
     ]
 }
 

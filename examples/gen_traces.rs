@@ -1,0 +1,134 @@
+//! Regenerates the canonical trace-replay request files under
+//! `examples/traces/` (schema `moentwine/trace/v1`).
+//!
+//! ```sh
+//! cargo run --example gen_traces
+//! ```
+//!
+//! Real serving traces (the Azure production arrivals the paper mixes its
+//! benchmarks with, §VI-C) are not redistributable, so these are synthetic
+//! equivalents with the structure trace replay is meant to exercise:
+//! clustered interarrivals, scenario mixtures, and interleaved tenant
+//! classes. Generation is fully deterministic (a hand-rolled SplitMix64
+//! stream, no ambient randomness), so rerunning this binary reproduces the
+//! checked-in files byte for byte; `tests/spec_scenarios.rs` pins that.
+
+use moentwine::spec::trace_to_json;
+use moentwine::workload::{RequestClass, Scenario, TraceRequest};
+
+/// SplitMix64: a tiny deterministic stream, same construction the
+/// workspace's seed-splitting uses.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` (53-bit mantissa).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential with the given mean (inverse-CDF; input clamped away
+    /// from 0 so ln is finite).
+    fn next_exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.next_f64()).max(1.0e-12).ln()
+    }
+
+    fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        items[(self.next_u64() % items.len() as u64) as usize]
+    }
+}
+
+/// Rounds to 9 decimal places (nanosecond grid) so the JSON encoding is
+/// compact and exactly round-trippable.
+fn grid(t: f64) -> f64 {
+    (t * 1.0e9).round() / 1.0e9
+}
+
+/// A bursty chat-heavy trace: 50 µs quiet phases (mean gap 10 µs)
+/// alternating with 25 µs bursts (mean gap 1.25 µs), short interactive
+/// requests with occasional batch coding jobs mixed in. Timescales are
+/// matched to the tiny-preset serving engine (~4 µs simulated per
+/// iteration), so even a `--quick`-capped 250-iteration smoke run replays
+/// a few hundred requests.
+fn bursty_chat(rows: usize) -> Vec<TraceRequest> {
+    let mut rng = SplitMix(0xB0_05_7E_D0);
+    let mut t = 0.0_f64;
+    let mut out = Vec::with_capacity(rows);
+    while out.len() < rows {
+        let in_burst = (t / 5.0e-5) as u64 % 3 == 2;
+        let mean_gap = if in_burst { 1.25e-6 } else { 1.0e-5 };
+        t += rng.next_exp(mean_gap);
+        let batch_job = rng.next_f64() < 0.2;
+        let (scenario, class) = if batch_job {
+            (Scenario::Coding, RequestClass::Batch)
+        } else {
+            (
+                rng.pick(&[Scenario::Chat, Scenario::Privacy]),
+                RequestClass::Interactive,
+            )
+        };
+        out.push(TraceRequest {
+            arrival: grid(t),
+            scenario,
+            input_len: 32 + (rng.next_u64() % 96) as u32,
+            output_len: 8 + (rng.next_u64() % 24) as u32,
+            class,
+        });
+    }
+    out
+}
+
+/// A steady mixed-tenant trace: Poisson arrivals at ~125k req/s across
+/// all four benchmark scenarios, one third batch traffic with longer
+/// outputs.
+fn steady_mixed(rows: usize) -> Vec<TraceRequest> {
+    let mut rng = SplitMix(0x57_EA_D7_12);
+    let mut t = 0.0_f64;
+    let mut out = Vec::with_capacity(rows);
+    while out.len() < rows {
+        t += rng.next_exp(8.0e-6);
+        let class = if rng.next_f64() < 1.0 / 3.0 {
+            RequestClass::Batch
+        } else {
+            RequestClass::Interactive
+        };
+        let output_len = match class {
+            RequestClass::Interactive => 8 + (rng.next_u64() % 16) as u32,
+            RequestClass::Batch => 24 + (rng.next_u64() % 40) as u32,
+        };
+        out.push(TraceRequest {
+            arrival: grid(t),
+            scenario: rng.pick(&[
+                Scenario::Chat,
+                Scenario::Coding,
+                Scenario::Math,
+                Scenario::Privacy,
+            ]),
+            input_len: 48 + (rng.next_u64() % 144) as u32,
+            output_len,
+            class,
+        });
+    }
+    out
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/traces");
+    std::fs::create_dir_all(&dir)?;
+    for (name, rows) in [
+        ("bursty_chat", bursty_chat(1500)),
+        ("steady_mixed", steady_mixed(1200)),
+    ] {
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, trace_to_json(name, &rows).pretty())?;
+        println!("wrote {} ({} requests)", path.display(), rows.len());
+    }
+    Ok(())
+}

@@ -62,8 +62,9 @@ pub use wsc_topology as topology;
 pub mod prelude {
     pub use moe_model::{DeviceSpec, ModelConfig, Precision};
     pub use moe_workload::{
-        BatchScheduler, ReplicaSnapshot, Request, RequestId, RequestRecord, Router, RouterPolicy,
-        Scenario, SchedulingMode, ServingQueue, TraceGenerator, WorkloadMix,
+        ArrivalSpec, BatchScheduler, ClassSpec, Phase, ReplicaSnapshot, Request, RequestClass,
+        RequestId, RequestRecord, Router, RouterPolicy, Scenario, SchedulingMode, ServingQueue,
+        TraceGenerator, TraceRequest, WorkloadMix, WorkloadProfile,
     };
     pub use moentwine_core::balancer::{
         BalancerKind, GreedyBalancer, TopologyAwareBalancer, Trigger,

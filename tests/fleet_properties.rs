@@ -178,6 +178,7 @@ fn least_kv_pressure_respects_reject_sets() {
             input_len: 400,
             output_len: 200,
             arrival: id as f64,
+            class: RequestClass::Interactive,
         };
         assert!(snapshots[0].must_reject(&request));
         assert!(!snapshots[1].must_reject(&request));

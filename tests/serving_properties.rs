@@ -30,6 +30,7 @@ fn random_requests(seed: u64, count: usize) -> Vec<Request> {
                 input_len: rng.gen_range(1..64u32),
                 output_len: rng.gen_range(1..32u32),
                 arrival,
+                class: RequestClass::Interactive,
             }
         })
         .collect()

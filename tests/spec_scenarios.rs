@@ -63,8 +63,9 @@ fn example_specs_are_canonical_and_build() {
         );
     }
     // The acceptance set: single-wafer serving, multi-wafer, DGX baseline,
-    // a multi-replica fleet, the 10M-request streaming mega-fleet, and the
-    // failure-injection chaos fleet.
+    // a multi-replica fleet, the 10M-request streaming mega-fleet, the
+    // failure-injection chaos fleet, and the workload-realism pair (trace
+    // replay + bursty multi-tenant SLO classes).
     for required in [
         "single_wafer_serving",
         "multi_wafer",
@@ -72,6 +73,8 @@ fn example_specs_are_canonical_and_build() {
         "fleet_p2c",
         "mega_fleet",
         "chaos_fleet",
+        "trace_replay",
+        "bursty_tenants",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}");
     }

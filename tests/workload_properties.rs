@@ -1,0 +1,298 @@
+//! Property-based tests for the workload realism layer: the thinning
+//! arrival sampler (monotonicity, empirical-rate fidelity, behaviour as
+//! the diurnal amplitude approaches its open bound) and per-tenant-class
+//! request conservation through the serving queue and the engine.
+
+use proptest::prelude::*;
+
+use moentwine::prelude::*;
+use moentwine::workload::serving::ServingQueue as Queue;
+use moentwine::workload::{ArrivalProcess, ClassPolicy, RequestGenerator, WorkloadError};
+
+/// A generous statistical tolerance: |observed − expected| ≤ 6σ + slack,
+/// with σ = √expected (Poisson). Seeds are fixed per case, so this cannot
+/// flake — it would only trip on a real sampler bias.
+fn close_to_poisson(observed: f64, expected: f64) -> bool {
+    (observed - expected).abs() <= 6.0 * expected.sqrt() + 3.0
+}
+
+proptest! {
+    /// Thinning arrivals are strictly increasing and finite for any valid
+    /// diurnal shape, including amplitudes just below the open bound at 1.
+    #[test]
+    fn diurnal_arrivals_strictly_increase(
+        seed in 0u64..200,
+        rate in 1.0f64..5.0e4,
+        amp_milli in 0u32..1000,
+        period in 0.001f64..100.0,
+    ) {
+        let amplitude = f64::from(amp_milli) / 1000.0; // [0, 0.999]
+        let mut p = ArrivalProcess::try_new(rate, amplitude, period, seed)
+            .expect("valid diurnal shape");
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let t = p.next_arrival();
+            prop_assert!(t.is_finite());
+            prop_assert!(t > last, "arrivals must strictly increase: {t} after {last}");
+            last = t;
+        }
+    }
+
+    /// Phase-schedule arrivals are strictly increasing, and the sampler's
+    /// instantaneous rate honours the configured phase factors exactly.
+    #[test]
+    fn phase_arrivals_strictly_increase_and_rate_matches_schedule(
+        seed in 0u64..200,
+        rate in 10.0f64..1.0e4,
+        d1 in 0.01f64..2.0,
+        d2 in 0.01f64..2.0,
+        f1 in 0.0f64..4.0,
+        f2 in 0.1f64..4.0,
+    ) {
+        let phases = vec![
+            Phase { duration: d1, rate_factor: f1 },
+            Phase { duration: d2, rate_factor: f2 },
+        ];
+        let mut p = ArrivalProcess::try_with_phases(rate, phases, seed)
+            .expect("valid phase schedule");
+        // rate_at is piecewise-constant over the cycling schedule.
+        let cycle = d1 + d2;
+        for k in 0..8 {
+            let in_p1 = k as f64 * cycle + d1 * 0.5;
+            let in_p2 = k as f64 * cycle + d1 + d2 * 0.5;
+            prop_assert!((p.rate_at(in_p1) - rate * f1).abs() < 1e-9 * rate.max(1.0));
+            prop_assert!((p.rate_at(in_p2) - rate * f2).abs() < 1e-9 * rate.max(1.0));
+        }
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let t = p.next_arrival();
+            prop_assert!(t.is_finite());
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    /// Over whole diurnal periods the sinusoid integrates away, so the
+    /// empirical arrival count must match `base_rate × horizon` — the
+    /// thinning sampler may not bias the delivered rate at any amplitude,
+    /// including amplitudes approaching the open bound at 1.
+    #[test]
+    fn empirical_diurnal_rate_matches_base_rate(
+        seed in 0u64..50,
+        amp_milli in 0u32..1000,
+    ) {
+        let base_rate = 2.0e3;
+        let period = 0.5;
+        let periods = 8.0;
+        let amplitude = f64::from(amp_milli) / 1000.0;
+        let mut p = ArrivalProcess::try_new(base_rate, amplitude, period, seed)
+            .expect("valid diurnal shape");
+        let horizon = periods * period;
+        let mut count = 0u64;
+        loop {
+            if p.next_arrival() > horizon {
+                break;
+            }
+            count += 1;
+        }
+        let expected = base_rate * horizon;
+        prop_assert!(
+            close_to_poisson(count as f64, expected),
+            "amplitude {amplitude}: {count} arrivals over {horizon} s, expected ≈ {expected}"
+        );
+    }
+
+    /// Over whole phase cycles the empirical count must match the
+    /// schedule's mean rate `base_rate × Σ(duration × factor) / cycle`.
+    #[test]
+    fn empirical_phase_rate_matches_schedule_mean(
+        seed in 0u64..50,
+        f1 in 0.0f64..3.0,
+        f2 in 0.5f64..3.0,
+    ) {
+        let base_rate = 4.0e3;
+        let (d1, d2) = (0.3, 0.2);
+        let phases = vec![
+            Phase { duration: d1, rate_factor: f1 },
+            Phase { duration: d2, rate_factor: f2 },
+        ];
+        let mut p = ArrivalProcess::try_with_phases(base_rate, phases, seed)
+            .expect("valid phase schedule");
+        let cycles = 10.0;
+        let horizon = cycles * (d1 + d2);
+        let mut count = 0u64;
+        loop {
+            if p.next_arrival() > horizon {
+                break;
+            }
+            count += 1;
+        }
+        let expected = base_rate * cycles * (d1 * f1 + d2 * f2);
+        prop_assert!(
+            close_to_poisson(count as f64, expected),
+            "{count} arrivals over {horizon} s, expected ≈ {expected}"
+        );
+    }
+}
+
+/// The diurnal amplitude bound is open at 1: 1 − ε is accepted, 1 and
+/// anything beyond (or below 0, or non-finite) is a typed error — the
+/// validation the legacy `assert!` constructors used to hide behind a
+/// panic.
+#[test]
+fn amplitude_bound_is_open_at_one() {
+    assert!(ArrivalProcess::try_new(100.0, 1.0 - 1e-9, 60.0, 7).is_ok());
+    for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+        assert!(matches!(
+            ArrivalProcess::try_new(100.0, bad, 60.0, 7),
+            Err(WorkloadError::AmplitudeOutOfRange { .. })
+        ));
+    }
+    // And the sampler stays sound arbitrarily close to the bound.
+    let mut p = ArrivalProcess::try_new(1.0e4, 1.0 - 1e-12, 0.01, 11).expect("ok");
+    let mut last = 0.0;
+    for _ in 0..2000 {
+        let t = p.next_arrival();
+        assert!(t.is_finite() && t > last);
+        last = t;
+    }
+}
+
+/// Two-tenant workload profile used by the conservation properties:
+/// 3:1 interactive:batch with a tight interactive shed deadline.
+fn two_tenant_classes(shed_after: f64) -> Vec<ClassSpec> {
+    vec![
+        ClassSpec::interactive()
+            .with_weight(3.0)
+            .with_shed_after(shed_after),
+        ClassSpec::batch(),
+    ]
+}
+
+proptest! {
+    /// Per-class request conservation through the serving queue: every
+    /// request a class offered is either completed, rejected at admission,
+    /// shed past its deadline, still waiting, or still resident — for any
+    /// scheduling mode, queue sizing, and arrival stream.
+    #[test]
+    fn per_class_conservation_through_queue_drives(
+        seed in 0u64..150,
+        rate in 5.0e2f64..2.0e4,
+        mode_tag in 0u8..3,
+        max_active in 2usize..12,
+        budget in 128u64..2048,
+        shed_after in 0.05f64..2.0,
+    ) {
+        let mode = match mode_tag % 3 {
+            0 => SchedulingMode::PrefillOnly,
+            1 => SchedulingMode::DecodeOnly,
+            _ => SchedulingMode::Hybrid,
+        };
+        let classes = two_tenant_classes(shed_after);
+        let profile = WorkloadProfile {
+            arrivals: ArrivalSpec::default(),
+            classes: classes.clone(),
+        };
+        let mut generator = RequestGenerator::try_from_profile(
+            &profile,
+            rate,
+            vec![(Scenario::Chat, 1.0)],
+            seed,
+            seed ^ 0xC0FFEE,
+        )
+        .expect("valid profile");
+        let mut queue = Queue::new(mode, 256, max_active, budget)
+            .with_class_policy(ClassPolicy::from_classes(&classes));
+
+        // Offer a fixed number of generated requests as the clock sweeps
+        // past their arrivals, then keep iterating a while (without
+        // necessarily draining — conservation must hold mid-flight too).
+        let mut offered_total = 0usize;
+        let mut pending = generator.next_request();
+        let mut now = 0.0f64;
+        for _ in 0..600 {
+            while offered_total < 120 {
+                match pending.take() {
+                    Some(r) if r.arrival <= now => {
+                        queue.offer(r);
+                        offered_total += 1;
+                        pending = generator.next_request();
+                    }
+                    other => {
+                        pending = other;
+                        break;
+                    }
+                }
+            }
+            queue.next_batch(now);
+            now += 0.05;
+            queue.finish_iteration(now);
+        }
+
+        for &class in &[RequestClass::Interactive, RequestClass::Batch] {
+            let completed = queue
+                .completed()
+                .iter()
+                .filter(|r| r.class == class)
+                .count() as u64;
+            let accounted = completed
+                + queue.rejected_for(class)
+                + queue.shed_for(class)
+                + queue.queue_depth_for(class) as u64
+                + queue.num_active_for(class) as u64;
+            prop_assert_eq!(
+                queue.offered_for(class),
+                accounted,
+                "class {:?}: offered {} != accounted {}",
+                class,
+                queue.offered_for(class),
+                accounted
+            );
+        }
+        // Totals line up with the per-class split.
+        let offered_sum: u64 = [RequestClass::Interactive, RequestClass::Batch]
+            .iter()
+            .map(|&c| queue.offered_for(c))
+            .sum();
+        prop_assert_eq!(offered_sum, offered_total as u64);
+    }
+
+    /// Per-class conservation through a full engine run: the per-class
+    /// summary sections partition the aggregate counters, and nothing the
+    /// scheduler routed vanishes — completed + rejected + shed + still
+    /// in flight equals what the generator injected, per class.
+    #[test]
+    fn per_class_conservation_through_engine_runs(
+        seed in 0u64..12,
+        iterations in 150usize..350,
+    ) {
+        let topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 2)
+            .unwrap()
+            .plan();
+        let config = EngineConfig::new(ModelConfig::tiny())
+            .with_seed(seed)
+            .with_batch(BatchMode::Scheduled {
+                mode: SchedulingMode::Hybrid,
+                max_batch_tokens: 1024,
+                max_active: 32,
+                request_rate: 8.0e3,
+                iteration_period: 0.02,
+            })
+            .with_workload_profile(WorkloadProfile {
+                arrivals: ArrivalSpec::default(),
+                classes: two_tenant_classes(0.5),
+            });
+        let mut engine = InferenceEngine::new(&topo, &table, &plan, config);
+        engine.run(iterations);
+        let s = engine.serving_summary();
+        prop_assert_eq!(s.classes.len(), 2);
+        let by_class_completed: usize = s.classes.iter().map(|c| c.completed).sum();
+        let by_class_rejected: u64 = s.classes.iter().map(|c| c.rejected).sum();
+        let by_class_shed: u64 = s.classes.iter().map(|c| c.shed).sum();
+        prop_assert_eq!(by_class_completed, s.completed);
+        prop_assert_eq!(by_class_rejected, s.admission_rejects);
+        prop_assert_eq!(by_class_shed, s.shed);
+    }
+}
