@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-baseline regression gate.
+
+Compares the speedup ratios in freshly-written `--quick` manifests
+(target/figs/bench_backend.json, target/figs/BENCH_fleet.json) against the
+committed baseline `results/bench_baseline.json` and fails when any gated
+ratio regresses by more than 2x (fresh < baseline / 2). The bins' own
+absolute floors (cached >= 5x, heap >= 2x) still apply; this gate catches
+relative drift long before a ratio falls through those floors.
+
+The ratios are wall-over-wall on the same machine, so they transfer
+across hosts far better than absolute times — but they are still noisy,
+hence the generous 2x slack. Writes the full comparison (every gate,
+fresh vs baseline, margin) to target/figs/baseline_diff.json so CI can
+upload it alongside the figure manifests.
+
+Usage: python3 ci/check_perf_baseline.py [baseline.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REGRESSION_FACTOR = 2.0
+DIFF_PATH = Path("target/figs/baseline_diff.json")
+
+
+def main() -> int:
+    baseline_path = Path(sys.argv[1] if len(sys.argv) > 1 else "results/bench_baseline.json")
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "moentwine/bench_baseline/v1":
+        sys.exit(f"{baseline_path}: unexpected schema {baseline.get('schema')!r}")
+    gates = baseline.get("gates", [])
+    if not gates:
+        sys.exit(f"{baseline_path}: no gates to check")
+
+    diff = {
+        "schema": "moentwine/baseline_diff/v1",
+        "baseline": str(baseline_path),
+        "regression_factor": REGRESSION_FACTOR,
+        "gates": [],
+    }
+    failures = []
+    manifests = {}
+    for gate in gates:
+        name, manifest_path, field = gate["name"], gate["manifest"], gate["field"]
+        old = float(gate["baseline"])
+        if manifest_path not in manifests:
+            with open(manifest_path) as f:
+                manifests[manifest_path] = json.load(f)
+        fresh = manifests[manifest_path].get(field)
+        if not isinstance(fresh, (int, float)):
+            sys.exit(f"{manifest_path}: gated field {field!r} missing or non-numeric: {fresh!r}")
+        floor = old / REGRESSION_FACTOR
+        ok = fresh >= floor
+        entry = {
+            "name": name,
+            "manifest": manifest_path,
+            "field": field,
+            "baseline": old,
+            "fresh": fresh,
+            "floor": floor,
+            "ratio_vs_baseline": fresh / old if old else None,
+            "ok": ok,
+        }
+        diff["gates"].append(entry)
+        verdict = "ok" if ok else "REGRESSED"
+        print(
+            f"[baseline] {name}: fresh {fresh:.2f}x vs baseline {old:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if not ok:
+            failures.append(name)
+
+    DIFF_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(DIFF_PATH, "w") as f:
+        json.dump(diff, f, indent=2)
+        f.write("\n")
+    print(f"[baseline] wrote {DIFF_PATH}")
+
+    if failures:
+        print(
+            f"[baseline] FAIL: {', '.join(failures)} regressed more than "
+            f"{REGRESSION_FACTOR}x vs {baseline_path}; see {DIFF_PATH}. If the "
+            "slowdown is intentional, re-bless the baseline from fresh --quick runs.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[baseline] OK: {len(gates)} gates within {REGRESSION_FACTOR}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

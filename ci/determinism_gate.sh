@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Byte-determinism gate for figure/manifest-producing binaries.
+#
+# Runs CMD once per entry in RUNS (default: twice), after each run copies
+# every file matched by the --output globs into a per-run snapshot
+# directory, and byte-compares each snapshot against the first with cmp.
+# Any divergence — a differing byte, a manifest present in one run but
+# not another — fails the gate.
+#
+# Usage:
+#   ci/determinism_gate.sh --output GLOB [--output GLOB ...] \
+#       [--runs "LABEL[:ARGS],LABEL[:ARGS],..."] -- CMD [ARGS ...]
+#
+# Each comma-separated RUNS entry is LABEL or LABEL:EXTRA_ARGS; the extra
+# args are appended to CMD for that run only. The default
+#   --runs "first,second"
+# is the plain "run twice, cmp" pattern. The serial-vs-parallel
+# worker-pool contract is one flag away:
+#   --runs "serial:--threads 1,parallel:--threads 4"
+#
+# Examples (as used by .github/workflows/ci.yml):
+#   ci/determinism_gate.sh --output target/figs/serve_sweep.json -- \
+#       cargo run --release -p moentwine-bench --bin serve_sweep -- --quick
+#   ci/determinism_gate.sh --output 'target/figs/scenario/*.json' \
+#       --runs "serial:--threads 1 parallel:--threads 4" -- \
+#       cargo run --release -p moentwine-bench --bin scenario -- \
+#       examples/scenarios/*.json --quick
+set -euo pipefail
+
+outputs=()
+runs="first,second"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --output)
+      [[ $# -ge 2 ]] || { echo "determinism_gate: --output needs a glob" >&2; exit 2; }
+      outputs+=("$2")
+      shift 2
+      ;;
+    --runs)
+      [[ $# -ge 2 ]] || { echo "determinism_gate: --runs needs a spec" >&2; exit 2; }
+      runs="$2"
+      shift 2
+      ;;
+    --)
+      shift
+      break
+      ;;
+    *)
+      echo "determinism_gate: unknown option $1 (expected --output/--runs/--)" >&2
+      exit 2
+      ;;
+  esac
+done
+[[ ${#outputs[@]} -ge 1 ]] || { echo "determinism_gate: at least one --output glob required" >&2; exit 2; }
+[[ $# -ge 1 ]] || { echo "determinism_gate: no command after --" >&2; exit 2; }
+
+snapdir="$(mktemp -d "${TMPDIR:-/tmp}/determinism_gate.XXXXXX")"
+trap 'rm -rf "$snapdir"' EXIT
+
+# Collect the files matching every --output glob into dest/, flattening
+# paths (slashes become double underscores) so globs across directories
+# cannot collide. A glob matching nothing is a gate failure: the run was
+# supposed to produce these files.
+snapshot() {
+  local dest="$1" matched glob file
+  mkdir -p "$dest"
+  for glob in "${outputs[@]}"; do
+    matched=0
+    for file in $glob; do
+      [[ -f "$file" ]] || continue
+      matched=1
+      cp "$file" "$dest/${file//\//__}"
+    done
+    if [[ "$matched" -eq 0 ]]; then
+      echo "determinism_gate: --output '$glob' matched no files after the run" >&2
+      exit 1
+    fi
+  done
+}
+
+IFS=',' read -ra run_specs <<<"$runs"
+first_label=""
+for spec in "${run_specs[@]}"; do
+  label="${spec%%:*}"
+  extra=""
+  [[ "$spec" == *:* ]] && extra="${spec#*:}"
+  echo "determinism_gate: run '$label'${extra:+ (extra args: $extra)}"
+  # shellcheck disable=SC2086 -- extra is intentionally word-split
+  "$@" $extra
+  snapshot "$snapdir/$label"
+  if [[ -z "$first_label" ]]; then
+    first_label="$label"
+    continue
+  fi
+  # Byte-compare this run's snapshot against the first, both directions
+  # (a file present in one snapshot but not the other is also a failure).
+  for dir_a in "$snapdir/$first_label" "$snapdir/$label"; do
+    dir_b="$snapdir/$label"
+    [[ "$dir_a" == "$dir_b" ]] && dir_b="$snapdir/$first_label"
+    for file in "$dir_a"/*; do
+      name="$(basename "$file")"
+      if [[ ! -f "$dir_b/$name" ]]; then
+        echo "determinism_gate: ${name//__//} produced by run '$(basename "$dir_a")' only" >&2
+        exit 1
+      fi
+    done
+  done
+  for file in "$snapdir/$first_label"/*; do
+    name="$(basename "$file")"
+    if ! cmp "$file" "$snapdir/$label/$name"; then
+      echo "determinism_gate: ${name//__//} differs between runs '$first_label' and '$label'" >&2
+      exit 1
+    fi
+  done
+  echo "determinism_gate: run '$label' byte-identical to '$first_label'"
+done

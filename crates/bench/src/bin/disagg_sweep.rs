@@ -1,0 +1,66 @@
+//! Colocated vs. disaggregated prefill/decode sweep: matched arrival rates
+//! → TTFT/TPOT percentiles, priced KV-transfer accounting, and modeled
+//! hardware cost per point.
+//!
+//! Prints the report, saves `results/disagg_sweep.json`, writes the
+//! machine-readable manifest to `target/figs/disagg_sweep.json`, then
+//! **re-reads and schema-validates the emitted manifest**, exiting non-zero
+//! if it is malformed or if any disaggregated point carries no priced KV
+//! transfer (the CI smoke gate).
+//!
+//! Usage: `cargo run --release -p moentwine-bench --bin disagg_sweep --
+//! [--quick] [--threads N]`
+//!
+//! `--threads` (default: available parallelism) spreads grid points over
+//! the hand-rolled worker pool; the manifest is byte-identical for every
+//! thread count (CI `cmp`s `--threads 1` against `--threads 4`) and every
+//! point asserts lock-step == event-heap internally.
+
+use std::process::ExitCode;
+
+use moentwine_bench::figs::disagg_sweep;
+use moentwine_bench::json::Value;
+
+fn main() -> ExitCode {
+    let quick = moentwine_bench::quick_from_args();
+    let threads = moentwine_bench::threads_from_args();
+    let report = disagg_sweep::run_with_threads(quick, threads);
+    report.print();
+    if let Err(e) = report.save("results") {
+        eprintln!("warning: could not save report: {e}");
+    }
+
+    // Validate the manifest as written to disk, not the in-memory tree: the
+    // gate must catch serialization problems too.
+    let path = disagg_sweep::MANIFEST_PATH;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("disagg_sweep: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("disagg_sweep: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = disagg_sweep::validate(&manifest) {
+        eprintln!(
+            "disagg_sweep: {path} violates {}: {e}",
+            disagg_sweep::SCHEMA
+        );
+        return ExitCode::FAILURE;
+    }
+    let points = manifest
+        .get("points")
+        .and_then(Value::as_array)
+        .map_or(0, <[Value]>::len);
+    eprintln!(
+        "disagg_sweep: {path} OK ({points} points, schema {})",
+        disagg_sweep::SCHEMA
+    );
+    ExitCode::SUCCESS
+}

@@ -70,6 +70,25 @@ fn main() {
         }
     }
 
+    // Remove stale manifests for the requested scenarios before running:
+    // a failed run must not leave an old manifest behind for a later
+    // byte-compare (CI or local) to silently diff against. This replaces
+    // the `rm -rf target/figs/scenario` workaround the CI smoke step used
+    // to carry, and scopes the cleanup to the requested specs so parallel
+    // runs over disjoint files don't clobber each other.
+    for manifest in stems.keys() {
+        match std::fs::remove_file(manifest) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!(
+                    "warning: could not remove stale {}: {e}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+
     let mut failed = false;
     for file in &files {
         match scenario_run::run_file(file, quick, threads) {

@@ -2,6 +2,7 @@
 //! `pub fn run(quick: bool) -> Report`.
 
 pub mod ablation;
+pub mod disagg_sweep;
 pub mod fig01;
 pub mod fig04;
 pub mod fig06;

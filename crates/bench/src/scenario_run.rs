@@ -169,6 +169,45 @@ fn outcome_json(label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> 
                     crate::perf::availability::availability_json(&summary.availability),
                 ));
             }
+            // Same gating for the hand-off section: only disaggregated
+            // fleets that actually priced a KV transfer carry it, so every
+            // colocated manifest stays byte-identical to earlier schemas.
+            let h = &summary.handoff;
+            if h.kv_transfers > 0 {
+                fields.push((
+                    "handoff".into(),
+                    Value::Obj(vec![
+                        ("kv_transfers".into(), Value::Num(h.kv_transfers as f64)),
+                        ("kv_transfer_bytes".into(), Value::Num(h.kv_transfer_bytes)),
+                        (
+                            "kv_transfer_seconds".into(),
+                            Value::Num(h.kv_transfer_seconds),
+                        ),
+                        (
+                            "max_transfer_seconds".into(),
+                            Value::Num(h.max_transfer_seconds),
+                        ),
+                        (
+                            "pending_transfers".into(),
+                            Value::Num(h.pending_transfers as f64),
+                        ),
+                        (
+                            "handoffs_completed".into(),
+                            Value::Num(h.handoffs_completed as f64),
+                        ),
+                        (
+                            "mean_handoff_latency".into(),
+                            Value::Num(h.mean_handoff_latency),
+                        ),
+                        (
+                            "max_handoff_latency".into(),
+                            Value::Num(h.max_handoff_latency),
+                        ),
+                        ("mean_e2e_ttft".into(), Value::Num(h.mean_e2e_ttft)),
+                        ("max_e2e_ttft".into(), Value::Num(h.max_e2e_ttft)),
+                    ]),
+                ));
+            }
         }
     }
     Value::Obj(fields)
@@ -266,6 +305,29 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
                 return Err(format!(
                     "point {i}: availability section present but no events applied"
                 ));
+            }
+        }
+        // The hand-off section is only emitted when a KV transfer was
+        // actually priced; an all-zero section would mean the
+        // byte-stability contract for colocated fleets was broken.
+        if let Some(handoff) = point.get("handoff") {
+            let transfers = handoff
+                .get("kv_transfers")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if transfers < 1.0 {
+                return Err(format!(
+                    "point {i}: handoff section present but no KV transfers priced"
+                ));
+            }
+            for key in ["kv_transfer_bytes", "kv_transfer_seconds"] {
+                let value = handoff
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("point {i}: handoff missing {key}"))?;
+                if value <= 0.0 {
+                    return Err(format!("point {i}: handoff {key} must be positive"));
+                }
             }
         }
         // The serving section shares the sweep manifests' point skeleton,
@@ -490,6 +552,51 @@ mod tests {
             .get("goodput_windows")
             .and_then(Value::as_array)
             .is_some());
+    }
+
+    #[test]
+    fn disaggregated_fleet_points_carry_the_gated_handoff_section() {
+        use moentwine_core::fleet::ReplicaRole;
+        use moentwine_spec::MappingSpec;
+        // Colocated fleets must omit the hand-off section entirely.
+        let colocated = tiny_serving_spec()
+            .with_fleet(FleetSpec::new(2, RouterPolicy::LeastQueueDepth, 6.0e3))
+            .with_iterations(150);
+        let manifest = run_manifest(&colocated, true, 1).unwrap();
+        let points = manifest.get("points").and_then(Value::as_array).unwrap();
+        assert!(points[0].get("handoff").is_none());
+
+        // A 2 prefill + 2 decode fleet on a heterogeneous decode platform
+        // prices its hand-offs and reports them, identically across
+        // threads.
+        let spec = tiny_serving_spec()
+            .with_fleet(
+                FleetSpec::new(4, RouterPolicy::LeastQueueDepth, 2.0e4)
+                    .with_roles(vec![
+                        ReplicaRole::Prefill,
+                        ReplicaRole::Prefill,
+                        ReplicaRole::Decode,
+                        ReplicaRole::Decode,
+                    ])
+                    .with_decode_platform(PlatformSpec::dgx(1), MappingSpec::cluster(8)),
+            )
+            .with_iterations(250);
+        let manifest = run_manifest(&spec, true, 1).unwrap();
+        validate(&manifest).expect("schema");
+        let points = manifest.get("points").and_then(Value::as_array).unwrap();
+        let handoff = points[0]
+            .get("handoff")
+            .expect("disaggregated fleet point has handoff");
+        assert!(handoff.get("kv_transfers").and_then(Value::as_f64).unwrap() >= 1.0);
+        assert!(
+            handoff
+                .get("kv_transfer_seconds")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let parallel = run_manifest(&spec, true, 3).unwrap();
+        assert_eq!(manifest.pretty(), parallel.pretty());
     }
 
     #[test]

@@ -77,6 +77,35 @@ pub enum ConfigError {
         /// Position of the offending event in the timeline.
         index: usize,
     },
+    /// A fleet role list must either be empty (all replicas colocated) or
+    /// name a role for every initial replica.
+    FleetRolesLengthMismatch {
+        /// Number of roles supplied.
+        roles: usize,
+        /// Number of initial replicas.
+        replicas: usize,
+    },
+    /// A disaggregated fleet needs at least one prefill-capable replica
+    /// (`Colocated` or `Prefill`) to accept arrivals.
+    FleetNoPrefillCapacity,
+    /// A disaggregated fleet needs at least one decode-capable replica
+    /// (`Colocated` or `Decode`) to accept KV hand-offs.
+    FleetNoDecodeCapacity,
+    /// A decode platform was supplied but no replica carries the `Decode`
+    /// role, so nothing would ever run on it.
+    FleetDecodePlatformUnused,
+    /// A fleet event would leave no prefill-capable replica to route
+    /// arrivals to.
+    FleetEventLeavesNoPrefillCapacity {
+        /// Position of the offending event in the timeline.
+        index: usize,
+    },
+    /// A fleet event would leave no decode-capable replica to deliver KV
+    /// hand-offs to.
+    FleetEventLeavesNoDecodeCapacity {
+        /// Position of the offending event in the timeline.
+        index: usize,
+    },
     /// A mapping could not be constructed for the requested platform
     /// (TP degree does not tile, no mesh dimensions, ...).
     Mapping(MappingError),
@@ -168,6 +197,36 @@ impl std::fmt::Display for ConfigError {
                     "fleet event {index}: leaves no active replica to route to"
                 )
             }
+            ConfigError::FleetRolesLengthMismatch { roles, replicas } => {
+                write!(
+                    f,
+                    "fleet roles: {roles} roles for {replicas} replicas (must be empty or match)"
+                )
+            }
+            ConfigError::FleetNoPrefillCapacity => {
+                write!(f, "fleet roles: no prefill-capable replica for arrivals")
+            }
+            ConfigError::FleetNoDecodeCapacity => {
+                write!(f, "fleet roles: no decode-capable replica for KV hand-offs")
+            }
+            ConfigError::FleetDecodePlatformUnused => {
+                write!(
+                    f,
+                    "fleet decode_platform set but no replica has the decode role"
+                )
+            }
+            ConfigError::FleetEventLeavesNoPrefillCapacity { index } => {
+                write!(
+                    f,
+                    "fleet event {index}: leaves no prefill-capable replica for arrivals"
+                )
+            }
+            ConfigError::FleetEventLeavesNoDecodeCapacity { index } => {
+                write!(
+                    f,
+                    "fleet event {index}: leaves no decode-capable replica for KV hand-offs"
+                )
+            }
             ConfigError::Mapping(e) => write!(f, "mapping: {e}"),
             ConfigError::Workload(e) => write!(f, "workload: {e}"),
             ConfigError::Spec { context, message } => write!(f, "{context}: {message}"),
@@ -238,6 +297,29 @@ mod tests {
         assert!(ConfigError::FleetEventLeavesNoReplicas { index: 3 }
             .to_string()
             .contains("no active replica"));
+        assert_eq!(
+            ConfigError::FleetRolesLengthMismatch {
+                roles: 3,
+                replicas: 4,
+            }
+            .to_string(),
+            "fleet roles: 3 roles for 4 replicas (must be empty or match)"
+        );
+        assert!(ConfigError::FleetNoPrefillCapacity
+            .to_string()
+            .contains("no prefill-capable replica"));
+        assert!(ConfigError::FleetNoDecodeCapacity
+            .to_string()
+            .contains("no decode-capable replica"));
+        assert!(ConfigError::FleetDecodePlatformUnused
+            .to_string()
+            .contains("decode_platform"));
+        assert!(ConfigError::FleetEventLeavesNoPrefillCapacity { index: 2 }
+            .to_string()
+            .contains("fleet event 2"));
+        assert!(ConfigError::FleetEventLeavesNoDecodeCapacity { index: 5 }
+            .to_string()
+            .contains("no decode-capable replica"));
         assert_eq!(
             ConfigError::Workload(moe_workload::WorkloadError::NonPositiveRate { value: 0.0 })
                 .to_string(),

@@ -41,11 +41,13 @@
 //! [`ServingSummary`]s plus the load-imbalance ratios a capacity planner
 //! reads ("how many wafers for this arrival rate at p99 TTFT ≤ X?").
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use moe_workload::{ReplicaSnapshot, Request, RequestGenerator, Router, RouterPolicy};
-use wsc_sim::CongestionBackend;
-use wsc_topology::{RouteTable, Topology};
+use moe_workload::{
+    ReplicaSnapshot, Request, RequestGenerator, RequestRecord, Router, RouterPolicy, SchedulingMode,
+};
+use wsc_sim::{CongestionBackend, CongestionModel};
+use wsc_topology::{DeviceId, RouteTable, Topology};
 
 use crate::comm::ParallelLayout;
 use crate::config::ConfigError;
@@ -132,6 +134,84 @@ impl std::str::FromStr for FleetScheduler {
             )),
         }
     }
+}
+
+/// Serving role of one fleet replica (DESIGN.md §13). The default
+/// [`ReplicaRole::Colocated`] runs prefill and decode on the same engine —
+/// the pre-disaggregation fleet, byte-identical to fleets that never
+/// mention roles. `Prefill`/`Decode` split the phases
+/// Mooncake/DistServe-style: arrivals route to prefill-capable replicas
+/// only, and every finished prefill hands its KV footprint to a
+/// decode-capable replica over a transfer priced through the congestion
+/// model before it joins that replica's continuous-batching queue.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ReplicaRole {
+    /// Prefill and decode on the same replica (the default).
+    #[default]
+    Colocated,
+    /// Prefill-only: completes at KV hand-off, serves no decode.
+    Prefill,
+    /// Decode-only: admits hand-offs with their prefill already done
+    /// (KV admission still reserves input + output tokens).
+    Decode,
+}
+
+impl ReplicaRole {
+    /// Stable lowercase name (`"colocated"` / `"prefill"` / `"decode"`),
+    /// matching the `FromStr` spelling and the scenario-spec JSON encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaRole::Colocated => "colocated",
+            ReplicaRole::Prefill => "prefill",
+            ReplicaRole::Decode => "decode",
+        }
+    }
+
+    /// Whether arrivals (fresh or re-routed) may be dispatched here.
+    pub fn prefill_capable(self) -> bool {
+        matches!(self, ReplicaRole::Colocated | ReplicaRole::Prefill)
+    }
+
+    /// Whether KV hand-offs may be delivered here.
+    pub fn decode_capable(self) -> bool {
+        matches!(self, ReplicaRole::Colocated | ReplicaRole::Decode)
+    }
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ReplicaRole {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "colocated" => Ok(ReplicaRole::Colocated),
+            "prefill" => Ok(ReplicaRole::Prefill),
+            "decode" => Ok(ReplicaRole::Decode),
+            other => Err(format!(
+                "unknown replica role {other:?} (expected \"colocated\", \"prefill\", or \"decode\")"
+            )),
+        }
+    }
+}
+
+/// The immutable platform a replica engine borrows: topology, routes, and
+/// parallel layout. Disaggregated fleets carry one of these per role so
+/// prefill pods and decode replicas can run on heterogeneous hardware
+/// (e.g. multi-wafer prefill + DGX decode); see
+/// [`Fleet::try_new_disaggregated`].
+#[derive(Copy, Clone)]
+pub struct PlatformRefs<'a> {
+    /// Device topology.
+    pub topo: &'a Topology,
+    /// Precomputed routes over `topo`.
+    pub table: &'a RouteTable,
+    /// Expert/parallelism placement on `topo`.
+    pub layout: &'a dyn ParallelLayout,
 }
 
 /// What a [`FleetEvent`] does to the fleet when it fires.
@@ -247,7 +327,29 @@ impl ReplicaState {
 /// [`ConfigError::FleetEventNoOp`] /
 /// [`ConfigError::FleetEventLeavesNoReplicas`] variant.
 pub fn validate_fleet_events(replicas: usize, events: &[FleetEvent]) -> Result<(), ConfigError> {
-    let mut states = vec![ReplicaState::Active; replicas];
+    validate_fleet_events_for_roles(&vec![ReplicaRole::Colocated; replicas], events)
+}
+
+/// Role-aware variant of [`validate_fleet_events`]: the same lifecycle
+/// projection, additionally requiring that after every event a
+/// disaggregated fleet keeps at least one admitting prefill-capable
+/// replica (for arrivals) and one admitting decode-capable replica (for
+/// KV hand-offs). Scale-ups add [`ReplicaRole::Colocated`] replicas. For
+/// an all-colocated role list this is exactly [`validate_fleet_events`]
+/// (the role checks are implied by the generic one).
+///
+/// # Errors
+///
+/// Everything [`validate_fleet_events`] reports, plus
+/// [`ConfigError::FleetEventLeavesNoPrefillCapacity`] /
+/// [`ConfigError::FleetEventLeavesNoDecodeCapacity`].
+pub fn validate_fleet_events_for_roles(
+    roles: &[ReplicaRole],
+    events: &[FleetEvent],
+) -> Result<(), ConfigError> {
+    let disaggregated = roles.iter().any(|&r| r != ReplicaRole::Colocated);
+    let mut roles: Vec<ReplicaRole> = roles.to_vec();
+    let mut states = vec![ReplicaState::Active; roles.len()];
     let mut prev = 0.0_f64;
     for (index, event) in events.iter().enumerate() {
         // Rejecting everything but a finite `time >= prev` also rejects
@@ -262,6 +364,7 @@ pub fn validate_fleet_events(replicas: usize, events: &[FleetEvent]) -> Result<(
                     return Err(ConfigError::FleetEventNoOp { index });
                 }
                 states.extend(std::iter::repeat_n(ReplicaState::Active, count));
+                roles.extend(std::iter::repeat_n(ReplicaRole::Colocated, count));
             }
             FleetEventKind::Drain { replica } => match states.get(replica) {
                 None => {
@@ -312,6 +415,22 @@ pub fn validate_fleet_events(replicas: usize, events: &[FleetEvent]) -> Result<(
         if !states.iter().any(|s| s.admits()) {
             return Err(ConfigError::FleetEventLeavesNoReplicas { index });
         }
+        if disaggregated {
+            if !states
+                .iter()
+                .zip(&roles)
+                .any(|(s, r)| s.admits() && r.prefill_capable())
+            {
+                return Err(ConfigError::FleetEventLeavesNoPrefillCapacity { index });
+            }
+            if !states
+                .iter()
+                .zip(&roles)
+                .any(|(s, r)| s.admits() && r.decode_capable())
+            {
+                return Err(ConfigError::FleetEventLeavesNoDecodeCapacity { index });
+            }
+        }
     }
     Ok(())
 }
@@ -339,6 +458,11 @@ pub struct FleetConfig {
     /// Elasticity/failure timeline, sorted by time (empty = the immortal
     /// fixed fleet). Validated by [`validate_fleet_events`].
     pub events: Vec<FleetEvent>,
+    /// Serving role per initial replica: empty means every replica is
+    /// [`ReplicaRole::Colocated`] (the byte-compatible default); otherwise
+    /// the length must equal `replicas` and a mixed list enables
+    /// prefill/decode disaggregation with priced KV hand-offs.
+    pub roles: Vec<ReplicaRole>,
 }
 
 impl FleetConfig {
@@ -358,6 +482,7 @@ impl FleetConfig {
             backend_overrides: Vec::new(),
             scheduler: FleetScheduler::default(),
             events: Vec::new(),
+            roles: Vec::new(),
         }
     }
 
@@ -376,6 +501,13 @@ impl FleetConfig {
     /// Sets the elasticity/failure timeline (builder style).
     pub fn with_events(mut self, events: Vec<FleetEvent>) -> Self {
         self.events = events;
+        self
+    }
+
+    /// Sets per-replica serving roles (builder style). Empty keeps every
+    /// replica colocated.
+    pub fn with_roles(mut self, roles: Vec<ReplicaRole>) -> Self {
+        self.roles = roles;
         self
     }
 }
@@ -449,6 +581,100 @@ impl Default for FleetAvailability {
     }
 }
 
+/// The prefill→decode hand-off section of a [`FleetSummary`]: how many KV
+/// transfers were priced, their byte and time totals, and the end-to-end
+/// hand-off latency (prefill finish → first decode token on the receiving
+/// replica). All zeros for a colocated fleet.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FleetHandoff {
+    /// Finished prefills handed to the decode tier (each priced as one KV
+    /// transfer through the congestion model).
+    pub kv_transfers: u64,
+    /// Σ transferred KV bytes
+    /// (`kv_bytes_per_token_all_layers × prefill tokens` per hand-off).
+    pub kv_transfer_bytes: f64,
+    /// Σ priced transfer time, seconds.
+    pub kv_transfer_seconds: f64,
+    /// Slowest single transfer, seconds.
+    pub max_transfer_seconds: f64,
+    /// Transfers priced but not yet delivered to a decode queue (in
+    /// flight past the fleet clock).
+    pub pending_transfers: u64,
+    /// Hand-offs whose decode side produced its first token.
+    pub handoffs_completed: u64,
+    /// Mean prefill-finish → first-decode-token latency, seconds
+    /// (transfer + decode queueing).
+    pub mean_handoff_latency: f64,
+    /// Worst hand-off latency, seconds.
+    pub max_handoff_latency: f64,
+    /// Mean end-to-end TTFT across completed hand-offs: original arrival →
+    /// first decode token, spanning both tiers and the transfer.
+    pub mean_e2e_ttft: f64,
+    /// Worst end-to-end TTFT, seconds.
+    pub max_e2e_ttft: f64,
+}
+
+/// Running hand-off accounting inside [`Fleet`] (see [`FleetHandoff`],
+/// its public readout).
+#[derive(Clone, Debug, Default)]
+struct HandoffTracker {
+    kv_transfers: u64,
+    kv_transfer_bytes: f64,
+    kv_transfer_seconds: f64,
+    max_transfer_seconds: f64,
+    handoffs_completed: u64,
+    handoff_latency_seconds: f64,
+    max_handoff_latency: f64,
+    e2e_ttft_seconds: f64,
+    max_e2e_ttft: f64,
+}
+
+/// A KV transfer in flight: the decode-side request becomes routable at
+/// `arrival` (prefill finish + priced transfer time). Min-ordered by
+/// `(arrival, seq)` — `seq` is the creation sequence number, so
+/// same-instant transfers deliver in creation order, deterministically.
+#[derive(Clone, Debug)]
+struct HandoffEvent {
+    arrival: f64,
+    seq: u64,
+    request: Request,
+}
+
+impl PartialEq for HandoffEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HandoffEvent {}
+
+impl Ord for HandoffEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min element.
+        other
+            .arrival
+            .total_cmp(&self.arrival)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HandoffEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Prefill-side facts about one in-flight hand-off, matched back when the
+/// decode side reports the request's first token.
+#[derive(Copy, Clone, Debug)]
+struct HandoffMeta {
+    /// Arrival the prefill tier served under (re-stamped if the request
+    /// was ever re-queued by a crash or drain).
+    arrival: f64,
+    /// When the prefill finished (the transfer starts here).
+    prefill_finish: f64,
+}
+
 /// Fleet-level serving statistics: per-replica and aggregate SLO
 /// percentiles plus cross-replica balance. See [`Fleet::summary`].
 #[derive(Clone, PartialEq, Debug)]
@@ -480,6 +706,9 @@ pub struct FleetSummary {
     /// Failure/elasticity accounting (zero counters, fraction 1.0, and all
     /// replicas active for an event-free fleet).
     pub availability: FleetAvailability,
+    /// Prefill→decode hand-off accounting (all zeros for a colocated
+    /// fleet).
+    pub handoff: FleetHandoff,
 }
 
 /// Failure/elasticity bookkeeping of a [`Fleet`] (see
@@ -536,6 +765,33 @@ pub struct Fleet<'a> {
     engines: Vec<InferenceEngine<'a>>,
     /// Lifecycle state per replica, in replica order.
     states: Vec<ReplicaState>,
+    /// Serving role per replica, in replica order (scale-ups join as
+    /// [`ReplicaRole::Colocated`]).
+    roles: Vec<ReplicaRole>,
+    /// Platform decode-role replicas run on (heterogeneous
+    /// disaggregation); `None` shares the prefill platform.
+    decode_platform: Option<PlatformRefs<'a>>,
+    /// Prices KV hand-off transfers on the prefill platform's
+    /// interconnect. `Some` iff the fleet is disaggregated — this doubles
+    /// as the disaggregation flag, so colocated fleets skip every
+    /// hand-off code path.
+    transfer_model: Option<Box<dyn CongestionModel + 'a>>,
+    /// KV bytes per token across all layers (FP16), from the model config.
+    kv_bytes_per_token: f64,
+    /// Per-replica cursor into `completed_requests()` for exact-summary
+    /// hand-off harvesting (streaming replicas use
+    /// `take_fresh_completions` instead).
+    handoff_cursor: Vec<usize>,
+    /// Priced transfers not yet delivered to a decode queue, min-ordered
+    /// by decode-side arrival.
+    pending_handoffs: BinaryHeap<HandoffEvent>,
+    /// Creation sequence for deterministic same-instant delivery order.
+    handoff_seq: u64,
+    /// In-flight hand-offs by request id, matched when the decode side
+    /// completes. A request re-queued off a crashed decode replica
+    /// re-prefills and re-inserts (overwriting) under the same id.
+    inflight: HashMap<u64, HandoffMeta>,
+    handoff: HandoffTracker,
     /// Unapplied timeline events, in time order.
     pending_events: VecDeque<FleetEvent>,
     chaos: ChaosTracker,
@@ -636,11 +892,68 @@ impl<'a> Fleet<'a> {
         layout: &'a dyn ParallelLayout,
         config: FleetConfig,
     ) -> Result<Self, crate::config::ConfigError> {
+        Self::try_new_disaggregated(
+            PlatformRefs {
+                topo,
+                table,
+                layout,
+            },
+            None,
+            config,
+        )
+    }
+
+    /// Builds a (possibly disaggregated) fleet. `prefill` is the platform
+    /// every colocated and prefill-role replica runs on; decode-role
+    /// replicas run on `decode_platform` when given (heterogeneous
+    /// disaggregation — their KV budgets derive from *that* platform's
+    /// device count) and on the prefill platform otherwise. With an empty
+    /// `config.roles` this is exactly [`Fleet::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Fleet::try_new`] reports, plus
+    /// [`ConfigError::FleetRolesLengthMismatch`] /
+    /// [`ConfigError::FleetNoPrefillCapacity`] /
+    /// [`ConfigError::FleetNoDecodeCapacity`] /
+    /// [`ConfigError::FleetDecodePlatformUnused`] for inconsistent role
+    /// sets, and the role-aware timeline errors from
+    /// [`validate_fleet_events_for_roles`].
+    pub fn try_new_disaggregated(
+        prefill: PlatformRefs<'a>,
+        decode_platform: Option<PlatformRefs<'a>>,
+        config: FleetConfig,
+    ) -> Result<Self, crate::config::ConfigError> {
+        let PlatformRefs {
+            topo,
+            table,
+            layout,
+        } = prefill;
         if config.replicas == 0 {
             return Err(crate::config::ConfigError::ReplicasZero);
         }
         config.engine.validate()?;
-        validate_fleet_events(config.replicas, &config.events)?;
+        if !config.roles.is_empty() && config.roles.len() != config.replicas {
+            return Err(crate::config::ConfigError::FleetRolesLengthMismatch {
+                roles: config.roles.len(),
+                replicas: config.replicas,
+            });
+        }
+        let mut roles = config.roles.clone();
+        roles.resize(config.replicas, ReplicaRole::Colocated);
+        let disaggregated = roles.iter().any(|&r| r != ReplicaRole::Colocated);
+        if disaggregated {
+            if !roles.iter().any(|r| r.prefill_capable()) {
+                return Err(crate::config::ConfigError::FleetNoPrefillCapacity);
+            }
+            if !roles.iter().any(|r| r.decode_capable()) {
+                return Err(crate::config::ConfigError::FleetNoDecodeCapacity);
+            }
+        }
+        if decode_platform.is_some() && !roles.contains(&ReplicaRole::Decode) {
+            return Err(crate::config::ConfigError::FleetDecodePlatformUnused);
+        }
+        validate_fleet_events_for_roles(&roles, &config.events)?;
         let (mode, max_batch_tokens, max_active) = match config.engine.batch {
             BatchMode::Scheduled {
                 mode,
@@ -690,6 +1003,19 @@ impl<'a> Fleet<'a> {
                 StreamingSummary::with_classes(&config.engine.workload_profile.classes)
             }),
         };
+        // The transfer model doubles as the disaggregation flag: built
+        // only when some replica has a non-colocated role, so colocated
+        // fleets never touch a hand-off code path. Transfers are priced
+        // on the prefill platform's interconnect with the template
+        // backend (per-replica overrides affect iteration pricing only).
+        let transfer_model = if disaggregated {
+            Some(template.backend.build(topo))
+        } else {
+            None
+        };
+        let kv_bytes_per_token = template
+            .model
+            .kv_bytes_per_token_all_layers(moe_model::Precision::Fp16);
         let mut fleet = Fleet {
             topo,
             table,
@@ -699,6 +1025,15 @@ impl<'a> Fleet<'a> {
             master,
             engines: Vec::with_capacity(config.replicas),
             states: vec![ReplicaState::Active; config.replicas],
+            roles,
+            decode_platform,
+            transfer_model,
+            kv_bytes_per_token,
+            handoff_cursor: vec![0; config.replicas],
+            pending_handoffs: BinaryHeap::new(),
+            handoff_seq: 0,
+            inflight: HashMap::new(),
+            handoff: HandoffTracker::default(),
             pending_events: config.events.into(),
             chaos: ChaosTracker::default(),
             router,
@@ -727,7 +1062,29 @@ impl<'a> Fleet<'a> {
         if !self.backend_overrides.is_empty() {
             cfg.backend = self.backend_overrides[i % self.backend_overrides.len()];
         }
-        InferenceEngine::new(self.topo, self.table, self.layout, cfg)
+        // Role specialization: prefill replicas run the prefill-only
+        // scheduling tier (complete at hand-off), decode replicas the
+        // decode-only tier (admit with prefill done, KV admission still
+        // reserves input + output) — on the decode platform when the
+        // fleet is heterogeneous. Colocated replicas keep the template
+        // mode and platform, byte-identically to pre-role fleets.
+        let role = self.roles.get(i).copied().unwrap_or_default();
+        if let BatchMode::External { mode, .. } = &mut cfg.batch {
+            match role {
+                ReplicaRole::Colocated => {}
+                ReplicaRole::Prefill => *mode = SchedulingMode::PrefillOnly,
+                ReplicaRole::Decode => *mode = SchedulingMode::DecodeOnly,
+            }
+        }
+        let refs = match (role, self.decode_platform) {
+            (ReplicaRole::Decode, Some(p)) => p,
+            _ => PlatformRefs {
+                topo: self.topo,
+                table: self.table,
+                layout: self.layout,
+            },
+        };
+        InferenceEngine::new(refs.topo, refs.table, refs.layout, cfg)
     }
 
     /// The replica engines, in replica order.
@@ -754,6 +1111,42 @@ impl<'a> Fleet<'a> {
     /// Lifecycle state of each replica, in replica order.
     pub fn states(&self) -> &[ReplicaState] {
         &self.states
+    }
+
+    /// Serving role of each replica, in replica order.
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.roles
+    }
+
+    /// Whether any replica carries a non-colocated role (hand-off paths
+    /// active).
+    pub fn disaggregated(&self) -> bool {
+        self.transfer_model.is_some()
+    }
+
+    /// KV transfers priced but not yet delivered to a decode queue.
+    pub fn pending_kv_transfers(&self) -> usize {
+        self.pending_handoffs.len()
+    }
+
+    /// Replicas that may receive arrivals: admitting and prefill-capable.
+    /// For a colocated fleet this is exactly the admitting set.
+    fn prefill_eligible(&self) -> Vec<bool> {
+        self.states
+            .iter()
+            .zip(&self.roles)
+            .map(|(s, r)| s.admits() && r.prefill_capable())
+            .collect()
+    }
+
+    /// Replicas that may receive KV hand-offs: admitting and
+    /// decode-capable.
+    fn decode_eligible(&self) -> Vec<bool> {
+        self.states
+            .iter()
+            .zip(&self.roles)
+            .map(|(s, r)| s.admits() && r.decode_capable())
+            .collect()
     }
 
     /// Timeline events not yet applied (in time order).
@@ -786,10 +1179,16 @@ impl<'a> Fleet<'a> {
     fn completions_so_far(&self) -> u64 {
         match self.streaming.as_ref() {
             Some(streaming) => streaming.completed(),
+            // In a disaggregated fleet a prefill replica's records are
+            // hand-offs, not end-to-end completions: only decode-capable
+            // replicas count. (Streaming gets this for free — prefill
+            // records are never folded into the fleet sketch.)
             None => self
                 .engines
                 .iter()
-                .map(|e| e.completed_requests().len() as u64)
+                .enumerate()
+                .filter(|(i, _)| !self.disaggregated() || self.roles[*i] != ReplicaRole::Prefill)
+                .map(|(_, e)| e.completed_requests().len() as u64)
                 .sum(),
         }
     }
@@ -831,6 +1230,8 @@ impl<'a> Fleet<'a> {
             FleetEventKind::ScaleUp { count } => {
                 for _ in 0..count {
                     let i = self.engines.len();
+                    self.roles.push(ReplicaRole::Colocated);
+                    self.handoff_cursor.push(0);
                     let mut engine = self.build_replica(i);
                     engine.fast_forward(now);
                     self.engines.push(engine);
@@ -901,7 +1302,11 @@ impl<'a> Fleet<'a> {
         if requests.is_empty() {
             return;
         }
-        let eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
+        // Re-routes go to prefill-capable replicas only: a request
+        // evicted from a decode replica lost its transferred KV with the
+        // crash, so it replays its prefill (and will hand off again under
+        // the same id). Identical to the admitting set when colocated.
+        let eligible: Vec<bool> = self.prefill_eligible();
         let mut snapshots: Vec<ReplicaSnapshot> = self
             .engines
             .iter()
@@ -920,12 +1325,21 @@ impl<'a> Fleet<'a> {
         }
     }
 
-    /// Routes every arrival up to the fleet clock. Serial by design: the
-    /// router observes each offer it makes (snapshots are refreshed per
-    /// request), so load-aware policies see their own decisions within a
-    /// burst. Only admitting replicas are eligible.
+    /// Routes every arrival and due KV hand-off up to the fleet clock, as
+    /// one time-sorted merge (a hand-off wins an exact tie). Serial by
+    /// design: the router observes each offer it makes (snapshots are
+    /// refreshed per request), so load-aware policies see their own
+    /// decisions within a burst. Arrivals go to admitting prefill-capable
+    /// replicas, hand-offs to admitting decode-capable ones; for a
+    /// colocated fleet there are no hand-offs and the arrival mask is the
+    /// admitting set — byte-identical to the pre-role router loop.
     fn route_arrivals(&mut self) {
-        let eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
+        let eligible: Vec<bool> = self.prefill_eligible();
+        let decode_eligible: Vec<bool> = if self.disaggregated() {
+            self.decode_eligible()
+        } else {
+            Vec::new()
+        };
         let mut snapshots: Vec<ReplicaSnapshot> = self
             .engines
             .iter()
@@ -935,24 +1349,39 @@ impl<'a> Fleet<'a> {
         // extreme configured rate cannot stall a round; the overflow stays
         // in the generator and drains over subsequent rounds.
         for _ in 0..moe_workload::MAX_ARRIVALS_PER_PULL {
-            let request = match self.lookahead.take() {
-                Some(r) => r,
+            if self.lookahead.is_none() {
                 // A `None` means a finite source (trace replay) ran dry;
-                // there is nothing left to route, ever.
-                None => match self.generator.next_request() {
-                    Some(r) => r,
-                    None => break,
-                },
-            };
-            if request.arrival > self.clock {
-                self.lookahead = Some(request);
-                break;
+                // no further arrival events, but hand-offs still deliver.
+                self.lookahead = self.generator.next_request();
             }
-            let choice = self.router.route_among(&request, &snapshots, &eligible);
-            self.engines[choice].offer_request(request);
-            snapshots[choice] = self.engines[choice]
-                .replica_snapshot()
-                .expect("replicas run a serving mode");
+            let arrival_time = self.lookahead.as_ref().map_or(f64::INFINITY, |r| r.arrival);
+            let handoff_time = self
+                .pending_handoffs
+                .peek()
+                .map_or(f64::INFINITY, |h| h.arrival);
+            if handoff_time <= arrival_time {
+                if handoff_time > self.clock {
+                    break;
+                }
+                let handoff = self.pending_handoffs.pop().expect("peeked above");
+                let choice =
+                    self.router
+                        .route_among(&handoff.request, &snapshots, &decode_eligible);
+                self.engines[choice].offer_request(handoff.request);
+                snapshots[choice] = self.engines[choice]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
+            } else {
+                if arrival_time > self.clock {
+                    break;
+                }
+                let request = self.lookahead.take().expect("peeked above");
+                let choice = self.router.route_among(&request, &snapshots, &eligible);
+                self.engines[choice].offer_request(request);
+                snapshots[choice] = self.engines[choice]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
+            }
         }
     }
 
@@ -1049,15 +1478,111 @@ impl<'a> Fleet<'a> {
     /// Folds every replica's freshly-staged completions into the fleet's
     /// aggregate streaming summary (no-op under [`SummaryMode::Exact`]).
     /// Always in replica order, so the aggregate sketch is deterministic
-    /// for any [`ReplicaPool`].
+    /// for any [`ReplicaPool`]. In a disaggregated fleet this is also the
+    /// hand-off boundary: prefill completions become priced KV transfers,
+    /// decode completions close their matching hand-off (and the harvest
+    /// runs under exact summaries too, via per-replica record cursors).
     fn drain_fresh_completions(&mut self) {
-        if let Some(streaming) = self.streaming.as_mut() {
+        if self.disaggregated() {
+            for i in 0..self.engines.len() {
+                self.harvest_replica(i);
+            }
+        } else if let Some(streaming) = self.streaming.as_mut() {
             for engine in &mut self.engines {
                 for record in engine.take_fresh_completions() {
                     streaming.observe_record(&record);
                 }
             }
         }
+    }
+
+    /// Role-aware completion harvest for one replica of a disaggregated
+    /// fleet. A prefill replica's finished records each become a KV
+    /// hand-off: the transfer of
+    /// `kv_bytes_per_token_all_layers × prefill tokens` is priced through
+    /// the congestion model, and the request is re-queued for the decode
+    /// tier at `prefill finish + transfer time` (delivered by
+    /// `route_arrivals` / the event loop in global time order). Every
+    /// other replica's records are end-to-end completions: folded into
+    /// the fleet streaming sketch and matched back to their in-flight
+    /// hand-off for latency accounting.
+    fn harvest_replica(&mut self, i: usize) {
+        let records: Vec<RequestRecord> = if self.streaming.is_some() {
+            self.engines[i].take_fresh_completions()
+        } else {
+            let done = self.engines[i].completed_requests();
+            let fresh = done[self.handoff_cursor[i]..].to_vec();
+            self.handoff_cursor[i] = done.len();
+            fresh
+        };
+        if records.is_empty() {
+            return;
+        }
+        if self.roles[i] == ReplicaRole::Prefill {
+            for r in records {
+                let bytes = self.kv_bytes_per_token * f64::from(r.prefill_scheduled);
+                let transfer = self.price_transfer(bytes);
+                self.handoff.kv_transfers += 1;
+                self.handoff.kv_transfer_bytes += bytes;
+                self.handoff.kv_transfer_seconds += transfer;
+                self.handoff.max_transfer_seconds = self.handoff.max_transfer_seconds.max(transfer);
+                self.inflight.insert(
+                    r.id.0,
+                    HandoffMeta {
+                        arrival: r.arrival,
+                        prefill_finish: r.finish,
+                    },
+                );
+                self.handoff_seq += 1;
+                let arrival = r.finish + transfer;
+                self.pending_handoffs.push(HandoffEvent {
+                    arrival,
+                    seq: self.handoff_seq,
+                    request: Request {
+                        id: r.id,
+                        scenario: r.scenario,
+                        class: r.class,
+                        input_len: r.input_len,
+                        output_len: r.output_len,
+                        arrival,
+                    },
+                });
+            }
+        } else {
+            for r in records {
+                if let Some(streaming) = self.streaming.as_mut() {
+                    streaming.observe_record(&r);
+                }
+                if let Some(meta) = self.inflight.remove(&r.id.0) {
+                    let latency = (r.first_token - meta.prefill_finish).max(0.0);
+                    self.handoff.handoffs_completed += 1;
+                    self.handoff.handoff_latency_seconds += latency;
+                    self.handoff.max_handoff_latency =
+                        self.handoff.max_handoff_latency.max(latency);
+                    let ttft = (r.first_token - meta.arrival).max(0.0);
+                    self.handoff.e2e_ttft_seconds += ttft;
+                    self.handoff.max_e2e_ttft = self.handoff.max_e2e_ttft.max(ttft);
+                }
+            }
+        }
+    }
+
+    /// Prices one prefill→decode KV transfer on the prefill platform's
+    /// interconnect: the footprint is striped across `num_devices / 2`
+    /// disjoint device pairs (device `i` → device `n−1−i`), so the
+    /// estimate reflects the platform's cross-section bandwidth rather
+    /// than one serialized link. Returns the modeled transfer seconds.
+    fn price_transfer(&self, bytes: f64) -> f64 {
+        let Some(model) = self.transfer_model.as_ref() else {
+            return 0.0;
+        };
+        let n = self.topo.num_devices();
+        let half = (n / 2).max(1);
+        let per_pair = bytes / half as f64;
+        let pairs: Vec<(DeviceId, DeviceId, f64)> = (0..half)
+            .map(|i| (DeviceId(i as u32), DeviceId((n - 1 - i) as u32), per_pair))
+            .collect();
+        model.price_pairs(self.table, &pairs).total_time
     }
 
     /// Advances simulated time to `horizon` seconds (no-op if already
@@ -1104,7 +1629,8 @@ impl<'a> Fleet<'a> {
             .iter()
             .map(|e| e.replica_snapshot().expect("replicas run a serving mode"))
             .collect();
-        let mut eligible: Vec<bool> = self.states.iter().map(|s| s.admits()).collect();
+        let mut eligible: Vec<bool> = self.prefill_eligible();
+        let mut eligible_decode: Vec<bool> = self.decode_eligible();
         // Rebuild the step heap from scratch: any steppable replica with
         // work pending steps next at its own clock; the rest are parked.
         // `scheduled[i]` mirrors heap membership so a replica is never
@@ -1130,10 +1656,11 @@ impl<'a> Fleet<'a> {
             {
                 heap.pop();
             }
-            // One arrival is outstanding at a time (the lookahead), so the
-            // next event is min(timeline, lookahead, heap top) — timeline
-            // first, then arrival, then step on time ties (the
-            // router-before-replica contract).
+            // One arrival is outstanding at a time (the lookahead), so
+            // the next event is min(timeline, hand-off, lookahead, heap
+            // top) — timeline first, then hand-off delivery, then
+            // arrival, then step on time ties (the router-before-replica
+            // contract).
             let arrival_time = match &self.lookahead {
                 Some(r) => r.arrival,
                 // An exhausted finite source (trace replay) stops producing
@@ -1147,13 +1674,20 @@ impl<'a> Fleet<'a> {
                     None => f64::INFINITY,
                 },
             };
+            let handoff_time = self
+                .pending_handoffs
+                .peek()
+                .map_or(f64::INFINITY, |h| h.arrival);
             let step = heap.peek().copied();
             let step_time = step.map_or(f64::INFINITY, |s| s.time);
             let timeline_time = self
                 .pending_events
                 .front()
                 .map_or(f64::INFINITY, |e| e.time);
-            let event_time = timeline_time.min(arrival_time).min(step_time);
+            let event_time = timeline_time
+                .min(handoff_time)
+                .min(arrival_time)
+                .min(step_time);
             if event_time >= horizon {
                 break;
             }
@@ -1172,7 +1706,19 @@ impl<'a> Fleet<'a> {
                     epoch.push(0);
                 }
                 eligible.clear();
-                eligible.extend(self.states.iter().map(|s| s.admits()));
+                eligible.extend(
+                    self.states
+                        .iter()
+                        .zip(&self.roles)
+                        .map(|(s, r)| s.admits() && r.prefill_capable()),
+                );
+                eligible_decode.clear();
+                eligible_decode.extend(
+                    self.states
+                        .iter()
+                        .zip(&self.roles)
+                        .map(|(s, r)| s.admits() && r.decode_capable()),
+                );
                 for &i in &effects.deactivated {
                     epoch[i] += 1;
                     scheduled[i] = false;
@@ -1196,6 +1742,28 @@ impl<'a> Fleet<'a> {
                         scheduled[i] = true;
                     }
                 }
+            } else if handoff_time <= event_time {
+                // Deliver a priced KV transfer to the decode tier at its
+                // arrival instant, exactly like an arrival (wake a parked
+                // target, refresh its snapshot) but over the
+                // decode-capable mask.
+                let handoff = self.pending_handoffs.pop().expect("peeked above");
+                let choice =
+                    self.router
+                        .route_among(&handoff.request, &snapshots, &eligible_decode);
+                self.engines[choice].offer_request(handoff.request);
+                if !scheduled[choice] {
+                    self.engines[choice].fast_forward(event_time);
+                    heap.push(StepEvent {
+                        time: self.engines[choice].sim_time(),
+                        replica: choice,
+                        epoch: epoch[choice],
+                    });
+                    scheduled[choice] = true;
+                }
+                snapshots[choice] = self.engines[choice]
+                    .replica_snapshot()
+                    .expect("replicas run a serving mode");
             } else if arrival_time <= step_time {
                 let request = self.lookahead.take().expect("peeked above");
                 let choice = self.router.route_among(&request, &snapshots, &eligible);
@@ -1248,7 +1816,9 @@ impl<'a> Fleet<'a> {
     /// Per-replica variant of [`Fleet::drain_fresh_completions`] for the
     /// event loop (only the stepped replica can have staged completions).
     fn drain_fresh_completions_for(&mut self, replica: usize) {
-        if let Some(streaming) = self.streaming.as_mut() {
+        if self.disaggregated() {
+            self.harvest_replica(replica);
+        } else if let Some(streaming) = self.streaming.as_mut() {
             for record in self.engines[replica].take_fresh_completions() {
                 streaming.observe_record(&record);
             }
@@ -1304,12 +1874,20 @@ impl<'a> Fleet<'a> {
                 shed_by_class,
                 rejected_by_class,
             ),
-            // Exact: percentiles over the union of retained records.
+            // Exact: percentiles over the union of retained records. In a
+            // disaggregated fleet a prefill replica's records are
+            // hand-offs, not end-to-end completions — only decode-capable
+            // replicas' records aggregate (the hand-off section carries
+            // the prefill-side accounting).
             None => {
                 let all_records: Vec<moe_workload::RequestRecord> = self
                     .engines
                     .iter()
-                    .flat_map(|e| e.completed_requests().iter().cloned())
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        !self.disaggregated() || self.roles[*i] != ReplicaRole::Prefill
+                    })
+                    .flat_map(|(_, e)| e.completed_requests().iter().cloned())
                     .collect();
                 let mut aggregate = ServingSummary::from_records_with_workload(
                     &all_records,
@@ -1353,6 +1931,26 @@ impl<'a> Fleet<'a> {
             per_replica,
             aggregate,
             availability: self.availability(),
+            handoff: self.handoff_readout(),
+        }
+    }
+
+    /// The hand-off section of [`Fleet::summary`] (all zeros for a
+    /// colocated fleet).
+    fn handoff_readout(&self) -> FleetHandoff {
+        let t = &self.handoff;
+        let mean = |sum: f64, n: u64| if n > 0 { sum / n as f64 } else { 0.0 };
+        FleetHandoff {
+            kv_transfers: t.kv_transfers,
+            kv_transfer_bytes: t.kv_transfer_bytes,
+            kv_transfer_seconds: t.kv_transfer_seconds,
+            max_transfer_seconds: t.max_transfer_seconds,
+            pending_transfers: self.pending_handoffs.len() as u64,
+            handoffs_completed: t.handoffs_completed,
+            mean_handoff_latency: mean(t.handoff_latency_seconds, t.handoffs_completed),
+            max_handoff_latency: t.max_handoff_latency,
+            mean_e2e_ttft: mean(t.e2e_ttft_seconds, t.handoffs_completed),
+            max_e2e_ttft: t.max_e2e_ttft,
         }
     }
 
@@ -2100,6 +2698,394 @@ mod tests {
         assert_eq!(avail.goodput_windows.len(), 2);
         assert!(avail.goodput_windows.iter().all(|w| w.completed == 0));
         assert!(avail.available_fraction < 1.0);
+    }
+
+    #[test]
+    fn replica_role_names_round_trip_and_capabilities_hold() {
+        for r in [
+            ReplicaRole::Colocated,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+        ] {
+            assert_eq!(r.name().parse::<ReplicaRole>().unwrap(), r);
+        }
+        assert!("Prefill".parse::<ReplicaRole>().is_err());
+        assert_eq!(ReplicaRole::default(), ReplicaRole::Colocated);
+        assert!(ReplicaRole::Colocated.prefill_capable());
+        assert!(ReplicaRole::Colocated.decode_capable());
+        assert!(ReplicaRole::Prefill.prefill_capable());
+        assert!(!ReplicaRole::Prefill.decode_capable());
+        assert!(!ReplicaRole::Decode.prefill_capable());
+        assert!(ReplicaRole::Decode.decode_capable());
+    }
+
+    #[test]
+    fn role_validation_reports_exact_variants() {
+        use crate::config::ConfigError;
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let refs = PlatformRefs {
+            topo: &topo,
+            table: &table,
+            layout: &plan,
+        };
+        let base = |roles: Vec<ReplicaRole>| {
+            FleetConfig::new(2, RouterPolicy::RoundRobin, 1.0e3, engine_template(3))
+                .with_roles(roles)
+        };
+
+        let err = Fleet::try_new_disaggregated(refs, None, base(vec![ReplicaRole::Prefill])).err();
+        assert_eq!(
+            err,
+            Some(ConfigError::FleetRolesLengthMismatch {
+                roles: 1,
+                replicas: 2
+            })
+        );
+        let err = Fleet::try_new_disaggregated(
+            refs,
+            None,
+            base(vec![ReplicaRole::Decode, ReplicaRole::Decode]),
+        )
+        .err();
+        assert_eq!(err, Some(ConfigError::FleetNoPrefillCapacity));
+        let err = Fleet::try_new_disaggregated(
+            refs,
+            None,
+            base(vec![ReplicaRole::Prefill, ReplicaRole::Prefill]),
+        )
+        .err();
+        assert_eq!(err, Some(ConfigError::FleetNoDecodeCapacity));
+        // A decode platform with no decode-role replica would never run.
+        let err = Fleet::try_new_disaggregated(refs, Some(refs), base(vec![])).err();
+        assert_eq!(err, Some(ConfigError::FleetDecodePlatformUnused));
+
+        // Role-aware timelines: crashing the only prefill (or only decode)
+        // replica of a disaggregated pair is rejected even though an
+        // active replica remains.
+        let crash = |time, replica| FleetEvent {
+            time,
+            kind: FleetEventKind::Crash { replica },
+        };
+        let pd = [ReplicaRole::Prefill, ReplicaRole::Decode];
+        assert_eq!(
+            validate_fleet_events_for_roles(&pd, &[crash(0.1, 0)]),
+            Err(ConfigError::FleetEventLeavesNoPrefillCapacity { index: 0 })
+        );
+        assert_eq!(
+            validate_fleet_events_for_roles(&pd, &[crash(0.1, 1)]),
+            Err(ConfigError::FleetEventLeavesNoDecodeCapacity { index: 0 })
+        );
+        // A scale-up joins colocated (both-capable), unblocking both.
+        let scale = |time, count| FleetEvent {
+            time,
+            kind: FleetEventKind::ScaleUp { count },
+        };
+        assert_eq!(
+            validate_fleet_events_for_roles(&pd, &[scale(0.05, 1), crash(0.1, 0), crash(0.2, 1)]),
+            Ok(())
+        );
+        // All-colocated role lists report the generic variant, exactly as
+        // `validate_fleet_events` does.
+        assert_eq!(
+            validate_fleet_events_for_roles(
+                &[ReplicaRole::Colocated],
+                &[FleetEvent {
+                    time: 0.1,
+                    kind: FleetEventKind::Drain { replica: 0 },
+                }]
+            ),
+            Err(ConfigError::FleetEventLeavesNoReplicas { index: 0 })
+        );
+    }
+
+    #[test]
+    fn explicit_colocated_roles_match_the_roleless_fleet_bit_for_bit() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |roles: Vec<ReplicaRole>| {
+            let config =
+                FleetConfig::new(3, RouterPolicy::LeastQueueDepth, 6.0e3, engine_template(11))
+                    .with_roles(roles);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(200);
+            fleet.summary()
+        };
+        let roleless = run(vec![]);
+        let explicit = run(vec![ReplicaRole::Colocated; 3]);
+        assert_eq!(roleless, explicit);
+        assert_eq!(roleless.handoff, FleetHandoff::default());
+    }
+
+    fn disagg_config(seed: u64, rate: f64) -> FleetConfig {
+        FleetConfig::new(
+            4,
+            RouterPolicy::LeastQueueDepth,
+            rate,
+            engine_template(seed),
+        )
+        .with_roles(vec![
+            ReplicaRole::Prefill,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+            ReplicaRole::Decode,
+        ])
+    }
+
+    #[test]
+    fn disaggregated_fleet_prices_and_conserves_kv_transfers() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let mut fleet = Fleet::new(&topo, &table, &plan, disagg_config(61, 2.0e4));
+        assert!(fleet.disaggregated());
+        fleet.run(400);
+        let summary = fleet.summary();
+        let handoff = &summary.handoff;
+        assert!(handoff.kv_transfers > 0, "no prefill ever handed off");
+        assert!(handoff.kv_transfer_seconds > 0.0, "transfers were free");
+        assert!(handoff.max_transfer_seconds > 0.0);
+        assert!(handoff.handoffs_completed > 0, "no decode first token");
+        assert!(handoff.mean_handoff_latency > 0.0);
+        assert!(handoff.mean_e2e_ttft >= handoff.mean_handoff_latency);
+
+        // Transfer bytes are pinned to the model:
+        // kv_bytes_per_token_all_layers(FP16) × prefill tokens, summed
+        // over every prefill-side record (exact mode retains them all).
+        let per_token =
+            ModelConfig::tiny().kv_bytes_per_token_all_layers(moe_model::Precision::Fp16);
+        let expected: f64 = fleet
+            .engines()
+            .iter()
+            .zip(fleet.roles())
+            .filter(|(_, r)| **r == ReplicaRole::Prefill)
+            .flat_map(|(e, _)| e.completed_requests())
+            .map(|r| per_token * f64::from(r.prefill_scheduled))
+            .sum();
+        assert_eq!(handoff.kv_transfer_bytes, expected);
+        // Every prefill record is exactly one priced transfer, and each
+        // carried its full prompt (prefill-only records schedule the whole
+        // input and nothing else).
+        let prefill_records: u64 = fleet
+            .engines()
+            .iter()
+            .zip(fleet.roles())
+            .filter(|(_, r)| **r == ReplicaRole::Prefill)
+            .map(|(e, _)| e.completed_requests().len() as u64)
+            .sum();
+        assert_eq!(handoff.kv_transfers, prefill_records);
+        for (e, _) in fleet
+            .engines()
+            .iter()
+            .zip(fleet.roles())
+            .filter(|(_, r)| **r == ReplicaRole::Prefill)
+        {
+            for r in e.completed_requests() {
+                assert_eq!(r.prefill_scheduled, r.input_len);
+                assert_eq!(r.decode_scheduled, 0);
+            }
+        }
+
+        // Conservation across the hand-off boundary (event-free fleet):
+        // every routed dispatch is an arrival into the prefill tier or a
+        // delivered transfer into the decode tier, and every priced
+        // transfer is delivered, still pending, or waiting in a decode
+        // queue.
+        let routed: u64 = summary.routed.iter().sum();
+        let tier = |role: ReplicaRole| -> u64 {
+            fleet
+                .engines()
+                .iter()
+                .zip(fleet.roles())
+                .zip(&summary.per_replica)
+                .filter(|((_, r), _)| **r == role)
+                .map(|((e, _), s)| {
+                    let snap = e.replica_snapshot().unwrap();
+                    snap.queue_depth as u64
+                        + snap.active as u64
+                        + s.admission_rejects
+                        + s.shed
+                        + s.completed as u64
+                })
+                .sum()
+        };
+        let delivered = handoff.kv_transfers - handoff.pending_transfers;
+        assert_eq!(routed, tier(ReplicaRole::Prefill) + delivered);
+        assert_eq!(tier(ReplicaRole::Decode), delivered);
+        // The aggregate counts end-to-end (decode-side) completions only.
+        let decode_completed: usize = fleet
+            .engines()
+            .iter()
+            .zip(fleet.roles())
+            .filter(|(_, r)| **r == ReplicaRole::Decode)
+            .map(|(e, _)| e.completed_requests().len())
+            .sum();
+        assert_eq!(summary.aggregate.completed, decode_completed);
+    }
+
+    #[test]
+    fn disaggregated_schedulers_and_pools_agree_bit_for_bit() {
+        struct ReversedPool;
+        impl ReplicaPool for ReversedPool {
+            fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+                for job in jobs.into_iter().rev() {
+                    job();
+                }
+            }
+        }
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |scheduler: FleetScheduler, pool: &dyn ReplicaPool| {
+            let config = disagg_config(67, 2.0e4).with_scheduler(scheduler);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run_with(300, pool);
+            fleet.summary()
+        };
+        let reference = run(FleetScheduler::Lockstep, &SerialReplicaPool);
+        assert!(reference.handoff.kv_transfers > 0);
+        assert_eq!(
+            reference,
+            run(FleetScheduler::EventHeap, &SerialReplicaPool)
+        );
+        assert_eq!(reference, run(FleetScheduler::Lockstep, &ReversedPool));
+        assert_eq!(reference, run(FleetScheduler::EventHeap, &ReversedPool));
+    }
+
+    #[test]
+    fn disaggregated_event_driven_run_until_delivers_handoffs() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = || {
+            let config = disagg_config(71, 2.0e4);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run_until(3.0e-3);
+            fleet.summary()
+        };
+        let summary = run();
+        assert!(summary.handoff.kv_transfers > 0);
+        assert!(summary.handoff.handoffs_completed > 0);
+        assert!(summary.aggregate.completed > 0);
+        assert_eq!(summary.sim_seconds, 3.0e-3);
+        // Deterministic: bit-identical on a second run.
+        assert_eq!(summary, run());
+    }
+
+    #[test]
+    fn heterogeneous_decode_platform_sizes_kv_from_its_own_topology() {
+        let prefill_topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let prefill_table = RouteTable::build(&prefill_topo);
+        let prefill_plan = ErMapping::with_tp_degree(prefill_topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        // A smaller decode platform: fewer devices, so a smaller KV
+        // budget per decode replica, derived from *its* topology.
+        let decode_topo = Mesh::new(2, PlatformParams::dojo_like()).build();
+        let decode_table = RouteTable::build(&decode_topo);
+        let decode_plan = ErMapping::with_tp_degree(decode_topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = disagg_config(73, 2.0e4);
+        let mut fleet = Fleet::try_new_disaggregated(
+            PlatformRefs {
+                topo: &prefill_topo,
+                table: &prefill_table,
+                layout: &prefill_plan,
+            },
+            Some(PlatformRefs {
+                topo: &decode_topo,
+                table: &decode_table,
+                layout: &decode_plan,
+            }),
+            config,
+        )
+        .unwrap();
+        let budget = |i: usize| {
+            fleet.engines()[i]
+                .replica_snapshot()
+                .unwrap()
+                .kv_budget_tokens
+        };
+        assert!(
+            budget(2) < budget(0),
+            "decode budget {} not below prefill budget {}",
+            budget(2),
+            budget(0)
+        );
+        fleet.run(300);
+        let summary = fleet.summary();
+        assert!(summary.handoff.kv_transfers > 0);
+        assert!(summary.handoff.handoffs_completed > 0);
+    }
+
+    #[test]
+    fn decode_crash_requeues_through_the_prefill_tier() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let config = disagg_config(79, 1.0e5).with_events(vec![
+            FleetEvent {
+                time: 6.0e-4,
+                kind: FleetEventKind::Crash { replica: 2 },
+            },
+            FleetEvent {
+                time: 1.2e-3,
+                kind: FleetEventKind::Recover { replica: 2 },
+            },
+        ]);
+        let mut fleet = Fleet::new(&topo, &table, &plan, config);
+        fleet.run(600);
+        assert_eq!(fleet.pending_events(), 0);
+        let summary = fleet.summary();
+        assert_eq!(summary.availability.events_applied, 2);
+        // The crashed decode replica held admitted hand-offs whose KV
+        // died with it: they re-queued (PR 7 interruption path) through
+        // prefill-capable replicas and replayed their prompt tokens.
+        assert!(summary.availability.crash_interruptions > 0);
+        assert!(summary.availability.replayed_prefill_tokens > 0);
+        assert!(summary.handoff.kv_transfers > 0);
+        // The fleet keeps serving: decode completions continue after the
+        // crash (the other decode replica absorbs deliveries).
+        assert!(summary.handoff.handoffs_completed > 0);
+    }
+
+    #[test]
+    fn streaming_disaggregated_fleet_matches_exact_counts() {
+        let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+        let table = RouteTable::build(&topo);
+        let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+            .unwrap()
+            .plan();
+        let run = |summary_mode: SummaryMode| {
+            let mut config = disagg_config(83, 2.0e4);
+            config.engine = config.engine.with_summary(summary_mode);
+            let mut fleet = Fleet::new(&topo, &table, &plan, config);
+            fleet.run(400);
+            fleet.summary()
+        };
+        let exact = run(SummaryMode::Exact);
+        let streaming = run(SummaryMode::Streaming);
+        assert!(exact.handoff.kv_transfers > 0);
+        // Same trajectory: identical hand-off accounting and end-to-end
+        // completion counts under both summary modes.
+        assert_eq!(streaming.handoff, exact.handoff);
+        assert_eq!(streaming.aggregate.completed, exact.aggregate.completed);
+        assert_eq!(streaming.routed, exact.routed);
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod migration;
 pub mod placement;
 
 pub use config::ConfigError;
-pub use fleet::{Fleet, FleetConfig, FleetScheduler, FleetSummary, ReplicaPool, SerialReplicaPool};
+pub use fleet::{
+    Fleet, FleetConfig, FleetHandoff, FleetScheduler, FleetSummary, PlatformRefs, ReplicaPool,
+    ReplicaRole, SerialReplicaPool,
+};
 pub use mapping::{
     BaselineMapping, ErMapping, HierarchicalErMapping, MappingError, MappingKind, MappingPlan,
     TpShape,

@@ -33,7 +33,7 @@ use crate::workload::{ArrivalSourceSpec, WorkloadSpec};
 use crate::SCHEMA;
 use moe_workload::{ClassSpec, Phase, RequestClass};
 use moentwine_core::engine::SummaryMode;
-use moentwine_core::fleet::{validate_fleet_events, FleetEvent, FleetEventKind, FleetScheduler};
+use moentwine_core::fleet::{FleetEvent, FleetEventKind, FleetScheduler, ReplicaRole};
 
 // ---------------------------------------------------------------------------
 // Small field accessors (all failures become typed `ConfigError::Spec`s).
@@ -872,6 +872,17 @@ impl FleetSpec {
                 Value::Arr(self.events.iter().map(fleet_event_to_json).collect()),
             ));
         }
+        // Same contract for the disaggregation members: colocated fleets
+        // stay byte-identical to the pre-role schema.
+        if !self.roles.is_empty() {
+            fields.push(("roles", Value::strings(self.roles.iter().map(|r| r.name()))));
+        }
+        if let Some(platform) = &self.decode_platform {
+            fields.push(("decode_platform", platform.to_json_value()));
+        }
+        if let Some(mapping) = self.decode_mapping {
+            fields.push(("decode_mapping", mapping.to_json_value()));
+        }
         obj(fields)
     }
 
@@ -889,6 +900,9 @@ impl FleetSpec {
                 "backend_overrides",
                 "scheduler",
                 "events",
+                "roles",
+                "decode_platform",
+                "decode_mapping",
             ],
         )?;
         let overrides = match value.get("backend_overrides") {
@@ -926,19 +940,46 @@ impl FleetSpec {
                 .map(|(i, e)| fleet_event_from_json(e, i))
                 .collect::<Result<Vec<_>, _>>()?,
         };
-        let replicas = get_usize(value, ctx, "replicas")?;
-        // Reject bad timelines (unsorted times, out-of-range replicas,
-        // no-op transitions) at parse time with the same typed errors the
-        // fleet constructor raises — not as a silent drop or a later panic.
-        validate_fleet_events(replicas, &events)?;
-        Ok(FleetSpec {
-            replicas,
+        let roles = match value.get("roles") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ConfigError::spec("fleet.roles", "expected an array of role names"))?
+                .iter()
+                .map(|r| {
+                    let text = r
+                        .as_str()
+                        .ok_or_else(|| ConfigError::spec("fleet.roles", "expected role names"))?;
+                    parse_tag::<ReplicaRole>(text, "fleet.roles")
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let decode_platform = match value.get("decode_platform") {
+            None => None,
+            Some(v) => Some(PlatformSpec::from_json_value(v)?),
+        };
+        let decode_mapping = match value.get("decode_mapping") {
+            None => None,
+            Some(v) => Some(MappingSpec::from_json_value(v)?),
+        };
+        let spec = FleetSpec {
+            replicas: get_usize(value, ctx, "replicas")?,
             policy: parse_tag(get_str(value, ctx, "policy")?, "fleet.policy")?,
             request_rate: get_f64(value, ctx, "request_rate")?,
             backend_overrides: overrides,
             scheduler,
             events,
-        })
+            roles,
+            decode_platform,
+            decode_mapping,
+        };
+        // Reject bad role sets and bad timelines (unsorted times,
+        // out-of-range replicas, no-op transitions, role sets with no
+        // prefill/decode capacity) at parse time with the same typed
+        // errors the fleet constructor raises — not as a silent drop or a
+        // later panic.
+        spec.validate_shape()?;
+        Ok(spec)
     }
 }
 
@@ -1295,6 +1336,100 @@ mod tests {
         }
         let err = ScenarioSpec::from_json(&json).unwrap_err();
         assert!(err.to_string().contains("backend_override"), "{err}");
+    }
+
+    #[test]
+    fn disaggregated_fleet_members_roundtrip_and_bad_shapes_are_typed() {
+        let spec = ScenarioSpec::new("disagg", PlatformSpec::wsc(4))
+            .with_engine(
+                EngineSpec::default()
+                    .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 4.0e3))),
+            )
+            .with_fleet(
+                FleetSpec::new(4, RouterPolicy::LeastQueueDepth, 8.0e3)
+                    .with_roles(vec![
+                        ReplicaRole::Prefill,
+                        ReplicaRole::Prefill,
+                        ReplicaRole::Decode,
+                        ReplicaRole::Decode,
+                    ])
+                    .with_decode_platform(PlatformSpec::dgx(1), MappingSpec::cluster(8)),
+            );
+        let text = spec.to_json_text();
+        assert_eq!(ScenarioSpec::from_json_text(&text).unwrap(), spec);
+
+        // Colocated fleets never emit the disaggregation members, so every
+        // pre-role document stays byte-identical.
+        let colocated = ScenarioSpec::new("colo", PlatformSpec::wsc(4))
+            .with_engine(
+                EngineSpec::default()
+                    .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 4.0e3))),
+            )
+            .with_fleet(FleetSpec::new(2, RouterPolicy::RoundRobin, 1.0e3));
+        let text = colocated.to_json_text();
+        assert!(!text.contains("roles"), "{text}");
+        assert!(!text.contains("decode_platform"), "{text}");
+
+        // A misspelled role is a typed parse error naming the spelling.
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "roles"], |fields| {
+            fields.iter_mut().find(|(k, _)| k == "roles").unwrap().1 =
+                Value::strings(["prefill", "prefill", "decode", "decoed"]);
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("decoed"), "{err}");
+
+        // A role list that does not match the replica count.
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "roles"], |fields| {
+            fields.iter_mut().find(|(k, _)| k == "roles").unwrap().1 =
+                Value::strings(["prefill", "decode"]);
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&json).unwrap_err(),
+            ConfigError::FleetRolesLengthMismatch {
+                roles: 2,
+                replicas: 4
+            }
+        );
+
+        // All-prefill and all-decode role sets are capacity errors.
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "roles"], |fields| {
+            fields.iter_mut().find(|(k, _)| k == "roles").unwrap().1 =
+                Value::strings(["prefill"; 4]);
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&json).unwrap_err(),
+            ConfigError::FleetNoDecodeCapacity
+        );
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "roles"], |fields| {
+            fields.iter_mut().find(|(k, _)| k == "roles").unwrap().1 =
+                Value::strings(["decode"; 4]);
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&json).unwrap_err(),
+            ConfigError::FleetNoPrefillCapacity
+        );
+
+        // decode_platform without decode_mapping (and vice versa).
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "decode_mapping"], |fields| {
+            fields.retain(|(k, _)| k != "decode_mapping");
+        });
+        let err = ScenarioSpec::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("set together"), "{err}");
+
+        // A decode platform on an all-colocated fleet is dead config.
+        let mut json = spec.to_json();
+        with_member(&mut json, &["fleet", "roles"], |fields| {
+            fields.retain(|(k, _)| k != "roles");
+        });
+        assert_eq!(
+            ScenarioSpec::from_json(&json).unwrap_err(),
+            ConfigError::FleetDecodePlatformUnused
+        );
     }
 
     /// Mutates a nested object field along `path`, applying `f` to the

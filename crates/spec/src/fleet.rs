@@ -2,8 +2,13 @@
 
 use moe_workload::RouterPolicy;
 use moentwine_core::engine::EngineConfig;
-use moentwine_core::fleet::{FleetConfig, FleetEvent, FleetScheduler};
+use moentwine_core::fleet::{
+    validate_fleet_events_for_roles, FleetConfig, FleetEvent, FleetScheduler, ReplicaRole,
+};
+use moentwine_core::ConfigError;
 use wsc_sim::CongestionBackend;
+
+use crate::platform::{MappingSpec, PlatformSpec};
 
 /// Scale-out shape: N replica engines dispatched by a router policy under
 /// a global arrival stream (the spec mirror of [`FleetConfig`]).
@@ -26,6 +31,18 @@ pub struct FleetSpec {
     /// [`validate_fleet_events`](moentwine_core::fleet::validate_fleet_events)
     /// both at parse time and when the fleet is built.
     pub events: Vec<FleetEvent>,
+    /// Per-replica roles for disaggregated serving (empty = every replica
+    /// [`ReplicaRole::Colocated`], the classic homogeneous fleet; otherwise
+    /// must match `replicas` in length). Validated at parse time and by
+    /// [`Fleet::try_new_disaggregated`](moentwine_core::fleet::Fleet::try_new_disaggregated).
+    pub roles: Vec<ReplicaRole>,
+    /// Platform for [`ReplicaRole::Decode`] replicas (`None` puts every
+    /// role on the scenario's primary platform). Only meaningful when
+    /// `roles` contains a decode replica.
+    pub decode_platform: Option<PlatformSpec>,
+    /// Mapping for the decode platform (required when `decode_platform`
+    /// is set; ignored otherwise).
+    pub decode_mapping: Option<MappingSpec>,
 }
 
 impl FleetSpec {
@@ -39,6 +56,9 @@ impl FleetSpec {
             backend_overrides: Vec::new(),
             scheduler: FleetScheduler::default(),
             events: Vec::new(),
+            roles: Vec::new(),
+            decode_platform: None,
+            decode_mapping: None,
         }
     }
 
@@ -60,6 +80,59 @@ impl FleetSpec {
         self
     }
 
+    /// Sets per-replica roles for disaggregated serving (builder style).
+    pub fn with_roles(mut self, roles: Vec<ReplicaRole>) -> Self {
+        self.roles = roles;
+        self
+    }
+
+    /// Sets the decode-tier platform and mapping (builder style).
+    pub fn with_decode_platform(mut self, platform: PlatformSpec, mapping: MappingSpec) -> Self {
+        self.decode_platform = Some(platform);
+        self.decode_mapping = Some(mapping);
+        self
+    }
+
+    /// Validates the disaggregation shape: decode-platform/mapping
+    /// pairing, role-list length, prefill/decode capacity, unused decode
+    /// platforms, and the elasticity timeline under the resolved roles —
+    /// the same typed errors
+    /// [`Fleet::try_new_disaggregated`](moentwine_core::fleet::Fleet::try_new_disaggregated)
+    /// raises, so bad specs fail at parse/build time instead of at run
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] violated by the shape.
+    pub fn validate_shape(&self) -> Result<(), ConfigError> {
+        if self.decode_platform.is_some() != self.decode_mapping.is_some() {
+            return Err(ConfigError::spec(
+                "fleet.decode_platform",
+                "decode_platform and decode_mapping must be set together",
+            ));
+        }
+        if !self.roles.is_empty() && self.roles.len() != self.replicas {
+            return Err(ConfigError::FleetRolesLengthMismatch {
+                roles: self.roles.len(),
+                replicas: self.replicas,
+            });
+        }
+        let mut resolved = self.roles.clone();
+        resolved.resize(self.replicas, ReplicaRole::Colocated);
+        if resolved.iter().any(|r| *r != ReplicaRole::Colocated) {
+            if !resolved.iter().any(|r| r.prefill_capable()) {
+                return Err(ConfigError::FleetNoPrefillCapacity);
+            }
+            if !resolved.iter().any(|r| r.decode_capable()) {
+                return Err(ConfigError::FleetNoDecodeCapacity);
+            }
+        }
+        if self.decode_platform.is_some() && !resolved.contains(&ReplicaRole::Decode) {
+            return Err(ConfigError::FleetDecodePlatformUnused);
+        }
+        validate_fleet_events_for_roles(&resolved, &self.events)
+    }
+
     /// Combines the fleet shape with a replica engine template into the
     /// core [`FleetConfig`] (validation happens in
     /// [`Fleet::try_new`](moentwine_core::fleet::Fleet::try_new)).
@@ -68,5 +141,6 @@ impl FleetSpec {
             .with_backend_overrides(self.backend_overrides.clone())
             .with_scheduler(self.scheduler)
             .with_events(self.events.clone())
+            .with_roles(self.roles.clone())
     }
 }

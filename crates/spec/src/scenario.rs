@@ -3,7 +3,7 @@
 use moe_model::ModelConfig;
 use moentwine_core::comm::{ClusterLayout, ParallelLayout};
 use moentwine_core::engine::{EngineConfig, InferenceEngine, RunSummary, ServingSummary};
-use moentwine_core::fleet::{Fleet, FleetSummary};
+use moentwine_core::fleet::{Fleet, FleetSummary, PlatformRefs};
 use moentwine_core::mapping::MappingPlan;
 use moentwine_core::ConfigError;
 use wsc_topology::{RouteTable, Topology};
@@ -231,6 +231,7 @@ impl ScenarioSpec {
         let model = self.model.resolve()?;
         // Validate the engine knobs (and the fleet shape) up front.
         self.engine.engine_config(model.clone())?;
+        let mut decode = None;
         if let Some(fleet) = &self.fleet {
             if fleet.replicas == 0 {
                 return Err(ConfigError::ReplicasZero);
@@ -239,8 +240,14 @@ impl ScenarioSpec {
                 return Err(ConfigError::FleetNeedsServingBatch);
             }
             // Re-check here because a sweep may have rewritten `replicas`
-            // after the codec validated the timeline at parse time.
-            moentwine_core::fleet::validate_fleet_events(fleet.replicas, &fleet.events)?;
+            // after the codec validated the roles/timeline at parse time.
+            fleet.validate_shape()?;
+            if let (Some(platform), Some(mapping)) = (&fleet.decode_platform, &fleet.decode_mapping)
+            {
+                let (decode_topo, decode_table) = platform.materialize()?;
+                let decode_layout = mapping.layout(&decode_topo)?;
+                decode = Some((decode_topo, decode_table, decode_layout));
+            }
         }
         Ok(Scenario {
             spec: self.clone(),
@@ -248,6 +255,7 @@ impl ScenarioSpec {
             topo,
             table,
             layout,
+            decode,
         })
     }
 }
@@ -331,6 +339,9 @@ pub struct Scenario {
     topo: Topology,
     table: RouteTable,
     layout: Layout,
+    /// Decode-tier platform for disaggregated fleets (`None` runs every
+    /// role on the primary platform).
+    decode: Option<(Topology, RouteTable, Layout)>,
 }
 
 impl Scenario {
@@ -392,12 +403,23 @@ impl Scenario {
                 Ok(ScenarioOutcome::Engine { run, serving })
             }
             Some(fleet_spec) => {
-                let mut fleet = Fleet::try_new(
-                    &self.topo,
-                    &self.table,
-                    self.layout.as_parallel(),
-                    fleet_spec.fleet_config(config),
-                )?;
+                // `try_new_disaggregated` with `decode: None` is exactly
+                // `try_new`, so the colocated path is bit-identical.
+                let prefill = PlatformRefs {
+                    topo: &self.topo,
+                    table: &self.table,
+                    layout: self.layout.as_parallel(),
+                };
+                let decode = self
+                    .decode
+                    .as_ref()
+                    .map(|(topo, table, layout)| PlatformRefs {
+                        topo,
+                        table,
+                        layout: layout.as_parallel(),
+                    });
+                let mut fleet =
+                    Fleet::try_new_disaggregated(prefill, decode, fleet_spec.fleet_config(config))?;
                 fleet.run(self.spec.iterations);
                 Ok(ScenarioOutcome::Fleet(fleet.summary()))
             }
@@ -485,6 +507,44 @@ mod tests {
             point.build().unwrap_err(),
             ConfigError::FleetEventReplicaOutOfRange { .. }
         ));
+    }
+
+    #[test]
+    fn disaggregated_scenario_prices_kv_transfers_on_the_decode_platform() {
+        use crate::platform::{MappingSpec, PlatformSpec};
+        use moentwine_core::fleet::ReplicaRole;
+        let roles = vec![
+            ReplicaRole::Prefill,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+            ReplicaRole::Decode,
+        ];
+        let spec = serving_spec()
+            .with_fleet(
+                FleetSpec::new(4, RouterPolicy::LeastQueueDepth, 2.0e4)
+                    .with_roles(roles.clone())
+                    .with_decode_platform(PlatformSpec::dgx(1), MappingSpec::cluster(8)),
+            )
+            .with_iterations(250);
+        let outcome = spec.build().unwrap().run().unwrap();
+        let summary = outcome.as_fleet().unwrap();
+        assert!(summary.handoff.kv_transfers > 0);
+        assert!(summary.handoff.kv_transfer_seconds > 0.0);
+
+        // The same shape without the heterogeneous decode platform also
+        // runs (decode replicas share the primary wafer).
+        let homogeneous = serving_spec()
+            .with_fleet(FleetSpec::new(4, RouterPolicy::LeastQueueDepth, 2.0e4).with_roles(roles))
+            .with_iterations(250);
+        let outcome = homogeneous.build().unwrap().run().unwrap();
+        assert!(outcome.as_fleet().unwrap().handoff.kv_transfers > 0);
+
+        // Shape errors fail at build, before any engine is constructed.
+        let bad = serving_spec().with_fleet(
+            FleetSpec::new(2, RouterPolicy::RoundRobin, 1.0e3)
+                .with_roles(vec![ReplicaRole::Prefill; 2]),
+        );
+        assert_eq!(bad.build().unwrap_err(), ConfigError::FleetNoDecodeCapacity);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use moentwine::spec::{
 use moentwine::workload::{ClassSpec, RouterPolicy, Scenario, WorkloadMix};
 use moentwine_core::balancer::BalancerKind;
 use moentwine_core::engine::SummaryMode;
-use moentwine_core::fleet::{FleetEvent, FleetEventKind};
+use moentwine_core::fleet::{FleetEvent, FleetEventKind, ReplicaRole};
 
 /// The canonical example scenarios, in README order.
 /// `tests/spec_scenarios.rs` pins the *files* this generator writes
@@ -226,6 +226,39 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         )
         .with_iterations(400);
 
+    // Disaggregated prefill/decode serving (README "disaggregation
+    // quickstart" / DESIGN.md §13): two wafer-scale prefill pods feed two
+    // DGX decode replicas; each finished prefill's KV footprint is priced
+    // as an explicit transfer through the congestion model before the
+    // request enters a decode replica's continuous-batching queue. The
+    // arrival rate is sized so even the `--quick`-capped 250-round smoke
+    // run completes hand-offs end to end (the CI smoke step asserts ≥ 1
+    // priced KV transfer in the manifest's `handoff` section).
+    let disagg_fleet = ScenarioSpec::new("disagg_fleet", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(241)
+                .with_workload(WorkloadMix::Blend(vec![
+                    (Scenario::Chat, 1.0),
+                    (Scenario::Privacy, 1.0),
+                ]))
+                .with_batch(BatchSpec::Serving(ServingSpec::hybrid(2048, 128, 0.0)))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_fleet(
+            FleetSpec::new(4, RouterPolicy::LeastQueueDepth, 2.0e4)
+                .with_roles(vec![
+                    ReplicaRole::Prefill,
+                    ReplicaRole::Prefill,
+                    ReplicaRole::Decode,
+                    ReplicaRole::Decode,
+                ])
+                .with_decode_platform(PlatformSpec::dgx(1), MappingSpec::cluster(8)),
+        )
+        .with_iterations(400);
+
     vec![
         single_wafer,
         multi_wafer,
@@ -236,6 +269,7 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         chaos_fleet,
         trace_replay,
         bursty_tenants,
+        disagg_fleet,
     ]
 }
 

@@ -75,8 +75,9 @@ pub mod prelude {
         StreamingSummary, SummaryMode,
     };
     pub use moentwine_core::fleet::{
-        validate_fleet_events, Fleet, FleetAvailability, FleetConfig, FleetEvent, FleetEventKind,
-        FleetScheduler, FleetSummary, ReplicaPool, ReplicaState, SerialReplicaPool,
+        validate_fleet_events, validate_fleet_events_for_roles, Fleet, FleetAvailability,
+        FleetConfig, FleetEvent, FleetEventKind, FleetHandoff, FleetScheduler, FleetSummary,
+        PlatformRefs, ReplicaPool, ReplicaRole, ReplicaState, SerialReplicaPool,
     };
     pub use moentwine_core::mapping::{
         BaselineMapping, ErMapping, HierarchicalErMapping, MappingKind, MappingPlan, TpShape,

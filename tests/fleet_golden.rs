@@ -135,6 +135,89 @@ fn fleet_golden_power_of_two() {
     check_golden(RouterPolicy::PowerOfTwoChoices);
 }
 
+/// The pinned disaggregated scenario: two wafer prefill pods feeding two
+/// DGX decode replicas, every hand-off priced through the congestion
+/// model. Pins the transfer accounting (count, bytes, seconds) and the
+/// decode-side aggregate alongside the usual fleet trace.
+fn run_disagg_scenario() -> FleetSummary {
+    let topo = Mesh::new(4, PlatformParams::dojo_like()).build();
+    let table = RouteTable::build(&topo);
+    let plan = ErMapping::with_tp_degree(topo.mesh_dims().unwrap(), 4)
+        .unwrap()
+        .plan();
+    let decode_topo = DgxCluster::new(1, PlatformParams::dgx_b200()).build();
+    let decode_table = RouteTable::build(&decode_topo);
+    let decode_layout = ClusterLayout::new(&decode_topo, 8);
+    let mut engine = EngineConfig::new(ModelConfig::tiny())
+        .with_seed(4242)
+        .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+        .with_batch(BatchMode::External {
+            mode: SchedulingMode::Hybrid,
+            max_batch_tokens: 2048,
+            max_active: 128,
+        });
+    engine.kv_hbm_fraction = 1.0e-3;
+    let config =
+        FleetConfig::new(4, RouterPolicy::LeastQueueDepth, 1.2e5, engine).with_roles(vec![
+            ReplicaRole::Prefill,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+            ReplicaRole::Decode,
+        ]);
+    let prefill = PlatformRefs {
+        topo: &topo,
+        table: &table,
+        layout: &plan,
+    };
+    let decode = PlatformRefs {
+        topo: &decode_topo,
+        table: &decode_table,
+        layout: &decode_layout,
+    };
+    let mut fleet = Fleet::try_new_disaggregated(prefill, Some(decode), config)
+        .expect("valid disaggregated scenario");
+    fleet.run(400);
+    fleet.summary()
+}
+
+#[test]
+fn fleet_golden_disagg_2p2d() {
+    let summary = run_disagg_scenario();
+    let mut fields = snapshot(&summary);
+    let h = &summary.handoff;
+    fields.extend([
+        ("handoff.kv_transfers".into(), h.kv_transfers as f64),
+        ("handoff.kv_transfer_bytes".into(), h.kv_transfer_bytes),
+        ("handoff.kv_transfer_seconds".into(), h.kv_transfer_seconds),
+        (
+            "handoff.max_transfer_seconds".into(),
+            h.max_transfer_seconds,
+        ),
+        (
+            "handoff.pending_transfers".into(),
+            h.pending_transfers as f64,
+        ),
+        (
+            "handoff.handoffs_completed".into(),
+            h.handoffs_completed as f64,
+        ),
+        (
+            "handoff.mean_handoff_latency".into(),
+            h.mean_handoff_latency,
+        ),
+        ("handoff.max_handoff_latency".into(), h.max_handoff_latency),
+        ("handoff.mean_e2e_ttft".into(), h.mean_e2e_ttft),
+        ("handoff.max_e2e_ttft".into(), h.max_e2e_ttft),
+    ]);
+    assert!(h.kv_transfers > 0, "golden scenario must price hand-offs");
+    moentwine_bench::golden::check_or_bless(
+        &golden_dir().join("fleet_disagg_2p2d.json"),
+        &fields,
+        "disaggregated 2 prefill + 2 decode fleet",
+        "GOLDEN_BLESS=1 cargo test --test fleet_golden",
+    );
+}
+
 /// The scenario itself is deterministic: two in-process runs at the same
 /// seed produce identical snapshots bit for bit.
 #[test]

@@ -223,6 +223,149 @@ fn worker_pool_scheduling_cannot_change_results() {
     assert_eq!(serial.sim_seconds, scrambled.sim_seconds);
 }
 
+/// Disaggregated conservation, as a property over (seed, rate) points on a
+/// *heterogeneous* fleet — wafer prefill pods handing off to DGX decode
+/// replicas across the priced KV-transfer boundary (DESIGN.md §13):
+///
+/// * every routed dispatch is either in the prefill tier or a delivered
+///   hand-off into the decode tier; every priced transfer is pending or
+///   delivered — none lost, none duplicated;
+/// * transfer bytes are pinned to the model:
+///   `kv_bytes_per_token_all_layers(FP16) × prefill tokens`, summed over
+///   every prefill-side record;
+/// * both fleet schedulers and any legal `ReplicaPool` ordering produce
+///   byte-identical summaries.
+#[test]
+fn disaggregated_fleets_conserve_handoffs_across_schedulers_and_pools() {
+    struct ScrambledPool;
+    impl ReplicaPool for ScrambledPool {
+        fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+            let mut deferred = Vec::new();
+            for (i, job) in jobs.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    deferred.push(job);
+                } else {
+                    job();
+                }
+            }
+            for job in deferred {
+                job();
+            }
+        }
+    }
+
+    let f = fixture();
+    let decode_topo = DgxCluster::new(1, PlatformParams::dgx_b200()).build();
+    let decode_table = RouteTable::build(&decode_topo);
+    let decode_layout = ClusterLayout::new(&decode_topo, 8);
+    let per_token = ModelConfig::tiny().kv_bytes_per_token_all_layers(Precision::Fp16);
+
+    let run = |seed: u64, rate: f64, scheduler: FleetScheduler, pool: &dyn ReplicaPool| {
+        let roles = vec![
+            ReplicaRole::Prefill,
+            ReplicaRole::Prefill,
+            ReplicaRole::Decode,
+            ReplicaRole::Decode,
+        ];
+        let config = FleetConfig::new(
+            4,
+            RouterPolicy::LeastQueueDepth,
+            rate,
+            engine_template(seed),
+        )
+        .with_roles(roles)
+        .with_scheduler(scheduler);
+        let prefill = PlatformRefs {
+            topo: &f.topo,
+            table: &f.table,
+            layout: &f.plan,
+        };
+        let decode = PlatformRefs {
+            topo: &decode_topo,
+            table: &decode_table,
+            layout: &decode_layout,
+        };
+        let mut fleet =
+            Fleet::try_new_disaggregated(prefill, Some(decode), config).expect("valid roles");
+        fleet.run_with(250, pool);
+        let summary = fleet.summary();
+
+        // Conservation across the hand-off boundary, at this sync point.
+        let tier = |role: ReplicaRole| -> u64 {
+            fleet
+                .engines()
+                .iter()
+                .zip(fleet.roles())
+                .zip(&summary.per_replica)
+                .filter(|((_, r), _)| **r == role)
+                .map(|((e, _), s)| {
+                    let snap = e.replica_snapshot().unwrap();
+                    snap.queue_depth as u64
+                        + snap.active as u64
+                        + s.admission_rejects
+                        + s.shed
+                        + s.completed as u64
+                })
+                .sum()
+        };
+        let handoff = &summary.handoff;
+        let routed: u64 = summary.routed.iter().sum();
+        let delivered = handoff.kv_transfers - handoff.pending_transfers;
+        assert_eq!(
+            routed,
+            tier(ReplicaRole::Prefill) + delivered,
+            "seed {seed} rate {rate}: requests lost across the hand-off boundary"
+        );
+        assert_eq!(
+            tier(ReplicaRole::Decode),
+            delivered,
+            "seed {seed} rate {rate}: delivered transfers not accounted in decode tier"
+        );
+
+        // Transfer accounting is pinned to the model, per hand-off.
+        let prefill_records: Vec<_> = fleet
+            .engines()
+            .iter()
+            .zip(fleet.roles())
+            .filter(|(_, r)| **r == ReplicaRole::Prefill)
+            .flat_map(|(e, _)| e.completed_requests())
+            .collect();
+        assert_eq!(handoff.kv_transfers, prefill_records.len() as u64);
+        let expected_bytes: f64 = prefill_records
+            .iter()
+            .map(|r| per_token * f64::from(r.prefill_scheduled))
+            .sum();
+        assert_eq!(
+            handoff.kv_transfer_bytes, expected_bytes,
+            "seed {seed} rate {rate}: transfer bytes diverge from kv-per-token × prefill tokens"
+        );
+        summary
+    };
+
+    for &(seed, rate) in &[(7u64, 8.0e3), (61, 2.0e4), (91, 4.0e4)] {
+        let reference = run(seed, rate, FleetScheduler::Lockstep, &SerialReplicaPool);
+        assert!(
+            reference.handoff.kv_transfers > 0,
+            "seed {seed} rate {rate}: point never exercised a hand-off"
+        );
+        assert!(reference.handoff.kv_transfer_seconds > 0.0, "free transfer");
+        for (scheduler, pool) in [
+            (
+                FleetScheduler::EventHeap,
+                &SerialReplicaPool as &dyn ReplicaPool,
+            ),
+            (FleetScheduler::Lockstep, &ScrambledPool),
+            (FleetScheduler::EventHeap, &ScrambledPool),
+        ] {
+            assert_eq!(
+                reference,
+                run(seed, rate, scheduler, pool),
+                "seed {seed} rate {rate}: {scheduler:?} diverged"
+            );
+        }
+    }
+}
+
 /// Scale-out sanity: under a flooding arrival rate, more replicas actually
 /// add serving capacity — the fleet holds more resident requests and the
 /// un-admitted backlog per unit of work shrinks — rather than just

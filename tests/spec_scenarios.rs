@@ -64,8 +64,9 @@ fn example_specs_are_canonical_and_build() {
     }
     // The acceptance set: single-wafer serving, multi-wafer, DGX baseline,
     // a multi-replica fleet, the 10M-request streaming mega-fleet, the
-    // failure-injection chaos fleet, and the workload-realism pair (trace
-    // replay + bursty multi-tenant SLO classes).
+    // failure-injection chaos fleet, the workload-realism pair (trace
+    // replay + bursty multi-tenant SLO classes), and the disaggregated
+    // prefill/decode fleet.
     for required in [
         "single_wafer_serving",
         "multi_wafer",
@@ -75,6 +76,7 @@ fn example_specs_are_canonical_and_build() {
         "chaos_fleet",
         "trace_replay",
         "bursty_tenants",
+        "disagg_fleet",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}");
     }
