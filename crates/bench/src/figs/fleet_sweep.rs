@@ -87,7 +87,7 @@ fn point_json(replicas: usize, policy: RouterPolicy, rate: f64, s: &FleetSummary
     let agg = &s.aggregate;
     Value::Obj(vec![
         ("replicas".into(), Value::Num(replicas as f64)),
-        ("policy".into(), Value::Str(policy.name().into())),
+        ("policy".into(), Value::Str(policy.name())),
         ("arrival_rate".into(), Value::Num(rate)),
         ("ttft_p50".into(), Value::Num(agg.ttft_p50)),
         ("ttft_p95".into(), Value::Num(agg.ttft_p95)),
@@ -158,7 +158,7 @@ fn sweep_manifest(
         let agg = &s.aggregate;
         report.row([
             format!("{replicas}"),
-            policy.name().into(),
+            policy.name(),
             format!("{rate}"),
             fmt_time(agg.ttft_p50),
             fmt_time(agg.ttft_p99),

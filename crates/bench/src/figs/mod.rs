@@ -18,6 +18,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fleet_sweep;
+pub mod router_compare;
 pub mod serve_sweep;
 pub mod table1;
 pub mod validate;
@@ -56,5 +57,8 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         // Multi-tenant SLO attainment under bursty traffic (emits
         // target/figs/workload_mix.json).
         ("workload_mix", workload_mix::run),
+        // Router policies: snapshot vs EWMA feedback vs speculative
+        // dispatch (emits target/figs/router_compare.json).
+        ("router_compare", router_compare::run),
     ]
 }

@@ -152,7 +152,7 @@ fn sweep_manifest(
         .map(|(_, _, point)| {
             move || -> ServingSummary {
                 match point.build().expect("valid mix spec").run().expect("runs") {
-                    ScenarioOutcome::Engine { serving, .. } => serving,
+                    ScenarioOutcome::Engine { serving, .. } => *serving,
                     ScenarioOutcome::Fleet(_) => unreachable!("mix scenarios are fleet-less"),
                 }
             }

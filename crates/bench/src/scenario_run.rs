@@ -208,6 +208,26 @@ fn outcome_json(label: &str, spec: &ScenarioSpec, outcome: &ScenarioOutcome) -> 
                     ]),
                 ));
             }
+            // Same gating for the speculative section: only fleets that
+            // actually dispatched a first-token race carry it, so every
+            // unicast manifest stays byte-identical to earlier schemas.
+            let sp = &summary.speculative;
+            if sp.groups_dispatched > 0 {
+                fields.push((
+                    "speculative".into(),
+                    Value::Obj(vec![
+                        (
+                            "groups_dispatched".into(),
+                            Value::Num(sp.groups_dispatched as f64),
+                        ),
+                        (
+                            "cancelled_copies".into(),
+                            Value::Num(sp.cancelled_copies as f64),
+                        ),
+                        ("open_groups".into(), Value::Num(sp.open_groups as f64)),
+                    ]),
+                ));
+            }
         }
     }
     Value::Obj(fields)
@@ -328,6 +348,26 @@ pub fn validate(manifest: &Value) -> Result<(), String> {
                 if value <= 0.0 {
                     return Err(format!("point {i}: handoff {key} must be positive"));
                 }
+            }
+        }
+        // The speculative section is only emitted when at least one
+        // first-token race was dispatched; an all-zero section would mean
+        // the byte-stability contract for unicast fleets was broken.
+        if let Some(speculative) = point.get("speculative") {
+            let groups = speculative
+                .get("groups_dispatched")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            if groups < 1.0 {
+                return Err(format!(
+                    "point {i}: speculative section present but no races dispatched"
+                ));
+            }
+            for key in ["cancelled_copies", "open_groups"] {
+                speculative
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("point {i}: speculative missing {key}"))?;
             }
         }
         // The serving section shares the sweep manifests' point skeleton,

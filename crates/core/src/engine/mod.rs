@@ -850,6 +850,50 @@ impl<'a> InferenceEngine<'a> {
             .evict_resident()
     }
 
+    /// Where a routed request currently sits inside this replica's serving
+    /// queue (speculative-dispatch probe; a completed or never-offered
+    /// request reports [`moe_workload::CopyStatus::Absent`]).
+    pub fn copy_status(&self, id: moe_workload::RequestId) -> moe_workload::CopyStatus {
+        self.scheduler
+            .as_ref()
+            .map_or(moe_workload::CopyStatus::Absent, |s| {
+                s.queue().copy_status(id)
+            })
+    }
+
+    /// Cancels a waiting or active request, releasing its KV reservation
+    /// and unwinding its admitted-token accounting (speculative
+    /// loser-copy teardown; see
+    /// [`moe_workload::ServingQueue::cancel_request`]). Returns `false`
+    /// when the request is not resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics in [`BatchMode::Fixed`], which has no request lifecycle.
+    pub fn cancel_request(&mut self, id: moe_workload::RequestId) -> bool {
+        self.scheduler
+            .as_mut()
+            .expect("cancellation requires a serving batch mode")
+            .cancel_request(id)
+    }
+
+    /// Removes one completion record by id — newest match first — from the
+    /// retained records ([`SummaryMode::Exact`]) or the undrained fresh
+    /// staging buffer (streaming fleets). Speculative loser copies that
+    /// finished before their group resolved are deleted through here so
+    /// fleet aggregates count each logical request once. Under
+    /// [`SummaryMode::Streaming`] the replica's own sketch has already
+    /// folded the record in; only the fleet-level aggregate excludes it.
+    pub fn remove_completed(&mut self, id: moe_workload::RequestId) -> Option<RequestRecord> {
+        if let Some(pos) = self.completed.iter().rposition(|r| r.id == id) {
+            return Some(self.completed.remove(pos));
+        }
+        if let Some(pos) = self.fresh.iter().rposition(|r| r.id == id) {
+            return Some(self.fresh.remove(pos));
+        }
+        None
+    }
+
     /// This replica's serving load as observed by a fleet router (`None`
     /// in [`BatchMode::Fixed`]).
     pub fn replica_snapshot(&self) -> Option<moe_workload::ReplicaSnapshot> {

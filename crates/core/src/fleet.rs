@@ -41,10 +41,11 @@
 //! [`ServingSummary`]s plus the load-imbalance ratios a capacity planner
 //! reads ("how many wafers for this arrival rate at p99 TTFT ≤ X?").
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use moe_workload::{
-    ReplicaSnapshot, Request, RequestGenerator, RequestRecord, Router, RouterPolicy, SchedulingMode,
+    CopyStatus, Decision, ReplicaSnapshot, Request, RequestGenerator, RequestRecord, Router,
+    RouterPolicy, SchedulingMode,
 };
 use wsc_sim::{CongestionBackend, CongestionModel};
 use wsc_topology::{DeviceId, RouteTable, Topology};
@@ -614,6 +615,50 @@ pub struct FleetHandoff {
     pub max_e2e_ttft: f64,
 }
 
+/// The speculative-dispatch section of a [`FleetSummary`]: multi-copy
+/// groups dispatched by a [`Outcome::Multicast`](moe_workload::Outcome)
+/// policy, loser copies cancelled once the group produced its first token,
+/// and groups still racing at the clock. All zeros for unicast policies.
+/// Cancelled copies are accounted here, *separately* from the
+/// crash-interruption counters in [`FleetAvailability`] — a cancellation
+/// is the router reclaiming a redundant copy, not a failure.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FleetSpeculative {
+    /// Requests dispatched as speculative multi-copy groups (each group
+    /// routed one request to ≥ 2 replicas).
+    pub groups_dispatched: u64,
+    /// Loser copies cancelled (waiting or mid-flight work torn down, KV
+    /// released) or discarded post-completion after another copy of their
+    /// group won the first-token race — plus copies dropped from a crashed
+    /// or drained replica while a sibling copy survived elsewhere.
+    pub cancelled_copies: u64,
+    /// Groups whose first-token race is still undecided at the clock.
+    pub open_groups: u64,
+}
+
+/// One copy of a speculatively dispatched request, tracked until its group
+/// resolves.
+#[derive(Clone, Debug)]
+struct SpecCopy {
+    /// Replica currently holding the copy (updated if the copy is the last
+    /// survivor and gets re-routed off a crashed/drained replica).
+    replica: usize,
+    /// Completion record harvested at the current synchronization point,
+    /// held back from the fleet aggregates until the race is decided.
+    /// Always `None` between synchronization points: a completed copy is a
+    /// first-token candidate, so the group resolves at the point that
+    /// stashed it.
+    done: Option<RequestRecord>,
+}
+
+/// An unresolved speculative dispatch: every live copy of one request.
+/// Keyed by request id in a `BTreeMap` so resolution order is
+/// deterministic (std's `HashMap` iteration order is not).
+#[derive(Clone, Debug)]
+struct SpecGroup {
+    copies: Vec<SpecCopy>,
+}
+
 /// Running hand-off accounting inside [`Fleet`] (see [`FleetHandoff`],
 /// its public readout).
 #[derive(Clone, Debug, Default)]
@@ -709,6 +754,15 @@ pub struct FleetSummary {
     /// Prefill→decode hand-off accounting (all zeros for a colocated
     /// fleet).
     pub handoff: FleetHandoff,
+    /// Speculative-dispatch accounting (all zeros for unicast policies).
+    pub speculative: FleetSpeculative,
+    /// Requests shed at the router by an [`Outcome::Discard`]
+    /// (moe_workload) policy outcome, per
+    /// [`RequestClass::index`](moe_workload::RequestClass) — these never
+    /// reached a replica queue. Also folded into the aggregate per-class
+    /// shed counts, unifying front-end load shedding with the queues'
+    /// deadline sheds.
+    pub router_discarded: [u64; 2],
 }
 
 /// Failure/elasticity bookkeeping of a [`Fleet`] (see
@@ -795,6 +849,18 @@ pub struct Fleet<'a> {
     /// Unapplied timeline events, in time order.
     pending_events: VecDeque<FleetEvent>,
     chaos: ChaosTracker,
+    /// Unresolved speculative dispatch groups by request id (empty for
+    /// unicast policies, so snapshot fleets skip every speculative path).
+    spec_groups: BTreeMap<u64, SpecGroup>,
+    /// Speculative groups dispatched so far.
+    spec_dispatched: u64,
+    /// Speculative loser copies cancelled so far.
+    spec_cancelled: u64,
+    /// Per-replica cursor into `completed_requests()` for the exact-summary
+    /// colocated feedback/speculative harvest (advanced only when the
+    /// policy consumes feedback or a speculative group is open — snapshot
+    /// unicast fleets never run the pass).
+    feedback_cursor: Vec<usize>,
     router: Router,
     generator: RequestGenerator,
     /// First generated arrival beyond the fleet clock.
@@ -1036,6 +1102,10 @@ impl<'a> Fleet<'a> {
             handoff: HandoffTracker::default(),
             pending_events: config.events.into(),
             chaos: ChaosTracker::default(),
+            spec_groups: BTreeMap::new(),
+            spec_dispatched: 0,
+            spec_cancelled: 0,
+            feedback_cursor: vec![0; config.replicas],
             router,
             generator,
             lookahead: None,
@@ -1232,6 +1302,7 @@ impl<'a> Fleet<'a> {
                     let i = self.engines.len();
                     self.roles.push(ReplicaRole::Colocated);
                     self.handoff_cursor.push(0);
+                    self.feedback_cursor.push(0);
                     let mut engine = self.build_replica(i);
                     engine.fast_forward(now);
                     self.engines.push(engine);
@@ -1246,9 +1317,10 @@ impl<'a> Fleet<'a> {
                     return effects;
                 }
                 self.states[replica] = ReplicaState::Draining;
-                let waiting = self.engines[replica].evict_waiting_requests();
+                let evicted = self.engines[replica].evict_waiting_requests();
+                let waiting = self.strip_spec_copies(evicted, replica);
                 self.chaos.drain_rerouted += waiting.len() as u64;
-                self.reroute(waiting, now, &mut effects);
+                self.reroute(waiting, replica, now, &mut effects);
                 let snap = self.engines[replica]
                     .replica_snapshot()
                     .expect("replicas run a serving mode");
@@ -1264,8 +1336,16 @@ impl<'a> Fleet<'a> {
                 }
                 self.states[replica] = ReplicaState::Failed;
                 effects.deactivated.push(replica);
-                let waiting = self.engines[replica].evict_waiting_requests();
-                let resident = self.engines[replica].evict_resident_requests();
+                let evicted = self.engines[replica].evict_waiting_requests();
+                let resident_evicted = self.engines[replica].evict_resident_requests();
+                let waiting = self.strip_spec_copies(evicted, replica);
+                // Speculative copies with a surviving sibling are simply
+                // cancelled by the crash (the race continues elsewhere);
+                // they are neither interruptions nor replayed prefill.
+                let resident: Vec<moe_workload::InterruptedRequest> = resident_evicted
+                    .into_iter()
+                    .filter(|r| !self.drop_spec_copy(r.request.id.0, replica))
+                    .collect();
                 self.chaos.crash_rerouted += waiting.len() as u64;
                 self.chaos.crash_interruptions += resident.len() as u64;
                 // Interrupted requests lose their prefill progress: the
@@ -1274,9 +1354,10 @@ impl<'a> Fleet<'a> {
                 // admission), which is the KV re-admission cost.
                 self.chaos.replayed_prefill_tokens +=
                     resident.iter().map(|r| u64::from(r.prefilled)).sum::<u64>();
-                self.reroute(waiting, now, &mut effects);
+                self.reroute(waiting, replica, now, &mut effects);
                 self.reroute(
                     resident.into_iter().map(|r| r.request).collect(),
+                    replica,
                     now,
                     &mut effects,
                 );
@@ -1298,7 +1379,13 @@ impl<'a> Fleet<'a> {
     /// interruption instant; queueing-delay SLOs restart from the failure,
     /// not the original arrival (which would otherwise violate the
     /// per-queue arrival-order contract).
-    fn reroute(&mut self, requests: Vec<Request>, now: f64, effects: &mut EventEffects) {
+    fn reroute(
+        &mut self,
+        requests: Vec<Request>,
+        from: usize,
+        now: f64,
+        effects: &mut EventEffects,
+    ) {
         if requests.is_empty() {
             return;
         }
@@ -1317,12 +1404,53 @@ impl<'a> Fleet<'a> {
                 u64::from(request.input_len) + u64::from(request.output_len);
             request.arrival = now;
             let choice = self.router.route_among(&request, &snapshots, &eligible);
+            // A group's last surviving copy keeps its race open on the new
+            // replica (siblings were dropped by `strip_spec_copies`).
+            if let Some(group) = self.spec_groups.get_mut(&request.id.0) {
+                if let Some(copy) = group.copies.iter_mut().find(|c| c.replica == from) {
+                    copy.replica = choice;
+                }
+            }
             self.engines[choice].offer_request(request);
             snapshots[choice] = self.engines[choice]
                 .replica_snapshot()
                 .expect("replicas run a serving mode");
             effects.touched.push(choice);
         }
+    }
+
+    /// Filters requests evicted off replica `from`, dropping — and
+    /// counting as cancelled — every speculative copy whose group still
+    /// has a copy alive elsewhere. Survivors (including a group's last
+    /// copy) are returned for normal re-routing. Identity for unicast
+    /// policies, which never open a group.
+    fn strip_spec_copies(&mut self, evicted: Vec<Request>, from: usize) -> Vec<Request> {
+        if self.spec_groups.is_empty() {
+            return evicted;
+        }
+        evicted
+            .into_iter()
+            .filter(|r| !self.drop_spec_copy(r.id.0, from))
+            .collect()
+    }
+
+    /// Drops the speculative copy of request `id` held on replica `from`
+    /// when its group has a sibling elsewhere, counting a cancellation.
+    /// Returns `false` (route it normally) for non-speculative requests
+    /// and for a group's last copy.
+    fn drop_spec_copy(&mut self, id: u64, from: usize) -> bool {
+        let Some(group) = self.spec_groups.get_mut(&id) else {
+            return false;
+        };
+        let Some(pos) = group.copies.iter().position(|c| c.replica == from) else {
+            return false;
+        };
+        if group.copies.len() == 1 {
+            return false;
+        }
+        group.copies.remove(pos);
+        self.spec_cancelled += 1;
+        true
     }
 
     /// Routes every arrival and due KV hand-off up to the fleet clock, as
@@ -1376,13 +1504,45 @@ impl<'a> Fleet<'a> {
                     break;
                 }
                 let request = self.lookahead.take().expect("peeked above");
-                let choice = self.router.route_among(&request, &snapshots, &eligible);
-                self.engines[choice].offer_request(request);
-                snapshots[choice] = self.engines[choice]
-                    .replica_snapshot()
-                    .expect("replicas run a serving mode");
+                match self.router.route_decision(&request, &snapshots, &eligible) {
+                    Decision::Unicast(choice) => {
+                        self.engines[choice].offer_request(request);
+                        snapshots[choice] = self.engines[choice]
+                            .replica_snapshot()
+                            .expect("replicas run a serving mode");
+                    }
+                    Decision::Speculative(targets) => {
+                        self.open_spec_group(&request, &targets);
+                        for &t in &targets {
+                            self.engines[t].offer_request(request.clone());
+                            snapshots[t] = self.engines[t]
+                                .replica_snapshot()
+                                .expect("replicas run a serving mode");
+                        }
+                    }
+                    // Shed at the front end: the request reaches no
+                    // replica (the router counted it per class).
+                    Decision::Shed => {}
+                }
             }
         }
+    }
+
+    /// Opens the first-token race for a speculatively multicast request.
+    fn open_spec_group(&mut self, request: &Request, targets: &[usize]) {
+        self.spec_dispatched += 1;
+        self.spec_groups.insert(
+            request.id.0,
+            SpecGroup {
+                copies: targets
+                    .iter()
+                    .map(|&replica| SpecCopy {
+                        replica,
+                        done: None,
+                    })
+                    .collect(),
+            },
+        );
     }
 
     /// One synchronization round on the in-thread executor.
@@ -1487,12 +1647,183 @@ impl<'a> Fleet<'a> {
             for i in 0..self.engines.len() {
                 self.harvest_replica(i);
             }
-        } else if let Some(streaming) = self.streaming.as_mut() {
-            for engine in &mut self.engines {
-                for record in engine.take_fresh_completions() {
-                    streaming.observe_record(&record);
+        } else {
+            for i in 0..self.engines.len() {
+                self.harvest_colocated(i);
+            }
+        }
+        self.resolve_spec_groups();
+    }
+
+    /// Colocated-fleet completion harvest for one replica. Streaming
+    /// fleets drain the staged records into the fleet sketch as before;
+    /// exact fleets additionally advance a record cursor when — and only
+    /// when — the policy consumes feedback or a speculative race is open,
+    /// so snapshot unicast fleets never pay for the pass. A record whose
+    /// request is still racing is stashed on its speculative copy instead
+    /// of observed: the resolution decides which copy counts.
+    fn harvest_colocated(&mut self, i: usize) {
+        if self.streaming.is_some() {
+            for record in self.engines[i].take_fresh_completions() {
+                if self.stash_spec_record(i, &record) {
+                    continue;
+                }
+                self.streaming
+                    .as_mut()
+                    .expect("checked above")
+                    .observe_record(&record);
+                self.router.observe_completion(i, &record);
+            }
+        } else if self.router.wants_feedback() || !self.spec_groups.is_empty() {
+            let done = self.engines[i].completed_requests();
+            let fresh: Vec<RequestRecord> = done[self.feedback_cursor[i]..].to_vec();
+            self.feedback_cursor[i] = done.len();
+            for record in fresh {
+                if self.stash_spec_record(i, &record) {
+                    continue;
+                }
+                self.router.observe_completion(i, &record);
+            }
+        }
+    }
+
+    /// Stashes a completion on its speculative copy when the request's
+    /// first-token race is still open. Returns whether the record was
+    /// captured (the caller must then not observe it).
+    fn stash_spec_record(&mut self, replica: usize, record: &RequestRecord) -> bool {
+        let Some(group) = self.spec_groups.get_mut(&record.id.0) else {
+            return false;
+        };
+        match group.copies.iter_mut().find(|c| c.replica == replica) {
+            Some(copy) => {
+                copy.done = Some(record.clone());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attempts to settle every open speculative race, in request-id
+    /// order. A group resolves as soon as any copy has produced a first
+    /// token — completed copies (stashed records) and mid-flight copies
+    /// (probed via [`InferenceEngine::copy_status`]) are candidates, and
+    /// the earliest first-token time wins (ties to the lowest replica
+    /// index). Losers are cancelled: waiting/active copies are torn down
+    /// on their queue (KV released, admission accounting unwound),
+    /// already-completed copies have their records discarded so every
+    /// logical request is counted once. Copies absent from their replica
+    /// without completing (rejected or deadline-shed there) are pruned
+    /// without a cancellation — the queue counters already hold them.
+    /// Returns whether any engine's queue state changed (the event drive
+    /// refreshes its snapshot mirror on `true`).
+    fn resolve_spec_groups(&mut self) -> bool {
+        if self.spec_groups.is_empty() {
+            return false;
+        }
+        let ids: Vec<u64> = self.spec_groups.keys().copied().collect();
+        let mut changed = false;
+        for id in ids {
+            changed |= self.resolve_spec_group(id);
+        }
+        changed
+    }
+
+    /// One group's resolution attempt (see [`Fleet::resolve_spec_groups`]).
+    fn resolve_spec_group(&mut self, id: u64) -> bool {
+        let rid = moe_workload::RequestId(id);
+        let group = self
+            .spec_groups
+            .get_mut(&id)
+            .expect("caller iterates live ids");
+        let engines = &self.engines;
+        group.copies.retain(|c| {
+            c.done.is_some() || engines[c.replica].copy_status(rid) != CopyStatus::Absent
+        });
+        if group.copies.is_empty() {
+            // Every copy was rejected or shed at its replica: the race is
+            // void, the request is fully accounted by the queue counters.
+            self.spec_groups.remove(&id);
+            return false;
+        }
+        let mut winner: Option<(f64, usize)> = None;
+        for (idx, c) in group.copies.iter().enumerate() {
+            let t = match &c.done {
+                Some(r) => Some(r.first_token),
+                None => match engines[c.replica].copy_status(rid) {
+                    CopyStatus::Active { first_token } => first_token,
+                    _ => None,
+                },
+            };
+            if let Some(t) = t {
+                let better = match winner {
+                    None => true,
+                    Some((bt, bidx)) => {
+                        t < bt || (t == bt && c.replica < group.copies[bidx].replica)
+                    }
+                };
+                if better {
+                    winner = Some((t, idx));
                 }
             }
+        }
+        let Some((_, winner_idx)) = winner else {
+            return false; // no first token anywhere yet: race stays open
+        };
+        let group = self.spec_groups.remove(&id).expect("present above");
+        let mut changed = false;
+        for (idx, copy) in group.copies.into_iter().enumerate() {
+            if idx == winner_idx {
+                if let Some(record) = copy.done {
+                    self.deliver_winner(copy.replica, &record);
+                }
+                // A mid-flight winner needs nothing here: its group is
+                // closed, so its eventual record flows through the normal
+                // harvest.
+                continue;
+            }
+            match copy.done {
+                Some(record) => {
+                    // The loser finished before the race settled (both
+                    // copies completing in one round): discard its record
+                    // so the logical request counts once. Exact-mode
+                    // engines still retain it — delete and rewind the
+                    // harvest cursor past the removal.
+                    if self.streaming.is_none()
+                        && self.engines[copy.replica]
+                            .remove_completed(record.id)
+                            .is_some()
+                    {
+                        let cursor = if self.disaggregated() {
+                            &mut self.handoff_cursor[copy.replica]
+                        } else {
+                            &mut self.feedback_cursor[copy.replica]
+                        };
+                        *cursor = cursor.saturating_sub(1);
+                    }
+                    self.spec_cancelled += 1;
+                }
+                None => {
+                    // Cancel-on-first-token proper: tear the copy down on
+                    // its queue through the eviction path (KV released,
+                    // admitted-token accounting unwound).
+                    if self.engines[copy.replica].cancel_request(rid) {
+                        self.spec_cancelled += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Routes a settled race's winning record where a non-speculative
+    /// completion on that replica would have gone: a KV hand-off from the
+    /// prefill tier, an end-to-end completion everywhere else.
+    fn deliver_winner(&mut self, replica: usize, record: &RequestRecord) {
+        if self.disaggregated() && self.roles[replica] == ReplicaRole::Prefill {
+            self.emit_handoff(record);
+        } else {
+            self.complete_end_to_end(replica, record);
         }
     }
 
@@ -1518,53 +1849,72 @@ impl<'a> Fleet<'a> {
         if records.is_empty() {
             return;
         }
-        if self.roles[i] == ReplicaRole::Prefill {
-            for r in records {
-                let bytes = self.kv_bytes_per_token * f64::from(r.prefill_scheduled);
-                let transfer = self.price_transfer(bytes);
-                self.handoff.kv_transfers += 1;
-                self.handoff.kv_transfer_bytes += bytes;
-                self.handoff.kv_transfer_seconds += transfer;
-                self.handoff.max_transfer_seconds = self.handoff.max_transfer_seconds.max(transfer);
-                self.inflight.insert(
-                    r.id.0,
-                    HandoffMeta {
-                        arrival: r.arrival,
-                        prefill_finish: r.finish,
-                    },
-                );
-                self.handoff_seq += 1;
-                let arrival = r.finish + transfer;
-                self.pending_handoffs.push(HandoffEvent {
-                    arrival,
-                    seq: self.handoff_seq,
-                    request: Request {
-                        id: r.id,
-                        scenario: r.scenario,
-                        class: r.class,
-                        input_len: r.input_len,
-                        output_len: r.output_len,
-                        arrival,
-                    },
-                });
+        let prefill = self.roles[i] == ReplicaRole::Prefill;
+        for r in records {
+            // A record whose request is still racing speculatively is
+            // held back: the race resolution hands the winner to
+            // `emit_handoff` / `complete_end_to_end` itself.
+            if self.stash_spec_record(i, &r) {
+                continue;
             }
-        } else {
-            for r in records {
-                if let Some(streaming) = self.streaming.as_mut() {
-                    streaming.observe_record(&r);
-                }
-                if let Some(meta) = self.inflight.remove(&r.id.0) {
-                    let latency = (r.first_token - meta.prefill_finish).max(0.0);
-                    self.handoff.handoffs_completed += 1;
-                    self.handoff.handoff_latency_seconds += latency;
-                    self.handoff.max_handoff_latency =
-                        self.handoff.max_handoff_latency.max(latency);
-                    let ttft = (r.first_token - meta.arrival).max(0.0);
-                    self.handoff.e2e_ttft_seconds += ttft;
-                    self.handoff.max_e2e_ttft = self.handoff.max_e2e_ttft.max(ttft);
-                }
+            if prefill {
+                self.emit_handoff(&r);
+            } else {
+                self.complete_end_to_end(i, &r);
             }
         }
+    }
+
+    /// Turns one finished prefill record into a priced KV hand-off toward
+    /// the decode tier (see [`Fleet::harvest_replica`]).
+    fn emit_handoff(&mut self, r: &RequestRecord) {
+        let bytes = self.kv_bytes_per_token * f64::from(r.prefill_scheduled);
+        let transfer = self.price_transfer(bytes);
+        self.handoff.kv_transfers += 1;
+        self.handoff.kv_transfer_bytes += bytes;
+        self.handoff.kv_transfer_seconds += transfer;
+        self.handoff.max_transfer_seconds = self.handoff.max_transfer_seconds.max(transfer);
+        self.inflight.insert(
+            r.id.0,
+            HandoffMeta {
+                arrival: r.arrival,
+                prefill_finish: r.finish,
+            },
+        );
+        self.handoff_seq += 1;
+        let arrival = r.finish + transfer;
+        self.pending_handoffs.push(HandoffEvent {
+            arrival,
+            seq: self.handoff_seq,
+            request: Request {
+                id: r.id,
+                scenario: r.scenario,
+                class: r.class,
+                input_len: r.input_len,
+                output_len: r.output_len,
+                arrival,
+            },
+        });
+    }
+
+    /// Books one end-to-end completion on replica `i`: folds it into the
+    /// fleet streaming sketch, closes its in-flight hand-off (if any), and
+    /// feeds the router's latency feedback (a no-op for snapshot
+    /// policies).
+    fn complete_end_to_end(&mut self, i: usize, r: &RequestRecord) {
+        if let Some(streaming) = self.streaming.as_mut() {
+            streaming.observe_record(r);
+        }
+        if let Some(meta) = self.inflight.remove(&r.id.0) {
+            let latency = (r.first_token - meta.prefill_finish).max(0.0);
+            self.handoff.handoffs_completed += 1;
+            self.handoff.handoff_latency_seconds += latency;
+            self.handoff.max_handoff_latency = self.handoff.max_handoff_latency.max(latency);
+            let ttft = (r.first_token - meta.arrival).max(0.0);
+            self.handoff.e2e_ttft_seconds += ttft;
+            self.handoff.max_e2e_ttft = self.handoff.max_e2e_ttft.max(ttft);
+        }
+        self.router.observe_completion(i, r);
     }
 
     /// Prices one prefill→decode KV transfer on the prefill platform's
@@ -1766,22 +2116,35 @@ impl<'a> Fleet<'a> {
                     .expect("replicas run a serving mode");
             } else if arrival_time <= step_time {
                 let request = self.lookahead.take().expect("peeked above");
-                let choice = self.router.route_among(&request, &snapshots, &eligible);
-                self.engines[choice].offer_request(request);
-                if !scheduled[choice] {
-                    // Wake a parked replica at the arrival instant: no
-                    // phantom idle iterations were priced while it slept.
-                    self.engines[choice].fast_forward(event_time);
-                    heap.push(StepEvent {
-                        time: self.engines[choice].sim_time(),
-                        replica: choice,
-                        epoch: epoch[choice],
-                    });
-                    scheduled[choice] = true;
+                let targets: Vec<usize> =
+                    match self.router.route_decision(&request, &snapshots, &eligible) {
+                        Decision::Unicast(choice) => vec![choice],
+                        Decision::Speculative(targets) => {
+                            self.open_spec_group(&request, &targets);
+                            targets
+                        }
+                        // Shed at the front end: no replica is touched or
+                        // woken.
+                        Decision::Shed => Vec::new(),
+                    };
+                for &choice in &targets {
+                    self.engines[choice].offer_request(request.clone());
+                    if !scheduled[choice] {
+                        // Wake a parked replica at the arrival instant: no
+                        // phantom idle iterations were priced while it
+                        // slept.
+                        self.engines[choice].fast_forward(event_time);
+                        heap.push(StepEvent {
+                            time: self.engines[choice].sim_time(),
+                            replica: choice,
+                            epoch: epoch[choice],
+                        });
+                        scheduled[choice] = true;
+                    }
+                    snapshots[choice] = self.engines[choice]
+                        .replica_snapshot()
+                        .expect("replicas run a serving mode");
                 }
-                snapshots[choice] = self.engines[choice]
-                    .replica_snapshot()
-                    .expect("replicas run a serving mode");
             } else {
                 let StepEvent { replica, .. } = heap.pop().expect("peeked above");
                 self.engines[replica].step();
@@ -1804,7 +2167,15 @@ impl<'a> Fleet<'a> {
                     }
                 }
                 snapshots[replica] = snap;
-                self.drain_fresh_completions_for(replica);
+                if self.drain_fresh_completions_for(replica) {
+                    // A speculative cancellation touched other replicas'
+                    // queues: refresh the whole snapshot mirror.
+                    for (i, s) in snapshots.iter_mut().enumerate() {
+                        *s = self.engines[i]
+                            .replica_snapshot()
+                            .expect("replicas run a serving mode");
+                    }
+                }
             }
         }
         // Every timeline event, arrival, and step strictly before the
@@ -1815,14 +2186,15 @@ impl<'a> Fleet<'a> {
 
     /// Per-replica variant of [`Fleet::drain_fresh_completions`] for the
     /// event loop (only the stepped replica can have staged completions).
-    fn drain_fresh_completions_for(&mut self, replica: usize) {
+    /// Returns whether a speculative resolution changed some *other*
+    /// replica's queue state (the caller's snapshot mirror is stale).
+    fn drain_fresh_completions_for(&mut self, replica: usize) -> bool {
         if self.disaggregated() {
             self.harvest_replica(replica);
-        } else if let Some(streaming) = self.streaming.as_mut() {
-            for record in self.engines[replica].take_fresh_completions() {
-                streaming.observe_record(&record);
-            }
+        } else {
+            self.harvest_colocated(replica);
         }
+        self.resolve_spec_groups()
     }
 
     /// Memory proxy: request records and iteration-history entries
@@ -1857,6 +2229,15 @@ impl<'a> Fleet<'a> {
                 shed_by_class[c] += shed[c];
                 rejected_by_class[c] += rejected[c];
             }
+        }
+        // Router-level load shedding ([`Outcome::Discard`]) unifies with
+        // the queues' deadline sheds in the per-class attainment report:
+        // a request turned away at the front end missed its SLO exactly
+        // like one shed at a replica barrier. Zero for non-shedding
+        // policies, keeping their aggregates byte-identical.
+        let router_discarded = self.router.discarded();
+        for c in 0..2 {
+            shed_by_class[c] += router_discarded[c];
         }
         let classes: &[moe_workload::ClassSpec] = if self.template.workload_profile.is_default() {
             &[]
@@ -1932,6 +2313,12 @@ impl<'a> Fleet<'a> {
             aggregate,
             availability: self.availability(),
             handoff: self.handoff_readout(),
+            speculative: FleetSpeculative {
+                groups_dispatched: self.spec_dispatched,
+                cancelled_copies: self.spec_cancelled,
+                open_groups: self.spec_groups.len() as u64,
+            },
+            router_discarded,
         }
     }
 

@@ -58,8 +58,13 @@ pub use profile::{
     DEFAULT_DIURNAL_AMPLITUDE, DEFAULT_DIURNAL_PERIOD_SECS,
 };
 pub use requests::{ArrivalProcess, LengthProfile, Request, RequestGenerator, RequestId};
-pub use router::{max_mean_imbalance, ReplicaSnapshot, Router, RouterPolicy};
+pub use router::{
+    max_mean_imbalance, Decision, LatencyFeedback, Outcome, ReplicaSnapshot, RouteCtx, RoutePolicy,
+    Router, RouterPolicy,
+};
 pub use scenario::Scenario;
 pub use scheduler::{BatchEntry, BatchScheduler, BatchSpec, SchedulingMode, MAX_ARRIVALS_PER_PULL};
-pub use serving::{ClassPolicy, InterruptedRequest, RequestRecord, ServingQueue, TokenAccounting};
+pub use serving::{
+    ClassPolicy, CopyStatus, InterruptedRequest, RequestRecord, ServingQueue, TokenAccounting,
+};
 pub use trace::{IterationTrace, LayerGating, TraceGenerator, WorkloadMix};

@@ -299,6 +299,12 @@ impl BatchScheduler {
         self.queue.evict_resident()
     }
 
+    /// Cancels one request by id — the speculative-race loser path (see
+    /// [`ServingQueue::cancel_request`]). Returns whether a copy was found.
+    pub fn cancel_request(&mut self, id: crate::requests::RequestId) -> bool {
+        self.queue.cancel_request(id)
+    }
+
     /// Pulls generated arrivals with `arrival <= now` into the queue.
     /// A no-op for externally-fed schedulers.
     fn pull_arrivals(&mut self, now: f64) {

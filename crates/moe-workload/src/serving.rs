@@ -679,6 +679,75 @@ impl ServingQueue {
         }
         evicted
     }
+
+    /// Where one request id currently sits on this queue — the probe behind
+    /// the fleet's speculative first-token race ([`CopyStatus::Active`]
+    /// carries the copy's first-token time once it has produced one).
+    pub fn copy_status(&self, id: RequestId) -> CopyStatus {
+        if let Some(r) = self.active.iter().find(|r| r.request.id == id) {
+            return CopyStatus::Active {
+                first_token: r.first_token,
+            };
+        }
+        if self.waiting.iter().any(|q| q.iter().any(|r| r.id == id)) {
+            return CopyStatus::Waiting;
+        }
+        CopyStatus::Absent
+    }
+
+    /// Cancels the single request `id` wherever it sits: a waiting copy is
+    /// removed with no accounting to unwind (mirroring
+    /// [`ServingQueue::evict_waiting`]); a resident copy releases its KV
+    /// reservation and unwinds the token debt it still owed, exactly the
+    /// per-request body of [`ServingQueue::evict_resident`] —
+    /// already-scheduled tokens stay counted (that work really happened,
+    /// the speculative race just discarded it). Returns whether a copy was
+    /// found; completed requests are not touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-iteration — cancellations happen at iteration boundaries.
+    pub fn cancel_request(&mut self, id: RequestId) -> bool {
+        assert!(
+            !self.in_iteration,
+            "cancellations happen at iteration boundaries"
+        );
+        for queue in &mut self.waiting {
+            if let Some(pos) = queue.iter().position(|r| r.id == id) {
+                queue.remove(pos);
+                return true;
+            }
+        }
+        if let Some(pos) = self.active.iter().position(|r| r.request.id == id) {
+            let r = self.active.remove(pos);
+            self.kv_in_use -= r.kv_reserved;
+            self.accounting.admitted_prefill -=
+                r.request.input_len.saturating_sub(r.prefilled) as u64;
+            if self.mode != SchedulingMode::PrefillOnly {
+                self.accounting.admitted_decode -=
+                    r.request.output_len.saturating_sub(r.decoded) as u64;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Liveness of one request id on a [`ServingQueue`], as probed by
+/// [`ServingQueue::copy_status`].
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum CopyStatus {
+    /// Offered but not yet admitted.
+    Waiting,
+    /// Admitted; `first_token` is the completion time of the iteration
+    /// that produced its first output token, once that has happened.
+    Active {
+        /// First-token time, when already produced.
+        first_token: Option<f64>,
+    },
+    /// Not on this queue (never offered, rejected, shed, evicted, or
+    /// already completed).
+    Absent,
 }
 
 #[cfg(test)]

@@ -856,7 +856,7 @@ impl FleetSpec {
     fn to_json_value(&self) -> Value {
         let mut fields = vec![
             ("replicas", num(self.replicas as f64)),
-            ("policy", Value::Str(self.policy.name().into())),
+            ("policy", Value::Str(self.policy.name())),
             ("request_rate", num(self.request_rate)),
             (
                 "backend_overrides",
@@ -1430,6 +1430,43 @@ mod tests {
             ScenarioSpec::from_json(&json).unwrap_err(),
             ConfigError::FleetDecodePlatformUnused
         );
+    }
+
+    #[test]
+    fn routing_policy_spellings_roundtrip_and_reject_typos() {
+        // Every canonical and extended routing-policy spelling — including
+        // the feedback policies and parameterized speculative dispatch —
+        // survives the text layer as an identity.
+        let with_policy = |policy: RouterPolicy, replicas: usize| {
+            ScenarioSpec::new("policies", PlatformSpec::wsc(4))
+                .with_engine(
+                    EngineSpec::default()
+                        .with_batch(BatchSpec::Serving(ServingSpec::hybrid(1024, 64, 2.0e3))),
+                )
+                .with_fleet(FleetSpec::new(replicas, policy, 1.0e3))
+        };
+        for policy in RouterPolicy::extended() {
+            let spec = with_policy(policy, 2);
+            let text = spec.to_json_text();
+            assert!(text.contains(&policy.name()), "{text}");
+            assert_eq!(ScenarioSpec::from_json_text(&text).unwrap(), spec);
+        }
+        // A wider fan-out keeps its copy count through the codec.
+        let spec = with_policy(RouterPolicy::Speculative { k: 4 }, 8);
+        let text = spec.to_json_text();
+        assert!(text.contains("speculative:k=4"), "{text}");
+        assert_eq!(ScenarioSpec::from_json_text(&text).unwrap(), spec);
+
+        // Misspelled policies are typed parse errors naming the spelling,
+        // not silent fallbacks to a default policy.
+        for typo in ["ewma-tftt", "speculative:k=two", "speculative:k=0"] {
+            let mut json = spec.to_json();
+            with_member(&mut json, &["fleet", "policy"], |fields| {
+                fields.iter_mut().find(|(k, _)| k == "policy").unwrap().1 = Value::Str(typo.into());
+            });
+            let err = ScenarioSpec::from_json(&json).unwrap_err();
+            assert!(err.to_string().contains(typo), "{typo}: {err}");
+        }
     }
 
     /// Mutates a nested object field along `path`, applying `f` to the

@@ -303,18 +303,19 @@ pub enum ScenarioOutcome {
     Engine {
         /// Per-iteration aggregate.
         run: RunSummary,
-        /// Request-level serving statistics (zeroed in fixed-batch mode).
-        serving: ServingSummary,
+        /// Request-level serving statistics (zeroed in fixed-batch mode;
+        /// boxed to keep the variants close in size).
+        serving: Box<ServingSummary>,
     },
-    /// A fleet run.
-    Fleet(FleetSummary),
+    /// A fleet run (boxed: a `FleetSummary` dwarfs the other fields).
+    Fleet(Box<FleetSummary>),
 }
 
 impl ScenarioOutcome {
     /// The engine summaries, when this was a single-engine run.
     pub fn as_engine(&self) -> Option<(&RunSummary, &ServingSummary)> {
         match self {
-            ScenarioOutcome::Engine { run, serving } => Some((run, serving)),
+            ScenarioOutcome::Engine { run, serving } => Some((run, serving.as_ref())),
             ScenarioOutcome::Fleet(_) => None,
         }
     }
@@ -322,7 +323,7 @@ impl ScenarioOutcome {
     /// The fleet summary, when this was a fleet run.
     pub fn as_fleet(&self) -> Option<&FleetSummary> {
         match self {
-            ScenarioOutcome::Fleet(summary) => Some(summary),
+            ScenarioOutcome::Fleet(summary) => Some(summary.as_ref()),
             ScenarioOutcome::Engine { .. } => None,
         }
     }
@@ -399,7 +400,7 @@ impl Scenario {
                     config,
                 )?;
                 let run = engine.run(self.spec.iterations);
-                let serving = engine.serving_summary();
+                let serving = Box::new(engine.serving_summary());
                 Ok(ScenarioOutcome::Engine { run, serving })
             }
             Some(fleet_spec) => {
@@ -421,7 +422,7 @@ impl Scenario {
                 let mut fleet =
                     Fleet::try_new_disaggregated(prefill, decode, fleet_spec.fleet_config(config))?;
                 fleet.run(self.spec.iterations);
-                Ok(ScenarioOutcome::Fleet(fleet.summary()))
+                Ok(ScenarioOutcome::Fleet(Box::new(fleet.summary())))
             }
         }
     }

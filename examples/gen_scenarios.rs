@@ -259,6 +259,42 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         )
         .with_iterations(400);
 
+    // Speculative dispatch at fleet scale (README "routing quickstart" /
+    // DESIGN.md §14): the mega-fleet shape under 4× arrival bursts, with
+    // every request raced as `speculative:k=2` — two copies dispatched to
+    // the two least-loaded replicas, the first first-token wins, and the
+    // loser copy is cancelled through the eviction path with its KV
+    // released. The burst cycle (200 µs period, 50 µs burst) fits several
+    // cycles inside even the `--quick`-capped 250-round smoke run (~1 ms
+    // simulated), so the manifest always carries the `speculative` section
+    // with non-zero race and cancellation counts (the CI smoke step
+    // asserts ≥ 1 dispatched group).
+    let speculative_fleet = ScenarioSpec::new("speculative_fleet", PlatformSpec::wsc(4))
+        .with_mapping(MappingSpec::er(4))
+        .with_model(ModelSpec::preset("tiny"))
+        .with_engine(
+            EngineSpec::default()
+                .with_seed(263)
+                .with_workload(WorkloadMix::Fixed(Scenario::Privacy))
+                .with_batch(BatchSpec::Serving(
+                    ServingSpec::hybrid(2048, 128, 0.0)
+                        .with_summary(SummaryMode::Streaming)
+                        .with_workload(WorkloadSpec::new(ArrivalSourceSpec::Burst {
+                            period: 2.0e-4,
+                            burst_duration: 5.0e-5,
+                            quiet_factor: 0.5,
+                            burst_factor: 4.0,
+                        })),
+                ))
+                .with_kv_hbm_fraction(1.0e-3),
+        )
+        .with_fleet(FleetSpec::new(
+            64,
+            RouterPolicy::Speculative { k: 2 },
+            1.0e6,
+        ))
+        .with_iterations(2000);
+
     vec![
         single_wafer,
         multi_wafer,
@@ -270,6 +306,7 @@ pub fn canonical_scenarios() -> Vec<ScenarioSpec> {
         trace_replay,
         bursty_tenants,
         disagg_fleet,
+        speculative_fleet,
     ]
 }
 

@@ -135,6 +135,53 @@ fn fleet_golden_power_of_two() {
     check_golden(RouterPolicy::PowerOfTwoChoices);
 }
 
+#[test]
+fn fleet_golden_ewma_ttft() {
+    check_golden(RouterPolicy::EwmaLatency);
+}
+
+#[test]
+fn fleet_golden_least_expected_ttft() {
+    check_golden(RouterPolicy::LeastExpectedTtft);
+}
+
+/// Speculative dispatch golden: `speculative:k=2` on the same pinned
+/// scenario — every request races a copy on both replicas and the loser is
+/// cancelled at the group's first token. The policy name is not
+/// filesystem-safe (`:` / `=`), so the snapshot lives under a sanitized
+/// file name; the speculative accounting section rides along.
+#[test]
+fn fleet_golden_speculative_k2() {
+    let summary = run_scenario(RouterPolicy::Speculative { k: 2 });
+    let mut fields = snapshot(&summary);
+    let sp = &summary.speculative;
+    fields.extend([
+        (
+            "speculative.groups_dispatched".into(),
+            sp.groups_dispatched as f64,
+        ),
+        (
+            "speculative.cancelled_copies".into(),
+            sp.cancelled_copies as f64,
+        ),
+        ("speculative.open_groups".into(), sp.open_groups as f64),
+    ]);
+    assert!(
+        sp.groups_dispatched > 0,
+        "golden scenario must dispatch speculative races"
+    );
+    assert!(
+        sp.cancelled_copies > 0,
+        "first-token races must cancel loser copies"
+    );
+    moentwine_bench::golden::check_or_bless(
+        &golden_dir().join("fleet_speculative_k2.json"),
+        &fields,
+        "policy speculative:k=2",
+        "GOLDEN_BLESS=1 cargo test --test fleet_golden",
+    );
+}
+
 /// The pinned disaggregated scenario: two wafer prefill pods feeding two
 /// DGX decode replicas, every hand-off priced through the congestion
 /// model. Pins the transfer accounting (count, bytes, seconds) and the

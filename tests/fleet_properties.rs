@@ -4,6 +4,7 @@
 //! regardless of router policy or how replica stepping is scheduled.
 
 use moentwine::prelude::*;
+use proptest::prelude::*;
 
 fn engine_template(seed: u64) -> EngineConfig {
     let mut config = EngineConfig::new(ModelConfig::tiny())
@@ -363,6 +364,108 @@ fn disaggregated_fleets_conserve_handoffs_across_schedulers_and_pools() {
                 "seed {seed} rate {rate}: {scheduler:?} diverged"
             );
         }
+    }
+}
+
+proptest! {
+    /// Speculative dispatch conserves every copy it races: at any
+    /// synchronization point each dispatched copy is waiting, resident,
+    /// rejected, shed, completed, or cancelled as a race loser — none
+    /// lost, none duplicated:
+    ///
+    /// `routed == queued + resident + rejects + shed + completed +
+    /// cancelled_speculative`
+    ///
+    /// The ledger must balance under both scheduler drives, any legal
+    /// `ReplicaPool` interleaving, and both summary modes (the Exact path
+    /// surgically removes loser records and rewinds feedback cursors).
+    /// Pool interleavings can never change results within a drive; the
+    /// two drives resolve races at different sync points and are each
+    /// internally deterministic, but are not required to agree with each
+    /// other bit-for-bit.
+    #[test]
+    fn speculative_copies_conserved_across_drives_and_pools(
+        seed in 0u64..400,
+        k in 2usize..4,
+        replicas in 2usize..5,
+        rate_kilo in 4u32..24,
+        rounds in 50usize..140,
+        exact in 0u8..2,
+    ) {
+        struct ScrambledPool;
+        impl ReplicaPool for ScrambledPool {
+            fn run<'s>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 's>>) {
+                let mut deferred = Vec::new();
+                for (i, job) in jobs.into_iter().enumerate() {
+                    if i % 2 == 0 {
+                        deferred.push(job);
+                    } else {
+                        job();
+                    }
+                }
+                for job in deferred {
+                    job();
+                }
+            }
+        }
+
+        let f = fixture();
+        let rate = rate_kilo as f64 * 1.0e3;
+        // Fewer replicas than requested copies: the policy must truncate.
+        let k_eff = k.min(replicas) as u64;
+        let run = |scheduler: FleetScheduler, pool: &dyn ReplicaPool| {
+            let mut engine = engine_template(seed);
+            if exact == 1 {
+                engine = engine.with_summary(SummaryMode::Exact);
+            }
+            let config =
+                FleetConfig::new(replicas, RouterPolicy::Speculative { k }, rate, engine)
+                    .with_scheduler(scheduler);
+            let mut fleet = Fleet::new(&f.topo, &f.table, &f.plan, config);
+            fleet.run_with(rounds, pool);
+            let summary = fleet.summary();
+
+            let routed: u64 = summary.routed.iter().sum();
+            let mut accounted = summary.speculative.cancelled_copies;
+            let mut rejects = 0u64;
+            let mut shed = 0u64;
+            for (engine, s) in fleet.engines().iter().zip(&summary.per_replica) {
+                let snap = engine.replica_snapshot().expect("serving mode");
+                accounted += snap.queue_depth as u64
+                    + snap.active as u64
+                    + s.admission_rejects
+                    + s.shed
+                    + s.completed as u64;
+                rejects += s.admission_rejects;
+                shed += s.shed;
+            }
+            assert_eq!(
+                routed, accounted,
+                "{scheduler:?}: speculative copies lost or double-counted"
+            );
+            // Every arrival fans out to exactly `min(k, replicas)` copies.
+            assert_eq!(
+                routed,
+                summary.speculative.groups_dispatched * k_eff,
+                "{scheduler:?}: dispatch fan-out diverged from k"
+            );
+            // With no rejects or sheds every group keeps all its copies,
+            // so each completed winner implies `k_eff - 1` cancelled
+            // losers from its (distinct) resolved group.
+            if rejects == 0 && shed == 0 {
+                assert!(
+                    summary.speculative.cancelled_copies
+                        >= summary.aggregate.completed as u64 * (k_eff - 1),
+                    "{scheduler:?}: winners completed without cancelling losers"
+                );
+            }
+            summary
+        };
+
+        let lockstep = run(FleetScheduler::Lockstep, &SerialReplicaPool);
+        let event = run(FleetScheduler::EventHeap, &SerialReplicaPool);
+        prop_assert_eq!(&lockstep, &run(FleetScheduler::Lockstep, &ScrambledPool));
+        prop_assert_eq!(&event, &run(FleetScheduler::EventHeap, &ScrambledPool));
     }
 }
 

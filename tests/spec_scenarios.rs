@@ -65,8 +65,8 @@ fn example_specs_are_canonical_and_build() {
     // The acceptance set: single-wafer serving, multi-wafer, DGX baseline,
     // a multi-replica fleet, the 10M-request streaming mega-fleet, the
     // failure-injection chaos fleet, the workload-realism pair (trace
-    // replay + bursty multi-tenant SLO classes), and the disaggregated
-    // prefill/decode fleet.
+    // replay + bursty multi-tenant SLO classes), the disaggregated
+    // prefill/decode fleet, and the speculative-dispatch burst fleet.
     for required in [
         "single_wafer_serving",
         "multi_wafer",
@@ -77,6 +77,7 @@ fn example_specs_are_canonical_and_build() {
         "trace_replay",
         "bursty_tenants",
         "disagg_fleet",
+        "speculative_fleet",
     ] {
         assert!(names.iter().any(|n| n == required), "missing {required}");
     }
